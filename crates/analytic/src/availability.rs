@@ -1,0 +1,141 @@
+//! Renewal-reward predictions of the useful-work fraction, used as
+//! sanity bounds for the simulators and as the analytic series in the
+//! figure benches.
+
+/// System-wide failure rate of `nodes` nodes with per-node MTTF
+/// `mttf_node` (same unit), optionally inflated by a generic correlated
+/// stream `α·r` (the paper's Section 6: total rate `n·λ·(1 + α·r)`).
+///
+/// # Panics
+///
+/// Panics unless `nodes ≥ 1` and `mttf_node > 0`.
+#[must_use]
+pub fn system_failure_rate(nodes: u64, mttf_node: f64, alpha_r: f64) -> f64 {
+    assert!(nodes >= 1, "need at least one node");
+    assert!(
+        mttf_node.is_finite() && mttf_node > 0.0,
+        "mttf must be positive"
+    );
+    assert!(alpha_r >= 0.0, "correlated inflation must be non-negative");
+    nodes as f64 / mttf_node * (1.0 + alpha_r)
+}
+
+/// Daly-style useful-work fraction of the full system: interval `tau`,
+/// non-overlapped protocol overhead `overhead` (broadcast + quiesce +
+/// dump), mean recovery `recovery`, and system failure rate `rate`.
+///
+/// This is `τ / T(τ)` with `T` from [`crate::daly::expected_wall_time`],
+/// evaluated per cycle — the closest closed form to the paper's base
+/// model (it still ignores I/O-node effects and master aborts, which is
+/// why the simulators sit slightly below it).
+#[must_use]
+pub fn predicted_useful_work_fraction(tau: f64, overhead: f64, recovery: f64, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    let mtbf = 1.0 / rate;
+    crate::daly::useful_work_fraction(tau, overhead, recovery, mtbf)
+}
+
+/// Total useful work (the paper's "job units"): fraction × processors.
+#[must_use]
+pub fn predicted_total_useful_work(
+    processors: u64,
+    tau: f64,
+    overhead: f64,
+    recovery: f64,
+    rate: f64,
+) -> f64 {
+    processors as f64 * predicted_useful_work_fraction(tau, overhead, recovery, rate)
+}
+
+/// The processor count maximizing predicted total useful work for a
+/// fixed per-node MTTF — the analytic counterpart of the paper's
+/// "optimum number of processors" (Figure 4a/c/e), found by scanning
+/// powers of two in `[min_procs, max_procs]`.
+#[must_use]
+pub fn optimal_processor_count(
+    procs_per_node: u32,
+    mttf_node: f64,
+    tau: f64,
+    overhead: f64,
+    recovery: f64,
+    min_procs: u64,
+    max_procs: u64,
+) -> u64 {
+    assert!(procs_per_node >= 1);
+    let mut best = (min_procs, f64::MIN);
+    let mut p = min_procs;
+    while p <= max_procs {
+        let nodes = p / u64::from(procs_per_node);
+        if nodes >= 1 {
+            let rate = system_failure_rate(nodes, mttf_node, 0.0);
+            let w = predicted_total_useful_work(p, tau, overhead, recovery, rate);
+            if w > best.1 {
+                best = (p, w);
+            }
+        }
+        p *= 2;
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const YEAR: f64 = 8_766.0 * 3_600.0;
+
+    #[test]
+    fn system_rate_scales_linearly() {
+        let r1 = system_failure_rate(1_024, YEAR, 0.0);
+        let r2 = system_failure_rate(2_048, YEAR, 0.0);
+        assert!((r2 - 2.0 * r1).abs() < 1e-18);
+        // α·r = 1 doubles the rate (paper's Figure-8 setting).
+        let rc = system_failure_rate(1_024, YEAR, 1.0);
+        assert!((rc - 2.0 * r1).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fraction_decreases_with_rate() {
+        let f_small = predicted_useful_work_fraction(
+            1_800.0,
+            56.8,
+            600.0,
+            system_failure_rate(1_024, YEAR, 0.0),
+        );
+        let f_large = predicted_useful_work_fraction(
+            1_800.0,
+            56.8,
+            600.0,
+            system_failure_rate(32_768, YEAR, 0.0),
+        );
+        assert!(f_small > f_large);
+        assert!(f_large > 0.0);
+    }
+
+    #[test]
+    fn optimum_processor_count_exists_and_moves_with_mttf() {
+        // Paper: MTTF 1 y/node, MTTR 10 min, 30-minute interval →
+        // optimum ≈ 128K processors (8 per node).
+        let opt_1y = optimal_processor_count(8, YEAR, 1_800.0, 56.8, 600.0, 8_192, 262_144);
+        assert!(
+            (65_536..=262_144).contains(&opt_1y),
+            "1-year optimum at {opt_1y}"
+        );
+        // Halving the MTTF must not increase the optimum.
+        let opt_half = optimal_processor_count(8, 0.5 * YEAR, 1_800.0, 56.8, 600.0, 8_192, 262_144);
+        assert!(opt_half <= opt_1y, "{opt_half} vs {opt_1y}");
+    }
+
+    #[test]
+    fn interior_optimum_beats_neighbours() {
+        let tuw = |p: u64| {
+            let rate = system_failure_rate(p / 8, YEAR, 0.0);
+            predicted_total_useful_work(p, 1_800.0, 56.8, 600.0, rate)
+        };
+        let opt = optimal_processor_count(8, YEAR, 1_800.0, 56.8, 600.0, 8_192, 262_144);
+        if opt > 8_192 && opt < 262_144 {
+            assert!(tuw(opt) >= tuw(opt / 2));
+            assert!(tuw(opt) >= tuw(opt * 2));
+        }
+    }
+}

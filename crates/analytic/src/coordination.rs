@@ -1,0 +1,174 @@
+//! Closed forms for the coordination time of the paper's Section 5.
+//!
+//! With `n` nodes quiescing independently, each exponential with mean
+//! MTTQ (rate `λ = 1/MTTQ`), the coordination time is
+//! `Y = max{X_1..X_n}` with CDF `F_Y(y) = (1 − e^{−λy})^n`.
+
+use ckpt_stats::special::{harmonic, harmonic2};
+
+/// Expected coordination time `E[Y] = H_n / λ = H_n · MTTQ` — the
+/// logarithmic growth that makes coordination scale well (Figure 5).
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 1` and `mttq > 0`.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_analytic::coordination::expected_time;
+///
+/// // Paper's observation: going from 64Ki to 1Gi processors adds only
+/// // ~10 MTTQs of coordination time.
+/// let small = expected_time(1 << 16, 10.0);
+/// let huge = expected_time(1 << 30, 10.0);
+/// assert!(huge - small < 100.1);
+/// ```
+#[must_use]
+pub fn expected_time(n: u64, mttq: f64) -> f64 {
+    assert!(n >= 1, "need at least one node");
+    assert!(mttq.is_finite() && mttq > 0.0, "mttq must be positive");
+    harmonic(n) * mttq
+}
+
+/// Variance of the coordination time, `H_n^{(2)} · MTTQ²` — bounded by
+/// `π²/6 · MTTQ²` for any `n`.
+#[must_use]
+pub fn variance(n: u64, mttq: f64) -> f64 {
+    assert!(n >= 1, "need at least one node");
+    harmonic2(n) * mttq * mttq
+}
+
+/// Quantile of `Y`: `F⁻¹(p) = −MTTQ · ln(1 − p^{1/n})`.
+///
+/// # Panics
+///
+/// Panics unless `p ∈ (0, 1)`.
+#[must_use]
+pub fn quantile(n: u64, mttq: f64, p: f64) -> f64 {
+    assert!(n >= 1, "need at least one node");
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    let x = p.ln() / n as f64;
+    -mttq * (-x.exp_m1()).ln()
+}
+
+/// Probability the master times out: `P(Y > T) = 1 − (1 − e^{−T/MTTQ})^n`,
+/// the per-attempt checkpoint-abort probability of Section 7.2.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_analytic::coordination::timeout_probability;
+///
+/// // Paper's Figure 6: timeouts ≤ 80 s hurt, ≥ 120 s are near-safe.
+/// // 64K processors = 8192 coordinating nodes, MTTQ 10 s:
+/// let p80 = timeout_probability(8_192, 10.0, 80.0);
+/// let p120 = timeout_probability(8_192, 10.0, 120.0);
+/// assert!(p80 > 0.9, "80 s aborts almost every attempt: {p80}");
+/// assert!(p120 < 0.05, "120 s rarely aborts: {p120}");
+/// ```
+#[must_use]
+pub fn timeout_probability(n: u64, mttq: f64, timeout: f64) -> f64 {
+    assert!(n >= 1, "need at least one node");
+    assert!(timeout >= 0.0, "timeout must be non-negative");
+    // 1 − (1 − e^{−T/mttq})^n, computed stably via ln.
+    let log_term = (-(-timeout / mttq).exp()).ln_1p(); // ln(1 − e^{−T/MTTQ})
+    -(n as f64 * log_term).exp_m1()
+}
+
+/// Failure-free useful-work fraction of the coordination-only model
+/// (the analytic counterpart of Figure 5): per cycle, `interval` seconds
+/// of work cost `interval + broadcast + E[Y] + dump` seconds.
+#[must_use]
+pub fn useful_work_fraction(n: u64, mttq: f64, interval: f64, broadcast: f64, dump: f64) -> f64 {
+    assert!(
+        interval.is_finite() && interval > 0.0,
+        "interval must be positive"
+    );
+    let cycle = interval + broadcast + expected_time(n, mttq) + dump;
+    interval / cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_des::SimRng;
+    use ckpt_stats::dist::sample_max_exponential;
+
+    #[test]
+    fn expected_time_n1_is_mttq() {
+        assert!((expected_time(1, 10.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growth_is_logarithmic() {
+        let e1k = expected_time(1_000, 1.0);
+        let e1m = expected_time(1_000_000, 1.0);
+        let e1g = expected_time(1_000_000_000, 1.0);
+        // Each 1000× adds ≈ ln(1000) ≈ 6.9.
+        assert!((e1m - e1k - 1000f64.ln()).abs() < 0.01);
+        assert!((e1g - e1m - 1000f64.ln()).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        // F(F⁻¹(p)) = p with F(y) = (1 − e^{−y/mttq})^n.
+        for p in [0.1, 0.5, 0.9, 0.999] {
+            let y = quantile(4_096, 2.0, p);
+            let cdf = (1.0 - (-y / 2.0).exp()).powi(4_096);
+            assert!((cdf - p).abs() < 1e-9, "p={p}: cdf={cdf}");
+        }
+    }
+
+    #[test]
+    fn median_matches_sampler() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 10_000u64;
+        let med = quantile(n, 10.0, 0.5);
+        let below = (0..20_000)
+            .filter(|_| sample_max_exponential(n, 0.1, &mut rng) < med)
+            .count();
+        let frac = below as f64 / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.01, "median split {frac}");
+    }
+
+    #[test]
+    fn timeout_probability_bounds_and_monotonicity() {
+        assert!((timeout_probability(100, 10.0, 0.0) - 1.0).abs() < 1e-12);
+        let p1 = timeout_probability(65_536, 10.0, 60.0);
+        let p2 = timeout_probability(65_536, 10.0, 100.0);
+        let p3 = timeout_probability(65_536, 10.0, 140.0);
+        assert!(p1 > p2 && p2 > p3, "{p1} > {p2} > {p3}");
+        let q1 = timeout_probability(262_144, 10.0, 100.0);
+        assert!(q1 > p2, "more nodes → more timeouts");
+    }
+
+    #[test]
+    fn timeout_probability_matches_sampler() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let (n, mttq, t) = (8_192u64, 10.0, 100.0);
+        let p = timeout_probability(n, mttq, t);
+        let hits = (0..200_000)
+            .filter(|_| sample_max_exponential(n, 1.0 / mttq, &mut rng) > t)
+            .count();
+        let freq = hits as f64 / 200_000.0;
+        assert!((freq - p).abs() < 0.005, "analytic {p} vs empirical {freq}");
+    }
+
+    #[test]
+    fn fraction_declines_slowly_with_n() {
+        let f = |n| useful_work_fraction(n, 10.0, 1_800.0, 0.002, 46.8);
+        let f64k = f(65_536);
+        let f1g = f(1 << 30);
+        assert!(f64k > f1g);
+        assert!(f64k - f1g < 0.08, "coordination effect stays small");
+    }
+
+    #[test]
+    fn variance_is_bounded() {
+        let v = variance(1 << 30, 10.0);
+        let bound = std::f64::consts::PI.powi(2) / 6.0 * 100.0;
+        assert!(v < bound);
+        assert!(v > 100.0, "variance exceeds single-node variance");
+    }
+}

@@ -1,0 +1,164 @@
+//! Daly's checkpoint-interval model (ICCS 2003 / FGCS 2006).
+//!
+//! Daly extends Young with failures during checkpointing and recovery
+//! and multiple failures per interval (but, as the DSN'05 paper notes,
+//! still no coordination overhead and no correlated failures). The key
+//! object is the expected wall-clock time to finish a job of solve time
+//! `T_s` with checkpoint interval `τ`, dump time `δ`, restart time `R`
+//! and exponential failures at system MTBF `M`:
+//!
+//! ```text
+//! T(τ) = M · e^{R/M} · (e^{(τ+δ)/M} − 1) · T_s / τ
+//! ```
+
+/// Expected wall-clock time for a job of solve time `solve` using
+/// interval `tau` (all times in the same unit).
+///
+/// # Panics
+///
+/// Panics unless every argument is finite, `tau`, `mtbf` and `solve` are
+/// positive, and `delta`/`restart` are non-negative.
+#[must_use]
+pub fn expected_wall_time(solve: f64, tau: f64, delta: f64, restart: f64, mtbf: f64) -> f64 {
+    assert!(
+        solve.is_finite() && solve > 0.0,
+        "solve time must be positive"
+    );
+    assert!(tau.is_finite() && tau > 0.0, "interval must be positive");
+    assert!(mtbf.is_finite() && mtbf > 0.0, "mtbf must be positive");
+    assert!(delta.is_finite() && delta >= 0.0, "dump time must be >= 0");
+    assert!(
+        restart.is_finite() && restart >= 0.0,
+        "restart must be >= 0"
+    );
+    mtbf * (restart / mtbf).exp() * (((tau + delta) / mtbf).exp_m1()) * solve / tau
+}
+
+/// Useful-work fraction under Daly's model: `T_s / T(τ)`, independent of
+/// the solve time.
+#[must_use]
+pub fn useful_work_fraction(tau: f64, delta: f64, restart: f64, mtbf: f64) -> f64 {
+    1.0 / (expected_wall_time(1.0, tau, delta, restart, mtbf))
+}
+
+/// Daly's higher-order optimum interval:
+///
+/// ```text
+/// τ* = √(2δM) · [1 + ⅓·√(δ/(2M)) + (1/9)·(δ/(2M))] − δ    for δ < 2M
+/// τ* = M                                                   otherwise
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `delta` and `mtbf` are positive and finite.
+#[must_use]
+pub fn optimal_interval(delta: f64, mtbf: f64) -> f64 {
+    assert!(
+        delta.is_finite() && delta > 0.0,
+        "dump time must be positive"
+    );
+    assert!(mtbf.is_finite() && mtbf > 0.0, "mtbf must be positive");
+    if delta >= 2.0 * mtbf {
+        return mtbf;
+    }
+    let x = delta / (2.0 * mtbf);
+    (2.0 * delta * mtbf).sqrt() * (1.0 + x.sqrt() / 3.0 + x / 9.0) - delta
+}
+
+/// Numerically minimizes `T(τ)` by golden-section search, for verifying
+/// the closed-form optimum and for regimes outside its validity.
+#[must_use]
+pub fn optimal_interval_numeric(delta: f64, restart: f64, mtbf: f64) -> f64 {
+    let f = |tau: f64| expected_wall_time(1.0, tau, delta, restart, mtbf);
+    let (mut lo, mut hi) = (delta * 1e-3, 50.0 * mtbf);
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..200 {
+        let a = hi - phi * (hi - lo);
+        let b = lo + phi * (hi - lo);
+        if f(a) < f(b) {
+            hi = b;
+        } else {
+            lo = a;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_time_exceeds_solve_time() {
+        let t = expected_wall_time(1_000.0, 600.0, 46.8, 600.0, 3_600.0);
+        assert!(t > 1_000.0);
+    }
+
+    #[test]
+    fn fraction_is_solve_over_wall() {
+        let f = useful_work_fraction(600.0, 46.8, 600.0, 36_000.0);
+        let t = expected_wall_time(1.0, 600.0, 46.8, 600.0, 36_000.0);
+        assert!((f - 1.0 / t).abs() < 1e-12);
+        assert!(f > 0.0 && f < 1.0);
+    }
+
+    #[test]
+    fn no_failure_limit_recovers_overhead_only() {
+        // As M → ∞, the fraction tends to τ/(τ+δ).
+        let f = useful_work_fraction(1_800.0, 46.8, 600.0, 1e12);
+        let expect = 1_800.0 / 1_846.8;
+        assert!((f - expect).abs() < 1e-6, "{f} vs {expect}");
+    }
+
+    #[test]
+    fn closed_form_optimum_matches_numeric() {
+        for (delta, mtbf) in [(46.8, 3_600.0), (10.0, 10_000.0), (120.0, 7_200.0)] {
+            let closed = optimal_interval(delta, mtbf);
+            let numeric = optimal_interval_numeric(delta, 0.0, mtbf);
+            assert!(
+                (closed - numeric).abs() / numeric < 0.02,
+                "δ={delta} M={mtbf}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturates_at_mtbf_for_huge_overheads() {
+        assert_eq!(optimal_interval(10_000.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn optimum_shrinks_with_failure_rate() {
+        // The paper's point: large systems (small MTBF) need intervals of
+        // minutes. 8192 nodes at MTTF 1 y/node → system MTBF ≈ 1.07 h;
+        // with the 46.8 s dump the optimum is ≈ 10 minutes.
+        let mtbf_8192 = 8_766.0 * 3_600.0 / 8_192.0;
+        let tau = optimal_interval(46.8, mtbf_8192);
+        assert!(
+            (400.0..900.0).contains(&tau),
+            "expected minutes-scale optimum, got {tau} s"
+        );
+        // A 128-node system of the same nodes can checkpoint hourly.
+        let mtbf_128 = 8_766.0 * 3_600.0 / 128.0;
+        assert!(optimal_interval(46.8, mtbf_128) > 3_000.0);
+    }
+
+    #[test]
+    fn daly_beats_young_in_expected_time() {
+        let (delta, restart, mtbf) = (120.0, 600.0, 1_800.0);
+        let young = crate::young::optimal_interval(delta, mtbf);
+        let daly = optimal_interval(delta, mtbf);
+        let t_young = expected_wall_time(1.0, young, delta, restart, mtbf);
+        let t_daly = expected_wall_time(1.0, daly, delta, restart, mtbf);
+        assert!(
+            t_daly <= t_young * 1.001,
+            "Daly's τ* must not lose to Young's under Daly's own model"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn rejects_zero_interval() {
+        let _ = expected_wall_time(1.0, 0.0, 1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Analytic checkpointing models.
+//!
+//! The DSN'05 paper positions its simulation against the classical
+//! closed-form checkpoint-interval models; this crate implements those
+//! baselines from their original papers so the benches can plot them
+//! next to the simulated curves:
+//!
+//! * [`young`] — Young's first-order optimum interval
+//!   `τ* = √(2·δ·M)` (CACM 1974),
+//! * [`daly`] — Daly's higher-order optimum and his expected-runtime
+//!   model with failures during checkpointing and recovery (ICCS 2003 /
+//!   FGCS 2006),
+//! * [`vaidya`] — Vaidya's checkpoint *latency vs. overhead* distinction
+//!   (Pacific Rim FTS 1995), where only the blocking overhead affects the
+//!   optimal frequency,
+//! * [`coordination`] — closed forms for the max-of-n-exponentials
+//!   coordination time of the paper's Section 5: its mean `H_n/λ`, its
+//!   quantiles, and the timeout-abort probability
+//!   `P(Y > T) = 1 − (1 − e^{−λT})^n`,
+//! * [`availability`] — renewal-reward predictions of the useful-work
+//!   fraction used as sanity bounds for the simulators,
+//! * [`phase_model`] — the "simple Markov model" the paper argues is
+//!   insufficient: a 5-state CTMC of the checkpoint cycle whose phase
+//!   occupancies are good but whose useful-work estimate is visibly
+//!   cruder than the simulators', quantifying the paper's claim.
+//!
+//! # Example
+//!
+//! ```
+//! // A 60-second dump overhead on a machine with a 1-hour system MTBF
+//! // wants checkpoints far more often than one with a 100-hour MTBF.
+//! let tight = ckpt_analytic::young::optimal_interval(60.0, 3_600.0);
+//! let loose = ckpt_analytic::young::optimal_interval(60.0, 360_000.0);
+//! assert!(tight < loose);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod coordination;
+pub mod daly;
+pub mod phase_model;
+pub mod vaidya;
+pub mod young;

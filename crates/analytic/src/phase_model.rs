@@ -1,0 +1,249 @@
+//! A CTMC phase model of the checkpoint cycle — the "simple Markov
+//! model" baseline.
+//!
+//! The paper argues that useful work "cannot be represented using simple
+//! Markov models" because it requires knowledge of future behavior (work
+//! is only useful if it survives until the next checkpoint). This module
+//! builds the best *simple* CTMC anyway: five states (computing,
+//! coordinating, dumping, recovering, rebooting) with exponential
+//! holding times matched to the mean durations, solved with
+//! `ckpt_stats::markov::steady_state`. Phase *occupancies* come out
+//! quite well; the useful-work fraction needs the rework correction
+//! below and is noticeably cruder than either simulator — which is
+//! precisely the paper's point, quantified.
+
+use ckpt_stats::markov::{steady_state, transient, CtmcError};
+
+/// Index of each phase in the occupancy vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Application executing.
+    Computing = 0,
+    /// Quiesce broadcast + coordination.
+    Coordinating = 1,
+    /// Checkpoint dump to the I/O nodes.
+    Dumping = 2,
+    /// Rollback and recovery.
+    Recovering = 3,
+    /// Whole-system reboot.
+    Rebooting = 4,
+}
+
+/// Parameters of the phase model (all times in seconds, rates in 1/s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseModel {
+    /// Checkpoint interval τ.
+    pub interval: f64,
+    /// Mean coordination duration (broadcast + quiesce/coordination).
+    pub coordination: f64,
+    /// Checkpoint dump duration.
+    pub dump: f64,
+    /// Mean recovery duration R (a *single* uninterrupted attempt).
+    pub recovery: f64,
+    /// System failure rate Λ.
+    pub failure_rate: f64,
+    /// Mean reboot duration (0 disables the reboot state).
+    pub reboot: f64,
+    /// Rate of escalation from recovering to rebooting (0 disables).
+    pub severe_rate: f64,
+}
+
+impl PhaseModel {
+    /// Builds the 5×5 generator matrix.
+    ///
+    /// Recovery completion uses the deterministic-restart mean
+    /// `(e^{ΛR} − 1)/Λ`, so repeated in-recovery failures are folded into
+    /// the recovering state's holding time.
+    #[must_use]
+    pub fn generator(&self) -> Vec<Vec<f64>> {
+        let lam = self.failure_rate;
+        // Effective recovery completion rate with failures restarting a
+        // deterministic attempt of length R.
+        let recovery_mean = if lam * self.recovery > 1e-12 {
+            ((lam * self.recovery).exp_m1()) / lam
+        } else {
+            self.recovery
+        };
+        let mu_rec = 1.0 / recovery_mean;
+        let to_coord = 1.0 / self.interval;
+        let coord_done = 1.0 / self.coordination.max(1e-9);
+        let dump_done = 1.0 / self.dump.max(1e-9);
+        let reboot_done = if self.reboot > 0.0 {
+            1.0 / self.reboot
+        } else {
+            0.0
+        };
+
+        let mut q = vec![vec![0.0; 5]; 5];
+        // Computing.
+        q[0][1] = to_coord;
+        q[0][3] = lam;
+        // Coordinating.
+        q[1][2] = coord_done;
+        q[1][3] = lam;
+        // Dumping.
+        q[2][0] = dump_done;
+        q[2][3] = lam;
+        // Recovering.
+        q[3][0] = mu_rec;
+        q[3][4] = self.severe_rate;
+        // Rebooting → recovering (compute nodes still must recover).
+        q[4][3] = reboot_done.max(if self.severe_rate > 0.0 { 1e-12 } else { 0.0 });
+
+        for (i, row) in q.iter_mut().enumerate() {
+            let row_sum: f64 = row.iter().sum::<f64>() - row[i];
+            row[i] = -row_sum;
+        }
+        q
+    }
+
+    /// Steady-state phase occupancies `[computing, coordinating, dumping,
+    /// recovering, rebooting]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (a reducible chain, which cannot happen
+    /// for positive parameters).
+    pub fn occupancy(&self) -> Result<[f64; 5], CtmcError> {
+        let q = self.generator();
+        if self.severe_rate == 0.0 {
+            // The reboot state is unreachable: solve the 4-state chain.
+            let q4: Vec<Vec<f64>> = q[..4].iter().map(|row| row[..4].to_vec()).collect();
+            let pi = steady_state(&q4)?;
+            Ok([pi[0], pi[1], pi[2], pi[3], 0.0])
+        } else {
+            let pi = steady_state(&q)?;
+            Ok([pi[0], pi[1], pi[2], pi[3], pi[4]])
+        }
+    }
+
+    /// Approximate useful-work fraction: the computing occupancy minus
+    /// the rework rate. Work accrues at rate `π₀`; failures strike the
+    /// working states at rate `Λ·(π₀+π₁+π₂)` and each costs on average
+    /// half an interval of accrued work (`π₀·τ/2` wall-clock equivalent,
+    /// capped at the accrual itself).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn useful_work_fraction(&self) -> Result<f64, CtmcError> {
+        let pi = self.occupancy()?;
+        let accrual = pi[0];
+        let failing = self.failure_rate * (pi[0] + pi[1] + pi[2]);
+        let loss_per_failure = (pi[0] * self.interval / 2.0).min(1.0 / failing.max(1e-300));
+        Ok((accrual - failing * loss_per_failure).max(0.0))
+    }
+
+    /// Probability the system is in each phase at time `t`, starting
+    /// from computing — a transient measure the simulation-only paper
+    /// never reports, enabled by the uniformization solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn occupancy_at(&self, t: f64) -> Result<[f64; 5], CtmcError> {
+        let q = self.generator();
+        let pi = transient(&q, &[1.0, 0.0, 0.0, 0.0, 0.0], t)?;
+        Ok([pi[0], pi[1], pi[2], pi[3], pi[4]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PhaseModel {
+        // The 64K-processor base point: Λ = 8192/1y, τ = 30 min,
+        // coordination ≈ 10 s, dump 46.8 s, R = 10 min.
+        PhaseModel {
+            interval: 1_800.0,
+            coordination: 10.0,
+            dump: 46.8,
+            recovery: 600.0,
+            failure_rate: 8_192.0 / (8_766.0 * 3_600.0),
+            reboot: 3_600.0,
+            severe_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn occupancies_sum_to_one() {
+        let pi = base().occupancy().unwrap();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-10);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+        assert_eq!(pi[4], 0.0, "no severe rate → no reboot mass");
+    }
+
+    #[test]
+    fn computing_dominates_at_base_parameters() {
+        let pi = base().occupancy().unwrap();
+        assert!(pi[0] > 0.80, "computing occupancy {}", pi[0]);
+        // Recovery mass ≈ Λ·E[recovery] ≈ 0.935/h · 10min ≈ 0.15·…
+        assert!(pi[3] > 0.01 && pi[3] < 0.2, "recovering {}", pi[3]);
+    }
+
+    #[test]
+    fn useful_work_is_below_computing_occupancy() {
+        let m = base();
+        let pi = m.occupancy().unwrap();
+        let f = m.useful_work_fraction().unwrap();
+        assert!(f < pi[0]);
+        // And in the ballpark of Daly at this point (≈0.645).
+        assert!((0.5..0.8).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn higher_failure_rate_lowers_everything() {
+        let mut harsh = base();
+        harsh.failure_rate *= 8.0;
+        let f_base = base().useful_work_fraction().unwrap();
+        let f_harsh = harsh.useful_work_fraction().unwrap();
+        assert!(f_harsh < f_base);
+        let pi_harsh = harsh.occupancy().unwrap();
+        let pi_base = base().occupancy().unwrap();
+        assert!(pi_harsh[3] > pi_base[3], "more recovery mass");
+    }
+
+    #[test]
+    fn severe_rate_populates_reboot_state() {
+        let mut m = base();
+        m.severe_rate = 1.0 / 600.0;
+        let pi = m.occupancy().unwrap();
+        assert!(pi[4] > 0.0, "reboot mass {}", pi[4]);
+    }
+
+    #[test]
+    fn transient_starts_computing_and_settles() {
+        let m = base();
+        let at0 = m.occupancy_at(0.0).unwrap();
+        assert!((at0[0] - 1.0).abs() < 1e-12);
+        let late = m.occupancy_at(5.0e6).unwrap();
+        let steady = m.occupancy().unwrap();
+        for (a, b) in late.iter().zip(&steady) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_restart_penalty_appears() {
+        // With ΛR = 1 the effective recovery mean is (e−1)/Λ ≈ 1.72 R.
+        let m = PhaseModel {
+            interval: 1e9, // effectively never checkpoint
+            coordination: 1.0,
+            dump: 1.0,
+            recovery: 100.0,
+            failure_rate: 0.01,
+            reboot: 0.0,
+            severe_rate: 0.0,
+        };
+        let pi = m.occupancy().unwrap();
+        // Occupancy ratio recovering/computing = Λ · E[recovery_total].
+        let ratio = pi[3] / pi[0];
+        let expect = 0.01 * (1.0f64.exp_m1() / 0.01);
+        assert!(
+            (ratio - expect).abs() / expect < 1e-6,
+            "ratio {ratio} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Vaidya's checkpoint latency/overhead model (Pacific Rim FTS 1995).
+//!
+//! Vaidya distinguishes the checkpoint **overhead** `C` (time the
+//! application is blocked) from the checkpoint **latency** `L` (time
+//! until the checkpoint is stable on storage, `L ≥ C`). His central
+//! result: the *optimal checkpoint frequency depends only on the
+//! overhead*, while the latency inflates the expected rework after a
+//! failure — which is precisely why the DSN'05 system writes checkpoints
+//! to the file system in the background (small `C`, large `L`).
+
+/// Optimal interval under Vaidya's model: `√(2·C·mtbf)` — the latency
+/// `L` does not appear (his Theorem: frequency is latency-independent).
+///
+/// # Panics
+///
+/// Panics unless both arguments are positive and finite.
+#[must_use]
+pub fn optimal_interval(overhead: f64, mtbf: f64) -> f64 {
+    crate::young::optimal_interval(overhead, mtbf)
+}
+
+/// First-order expected lost fraction for interval `tau`, overhead `C`
+/// and latency `L`: the overhead term `C/τ`, the mid-interval rework
+/// `τ/(2·mtbf)`, and the latency exposure `L/mtbf` (a failure within the
+/// latency window rolls back to the *previous* checkpoint).
+///
+/// # Panics
+///
+/// Panics unless `tau` and `mtbf` are positive and `L ≥ C ≥ 0`.
+#[must_use]
+pub fn lost_fraction(tau: f64, overhead: f64, latency: f64, mtbf: f64) -> f64 {
+    assert!(tau.is_finite() && tau > 0.0, "interval must be positive");
+    assert!(mtbf.is_finite() && mtbf > 0.0, "mtbf must be positive");
+    assert!(
+        overhead >= 0.0 && latency >= overhead,
+        "latency ({latency}) must be at least the overhead ({overhead})"
+    );
+    overhead / tau + tau / (2.0 * mtbf) + latency / mtbf
+}
+
+/// Useful-work fraction implied by [`lost_fraction`], clamped to `[0,1]`.
+#[must_use]
+pub fn useful_work_fraction(tau: f64, overhead: f64, latency: f64, mtbf: f64) -> f64 {
+    (1.0 - lost_fraction(tau, overhead, latency, mtbf)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_is_latency_independent() {
+        // Identical overhead, wildly different latencies → same optimum.
+        let a = optimal_interval(10.0, 10_000.0);
+        let b = optimal_interval(10.0, 10_000.0);
+        assert_eq!(a, b);
+        // And the optimum of the full lost-fraction in τ is the same
+        // regardless of L (L only shifts the curve).
+        let opt = optimal_interval(10.0, 10_000.0);
+        for latency in [10.0, 100.0, 1_000.0] {
+            let at = lost_fraction(opt, 10.0, latency, 10_000.0);
+            for t in [opt * 0.7, opt * 1.4] {
+                assert!(lost_fraction(t, 10.0, latency, 10_000.0) > at);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_costs_linearly() {
+        let base = lost_fraction(600.0, 10.0, 10.0, 10_000.0);
+        let long = lost_fraction(600.0, 10.0, 510.0, 10_000.0);
+        assert!((long - base - 500.0 / 10_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_write_pays_off() {
+        // DSN'05 regime: blocking write would make C = δ_dump + δ_fs;
+        // background write keeps C = δ_dump but L = δ_dump + δ_fs.
+        let mtbf = 3_600.0;
+        let (dump, fs) = (46.8, 131.1);
+        let blocking = useful_work_fraction(1_800.0, dump + fs, dump + fs, mtbf);
+        let background = useful_work_fraction(1_800.0, dump, dump + fs, mtbf);
+        assert!(
+            background > blocking,
+            "background {background} must beat blocking {blocking}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn rejects_latency_below_overhead() {
+        let _ = lost_fraction(100.0, 50.0, 10.0, 1_000.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Young's first-order checkpoint-interval model (CACM 1974).
+//!
+//! Young assumes the MTBF is much larger than the checkpoint and
+//! recovery times (no failures during checkpointing/recovery) — the very
+//! assumption the DSN'05 paper shows breaks down for large systems.
+
+/// First-order optimum checkpoint interval `τ* = √(2·δ·mtbf)`, where
+/// `δ` is the time to take one checkpoint and `mtbf` is the system-wide
+/// mean time between failures (same time unit for both).
+///
+/// # Panics
+///
+/// Panics unless both arguments are positive and finite.
+///
+/// # Example
+///
+/// ```
+/// // δ = 47 s dump, system MTBF = 1 h: checkpoint about every 10 min.
+/// let tau = ckpt_analytic::young::optimal_interval(46.8, 3_600.0);
+/// assert!((540.0..640.0).contains(&tau));
+/// ```
+#[must_use]
+pub fn optimal_interval(checkpoint_time: f64, mtbf: f64) -> f64 {
+    assert!(
+        checkpoint_time.is_finite() && checkpoint_time > 0.0,
+        "checkpoint time must be positive, got {checkpoint_time}"
+    );
+    assert!(
+        mtbf.is_finite() && mtbf > 0.0,
+        "mtbf must be positive, got {mtbf}"
+    );
+    (2.0 * checkpoint_time * mtbf).sqrt()
+}
+
+/// Young's expected fraction of time lost for interval `tau`:
+/// `δ/τ` (checkpoint overhead) plus `τ/(2·mtbf)` (expected rework),
+/// valid in the small-loss regime. The useful-work fraction is `1 −
+/// lost_fraction` when the sum is below 1.
+#[must_use]
+pub fn lost_fraction(tau: f64, checkpoint_time: f64, mtbf: f64) -> f64 {
+    assert!(tau.is_finite() && tau > 0.0, "interval must be positive");
+    checkpoint_time / tau + tau / (2.0 * mtbf)
+}
+
+/// Useful-work fraction implied by [`lost_fraction`], clamped to `[0,1]`.
+#[must_use]
+pub fn useful_work_fraction(tau: f64, checkpoint_time: f64, mtbf: f64) -> f64 {
+    (1.0 - lost_fraction(tau, checkpoint_time, mtbf)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_matches_formula() {
+        let tau = optimal_interval(50.0, 7_200.0);
+        assert!((tau - (2.0f64 * 50.0 * 7_200.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimum_minimizes_lost_fraction() {
+        let (delta, mtbf) = (46.8, 3_600.0);
+        let tau = optimal_interval(delta, mtbf);
+        let at = lost_fraction(tau, delta, mtbf);
+        for t in [tau * 0.5, tau * 0.8, tau * 1.25, tau * 2.0] {
+            assert!(
+                lost_fraction(t, delta, mtbf) > at,
+                "τ*={tau} must beat τ={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn at_optimum_overhead_equals_rework() {
+        let (delta, mtbf) = (10.0, 1_000.0);
+        let tau = optimal_interval(delta, mtbf);
+        assert!((delta / tau - tau / (2.0 * mtbf)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useful_work_clamps() {
+        // Pathological: losses exceed 1 → clamp to 0.
+        assert_eq!(useful_work_fraction(1.0, 100.0, 1.0), 0.0);
+        assert!(useful_work_fraction(600.0, 46.8, 360_000.0) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mtbf must be positive")]
+    fn rejects_bad_mtbf() {
+        let _ = optimal_interval(10.0, 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the two simulation engines: wall-clock cost
+//! of simulating the base system, per engine and per scale.
+
+use ckpt_core::config::SystemConfig;
+use ckpt_core::direct::DirectSimulator;
+use ckpt_core::san_model::CheckpointSan;
+use ckpt_des::SimTime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn direct_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct_engine_1000h");
+    for procs in [8_192u64, 65_536, 262_144] {
+        let cfg = SystemConfig::builder().processors(procs).build().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sim = DirectSimulator::new(cfg, 1);
+                sim.run(SimTime::from_hours(1_000.0));
+                sim.metrics().useful_work_fraction()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn san_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("san_engine_1000h");
+    group.sample_size(10);
+    for procs in [8_192u64, 65_536] {
+        let cfg = SystemConfig::builder().processors(procs).build().unwrap();
+        let model = CheckpointSan::build(&cfg).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &model, |b, model| {
+            b.iter(|| {
+                model
+                    .run_steady_state(1, SimTime::ZERO, SimTime::from_hours(1_000.0))
+                    .unwrap()
+                    .useful_work_fraction()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn coordination_modes(c: &mut Criterion) {
+    use ckpt_core::config::CoordinationMode;
+    let mut group = c.benchmark_group("coordination_mode_1000h");
+    for (name, mode) in [
+        ("fixed", CoordinationMode::FixedQuiesce),
+        ("system_exp", CoordinationMode::SystemExponential),
+        ("max_of_n", CoordinationMode::MaxOfN),
+    ] {
+        let cfg = SystemConfig::builder()
+            .coordination(mode)
+            .failures_enabled(false)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sim = DirectSimulator::new(cfg, 1);
+                sim.run(SimTime::from_hours(1_000.0));
+                sim.events_processed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, direct_engine, san_engine, coordination_modes);
+criterion_main!(benches);

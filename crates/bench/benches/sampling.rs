@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the statistical substrate: the closed-form
+//! max-of-n-exponentials sampler (the coordination time) and the
+//! cancellable event queue.
+
+use ckpt_des::{EventQueue, SimRng, SimTime};
+use ckpt_stats::dist::sample_max_exponential;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn max_exponential_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_max_exponential");
+    for n in [64u64, 65_536, 1 << 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = SimRng::seed_from_u64(7);
+            b.iter(|| black_box(sample_max_exponential(n, 0.1, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn event_queue_churn(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::seed_from_u64(3);
+            for i in 0..1_000u32 {
+                q.schedule(SimTime::from_secs(rng.exponential(1.0) + f64::from(i)), i);
+            }
+            let mut sum = 0u64;
+            while let Some(ev) = q.pop() {
+                sum += u64::from(ev.into_payload());
+            }
+            black_box(sum)
+        });
+    });
+
+    c.bench_function("event_queue_cancel_heavy_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut ids = Vec::with_capacity(1_000);
+            for i in 0..1_000u32 {
+                ids.push(q.schedule(SimTime::from_secs(f64::from(i)), i));
+            }
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut count = 0u32;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        });
+    });
+}
+
+criterion_group!(benches, max_exponential_sampler, event_queue_churn);
+criterion_main!(benches);

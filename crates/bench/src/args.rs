@@ -1,0 +1,191 @@
+//! Minimal command-line options shared by the figure binaries.
+
+use ckpt_core::EngineKind;
+use ckpt_des::SimTime;
+use std::fmt;
+
+/// Options accepted by every figure binary.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Simulation engine.
+    pub engine: EngineKind,
+    /// Replications per point.
+    pub reps: u32,
+    /// Measurement horizon per replication.
+    pub horizon: SimTime,
+    /// Transient discard before measuring.
+    pub transient: SimTime,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+    /// Smoke-test parameters (few short replications).
+    pub quick: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            engine: EngineKind::Direct,
+            reps: 3,
+            horizon: SimTime::from_hours(20_000.0),
+            transient: SimTime::from_hours(1_000.0),
+            seed: 0x5eed,
+            csv: false,
+            quick: false,
+        }
+    }
+}
+
+/// Error from option parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl RunOptions {
+    /// Parses options from an argument iterator (without the program
+    /// name). Unknown flags are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on unknown flags or malformed values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<RunOptions, ParseError> {
+        let mut opts = RunOptions::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |name: &str| {
+                it.next()
+                    .ok_or_else(|| ParseError(format!("{name} expects a value")))
+            };
+            match arg.as_str() {
+                "--engine" => {
+                    let v = value_for("--engine")?;
+                    opts.engine = match v.as_str() {
+                        "direct" => EngineKind::Direct,
+                        "san" => EngineKind::San,
+                        other => {
+                            return Err(ParseError(format!(
+                                "unknown engine '{other}' (expected direct|san)"
+                            )))
+                        }
+                    };
+                }
+                "--reps" => {
+                    opts.reps = value_for("--reps")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--reps: {e}")))?;
+                }
+                "--hours" => {
+                    let h: f64 = value_for("--hours")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--hours: {e}")))?;
+                    opts.horizon = SimTime::from_hours(h);
+                }
+                "--transient" => {
+                    let h: f64 = value_for("--transient")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--transient: {e}")))?;
+                    opts.transient = SimTime::from_hours(h);
+                }
+                "--seed" => {
+                    opts.seed = value_for("--seed")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--seed: {e}")))?;
+                }
+                "--csv" => opts.csv = true,
+                "--quick" => {
+                    opts.quick = true;
+                    opts.reps = 2;
+                    opts.horizon = SimTime::from_hours(2_000.0);
+                    opts.transient = SimTime::from_hours(200.0);
+                }
+                "--help" | "-h" => {
+                    return Err(ParseError(
+                        "usage: [--engine direct|san] [--reps N] [--hours H] \
+                         [--transient H] [--seed S] [--csv] [--quick]"
+                            .to_string(),
+                    ))
+                }
+                other => return Err(ParseError(format!("unknown flag '{other}'"))),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process environment, printing errors/usage and
+    /// exiting on failure — the entry point used by the binaries.
+    #[must_use]
+    pub fn from_env() -> RunOptions {
+        match RunOptions::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<RunOptions, ParseError> {
+        RunOptions::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.engine, EngineKind::Direct);
+        assert_eq!(o.reps, 3);
+        assert!(!o.csv);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&[
+            "--engine",
+            "san",
+            "--reps",
+            "7",
+            "--hours",
+            "500",
+            "--transient",
+            "50",
+            "--seed",
+            "99",
+            "--csv",
+        ])
+        .unwrap();
+        assert_eq!(o.engine, EngineKind::San);
+        assert_eq!(o.reps, 7);
+        assert_eq!(o.horizon, SimTime::from_hours(500.0));
+        assert_eq!(o.transient, SimTime::from_hours(50.0));
+        assert_eq!(o.seed, 99);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn quick_shrinks_run() {
+        let o = parse(&["--quick"]).unwrap();
+        assert!(o.quick);
+        assert!(o.horizon < RunOptions::default().horizon);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--engine", "magic"]).is_err());
+        assert!(parse(&["--reps", "many"]).is_err());
+        assert!(parse(&["--reps"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

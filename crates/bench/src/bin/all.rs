@@ -1,0 +1,40 @@
+//! Runs every figure of the paper and writes one CSV per figure into
+//! `results/`, printing a one-line summary per figure. This is the
+//! one-shot command behind EXPERIMENTS.md.
+
+use ckpt_bench::sweep::Metric;
+use ckpt_bench::{figures, run_sweep, svg, table, RunOptions};
+use std::fs;
+use std::time::Instant;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let out_dir = std::path::Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results dir");
+
+    for (id, spec) in figures::all_figures() {
+        let started = Instant::now();
+        let series = run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
+        let csv = table::to_csv(&spec.x_name, &series);
+        fs::write(out_dir.join(format!("{id}.csv")), &csv).expect("write figure csv");
+        let y_name = match spec.metric {
+            Metric::UsefulWorkFraction => "useful work fraction",
+            Metric::TotalUsefulWork => "total useful work (job units)",
+        };
+        let x_scale = if spec.x_name.contains("processors") || spec.x_name == "nodes" {
+            svg::XScale::Log2
+        } else {
+            svg::XScale::Linear
+        };
+        let chart = svg::render(&spec.title, &spec.x_name, y_name, &series, x_scale);
+        let path = out_dir.join(format!("{id}.svg"));
+        fs::write(&path, &chart).expect("write figure svg");
+        println!(
+            "{id}: {} series × {} points → results/{id}.csv + .svg ({:.1}s)",
+            series.len(),
+            series.first().map_or(0, |s| s.points.len()),
+            started.elapsed().as_secs_f64()
+        );
+    }
+    println!("done; open results/*.svg or plot results/*.csv");
+}

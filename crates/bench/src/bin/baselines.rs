@@ -1,0 +1,78 @@
+//! Baseline comparison: the simulated useful-work fraction next to the
+//! predictions of the analytic models the paper positions itself
+//! against (Young 1974, Daly 2003/2006, Vaidya 1995), across the
+//! checkpoint-interval axis.
+//!
+//! This is where the paper's disagreement with the closed forms becomes
+//! visible: the analytic optimum interval falls below the practical
+//! 15-minute floor, so within the studied range the simulated curve is
+//! monotone.
+
+use ckpt_analytic::{daly, vaidya, young};
+use ckpt_bench::RunOptions;
+use ckpt_core::{EngineKind, Experiment, SystemConfig};
+use ckpt_des::SimTime;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let procs = 65_536u64;
+    let base = SystemConfig::builder().processors(procs).build().unwrap();
+    let mtbf = 1.0 / base.compute_failure_rate();
+    let overhead = base.quiesce_broadcast_latency().as_secs()
+        + base.mttq().as_secs()
+        + base.checkpoint_dump_time().as_secs();
+    let latency = overhead + base.checkpoint_fs_write_time().as_secs();
+    let restart = base.mttr_system().as_secs();
+
+    println!(
+        "Baselines at {procs} processors (system MTBF {:.2} h)",
+        mtbf / 3600.0
+    );
+    println!(
+        "Analytic optimum intervals: Young {:.1} min, Daly {:.1} min, Vaidya {:.1} min",
+        young::optimal_interval(overhead, mtbf) / 60.0,
+        daly::optimal_interval(overhead, mtbf) / 60.0,
+        vaidya::optimal_interval(overhead, mtbf) / 60.0,
+    );
+    println!();
+    if opts.csv {
+        println!("interval_mins,simulated,simulated_ci,young,daly,vaidya");
+    } else {
+        println!(
+            "{:>14} {:>20} {:>10} {:>10} {:>10}",
+            "interval (min)", "simulated", "Young", "Daly", "Vaidya"
+        );
+    }
+
+    for mins in [15.0, 30.0, 60.0, 120.0, 240.0] {
+        let tau = mins * 60.0;
+        let cfg = SystemConfig::builder()
+            .processors(procs)
+            .checkpoint_interval(SimTime::from_mins(mins))
+            .build()
+            .unwrap();
+        let ci = Experiment::new(cfg)
+            .engine(EngineKind::Direct)
+            .transient(opts.transient)
+            .horizon(opts.horizon)
+            .replications(opts.reps)
+            .seed(opts.seed)
+            .run()
+            .expect("direct engine cannot fail")
+            .useful_work_fraction();
+        let y = young::useful_work_fraction(tau, overhead, mtbf);
+        let d = daly::useful_work_fraction(tau, overhead, restart, mtbf);
+        let v = vaidya::useful_work_fraction(tau, overhead, latency, mtbf);
+        if opts.csv {
+            println!(
+                "{mins},{:.6},{:.6},{y:.6},{d:.6},{v:.6}",
+                ci.mean, ci.half_width
+            );
+        } else {
+            println!(
+                "{mins:>14} {:>12.4} ±{:<6.4} {y:>10.4} {d:>10.4} {v:>10.4}",
+                ci.mean, ci.half_width
+            );
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Extension experiment: coordination effect vs MTTQ (one of the paper's
+//! "figures not shown here").
+
+fn main() {
+    let opts = ckpt_bench::RunOptions::from_env();
+    let spec = ckpt_bench::figures::ext_mttq();
+    let series = ckpt_bench::run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
+    ckpt_bench::table::emit(&spec.title, &spec.x_name, &series, opts.csv);
+}

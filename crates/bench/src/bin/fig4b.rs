@@ -1,0 +1,8 @@
+//! Regenerates Figure 4b of the paper. Flags: see `ckpt_bench::args`.
+
+fn main() {
+    let opts = ckpt_bench::RunOptions::from_env();
+    let spec = ckpt_bench::figures::fig4b();
+    let series = ckpt_bench::run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
+    ckpt_bench::table::emit(&spec.title, &spec.x_name, &series, opts.csv);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 4h (16 processors per node).
+
+fn main() {
+    let opts = ckpt_bench::RunOptions::from_env();
+    let spec = ckpt_bench::figures::fig4gh(16);
+    let series = ckpt_bench::run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
+    ckpt_bench::table::emit(&spec.title, &spec.x_name, &series, opts.csv);
+}

@@ -1,0 +1,111 @@
+//! Regenerates Table 3 of the paper: the model parameters, as encoded in
+//! `SystemConfig::default()` plus the derived quantities both simulators
+//! use.
+
+use ckpt_core::SystemConfig;
+
+fn main() {
+    let c = SystemConfig::builder().build().expect("default config");
+    println!("Table 3: Model Parameters (defaults; paper ranges in brackets)");
+    println!("===============================================================");
+    let rows: Vec<(&str, String, &str)> = vec![
+        (
+            "Checkpoint interval",
+            format!("{} min", c.checkpoint_interval().as_mins()),
+            "[15 min – 4 hr]",
+        ),
+        (
+            "MTTF per node",
+            format!("{:.2} yr", c.mttf_per_node().as_years()),
+            "[1 – 25 yr]",
+        ),
+        (
+            "MTTR (compute nodes)",
+            format!("{} min", c.mttr_system().as_mins()),
+            "10 min",
+        ),
+        (
+            "MTTR of IO nodes",
+            format!("{} min", c.mttr_io().as_mins()),
+            "1 min",
+        ),
+        (
+            "Compute processors",
+            format!("{}", c.processors()),
+            "[8K – 256K]",
+        ),
+        (
+            "Processors per node",
+            format!("{}", c.procs_per_node()),
+            "8 (16/32 in Fig. 4g/4h)",
+        ),
+        (
+            "MTTQ (per node)",
+            format!("{} s", c.mttq().as_secs()),
+            "[0.5 – 10 s]",
+        ),
+        (
+            "Broadcast + software overhead",
+            format!("{} ms", c.quiesce_broadcast_latency().as_secs() * 1e3),
+            "1 ms + 1 ms",
+        ),
+        (
+            "I/O–compute cycle period",
+            format!("{} min", c.app_cycle_period().as_mins()),
+            "3 min",
+        ),
+        (
+            "Fraction of computation",
+            format!("{}", c.compute_fraction()),
+            "[0.88 – 1.0]",
+        ),
+        (
+            "Timeout value",
+            c.timeout()
+                .map_or("none".to_string(), |t| format!("{} s", t.as_secs())),
+            "[20 s – 2 min]",
+        ),
+        (
+            "System reboot time",
+            format!("{} hr", c.reboot_time().as_hours()),
+            "1 hr",
+        ),
+        ("Compute→I/O bandwidth", "350 MB/s".to_string(), "350 MBps"),
+        ("Compute nodes per I/O node", format!("{}", 64), "64"),
+        (
+            "FS bandwidth per I/O node",
+            "125 MB/s".to_string(),
+            "1 Gbps",
+        ),
+        ("Checkpoint size per node", "256 MB".to_string(), "256 MB"),
+        ("App I/O data per node", "10 MB".to_string(), "10 MB"),
+    ];
+    for (name, value, range) in rows {
+        println!("{name:<32} {value:>14}   {range}");
+    }
+    println!();
+    println!("Derived quantities");
+    println!("------------------");
+    println!("{:<32} {:>14}", "Compute nodes", c.node_count());
+    println!("{:<32} {:>14}", "I/O nodes", c.io_node_count());
+    println!(
+        "{:<32} {:>13.1}s",
+        "Checkpoint dump time",
+        c.checkpoint_dump_time().as_secs()
+    );
+    println!(
+        "{:<32} {:>13.1}s",
+        "Checkpoint FS write time",
+        c.checkpoint_fs_write_time().as_secs()
+    );
+    println!(
+        "{:<32} {:>13.2}s",
+        "App data write time",
+        c.app_data_write_time().as_secs()
+    );
+    println!(
+        "{:<32} {:>11.4}/h",
+        "System failure rate",
+        c.compute_failure_rate() * 3600.0
+    );
+}

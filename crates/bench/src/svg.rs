@@ -1,0 +1,349 @@
+//! Dependency-free SVG line charts for the figure results.
+//!
+//! Good enough to eyeball every reproduced figure without leaving the
+//! repository: linear or log₂ x-axis, auto-scaled y-axis from zero,
+//! per-series colors, legend, and error whiskers from the confidence
+//! half-widths.
+
+use crate::sweep::Series;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 860.0;
+const HEIGHT: f64 = 520.0;
+const MARGIN_L: f64 = 90.0;
+const MARGIN_R: f64 = 230.0;
+const MARGIN_T: f64 = 60.0;
+const MARGIN_B: f64 = 70.0;
+
+/// Colorblind-safe categorical palette (Okabe–Ito).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// Axis scaling for the x dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XScale {
+    /// Linear axis.
+    Linear,
+    /// Logarithmic (base-2) axis — for the processor-count sweeps.
+    Log2,
+}
+
+/// Renders a figure as a standalone SVG document.
+///
+/// # Panics
+///
+/// Panics if every series is empty or a log axis sees a non-positive x.
+#[must_use]
+pub fn render(
+    title: &str,
+    x_name: &str,
+    y_name: &str,
+    series: &[Series],
+    x_scale: XScale,
+) -> String {
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| (p.x, p.y)))
+        .collect();
+    assert!(!points.is_empty(), "cannot render an empty figure");
+
+    let tx = |x: f64| -> f64 {
+        match x_scale {
+            XScale::Linear => x,
+            XScale::Log2 => {
+                assert!(x > 0.0, "log axis requires positive x, got {x}");
+                x.log2()
+            }
+        }
+    };
+    let x_min = points.iter().map(|p| tx(p.0)).fold(f64::MAX, f64::min);
+    let x_max = points.iter().map(|p| tx(p.0)).fold(f64::MIN, f64::max);
+    let y_max_raw = points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    let y_min_raw = points.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+    let y_min = y_min_raw.min(0.0);
+    let y_max = if y_max_raw > y_min {
+        y_max_raw
+    } else {
+        y_min + 1.0
+    };
+    let x_span = if x_max > x_min { x_max - x_min } else { 1.0 };
+    let y_span = y_max - y_min;
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let px = |x: f64| MARGIN_L + (tx(x) - x_min) / x_span * plot_w;
+    let py = |y: f64| MARGIN_T + (1.0 - (y - y_min) / y_span) * plot_h;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<text x="{:.1}" y="28" font-size="15" font-weight="bold">{}</text>"#,
+        MARGIN_L,
+        escape(title)
+    );
+
+    // Axes.
+    let x0 = MARGIN_L;
+    let x1 = WIDTH - MARGIN_R;
+    let y0 = HEIGHT - MARGIN_B;
+    let y1 = MARGIN_T;
+    let _ = writeln!(
+        out,
+        r#"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>"#
+    );
+
+    // Y ticks (5 divisions) with faint gridlines.
+    for k in 0..=5 {
+        let v = y_min + y_span * f64::from(k) / 5.0;
+        let y = py(v);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{x0}" y1="{y:.1}" x2="{x1}" y2="{y:.1}" stroke="#dddddd"/>"##
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+            x0 - 8.0,
+            y + 4.0,
+            format_tick(v)
+        );
+    }
+
+    // X ticks: one per distinct x of the first series.
+    if let Some(first) = series.first() {
+        for p in &first.points {
+            let x = px(p.x);
+            let _ = writeln!(
+                out,
+                r#"<line x1="{x:.1}" y1="{y0}" x2="{x:.1}" y2="{}" stroke="black"/>"#,
+                y0 + 5.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{x:.1}" y="{}" font-size="11" text-anchor="middle">{}</text>"#,
+                y0 + 20.0,
+                format_tick(p.x)
+            );
+        }
+    }
+
+    // Axis labels.
+    let _ = writeln!(
+        out,
+        r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+        (x0 + x1) / 2.0,
+        HEIGHT - 18.0,
+        escape(x_name)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="20" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 20 {:.1})">{}</text>"#,
+        (y0 + y1) / 2.0,
+        (y0 + y1) / 2.0,
+        escape(y_name)
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|p| format!("{:.1},{:.1}", px(p.x), py(p.y)))
+            .collect();
+        let _ = writeln!(
+            out,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.join(" ")
+        );
+        for p in &s.points {
+            let (cx, cy) = (px(p.x), py(p.y));
+            let _ = writeln!(
+                out,
+                r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="3" fill="{color}"/>"#
+            );
+            if p.half_width > 0.0 {
+                let lo = py(p.y - p.half_width);
+                let hi = py(p.y + p.half_width);
+                let _ = writeln!(
+                    out,
+                    r#"<line x1="{cx:.1}" y1="{hi:.1}" x2="{cx:.1}" y2="{lo:.1}" stroke="{color}" stroke-width="1"/>"#
+                );
+            }
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 18.0 * i as f64;
+        let lx = WIDTH - MARGIN_R + 16.0;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{lx}" y1="{ly:.1}" x2="{}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 22.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{:.1}" font-size="11">{}</text>"#,
+            lx + 28.0,
+            ly + 4.0,
+            escape(&s.label)
+        );
+    }
+
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1_000_000.0 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 10_000.0 {
+        format!("{:.0}K", v / 1e3)
+    } else if a >= 100.0 || v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Point;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series {
+                label: "MTTF=1 & more".into(),
+                points: vec![
+                    Point {
+                        x: 8192.0,
+                        y: 7500.0,
+                        half_width: 30.0,
+                    },
+                    Point {
+                        x: 16384.0,
+                        y: 14000.0,
+                        half_width: 60.0,
+                    },
+                    Point {
+                        x: 32768.0,
+                        y: 26000.0,
+                        half_width: 100.0,
+                    },
+                ],
+            },
+            Series {
+                label: "MTTF=2".into(),
+                points: vec![
+                    Point {
+                        x: 8192.0,
+                        y: 7700.0,
+                        half_width: 0.0,
+                    },
+                    Point {
+                        x: 16384.0,
+                        y: 15000.0,
+                        half_width: 0.0,
+                    },
+                    Point {
+                        x: 32768.0,
+                        y: 28000.0,
+                        half_width: 0.0,
+                    },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render(
+            "Figure 4a",
+            "processors",
+            "total useful work",
+            &sample(),
+            XScale::Log2,
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // 6 data points → 6 markers.
+        assert_eq!(svg.matches("<circle").count(), 6);
+        // Only series 1 has non-zero whiskers (3), plus the 2 axes and
+        // legend/tick lines — just check whisker color pairing exists.
+        assert!(svg.contains("Figure 4a"));
+        assert!(svg.contains("processors"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = render("a < b & c", "x", "y", &sample(), XScale::Linear);
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("MTTF=1 &amp; more"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn linear_and_log_scales_differ() {
+        let lin = render("t", "x", "y", &sample(), XScale::Linear);
+        let log = render("t", "x", "y", &sample(), XScale::Log2);
+        assert_ne!(lin, log);
+        // In log2 the three x positions are equidistant: extract circle
+        // cx values of the second series (zero whiskers simplify).
+        let cxs: Vec<f64> = log
+            .lines()
+            .filter(|l| l.contains("<circle"))
+            .filter_map(|l| {
+                let i = l.find("cx=\"")? + 4;
+                let j = l[i..].find('"')? + i;
+                l[i..j].parse().ok()
+            })
+            .collect();
+        let (a, b, c) = (cxs[0], cxs[1], cxs[2]);
+        assert!(((b - a) - (c - b)).abs() < 0.5, "log2 spacing {a} {b} {c}");
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(8192.0), "8192");
+        assert_eq!(format_tick(131072.0), "131K");
+        assert_eq!(format_tick(1_048_576.0), "1.0M");
+        assert_eq!(format_tick(0.525), "0.525");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_figure() {
+        let _ = render("t", "x", "y", &[], XScale::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive x")]
+    fn log_rejects_nonpositive() {
+        let s = vec![Series {
+            label: "s".into(),
+            points: vec![Point {
+                x: 0.0,
+                y: 1.0,
+                half_width: 0.0,
+            }],
+        }];
+        let _ = render("t", "x", "y", &s, XScale::Log2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Parallel parameter-sweep driver.
+
+use crate::args::RunOptions;
+use ckpt_core::{Estimate, Experiment, SystemConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One evaluated point of a figure: the x value, the estimated metric
+/// (mean over replications) and its 95 % half-width.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// The x-axis value (e.g. number of processors).
+    pub x: f64,
+    /// Estimated y value.
+    pub y: f64,
+    /// Half-width of the 95 % confidence interval on y.
+    pub half_width: f64,
+}
+
+/// A labeled curve of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label, matching the paper's (e.g. "MTTF (yrs) = 1").
+    pub label: String,
+    /// The evaluated points, in x order.
+    pub points: Vec<Point>,
+}
+
+/// Which metric a sweep extracts from each [`Estimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Useful work fraction (Figures 5–8).
+    UsefulWorkFraction,
+    /// Total useful work in job units (Figure 4).
+    TotalUsefulWork,
+}
+
+impl Metric {
+    fn extract(self, est: &Estimate) -> (f64, f64) {
+        let ci = match self {
+            Metric::UsefulWorkFraction => est.useful_work_fraction(),
+            Metric::TotalUsefulWork => est.total_useful_work(),
+        };
+        (ci.mean, ci.half_width)
+    }
+}
+
+/// A sweep job: one (series, x) cell with its configuration.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Index of the series this cell belongs to.
+    pub series: usize,
+    /// x-axis value.
+    pub x: f64,
+    /// Full model configuration for this cell.
+    pub config: SystemConfig,
+}
+
+/// Evaluates every cell in parallel (one OS thread per available core)
+/// and assembles the labeled series. Cells of a series are returned in
+/// the order they were supplied.
+///
+/// # Panics
+///
+/// Panics if a cell's experiment fails (SAN build error), which
+/// indicates an invalid sweep definition.
+#[must_use]
+pub fn run_sweep(
+    labels: &[String],
+    cells: Vec<Cell>,
+    metric: Metric,
+    opts: &RunOptions,
+) -> Vec<Series> {
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<(usize, Point)>>> = Mutex::new(vec![None; cells.len()]);
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(cells.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    return;
+                }
+                let cell = &cells[i];
+                let est = Experiment::new(cell.config.clone())
+                    .engine(opts.engine)
+                    .transient(opts.transient)
+                    .horizon(opts.horizon)
+                    .replications(opts.reps)
+                    .seed(opts.seed)
+                    .run()
+                    .expect("sweep cell failed to run");
+                let (y, half_width) = metric.extract(&est);
+                let point = Point {
+                    x: cell.x,
+                    y,
+                    half_width,
+                };
+                results.lock().expect("sweep mutex poisoned")[i] = Some((cell.series, point));
+            });
+        }
+    });
+
+    let mut series: Vec<Series> = labels
+        .iter()
+        .map(|l| Series {
+            label: l.clone(),
+            points: Vec::new(),
+        })
+        .collect();
+    for slot in results.into_inner().expect("sweep mutex poisoned") {
+        let (s, p) = slot.expect("sweep cell not evaluated");
+        series[s].points.push(p);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_des::SimTime;
+
+    #[test]
+    fn sweep_preserves_order_and_labels() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let mut cells = Vec::new();
+        for (s, _) in labels.iter().enumerate() {
+            for procs in [8_192u64, 16_384] {
+                cells.push(Cell {
+                    series: s,
+                    x: procs as f64,
+                    config: SystemConfig::builder()
+                        .processors(procs)
+                        .failures_enabled(false)
+                        .build()
+                        .unwrap(),
+                });
+            }
+        }
+        let opts = RunOptions {
+            reps: 2,
+            horizon: SimTime::from_hours(200.0),
+            transient: SimTime::from_hours(20.0),
+            ..RunOptions::default()
+        };
+        let series = run_sweep(&labels, cells, Metric::UsefulWorkFraction, &opts);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            assert_eq!(s.points[0].x, 8_192.0);
+            assert_eq!(s.points[1].x, 16_384.0);
+            for p in &s.points {
+                assert!(p.y > 0.9, "failure-free fraction high, got {}", p.y);
+            }
+        }
+        // Identical configs in both series → identical results.
+        assert_eq!(series[0].points[0].y, series[1].points[0].y);
+    }
+
+    #[test]
+    fn total_useful_work_metric_scales_fraction() {
+        let labels = vec!["x".to_string()];
+        let cells = vec![Cell {
+            series: 0,
+            x: 8_192.0,
+            config: SystemConfig::builder()
+                .processors(8_192)
+                .failures_enabled(false)
+                .build()
+                .unwrap(),
+        }];
+        let opts = RunOptions {
+            reps: 1,
+            horizon: SimTime::from_hours(100.0),
+            transient: SimTime::from_hours(10.0),
+            ..RunOptions::default()
+        };
+        let frac = run_sweep(&labels, cells.clone(), Metric::UsefulWorkFraction, &opts);
+        let total = run_sweep(&labels, cells, Metric::TotalUsefulWork, &opts);
+        let f = frac[0].points[0].y;
+        let t = total[0].points[0].y;
+        assert!((t - f * 8_192.0).abs() < 1e-6);
+    }
+}

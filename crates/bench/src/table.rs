@@ -1,0 +1,146 @@
+//! Output formatting: aligned text tables and CSV for the figure
+//! binaries.
+
+use crate::sweep::Series;
+use std::fmt::Write as _;
+
+/// Renders a figure's series as CSV: header `x,<label1>,<label1>_ci,...`
+/// followed by one row per x value (series are joined on x order).
+#[must_use]
+pub fn to_csv(x_name: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let mut header = vec![x_name.to_string()];
+    for s in series {
+        header.push(s.label.clone());
+        header.push(format!("{}_ci", s.label));
+    }
+    let _ = writeln!(out, "{}", header.join(","));
+    let rows = series.first().map_or(0, |s| s.points.len());
+    for r in 0..rows {
+        let mut row = vec![format!("{}", series[0].points[r].x)];
+        for s in series {
+            row.push(format!("{:.6}", s.points[r].y));
+            row.push(format!("{:.6}", s.points[r].half_width));
+        }
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// Renders a figure's series as an aligned text table mirroring the
+/// paper's figure layout (one column per curve).
+#[must_use]
+pub fn to_table(title: &str, x_name: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "=".repeat(title.chars().count()));
+    let mut widths = vec![x_name.chars().count().max(12)];
+    for s in series {
+        widths.push(s.label.chars().count().max(14));
+    }
+    let mut header = format!("{:>w$}", x_name, w = widths[0]);
+    for (s, w) in series.iter().zip(widths.iter().skip(1)) {
+        let _ = write!(header, "  {:>w$}", s.label, w = w);
+    }
+    let _ = writeln!(out, "{header}");
+    let rows = series.first().map_or(0, |s| s.points.len());
+    for r in 0..rows {
+        let x = series[0].points[r].x;
+        let x_str = if x.fract() == 0.0 && x.abs() < 1e15 {
+            format!("{}", x as i64)
+        } else {
+            format!("{x:.3}")
+        };
+        let mut line = format!("{:>w$}", x_str, w = widths[0]);
+        for (s, w) in series.iter().zip(widths.iter().skip(1)) {
+            let cell = format!("{:.4} ±{:.4}", s.points[r].y, s.points[r].half_width);
+            let _ = write!(line, "  {:>w$}", cell, w = w);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Prints a figure in the format selected by `csv`, with a trailing
+/// blank line.
+pub fn emit(title: &str, x_name: &str, series: &[Series], csv: bool) {
+    if csv {
+        print!("{}", to_csv(x_name, series));
+    } else {
+        println!("{}", to_table(title, x_name, series));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Point;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series {
+                label: "MTTF=1".into(),
+                points: vec![
+                    Point {
+                        x: 8192.0,
+                        y: 0.5,
+                        half_width: 0.01,
+                    },
+                    Point {
+                        x: 16384.0,
+                        y: 0.4,
+                        half_width: 0.02,
+                    },
+                ],
+            },
+            Series {
+                label: "MTTF=2".into(),
+                points: vec![
+                    Point {
+                        x: 8192.0,
+                        y: 0.6,
+                        half_width: 0.01,
+                    },
+                    Point {
+                        x: 16384.0,
+                        y: 0.5,
+                        half_width: 0.01,
+                    },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = to_csv("processors", &sample());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "processors,MTTF=1,MTTF=1_ci,MTTF=2,MTTF=2_ci"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "8192,0.500000,0.010000,0.600000,0.010000"
+        );
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn table_contains_all_labels_and_values() {
+        let t = to_table("Figure 4a", "processors", &sample());
+        assert!(t.contains("Figure 4a"));
+        assert!(t.contains("MTTF=1"));
+        assert!(t.contains("MTTF=2"));
+        assert!(t.contains("8192"));
+        assert!(t.contains("0.5000"));
+        assert!(t.contains("±"));
+    }
+
+    #[test]
+    fn empty_series_render() {
+        assert_eq!(to_csv("x", &[]).lines().count(), 1);
+        let t = to_table("t", "x", &[]);
+        assert!(t.contains('t'));
+    }
+}

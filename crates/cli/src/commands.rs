@@ -1,0 +1,239 @@
+//! Subcommand implementations.
+
+use crate::config_flags::parse_config;
+use crate::CliError;
+use ckpt_analytic::{availability, coordination, daly, vaidya, young};
+use ckpt_bench::{figures, run_sweep, table, RunOptions};
+use ckpt_core::{Experiment, PhaseKind, SystemConfig};
+
+fn run_options(rest: Vec<String>) -> Result<RunOptions, CliError> {
+    RunOptions::parse(rest).map_err(|e| CliError::new(e.to_string()))
+}
+
+/// `ckptsim run`: simulate one configuration and print its metrics.
+pub fn run_single(args: Vec<String>) -> Result<(), CliError> {
+    let (cfg, rest) = parse_config(args)?;
+    let opts = run_options(rest)?;
+    let est = Experiment::new(cfg.clone())
+        .engine(opts.engine)
+        .transient(opts.transient)
+        .horizon(opts.horizon)
+        .replications(opts.reps)
+        .seed(opts.seed)
+        .run()
+        .map_err(|e| CliError::new(e.to_string()))?;
+
+    let frac = est.useful_work_fraction();
+    let tuw = est.total_useful_work();
+    if opts.csv {
+        println!("metric,mean,ci_half_width");
+        println!(
+            "useful_work_fraction,{:.6},{:.6}",
+            frac.mean, frac.half_width
+        );
+        println!("total_useful_work,{:.2},{:.2}", tuw.mean, tuw.half_width);
+        for (name, kind) in phase_rows() {
+            println!(
+                "time_{name},{:.6},",
+                est.mean_of(|m| m.phase_fraction(kind))
+            );
+        }
+        return Ok(());
+    }
+
+    println!(
+        "{} processors ({} nodes, {} I/O nodes), MTTF {:.2} y/node, interval {} min",
+        cfg.processors(),
+        cfg.node_count(),
+        cfg.io_node_count(),
+        cfg.mttf_per_node().as_years(),
+        cfg.checkpoint_interval().as_mins()
+    );
+    println!("useful work fraction : {frac}");
+    println!(
+        "total useful work    : {:.0} ±{:.0} job units",
+        tuw.mean, tuw.half_width
+    );
+    println!("time breakdown       :");
+    for (name, kind) in phase_rows() {
+        println!(
+            "  {name:<12} {:>7.2} %",
+            100.0 * est.mean_of(|m| m.phase_fraction(kind))
+        );
+    }
+    println!(
+        "per 1000 h           : {:.1} failures, {:.1} checkpoints, {:.2} reboots",
+        est.mean_of(|m| {
+            (m.counters.compute_failures + m.counters.generic_failures) as f64
+                / (m.window_secs / 3.6e6)
+        }),
+        est.mean_of(|m| m.counters.checkpoints_completed as f64 / (m.window_secs / 3.6e6)),
+        est.mean_of(|m| m.counters.reboots as f64 / (m.window_secs / 3.6e6)),
+    );
+    Ok(())
+}
+
+fn phase_rows() -> [(&'static str, PhaseKind); 5] {
+    [
+        ("executing", PhaseKind::Executing),
+        ("coordinating", PhaseKind::Coordinating),
+        ("dumping", PhaseKind::Dumping),
+        ("recovering", PhaseKind::Recovering),
+        ("rebooting", PhaseKind::Rebooting),
+    ]
+}
+
+/// `ckptsim figure <id>`: regenerate one of the paper's figures.
+pub fn run_figure(mut args: Vec<String>) -> Result<(), CliError> {
+    if args.is_empty() {
+        return Err(CliError::new("figure expects an id (see 'ckptsim list')"));
+    }
+    let id = args.remove(0);
+    let spec = figures::all_figures()
+        .into_iter()
+        .find(|(fid, _)| *fid == id)
+        .map(|(_, spec)| spec)
+        .ok_or_else(|| CliError::new(format!("unknown figure '{id}' (see 'ckptsim list')")))?;
+    let opts = run_options(args)?;
+    let series = run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
+    table::emit(&spec.title, &spec.x_name, &series, opts.csv);
+    Ok(())
+}
+
+/// `ckptsim list`: list the available figure ids.
+pub fn list_figures() -> Result<(), CliError> {
+    for (id, spec) in figures::all_figures() {
+        let title = spec.title.split(':').nth(1).unwrap_or(&spec.title);
+        println!("{id:<14} {}", title.trim());
+    }
+    Ok(())
+}
+
+/// `ckptsim table3`: print the model parameters.
+pub fn table3() -> Result<(), CliError> {
+    let c = SystemConfig::builder()
+        .build()
+        .map_err(|e| CliError::new(e.to_string()))?;
+    println!("Model parameters (paper's Table 3 defaults)");
+    println!(
+        "  checkpoint interval     {} min",
+        c.checkpoint_interval().as_mins()
+    );
+    println!(
+        "  MTTF per node           {:.2} yr",
+        c.mttf_per_node().as_years()
+    );
+    println!(
+        "  MTTR (compute)          {} min",
+        c.mttr_system().as_mins()
+    );
+    println!("  MTTR (I/O nodes)        {} min", c.mttr_io().as_mins());
+    println!("  processors              {}", c.processors());
+    println!("  processors per node     {}", c.procs_per_node());
+    println!("  MTTQ                    {} s", c.mttq().as_secs());
+    println!(
+        "  app cycle / compute     {} min / {}",
+        c.app_cycle_period().as_mins(),
+        c.compute_fraction()
+    );
+    println!("  reboot time             {} h", c.reboot_time().as_hours());
+    println!(
+        "  dump / FS write         {:.1} s / {:.1} s",
+        c.checkpoint_dump_time().as_secs(),
+        c.checkpoint_fs_write_time().as_secs()
+    );
+    println!("(run 'cargo run -p ckpt-bench --bin table3' for the full table)");
+    Ok(())
+}
+
+/// `ckptsim dot`: the checkpoint model's SAN structure as Graphviz DOT
+/// (pipe through `dot -Tsvg`).
+pub fn dot(args: Vec<String>) -> Result<(), CliError> {
+    let (cfg, rest) = parse_config(args)?;
+    if !rest.is_empty() {
+        return Err(CliError::new(format!("unknown flags: {rest:?}")));
+    }
+    let model = ckpt_core::san_model::CheckpointSan::build(&cfg)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    print!("{}", ckpt_san::dot::to_dot(model.san()));
+    Ok(())
+}
+
+/// `ckptsim analytic`: closed-form baselines for a configuration.
+pub fn analytic(args: Vec<String>) -> Result<(), CliError> {
+    let (cfg, rest) = parse_config(args)?;
+    if !rest.is_empty() {
+        return Err(CliError::new(format!("unknown flags: {rest:?}")));
+    }
+    let mtbf = 1.0 / cfg.compute_failure_rate();
+    let overhead = cfg.quiesce_broadcast_latency().as_secs()
+        + cfg.mttq().as_secs()
+        + cfg.checkpoint_dump_time().as_secs();
+    let latency = overhead + cfg.checkpoint_fs_write_time().as_secs();
+    let tau = cfg.checkpoint_interval().as_secs();
+    let restart = cfg.mttr_system().as_secs();
+    let nodes = cfg.node_count();
+    let mttq = cfg.mttq().as_secs();
+
+    println!(
+        "System MTBF: {:.3} h ({} nodes at {:.2} y/node)",
+        mtbf / 3600.0,
+        nodes,
+        cfg.mttf_per_node().as_years()
+    );
+    println!("Optimal checkpoint intervals:");
+    println!(
+        "  Young  : {:>8.1} min",
+        young::optimal_interval(overhead, mtbf) / 60.0
+    );
+    println!(
+        "  Daly   : {:>8.1} min",
+        daly::optimal_interval(overhead, mtbf) / 60.0
+    );
+    println!(
+        "  Vaidya : {:>8.1} min",
+        vaidya::optimal_interval(overhead, mtbf) / 60.0
+    );
+    println!(
+        "Useful-work fraction at the configured {} min interval:",
+        tau / 60.0
+    );
+    println!(
+        "  Young  : {:>8.4}",
+        young::useful_work_fraction(tau, overhead, mtbf)
+    );
+    println!(
+        "  Daly   : {:>8.4}",
+        daly::useful_work_fraction(tau, overhead, restart, mtbf)
+    );
+    println!(
+        "  Vaidya : {:>8.4}",
+        vaidya::useful_work_fraction(tau, overhead, latency, mtbf)
+    );
+    println!(
+        "  Daly total useful work: {:.0} job units",
+        availability::predicted_total_useful_work(
+            cfg.processors(),
+            tau,
+            overhead,
+            restart,
+            cfg.compute_failure_rate()
+        )
+    );
+    println!("Coordination (max over {nodes} nodes, MTTQ {mttq} s):");
+    println!(
+        "  E[Y]    : {:>7.1} s",
+        coordination::expected_time(nodes, mttq)
+    );
+    println!(
+        "  p99.9   : {:>7.1} s",
+        coordination::quantile(nodes, mttq, 0.999)
+    );
+    for t in [60.0, 100.0, 120.0] {
+        println!(
+            "  P(Y>{t:>3}s): {:>7.4}",
+            coordination::timeout_probability(nodes, mttq, t)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! Implementation of the `ckptsim` command-line interface.
+//!
+//! Subcommands:
+//!
+//! * `run` — simulate one configuration and print its metrics,
+//! * `figure <id>` — regenerate one of the paper's figures,
+//! * `list` — list the available figure ids,
+//! * `table3` — print the model parameters (paper's Table 3),
+//! * `analytic` — print the closed-form baselines for a configuration.
+//!
+//! Configuration flags are shared between `run` and `analytic`; see
+//! [`config_flags::parse_config`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod config_flags;
+
+use std::fmt;
+
+/// Top-level CLI error: a message plus the exit code to use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    /// Creates an error carrying `message`.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text printed by `--help` and on argument errors.
+pub const USAGE: &str = "\
+ckptsim — coordinated-checkpointing model of Wang et al., DSN 2005
+
+USAGE:
+    ckptsim run      [CONFIG FLAGS] [RUN FLAGS]   simulate one configuration
+    ckptsim figure   <id> [RUN FLAGS]             regenerate a paper figure
+    ckptsim list                                  list figure ids
+    ckptsim table3                                print model parameters
+    ckptsim analytic [CONFIG FLAGS]               closed-form baselines
+    ckptsim dot      [CONFIG FLAGS]               SAN structure as Graphviz DOT
+
+CONFIG FLAGS:
+    --processors N           total compute processors       [65536]
+    --procs-per-node N       processors per node            [8]
+    --interval-mins X        checkpoint interval            [30]
+    --mttf-years X           per-node MTTF                  [1]
+    --mttr-mins X            system MTTR                    [10]
+    --mttq-secs X            per-node mean time to quiesce  [10]
+    --compute-fraction X     compute share of the app cycle [0.95]
+    --coordination MODE      fixed | exp | maxofn           [fixed]
+    --timeout-secs X         master 'ready' timeout         [none]
+    --error-propagation P,R  correlated windows (prob, factor)
+    --generic-correlated A,R generic correlation (alpha, factor)
+    --spatial P              compute/I-O co-failure probability (extension)
+    --jitter LO,HI           per-cycle compute-fraction jitter (extension)
+
+RUN FLAGS:
+    --engine direct|san      simulation engine              [direct]
+    --reps N                 replications                   [3]
+    --hours H                measurement horizon            [20000]
+    --transient H            warm-up discard                [1000]
+    --seed S                 base RNG seed                  [0x5eed]
+    --csv                    machine-readable output
+    --quick                  fast smoke parameters
+";
+
+/// Entry point used by `main`; returns the process exit code.
+#[must_use]
+pub fn run(args: Vec<String>) -> i32 {
+    match dispatch(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn dispatch(mut args: Vec<String>) -> Result<(), CliError> {
+    if args.is_empty() {
+        return Err(CliError::new("missing subcommand"));
+    }
+    let sub = args.remove(0);
+    match sub.as_str() {
+        "run" => commands::run_single(args),
+        "figure" => commands::run_figure(args),
+        "list" => commands::list_figures(),
+        "table3" => commands::table3(),
+        "analytic" => commands::analytic(args),
+        "dot" => commands::dot(args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::new(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert_eq!(run(argv(&["--help"])), 0);
+        assert_eq!(run(argv(&["help"])), 0);
+    }
+
+    #[test]
+    fn missing_and_unknown_subcommands_fail() {
+        assert_eq!(run(vec![]), 2);
+        assert_eq!(run(argv(&["frobnicate"])), 2);
+    }
+
+    #[test]
+    fn list_and_table3_succeed() {
+        assert_eq!(run(argv(&["list"])), 0);
+        assert_eq!(run(argv(&["table3"])), 0);
+    }
+
+    #[test]
+    fn analytic_succeeds_with_flags() {
+        assert_eq!(
+            run(argv(&[
+                "analytic",
+                "--processors",
+                "8192",
+                "--mttf-years",
+                "3"
+            ])),
+            0
+        );
+    }
+
+    #[test]
+    fn analytic_rejects_bad_flags() {
+        assert_eq!(run(argv(&["analytic", "--processors", "chair"])), 2);
+        assert_eq!(run(argv(&["analytic", "--bogus"])), 2);
+    }
+
+    #[test]
+    fn run_quick_succeeds() {
+        assert_eq!(
+            run(argv(&[
+                "run",
+                "--processors",
+                "8192",
+                "--quick",
+                "--hours",
+                "200",
+                "--transient",
+                "20",
+                "--reps",
+                "1"
+            ])),
+            0
+        );
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        assert_eq!(run(argv(&["dot", "--processors", "8192"])), 0);
+        assert_eq!(run(argv(&["dot", "--bogus"])), 2);
+    }
+
+    #[test]
+    fn figure_requires_known_id() {
+        assert_eq!(run(argv(&["figure", "fig99"])), 2);
+        assert_eq!(run(argv(&["figure"])), 2);
+    }
+}

@@ -1,0 +1,6 @@
+//! `ckptsim` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ckpt_cli::run(args));
+}

@@ -1,0 +1,1028 @@
+//! System configuration: the paper's Table 3, plus the switches that
+//! select which model features (coordination, timeout, correlated
+//! failures) are active, and the derived quantities both simulators use.
+
+use ckpt_des::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the system-wide quiesce/coordination time is modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoordinationMode {
+    /// Base model (Section 7.1): a fixed quiesce time equal to MTTQ; no
+    /// inter-node variation.
+    FixedQuiesce,
+    /// The "no coordination" curve of Figure 6: the quiesce time of the
+    /// system as a whole is exponentially distributed with mean MTTQ.
+    SystemExponential,
+    /// Full coordination (Sections 5, 7.2): the coordination time is the
+    /// maximum of n i.i.d. exponential per-node quiesce times, sampled in
+    /// closed form as `Y = −MTTQ · ln(1 − U^{1/n})`.
+    MaxOfN,
+}
+
+/// Parameters of correlated failures due to error propagation
+/// (Section 3.5 / 6): after a failure, with probability `probability`
+/// the system enters a correlated-failure window of length `window`
+/// during which all failure rates are multiplied by `factor`
+/// (`frate_correlated_factor`). A successful recovery closes the window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorPropagation {
+    /// Probability `p_e` that a failure opens a correlated window.
+    pub probability: f64,
+    /// Rate multiplier `r` inside the window (paper: 400–1600).
+    pub factor: f64,
+    /// Window duration (paper: 3 min).
+    pub window: SimTimeSecs,
+}
+
+/// Parameters of generic correlated failures (Section 6): an additional
+/// failure stream of rate `coefficient · factor · n · λ`, giving a total
+/// system failure rate `n·λ·(1 + coefficient·factor)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenericCorrelated {
+    /// Correlated failure coefficient α (paper: 0.0025).
+    pub coefficient: f64,
+    /// Correlated failure factor r (paper: 400).
+    pub factor: f64,
+}
+
+/// Distribution family of the compute-node recovery time (mean MTTR).
+///
+/// The default is [`RecoveryTimeModel::Deterministic`]: recovery stage 2
+/// is a data transfer plus reinitialization, a "non-random event" under
+/// the paper's modeling convention — and only the deterministic choice
+/// reproduces the paper's strong MTTR sensitivity (Figure 4c/4d), since
+/// an exponential recovery restarted by memoryless failures costs MTTR
+/// in expectation regardless of the failure rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryTimeModel {
+    /// Exponential with mean MTTR.
+    Exponential,
+    /// Deterministic, exactly MTTR.
+    Deterministic,
+    /// Log-normal with mean MTTR and the given coefficient of variation
+    /// — the heavy-tailed repair times reported by failure-trace studies
+    /// (ablation).
+    LogNormal {
+        /// Coefficient of variation (std/mean) of the recovery time.
+        cv: f64,
+    },
+}
+
+/// Seconds as a plain `f64`, used inside serializable config structs
+/// (`SimTime` is the strongly typed runtime form).
+pub type SimTimeSecs = f64;
+
+/// Error returned by [`SystemConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The processor count must be a positive multiple of the processors
+    /// per node.
+    BadProcessorCount {
+        /// Requested total processors.
+        processors: u64,
+        /// Requested processors per node.
+        per_node: u32,
+    },
+    /// A duration parameter must be strictly positive.
+    NonPositiveDuration {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A probability/fraction parameter was outside its allowed range.
+    OutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadProcessorCount {
+                processors,
+                per_node,
+            } => write!(
+                f,
+                "processor count {processors} is not a positive multiple of {per_node} processors per node"
+            ),
+            ConfigError::NonPositiveDuration { name } => {
+                write!(f, "duration parameter '{name}' must be positive")
+            }
+            ConfigError::OutOfRange { name, value } => {
+                write!(f, "parameter '{name}' out of range: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full model configuration (the paper's Table 3 plus feature switches).
+///
+/// Construct via [`SystemConfig::builder`]; defaults are the paper's
+/// base-model values (64K processors, 8 per node, MTTF 1 y, MTTR 10 min,
+/// 30-minute checkpoint interval, fixed quiesce, no timeout, no
+/// correlated failures).
+///
+/// # Example
+///
+/// ```
+/// use ckpt_core::config::SystemConfig;
+/// use ckpt_des::SimTime;
+///
+/// let cfg = SystemConfig::builder()
+///     .processors(131_072)
+///     .mttf_per_node(SimTime::from_years(3.0))
+///     .checkpoint_interval(SimTime::from_mins(30.0))
+///     .build()?;
+/// assert_eq!(cfg.node_count(), 16_384);
+/// # Ok::<(), ckpt_core::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    // --- scale ---
+    pub(crate) processors: u64,
+    pub(crate) procs_per_node: u32,
+    pub(crate) compute_nodes_per_io_node: u32,
+    // --- checkpoint protocol ---
+    pub(crate) checkpoint_interval: SimTimeSecs,
+    pub(crate) mttq: SimTimeSecs,
+    pub(crate) broadcast_overhead: SimTimeSecs,
+    pub(crate) software_overhead: SimTimeSecs,
+    pub(crate) coordination: CoordinationMode,
+    pub(crate) timeout: Option<SimTimeSecs>,
+    pub(crate) background_checkpoint_write: bool,
+    pub(crate) buffered_recovery: bool,
+    // --- failures & recovery ---
+    pub(crate) mttf_per_node: SimTimeSecs,
+    pub(crate) mttr_system: SimTimeSecs,
+    pub(crate) mttr_io: SimTimeSecs,
+    pub(crate) recovery_time_model: RecoveryTimeModel,
+    pub(crate) severe_failure_threshold: u32,
+    pub(crate) reboot_time: SimTimeSecs,
+    pub(crate) model_master_failures: bool,
+    pub(crate) model_io_failures: bool,
+    pub(crate) failures_enabled: bool,
+    // --- correlated failures ---
+    pub(crate) error_propagation: Option<ErrorPropagation>,
+    pub(crate) generic_correlated: Option<GenericCorrelated>,
+    pub(crate) spatial_correlation: Option<f64>,
+    // --- application workload ---
+    pub(crate) app_cycle_period: SimTimeSecs,
+    pub(crate) compute_fraction: f64,
+    pub(crate) compute_fraction_jitter: Option<(f64, f64)>,
+    // --- I/O sizing ---
+    pub(crate) compute_io_bandwidth_mbps: f64,
+    pub(crate) fs_bandwidth_per_io_mbps: f64,
+    pub(crate) checkpoint_size_per_node_mb: f64,
+    pub(crate) app_io_data_per_node_mb: f64,
+}
+
+impl SystemConfig {
+    /// Starts a builder pre-loaded with the paper's Table-3 base-model
+    /// defaults.
+    #[must_use]
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+
+    // --- scale accessors -------------------------------------------------
+
+    /// Total compute processors.
+    #[must_use]
+    pub fn processors(&self) -> u64 {
+        self.processors
+    }
+
+    /// Processors integrated per compute node.
+    #[must_use]
+    pub fn procs_per_node(&self) -> u32 {
+        self.procs_per_node
+    }
+
+    /// Number of compute nodes (`processors / procs_per_node`).
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        self.processors / u64::from(self.procs_per_node)
+    }
+
+    /// Number of I/O nodes (one per `compute_nodes_per_io_node` compute
+    /// nodes, rounded up).
+    #[must_use]
+    pub fn io_node_count(&self) -> u64 {
+        self.node_count()
+            .div_ceil(u64::from(self.compute_nodes_per_io_node))
+    }
+
+    // --- protocol accessors ----------------------------------------------
+
+    /// Interval between checkpoint initiations.
+    #[must_use]
+    pub fn checkpoint_interval(&self) -> SimTime {
+        SimTime::from_secs(self.checkpoint_interval)
+    }
+
+    /// Per-node mean time to quiesce.
+    #[must_use]
+    pub fn mttq(&self) -> SimTime {
+        SimTime::from_secs(self.mttq)
+    }
+
+    /// Combined broadcast + software message overhead applied to the
+    /// quiesce broadcast.
+    #[must_use]
+    pub fn quiesce_broadcast_latency(&self) -> SimTime {
+        SimTime::from_secs(self.broadcast_overhead + self.software_overhead)
+    }
+
+    /// Selected coordination model.
+    #[must_use]
+    pub fn coordination(&self) -> CoordinationMode {
+        self.coordination
+    }
+
+    /// Master timeout for collecting 'ready' responses, if any.
+    #[must_use]
+    pub fn timeout(&self) -> Option<SimTime> {
+        self.timeout.map(SimTime::from_secs)
+    }
+
+    /// Whether I/O nodes write checkpoints to the file system in the
+    /// background (the paper's two-step I/O) or block the computation.
+    #[must_use]
+    pub fn background_checkpoint_write(&self) -> bool {
+        self.background_checkpoint_write
+    }
+
+    /// Whether recovery may skip stage 1 when the checkpoint is still
+    /// buffered in the I/O nodes.
+    #[must_use]
+    pub fn buffered_recovery(&self) -> bool {
+        self.buffered_recovery
+    }
+
+    // --- failure accessors -------------------------------------------------
+
+    /// Per-node mean time to failure.
+    #[must_use]
+    pub fn mttf_per_node(&self) -> SimTime {
+        SimTime::from_secs(self.mttf_per_node)
+    }
+
+    /// System-wide mean time for compute nodes to read a checkpoint and
+    /// reinitialize (recovery stage 2).
+    #[must_use]
+    pub fn mttr_system(&self) -> SimTime {
+        SimTime::from_secs(self.mttr_system)
+    }
+
+    /// Mean time to restart the I/O nodes.
+    #[must_use]
+    pub fn mttr_io(&self) -> SimTime {
+        SimTime::from_secs(self.mttr_io)
+    }
+
+    /// Distribution family of recovery stage 2.
+    #[must_use]
+    pub fn recovery_time_model(&self) -> RecoveryTimeModel {
+        self.recovery_time_model
+    }
+
+    /// Consecutive failed recoveries after which the whole system
+    /// reboots. The paper leaves the threshold unspecified; the default
+    /// (1000) is chosen high enough that a 3-minute correlated-failure
+    /// window never escalates into a reboot even at the paper's largest
+    /// factor (r = 1600 ⇒ ≈100 in-window failures), matching Figure 7's
+    /// insensitivity to the correlated factor. Lower it to study the
+    /// reboot path (see the ablation bench and tests).
+    #[must_use]
+    pub fn severe_failure_threshold(&self) -> u32 {
+        self.severe_failure_threshold
+    }
+
+    /// Full system reboot time.
+    #[must_use]
+    pub fn reboot_time(&self) -> SimTime {
+        SimTime::from_secs(self.reboot_time)
+    }
+
+    /// Whether master-node failures are modeled.
+    #[must_use]
+    pub fn model_master_failures(&self) -> bool {
+        self.model_master_failures
+    }
+
+    /// Whether I/O-node failures are modeled.
+    #[must_use]
+    pub fn model_io_failures(&self) -> bool {
+        self.model_io_failures
+    }
+
+    /// Whether any failures are modeled at all (Figure 5 runs with
+    /// failures disabled to isolate the coordination effect).
+    #[must_use]
+    pub fn failures_enabled(&self) -> bool {
+        self.failures_enabled
+    }
+
+    /// Error-propagation correlated-failure parameters, if enabled.
+    #[must_use]
+    pub fn error_propagation(&self) -> Option<ErrorPropagation> {
+        self.error_propagation
+    }
+
+    /// Generic correlated-failure parameters, if enabled.
+    #[must_use]
+    pub fn generic_correlated(&self) -> Option<GenericCorrelated> {
+        self.generic_correlated
+    }
+
+    /// Spatial-correlation probability, if enabled: the chance that a
+    /// compute-node failure takes its I/O node down with it (shared
+    /// rack/power domain). An **extension** beyond the paper, which
+    /// models temporal but not spatial correlation; it defeats the
+    /// buffered-recovery fast path exactly when it is needed most.
+    #[must_use]
+    pub fn spatial_correlation(&self) -> Option<f64> {
+        self.spatial_correlation
+    }
+
+    // --- workload accessors -------------------------------------------------
+
+    /// Period of the application's compute/I-O cycle.
+    #[must_use]
+    pub fn app_cycle_period(&self) -> SimTime {
+        SimTime::from_secs(self.app_cycle_period)
+    }
+
+    /// Fraction of the cycle spent computing (the rest is I/O).
+    #[must_use]
+    pub fn compute_fraction(&self) -> f64 {
+        self.compute_fraction
+    }
+
+    /// Per-cycle jitter range for the compute fraction, if enabled
+    /// (extension): each application cycle samples its fraction
+    /// uniformly from `[lo, hi]`, reflecting Table 3's 0.88–1.0 *range*
+    /// rather than a fixed value. Direct simulator only.
+    #[must_use]
+    pub fn compute_fraction_jitter(&self) -> Option<(f64, f64)> {
+        self.compute_fraction_jitter
+    }
+
+    // --- derived quantities -------------------------------------------------
+
+    /// Per-node failure rate `λ = 1/MTTF`, in 1/s.
+    #[must_use]
+    pub fn node_failure_rate(&self) -> f64 {
+        1.0 / self.mttf_per_node
+    }
+
+    /// Aggregate independent failure rate of all compute nodes,
+    /// `n_nodes · λ`, in 1/s.
+    #[must_use]
+    pub fn compute_failure_rate(&self) -> f64 {
+        self.node_count() as f64 * self.node_failure_rate()
+    }
+
+    /// Aggregate independent failure rate of all I/O nodes, in 1/s
+    /// (per-node MTTF is assumed equal to compute nodes').
+    #[must_use]
+    pub fn io_failure_rate(&self) -> f64 {
+        self.io_node_count() as f64 * self.node_failure_rate()
+    }
+
+    /// Rate of the additional generic correlated-failure stream
+    /// `α·r·n·λ`, in 1/s (zero when disabled).
+    #[must_use]
+    pub fn generic_correlated_rate(&self) -> f64 {
+        match self.generic_correlated {
+            Some(g) => g.coefficient * g.factor * self.compute_failure_rate(),
+            None => 0.0,
+        }
+    }
+
+    /// Time for all compute nodes to dump their checkpoint to their I/O
+    /// node: `nodes_per_io · size / bandwidth` (the groups proceed in
+    /// parallel).
+    #[must_use]
+    pub fn checkpoint_dump_time(&self) -> SimTime {
+        let nodes_in_group =
+            u64::from(self.compute_nodes_per_io_node).min(self.node_count()) as f64;
+        SimTime::from_secs(
+            nodes_in_group * self.checkpoint_size_per_node_mb / self.compute_io_bandwidth_mbps,
+        )
+    }
+
+    /// Time for an I/O node to write its buffered checkpoint to the file
+    /// system.
+    #[must_use]
+    pub fn checkpoint_fs_write_time(&self) -> SimTime {
+        let nodes_in_group =
+            u64::from(self.compute_nodes_per_io_node).min(self.node_count()) as f64;
+        SimTime::from_secs(
+            nodes_in_group * self.checkpoint_size_per_node_mb / self.fs_bandwidth_per_io_mbps,
+        )
+    }
+
+    /// Time for an I/O node to read a checkpoint back from the file
+    /// system (recovery stage 1); symmetric with the write.
+    #[must_use]
+    pub fn checkpoint_fs_read_time(&self) -> SimTime {
+        self.checkpoint_fs_write_time()
+    }
+
+    /// Time for an I/O node to write one cycle's application data to the
+    /// file system in the background.
+    #[must_use]
+    pub fn app_data_write_time(&self) -> SimTime {
+        let nodes_in_group =
+            u64::from(self.compute_nodes_per_io_node).min(self.node_count()) as f64;
+        SimTime::from_secs(
+            nodes_in_group * self.app_io_data_per_node_mb / self.fs_bandwidth_per_io_mbps,
+        )
+    }
+
+    /// Duration of the application's compute phase per cycle.
+    #[must_use]
+    pub fn compute_phase(&self) -> SimTime {
+        SimTime::from_secs(self.app_cycle_period * self.compute_fraction)
+    }
+
+    /// Duration of the application's I/O phase per cycle (zero when the
+    /// compute fraction is 1).
+    #[must_use]
+    pub fn io_phase(&self) -> SimTime {
+        SimTime::from_secs(self.app_cycle_period * (1.0 - self.compute_fraction))
+    }
+}
+
+/// Builder for [`SystemConfig`]; all setters take the strongly typed
+/// [`SimTime`] for durations.
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl Default for SystemConfigBuilder {
+    /// The paper's Table-3 base-model parameters.
+    fn default() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig {
+                processors: 65_536,
+                procs_per_node: 8,
+                compute_nodes_per_io_node: 64,
+                checkpoint_interval: 30.0 * 60.0,
+                mttq: 10.0,
+                broadcast_overhead: 1e-3,
+                software_overhead: 1e-3,
+                coordination: CoordinationMode::FixedQuiesce,
+                timeout: None,
+                background_checkpoint_write: true,
+                buffered_recovery: true,
+                mttf_per_node: SimTime::from_years(1.0).as_secs(),
+                mttr_system: 10.0 * 60.0,
+                mttr_io: 60.0,
+                recovery_time_model: RecoveryTimeModel::Deterministic,
+                severe_failure_threshold: 1_000,
+                reboot_time: 3600.0,
+                model_master_failures: true,
+                model_io_failures: true,
+                failures_enabled: true,
+                error_propagation: None,
+                generic_correlated: None,
+                spatial_correlation: None,
+                app_cycle_period: 3.0 * 60.0,
+                compute_fraction: 0.95,
+                compute_fraction_jitter: None,
+                compute_io_bandwidth_mbps: 350.0,
+                fs_bandwidth_per_io_mbps: 125.0,
+                checkpoint_size_per_node_mb: 256.0,
+                app_io_data_per_node_mb: 10.0,
+            },
+        }
+    }
+}
+
+impl SystemConfigBuilder {
+    /// Total compute processors (must be a multiple of
+    /// [`Self::procs_per_node`]).
+    #[must_use]
+    pub fn processors(mut self, n: u64) -> Self {
+        self.cfg.processors = n;
+        self
+    }
+
+    /// Processors per compute node (paper: 8, 16 or 32).
+    #[must_use]
+    pub fn procs_per_node(mut self, n: u32) -> Self {
+        self.cfg.procs_per_node = n;
+        self
+    }
+
+    /// Compute nodes sharing one I/O node (paper: 64).
+    #[must_use]
+    pub fn compute_nodes_per_io_node(mut self, n: u32) -> Self {
+        self.cfg.compute_nodes_per_io_node = n;
+        self
+    }
+
+    /// Checkpoint interval (paper: 15 min – 4 h).
+    #[must_use]
+    pub fn checkpoint_interval(mut self, t: SimTime) -> Self {
+        self.cfg.checkpoint_interval = t.as_secs();
+        self
+    }
+
+    /// Per-node mean time to quiesce (paper: 0.5 – 10 s).
+    #[must_use]
+    pub fn mttq(mut self, t: SimTime) -> Self {
+        self.cfg.mttq = t.as_secs();
+        self
+    }
+
+    /// Hardware broadcast overhead (paper: 1 ms).
+    #[must_use]
+    pub fn broadcast_overhead(mut self, t: SimTime) -> Self {
+        self.cfg.broadcast_overhead = t.as_secs();
+        self
+    }
+
+    /// Software message-transmission overhead (paper: 1 ms).
+    #[must_use]
+    pub fn software_overhead(mut self, t: SimTime) -> Self {
+        self.cfg.software_overhead = t.as_secs();
+        self
+    }
+
+    /// Coordination model.
+    #[must_use]
+    pub fn coordination(mut self, mode: CoordinationMode) -> Self {
+        self.cfg.coordination = mode;
+        self
+    }
+
+    /// Master timeout (paper: 20 s – 2 min); `None` disables the timer.
+    #[must_use]
+    pub fn timeout(mut self, t: Option<SimTime>) -> Self {
+        self.cfg.timeout = t.map(SimTime::as_secs);
+        self
+    }
+
+    /// Background vs blocking checkpoint file-system writes (ablation;
+    /// the paper assumes background).
+    #[must_use]
+    pub fn background_checkpoint_write(mut self, yes: bool) -> Self {
+        self.cfg.background_checkpoint_write = yes;
+        self
+    }
+
+    /// Allow recovery to skip stage 1 when the checkpoint is buffered
+    /// (ablation; the paper assumes it is skipped).
+    #[must_use]
+    pub fn buffered_recovery(mut self, yes: bool) -> Self {
+        self.cfg.buffered_recovery = yes;
+        self
+    }
+
+    /// Per-node MTTF (paper: 1 – 25 years).
+    #[must_use]
+    pub fn mttf_per_node(mut self, t: SimTime) -> Self {
+        self.cfg.mttf_per_node = t.as_secs();
+        self
+    }
+
+    /// System MTTR: mean of recovery stage 2 (paper: 10 min).
+    #[must_use]
+    pub fn mttr_system(mut self, t: SimTime) -> Self {
+        self.cfg.mttr_system = t.as_secs();
+        self
+    }
+
+    /// I/O node restart time (paper: 1 min).
+    #[must_use]
+    pub fn mttr_io(mut self, t: SimTime) -> Self {
+        self.cfg.mttr_io = t.as_secs();
+        self
+    }
+
+    /// Recovery-time distribution family.
+    #[must_use]
+    pub fn recovery_time_model(mut self, m: RecoveryTimeModel) -> Self {
+        self.cfg.recovery_time_model = m;
+        self
+    }
+
+    /// Consecutive failed recoveries before a full reboot.
+    #[must_use]
+    pub fn severe_failure_threshold(mut self, n: u32) -> Self {
+        self.cfg.severe_failure_threshold = n;
+        self
+    }
+
+    /// Full system reboot time (paper: 1 h).
+    #[must_use]
+    pub fn reboot_time(mut self, t: SimTime) -> Self {
+        self.cfg.reboot_time = t.as_secs();
+        self
+    }
+
+    /// Model master-node failures.
+    #[must_use]
+    pub fn model_master_failures(mut self, yes: bool) -> Self {
+        self.cfg.model_master_failures = yes;
+        self
+    }
+
+    /// Model I/O-node failures.
+    #[must_use]
+    pub fn model_io_failures(mut self, yes: bool) -> Self {
+        self.cfg.model_io_failures = yes;
+        self
+    }
+
+    /// Master switch for all failure processes (Figure 5 turns them off).
+    #[must_use]
+    pub fn failures_enabled(mut self, yes: bool) -> Self {
+        self.cfg.failures_enabled = yes;
+        self
+    }
+
+    /// Enables error-propagation correlated failures.
+    #[must_use]
+    pub fn error_propagation(mut self, p: Option<ErrorPropagation>) -> Self {
+        self.cfg.error_propagation = p;
+        self
+    }
+
+    /// Enables generic correlated failures.
+    #[must_use]
+    pub fn generic_correlated(mut self, g: Option<GenericCorrelated>) -> Self {
+        self.cfg.generic_correlated = g;
+        self
+    }
+
+    /// Enables spatially correlated compute/I-O co-failures with the
+    /// given probability (extension; see
+    /// [`SystemConfig::spatial_correlation`]).
+    #[must_use]
+    pub fn spatial_correlation(mut self, p: Option<f64>) -> Self {
+        self.cfg.spatial_correlation = p;
+        self
+    }
+
+    /// Application compute/I-O cycle period (paper: 3 min).
+    #[must_use]
+    pub fn app_cycle_period(mut self, t: SimTime) -> Self {
+        self.cfg.app_cycle_period = t.as_secs();
+        self
+    }
+
+    /// Fraction of the cycle spent computing (paper: 0.88 – 1.0).
+    #[must_use]
+    pub fn compute_fraction(mut self, f: f64) -> Self {
+        self.cfg.compute_fraction = f;
+        self
+    }
+
+    /// Enables per-cycle uniform jitter of the compute fraction
+    /// (extension; see [`SystemConfig::compute_fraction_jitter`]).
+    #[must_use]
+    pub fn compute_fraction_jitter(mut self, range: Option<(f64, f64)>) -> Self {
+        self.cfg.compute_fraction_jitter = range;
+        self
+    }
+
+    /// Aggregate bandwidth from one group of compute nodes to its I/O
+    /// node, MB/s (paper: 350).
+    #[must_use]
+    pub fn compute_io_bandwidth_mbps(mut self, b: f64) -> Self {
+        self.cfg.compute_io_bandwidth_mbps = b;
+        self
+    }
+
+    /// File-system bandwidth per I/O node, MB/s (paper: 1 Gb/s = 125).
+    #[must_use]
+    pub fn fs_bandwidth_per_io_mbps(mut self, b: f64) -> Self {
+        self.cfg.fs_bandwidth_per_io_mbps = b;
+        self
+    }
+
+    /// Checkpoint size per compute node, MB (paper: 256).
+    #[must_use]
+    pub fn checkpoint_size_per_node_mb(mut self, s: f64) -> Self {
+        self.cfg.checkpoint_size_per_node_mb = s;
+        self
+    }
+
+    /// Application data produced per node per cycle, MB (paper: 10).
+    #[must_use]
+    pub fn app_io_data_per_node_mb(mut self, s: f64) -> Self {
+        self.cfg.app_io_data_per_node_mb = s;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the processor count is not a positive
+    /// multiple of the processors per node, a duration is non-positive,
+    /// or a fraction/probability is out of range.
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.processors == 0
+            || c.procs_per_node == 0
+            || !c.processors.is_multiple_of(u64::from(c.procs_per_node))
+        {
+            return Err(ConfigError::BadProcessorCount {
+                processors: c.processors,
+                per_node: c.procs_per_node,
+            });
+        }
+        for (name, v) in [
+            ("checkpoint_interval", c.checkpoint_interval),
+            ("mttq", c.mttq),
+            ("mttf_per_node", c.mttf_per_node),
+            ("mttr_system", c.mttr_system),
+            ("mttr_io", c.mttr_io),
+            ("reboot_time", c.reboot_time),
+            ("app_cycle_period", c.app_cycle_period),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ConfigError::NonPositiveDuration { name });
+            }
+        }
+        if let Some(t) = c.timeout {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(ConfigError::NonPositiveDuration { name: "timeout" });
+            }
+        }
+        if !(c.compute_fraction > 0.0 && c.compute_fraction <= 1.0) {
+            return Err(ConfigError::OutOfRange {
+                name: "compute_fraction",
+                value: c.compute_fraction,
+            });
+        }
+        for (name, v) in [
+            ("compute_io_bandwidth_mbps", c.compute_io_bandwidth_mbps),
+            ("fs_bandwidth_per_io_mbps", c.fs_bandwidth_per_io_mbps),
+            ("checkpoint_size_per_node_mb", c.checkpoint_size_per_node_mb),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ConfigError::OutOfRange { name, value: v });
+            }
+        }
+        if !(c.app_io_data_per_node_mb.is_finite() && c.app_io_data_per_node_mb >= 0.0) {
+            return Err(ConfigError::OutOfRange {
+                name: "app_io_data_per_node_mb",
+                value: c.app_io_data_per_node_mb,
+            });
+        }
+        if c.compute_nodes_per_io_node == 0 {
+            return Err(ConfigError::OutOfRange {
+                name: "compute_nodes_per_io_node",
+                value: 0.0,
+            });
+        }
+        if let Some(e) = c.error_propagation {
+            if !(0.0..=1.0).contains(&e.probability) {
+                return Err(ConfigError::OutOfRange {
+                    name: "error_propagation.probability",
+                    value: e.probability,
+                });
+            }
+            if !(e.factor.is_finite() && e.factor >= 1.0) {
+                return Err(ConfigError::OutOfRange {
+                    name: "error_propagation.factor",
+                    value: e.factor,
+                });
+            }
+            if !(e.window.is_finite() && e.window > 0.0) {
+                return Err(ConfigError::NonPositiveDuration {
+                    name: "error_propagation.window",
+                });
+            }
+        }
+        if let Some(g) = c.generic_correlated {
+            if !(g.coefficient.is_finite() && g.coefficient >= 0.0 && g.coefficient <= 1.0) {
+                return Err(ConfigError::OutOfRange {
+                    name: "generic_correlated.coefficient",
+                    value: g.coefficient,
+                });
+            }
+            if !(g.factor.is_finite() && g.factor >= 0.0) {
+                return Err(ConfigError::OutOfRange {
+                    name: "generic_correlated.factor",
+                    value: g.factor,
+                });
+            }
+        }
+        if let RecoveryTimeModel::LogNormal { cv } = c.recovery_time_model {
+            if !(cv.is_finite() && cv > 0.0) {
+                return Err(ConfigError::OutOfRange {
+                    name: "recovery_time_model.cv",
+                    value: cv,
+                });
+            }
+        }
+        if let Some((lo, hi)) = c.compute_fraction_jitter {
+            if !(lo > 0.0 && lo <= hi && hi <= 1.0) {
+                return Err(ConfigError::OutOfRange {
+                    name: "compute_fraction_jitter",
+                    value: lo,
+                });
+            }
+        }
+        if let Some(p) = c.spatial_correlation {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::OutOfRange {
+                    name: "spatial_correlation",
+                    value: p,
+                });
+            }
+        }
+        if c.severe_failure_threshold == 0 {
+            return Err(ConfigError::OutOfRange {
+                name: "severe_failure_threshold",
+                value: 0.0,
+            });
+        }
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_3() {
+        let c = SystemConfig::builder().build().unwrap();
+        assert_eq!(c.processors(), 65_536);
+        assert_eq!(c.procs_per_node(), 8);
+        assert_eq!(c.node_count(), 8_192);
+        assert_eq!(c.io_node_count(), 128);
+        assert_eq!(c.checkpoint_interval().as_mins(), 30.0);
+        assert_eq!(c.mttq().as_secs(), 10.0);
+        assert_eq!(c.mttr_system().as_mins(), 10.0);
+        assert_eq!(c.mttr_io().as_secs(), 60.0);
+        assert_eq!(c.reboot_time().as_hours(), 1.0);
+        assert!((c.mttf_per_node().as_years() - 1.0).abs() < 1e-12);
+        assert_eq!(c.coordination(), CoordinationMode::FixedQuiesce);
+        assert_eq!(c.timeout(), None);
+        assert!(c.failures_enabled());
+    }
+
+    #[test]
+    fn derived_transfer_times_match_hand_calculation() {
+        let c = SystemConfig::builder().build().unwrap();
+        // 64 nodes × 256 MB at 350 MB/s ≈ 46.8 s.
+        assert!((c.checkpoint_dump_time().as_secs() - 64.0 * 256.0 / 350.0).abs() < 1e-9);
+        // 64 × 256 MB at 125 MB/s ≈ 131.1 s.
+        assert!((c.checkpoint_fs_write_time().as_secs() - 131.072).abs() < 1e-9);
+        assert_eq!(c.checkpoint_fs_read_time(), c.checkpoint_fs_write_time());
+        // 64 × 10 MB at 125 MB/s = 5.12 s.
+        assert!((c.app_data_write_time().as_secs() - 5.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_rates_scale_with_nodes() {
+        let c = SystemConfig::builder().build().unwrap();
+        let per_node = c.node_failure_rate();
+        assert!((per_node * SimTime::from_years(1.0).as_secs() - 1.0).abs() < 1e-12);
+        assert!((c.compute_failure_rate() - 8192.0 * per_node).abs() < 1e-15);
+        assert!((c.io_failure_rate() - 128.0 * per_node).abs() < 1e-15);
+        assert_eq!(c.generic_correlated_rate(), 0.0);
+
+        let c2 = SystemConfig::builder()
+            .generic_correlated(Some(GenericCorrelated {
+                coefficient: 0.0025,
+                factor: 400.0,
+            }))
+            .build()
+            .unwrap();
+        // α·r = 1 ⇒ the correlated stream equals the independent rate.
+        assert!((c2.generic_correlated_rate() - c2.compute_failure_rate()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn phases_partition_cycle() {
+        let c = SystemConfig::builder()
+            .compute_fraction(0.88)
+            .build()
+            .unwrap();
+        let total = c.compute_phase() + c.io_phase();
+        assert!((total.as_secs() - c.app_cycle_period().as_secs()).abs() < 1e-9);
+        let full = SystemConfig::builder()
+            .compute_fraction(1.0)
+            .build()
+            .unwrap();
+        assert!(full.io_phase().is_zero());
+    }
+
+    #[test]
+    fn rejects_indivisible_processor_count() {
+        let err = SystemConfig::builder()
+            .processors(100)
+            .procs_per_node(8)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BadProcessorCount { .. }));
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    fn rejects_zero_processors() {
+        assert!(SystemConfig::builder().processors(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_fractions_and_durations() {
+        assert!(SystemConfig::builder()
+            .compute_fraction(0.0)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder()
+            .compute_fraction(1.5)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder()
+            .checkpoint_interval(SimTime::ZERO)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder()
+            .timeout(Some(SimTime::ZERO))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_correlated_parameters() {
+        assert!(SystemConfig::builder()
+            .error_propagation(Some(ErrorPropagation {
+                probability: 1.5,
+                factor: 400.0,
+                window: 180.0,
+            }))
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder()
+            .error_propagation(Some(ErrorPropagation {
+                probability: 0.1,
+                factor: 0.5,
+                window: 180.0,
+            }))
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder()
+            .generic_correlated(Some(GenericCorrelated {
+                coefficient: -0.1,
+                factor: 400.0,
+            }))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn io_node_count_rounds_up() {
+        let c = SystemConfig::builder()
+            .processors(8 * 100)
+            .procs_per_node(8)
+            .compute_nodes_per_io_node(64)
+            .build()
+            .unwrap();
+        assert_eq!(c.node_count(), 100);
+        assert_eq!(c.io_node_count(), 2);
+    }
+
+    #[test]
+    fn paper_scale_points_are_constructible() {
+        for procs in [8192u64, 16_384, 32_768, 65_536, 131_072, 262_144] {
+            let c = SystemConfig::builder().processors(procs).build().unwrap();
+            assert_eq!(c.processors(), procs);
+        }
+        // Figure 4g: 32 procs/node, up to 32K nodes (1M processors).
+        let big = SystemConfig::builder()
+            .processors(32 * 32_768)
+            .procs_per_node(32)
+            .build()
+            .unwrap();
+        assert_eq!(big.node_count(), 32_768);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ConfigError::NonPositiveDuration { name: "mttq" };
+        assert!(e.to_string().contains("mttq"));
+        let e = ConfigError::OutOfRange {
+            name: "compute_fraction",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("compute_fraction"));
+    }
+}

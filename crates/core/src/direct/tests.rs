@@ -1,0 +1,602 @@
+//! Unit tests for the direct simulator.
+
+use super::*;
+use crate::config::{ErrorPropagation, GenericCorrelated, SystemConfig};
+
+fn base_config() -> SystemConfig {
+    SystemConfig::builder().build().unwrap()
+}
+
+/// Runs with a transient discard and returns the measured metrics.
+fn measure(cfg: &SystemConfig, seed: u64, hours: f64) -> Metrics {
+    let mut sim = DirectSimulator::new(cfg, seed);
+    sim.run(SimTime::from_hours(1_000.0));
+    sim.reset_metrics();
+    sim.run(SimTime::from_hours(hours));
+    sim.metrics()
+}
+
+#[test]
+fn failure_free_fraction_matches_protocol_overhead() {
+    // No failures, fixed quiesce, compute fraction 1 (no app I/O):
+    // each cycle = interval + broadcast + quiesce + dump; useful work
+    // accrues only during the interval.
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .build()
+        .unwrap();
+    let mut sim = DirectSimulator::new(&cfg, 1);
+    sim.run(SimTime::from_hours(5_000.0));
+    let m = sim.metrics();
+    let interval = cfg.checkpoint_interval().as_secs();
+    let cycle = interval
+        + cfg.quiesce_broadcast_latency().as_secs()
+        + cfg.mttq().as_secs()
+        + cfg.checkpoint_dump_time().as_secs();
+    let expect = interval / cycle;
+    let got = m.useful_work_fraction();
+    assert!(
+        (got - expect).abs() < 1e-3,
+        "useful work {got} vs analytic {expect}"
+    );
+    assert_eq!(m.counters.compute_failures, 0);
+    assert!(m.counters.checkpoints_completed > 0);
+}
+
+#[test]
+fn app_io_counts_as_useful_work() {
+    // With app I/O (fraction < 1) and no failures the useful-work
+    // fraction must not drop: the I/O phase is still useful work.
+    let no_io = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .build()
+        .unwrap();
+    let with_io = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(0.9)
+        .build()
+        .unwrap();
+    let f1 = measure(&no_io, 2, 3_000.0).useful_work_fraction();
+    let f2 = measure(&with_io, 2, 3_000.0).useful_work_fraction();
+    assert!(
+        (f1 - f2).abs() < 0.01,
+        "app I/O should not change useful work materially: {f1} vs {f2}"
+    );
+}
+
+#[test]
+fn failures_reduce_useful_work() {
+    let good = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(25.0))
+        .build()
+        .unwrap();
+    let bad = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(0.25))
+        .build()
+        .unwrap();
+    let fg = measure(&good, 3, 20_000.0).useful_work_fraction();
+    let fb = measure(&bad, 3, 20_000.0).useful_work_fraction();
+    assert!(fg > fb + 0.2, "MTTF 25y {fg} vs 0.25y {fb}");
+}
+
+#[test]
+fn base_model_fraction_is_in_papers_ballpark() {
+    // Paper §7.1: 64K processors, MTTF 1 y, MTTR 10 min, 30-minute
+    // interval → useful work fraction in the high-40s percent (128K
+    // procs gives ≈42.7%, and the fraction decreases with scale).
+    let m = measure(&base_config(), 4, 30_000.0);
+    let f = m.useful_work_fraction();
+    assert!(
+        (0.35..0.70).contains(&f),
+        "base-model useful work fraction {f} outside plausible band"
+    );
+    assert!(m.counters.recoveries > 100);
+}
+
+#[test]
+fn useful_work_fraction_decreases_with_processor_count() {
+    let mut last = f64::INFINITY;
+    for procs in [8_192u64, 65_536, 262_144] {
+        let cfg = SystemConfig::builder().processors(procs).build().unwrap();
+        let f = measure(&cfg, 5, 20_000.0).useful_work_fraction();
+        assert!(
+            f < last,
+            "fraction must fall with scale: {f} at {procs} procs (prev {last})"
+        );
+        last = f;
+    }
+}
+
+#[test]
+fn phase_times_partition_the_window() {
+    let m = measure(&base_config(), 6, 5_000.0);
+    let total = m.phase_times.total();
+    assert!(
+        (total - m.window_secs).abs() < 1e-6 * m.window_secs,
+        "phase times {total} must sum to the window {}",
+        m.window_secs
+    );
+    assert!(m.phase_fraction(PhaseKind::Executing) > 0.3);
+    assert!(m.phase_fraction(PhaseKind::Recovering) > 0.0);
+}
+
+#[test]
+fn useful_work_never_exceeds_accruable_time() {
+    // Accrual happens while executing and while finishing non-preemptive
+    // application I/O under a pending quiesce (counted as coordinating).
+    let m = measure(&base_config(), 7, 10_000.0);
+    let accruable =
+        m.phase_times.get(PhaseKind::Executing) + m.phase_times.get(PhaseKind::Coordinating);
+    assert!(
+        m.useful_work_secs <= accruable + 1e-6,
+        "useful work cannot exceed accruable time"
+    );
+}
+
+#[test]
+fn no_failures_means_no_recoveries() {
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .build()
+        .unwrap();
+    let m = measure(&cfg, 8, 2_000.0);
+    assert_eq!(m.counters.compute_failures, 0);
+    assert_eq!(m.counters.io_failures, 0);
+    assert_eq!(m.counters.recoveries, 0);
+    assert_eq!(m.counters.reboots, 0);
+    assert_eq!(m.work_lost_secs, 0.0);
+    assert_eq!(m.phase_fraction(PhaseKind::Recovering), 0.0);
+}
+
+#[test]
+fn checkpoint_rate_matches_interval() {
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .build()
+        .unwrap();
+    let m = measure(&cfg, 9, 2_000.0);
+    let cycle_hours = (cfg.checkpoint_interval().as_secs()
+        + cfg.quiesce_broadcast_latency().as_secs()
+        + cfg.mttq().as_secs()
+        + cfg.checkpoint_dump_time().as_secs())
+        / 3600.0;
+    let expect = (2_000.0 / cycle_hours).round();
+    let got = m.counters.checkpoints_completed as f64;
+    assert!(
+        (got - expect).abs() <= 1.0,
+        "checkpoints {got} expected ≈{expect}"
+    );
+}
+
+#[test]
+fn timeout_shorter_than_quiesce_aborts_every_checkpoint() {
+    // Fixed quiesce of 10 s with a timeout of 5 s: coordination never
+    // completes in time, so every attempt aborts.
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .timeout(Some(SimTime::from_secs(5.0)))
+        .build()
+        .unwrap();
+    let m = measure(&cfg, 10, 500.0);
+    assert_eq!(m.counters.checkpoints_completed, 0);
+    assert!(m.counters.checkpoints_aborted_timeout > 0);
+}
+
+#[test]
+fn generous_timeout_never_fires_with_fixed_quiesce() {
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .timeout(Some(SimTime::from_secs(120.0)))
+        .build()
+        .unwrap();
+    let m = measure(&cfg, 11, 500.0);
+    assert_eq!(m.counters.checkpoints_aborted_timeout, 0);
+    assert!(m.counters.checkpoints_completed > 0);
+}
+
+#[test]
+fn max_of_n_coordination_costs_more_than_fixed() {
+    let fixed = SystemConfig::builder()
+        .failures_enabled(false)
+        .coordination(CoordinationMode::FixedQuiesce)
+        .build()
+        .unwrap();
+    let coord = SystemConfig::builder()
+        .failures_enabled(false)
+        .coordination(CoordinationMode::MaxOfN)
+        .build()
+        .unwrap();
+    let ff = measure(&fixed, 12, 3_000.0).useful_work_fraction();
+    let fc = measure(&coord, 12, 3_000.0).useful_work_fraction();
+    // Max of 65536 exponentials ≈ H_65536 ≈ 11.7 × MTTQ, versus 1 × MTTQ.
+    assert!(fc < ff, "coordination {fc} must cost more than fixed {ff}");
+    assert!(ff - fc < 0.1, "but the coordination effect is small");
+}
+
+#[test]
+fn generic_correlated_failures_degrade_performance() {
+    let without = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(3.0))
+        .processors(262_144)
+        .build()
+        .unwrap();
+    let with = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(3.0))
+        .processors(262_144)
+        .generic_correlated(Some(GenericCorrelated {
+            coefficient: 0.0025,
+            factor: 400.0,
+        }))
+        .build()
+        .unwrap();
+    let f0 = measure(&without, 13, 20_000.0).useful_work_fraction();
+    let m1 = measure(&with, 13, 20_000.0);
+    let f1 = m1.useful_work_fraction();
+    assert!(m1.counters.generic_failures > 0);
+    assert!(
+        f0 - f1 > 0.05,
+        "doubling the failure rate must hurt: {f0} vs {f1}"
+    );
+}
+
+#[test]
+fn error_propagation_opens_windows_and_repeats_recoveries() {
+    let cfg = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(3.0))
+        .processors(262_144)
+        .error_propagation(Some(ErrorPropagation {
+            probability: 0.2,
+            factor: 1_600.0,
+            window: 180.0,
+        }))
+        .build()
+        .unwrap();
+    let m = measure(&cfg, 14, 20_000.0);
+    assert!(m.counters.correlated_windows > 0, "windows must open");
+    assert!(
+        m.counters.failed_recoveries > 0,
+        "elevated in-window rates must hit some recoveries"
+    );
+}
+
+#[test]
+fn severe_failures_cause_reboots() {
+    // Brutal MTTF and a threshold of 1 failed recovery: reboots must
+    // happen.
+    let cfg = SystemConfig::builder()
+        .processors(262_144)
+        .mttf_per_node(SimTime::from_hours(200.0))
+        .severe_failure_threshold(1)
+        .build()
+        .unwrap();
+    let m = measure(&cfg, 15, 5_000.0);
+    assert!(m.counters.reboots > 0, "expected reboots: {:?}", m.counters);
+    assert!(m.phase_fraction(PhaseKind::Rebooting) > 0.0);
+}
+
+#[test]
+fn reproducible_across_identical_seeds() {
+    let cfg = base_config();
+    let a = measure(&cfg, 42, 5_000.0);
+    let b = measure(&cfg, 42, 5_000.0);
+    assert_eq!(a.useful_work_secs, b.useful_work_secs);
+    assert_eq!(a.counters, b.counters);
+    let c = measure(&cfg, 43, 5_000.0);
+    assert_ne!(a.counters, c.counters);
+}
+
+#[test]
+fn blocking_checkpoint_write_is_slower() {
+    let bg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .background_checkpoint_write(true)
+        .build()
+        .unwrap();
+    let blocking = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .background_checkpoint_write(false)
+        .build()
+        .unwrap();
+    let f_bg = measure(&bg, 16, 2_000.0).useful_work_fraction();
+    let f_bl = measure(&blocking, 16, 2_000.0).useful_work_fraction();
+    // Blocking adds the 131-second FS write to every cycle.
+    assert!(
+        f_bg - f_bl > 0.04,
+        "background {f_bg} vs blocking {f_bl} should differ by the FS write share"
+    );
+}
+
+#[test]
+fn disabling_buffered_recovery_adds_stage1_cost() {
+    let cfg_buf = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(0.5))
+        .buffered_recovery(true)
+        .build()
+        .unwrap();
+    let cfg_nobuf = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(0.5))
+        .buffered_recovery(false)
+        .build()
+        .unwrap();
+    let f_buf = measure(&cfg_buf, 17, 20_000.0).useful_work_fraction();
+    let f_nobuf = measure(&cfg_nobuf, 17, 20_000.0).useful_work_fraction();
+    assert!(
+        f_buf >= f_nobuf - 1e-3,
+        "buffered recovery cannot be slower: {f_buf} vs {f_nobuf}"
+    );
+}
+
+#[test]
+fn work_lost_scales_with_checkpoint_interval() {
+    let short = SystemConfig::builder()
+        .checkpoint_interval(SimTime::from_mins(15.0))
+        .build()
+        .unwrap();
+    let long = SystemConfig::builder()
+        .checkpoint_interval(SimTime::from_mins(240.0))
+        .build()
+        .unwrap();
+    let m_short = measure(&short, 18, 20_000.0);
+    let m_long = measure(&long, 18, 20_000.0);
+    let per_failure_short =
+        m_short.work_lost_secs / m_short.counters.compute_failures.max(1) as f64;
+    let per_failure_long = m_long.work_lost_secs / m_long.counters.compute_failures.max(1) as f64;
+    assert!(
+        per_failure_long > per_failure_short * 3.0,
+        "lost work per failure: short {per_failure_short}, long {per_failure_long}"
+    );
+}
+
+#[test]
+fn clock_and_events_advance() {
+    let cfg = base_config();
+    let mut sim = DirectSimulator::new(&cfg, 0);
+    assert_eq!(sim.now(), SimTime::ZERO);
+    sim.run(SimTime::from_hours(10.0));
+    assert_eq!(sim.now(), SimTime::from_hours(10.0));
+    assert!(sim.events_processed() > 0);
+    assert!(format!("{sim:?}").contains("DirectSimulator"));
+}
+
+#[test]
+fn metrics_window_tracks_reset() {
+    let cfg = base_config();
+    let mut sim = DirectSimulator::new(&cfg, 1);
+    sim.run(SimTime::from_hours(5.0));
+    sim.reset_metrics();
+    assert_eq!(sim.metrics().window_secs, 0.0);
+    sim.run(SimTime::from_hours(1.0));
+    assert!((sim.metrics().window_secs - 3600.0).abs() < 1e-9);
+}
+
+#[test]
+fn master_failures_abort_checkpoints_only_during_protocol() {
+    // A wide quiesce window (MTTQ 300 s) and a low per-node MTTF make
+    // master failures land inside the protocol; the system must still be
+    // healthy enough to reach the protocol at all, so keep it small.
+    let cfg = SystemConfig::builder()
+        .processors(8_192)
+        .mttq(SimTime::from_secs(300.0))
+        .mttf_per_node(SimTime::from_years(0.25))
+        .build()
+        .unwrap();
+    let m = measure(&cfg, 19, 200_000.0);
+    assert!(
+        m.counters.checkpoints_aborted_master > 0,
+        "expected master-failure aborts: {:?}",
+        m.counters
+    );
+}
+
+#[test]
+fn io_failures_abort_checkpoint_writes() {
+    let cfg = SystemConfig::builder()
+        .processors(8_192)
+        .mttf_per_node(SimTime::from_years(0.125))
+        .build()
+        .unwrap();
+    let m = measure(&cfg, 20, 100_000.0);
+    assert!(m.counters.io_failures > 0);
+    assert!(
+        m.counters.checkpoints_aborted_io > 0,
+        "with 128 I/O nodes at MTTF 0.125y some write-phase failures must occur: {:?}",
+        m.counters
+    );
+}
+
+#[test]
+fn trace_records_checkpoint_lifecycle_in_order() {
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .build()
+        .unwrap();
+    let mut sim = DirectSimulator::new(&cfg, 0);
+    sim.enable_trace(64);
+    sim.run(SimTime::from_hours(1.0));
+    let trace = sim.trace().expect("trace enabled");
+    use crate::trace::TraceEvent;
+    let kinds: Vec<&TraceEvent> = trace.iter().map(|e| &e.event).collect();
+    // One full cycle: initiate → coordinate → complete → on FS.
+    assert_eq!(
+        kinds[..4],
+        [
+            &TraceEvent::CheckpointInitiated,
+            &TraceEvent::CoordinationComplete,
+            &TraceEvent::CheckpointCompleted,
+            &TraceEvent::CheckpointOnFs
+        ]
+    );
+    // Timestamps are monotone.
+    let times: Vec<f64> = trace.iter().map(|e| e.at.as_secs()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn trace_records_rollback_and_recovery() {
+    let cfg = SystemConfig::builder()
+        .processors(262_144)
+        .mttf_per_node(SimTime::from_years(0.125))
+        .build()
+        .unwrap();
+    let mut sim = DirectSimulator::new(&cfg, 1);
+    sim.enable_trace(4096);
+    sim.run(SimTime::from_hours(100.0));
+    let trace = sim.trace().unwrap();
+    use crate::trace::TraceEvent;
+    let rollbacks = trace
+        .filter(|e| matches!(e, TraceEvent::Rollback { .. }))
+        .count();
+    let recoveries = trace
+        .filter(|e| matches!(e, TraceEvent::RecoveryComplete))
+        .count();
+    assert!(rollbacks > 0, "expected rollbacks in the trace");
+    assert!(recoveries > 0, "expected recoveries in the trace");
+    // Every recovery completion follows some rollback.
+    let first_rollback = trace
+        .iter()
+        .position(|e| matches!(e.event, TraceEvent::Rollback { .. }))
+        .unwrap();
+    let first_recovery = trace
+        .iter()
+        .position(|e| matches!(e.event, TraceEvent::RecoveryComplete))
+        .unwrap();
+    assert!(first_rollback < first_recovery);
+}
+
+#[test]
+fn trace_is_optional_and_bounded() {
+    let cfg = base_config();
+    let mut sim = DirectSimulator::new(&cfg, 2);
+    assert!(sim.trace().is_none());
+    sim.enable_trace(4);
+    sim.run(SimTime::from_hours(50.0));
+    let t = sim.trace().unwrap();
+    assert!(t.len() <= 4);
+    assert!(t.dropped() > 0, "long run must overflow a 4-entry buffer");
+}
+
+#[test]
+fn spatial_correlation_defeats_buffered_recovery() {
+    let without = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(0.5))
+        .build()
+        .unwrap();
+    let with = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(0.5))
+        .spatial_correlation(Some(1.0))
+        .build()
+        .unwrap();
+    let m0 = measure(&without, 21, 20_000.0);
+    let m1 = measure(&with, 21, 20_000.0);
+    assert!(m1.counters.spatial_co_failures > 0);
+    assert_eq!(m0.counters.spatial_co_failures, 0);
+    // Losing the buffer forces stage-1 reads and invalidates the newest
+    // checkpoint: strictly worse.
+    let f0 = m0.useful_work_fraction();
+    let f1 = m1.useful_work_fraction();
+    assert!(
+        f0 > f1 + 0.01,
+        "spatial co-failures must hurt: {f0} vs {f1}"
+    );
+    // At p = 1 every eligible compute failure co-fails the I/O group
+    // (failures while the I/O nodes are already down are excluded).
+    assert!(m1.counters.spatial_co_failures <= m1.counters.compute_failures);
+    assert!(
+        m1.counters.spatial_co_failures as f64 > 0.8 * m1.counters.compute_failures as f64,
+        "most failures must co-fail: {:?}",
+        m1.counters
+    );
+}
+
+#[test]
+fn spatial_correlation_probability_scales_impact() {
+    let frac = |p: Option<f64>| {
+        let cfg = SystemConfig::builder()
+            .mttf_per_node(SimTime::from_years(0.5))
+            .spatial_correlation(p)
+            .build()
+            .unwrap();
+        measure(&cfg, 22, 20_000.0).useful_work_fraction()
+    };
+    let f0 = frac(None);
+    let fh = frac(Some(0.5));
+    let f1 = frac(Some(1.0));
+    assert!(f0 >= fh - 5e-3, "p=0.5 must not beat p=0: {f0} vs {fh}");
+    assert!(fh >= f1 - 5e-3, "p=1 must not beat p=0.5: {fh} vs {f1}");
+}
+
+#[test]
+fn workload_jitter_keeps_useful_work_near_fixed_fraction() {
+    // Per-cycle jitter over [0.88, 1.0] has mean 0.94 — close to the
+    // fixed default 0.95; the useful-work fraction should barely move
+    // (app I/O counts as useful work either way).
+    let fixed = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(0.94)
+        .build()
+        .unwrap();
+    let jittered = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction_jitter(Some((0.88, 1.0)))
+        .build()
+        .unwrap();
+    let f0 = measure(&fixed, 23, 3_000.0).useful_work_fraction();
+    let f1 = measure(&jittered, 23, 3_000.0).useful_work_fraction();
+    assert!(
+        (f0 - f1).abs() < 0.01,
+        "jitter must not change useful work materially: {f0} vs {f1}"
+    );
+}
+
+#[test]
+fn workload_jitter_varies_cycle_lengths() {
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction_jitter(Some((0.88, 0.96)))
+        .build()
+        .unwrap();
+    let mut sim = DirectSimulator::new(&cfg, 24);
+    sim.run(SimTime::from_hours(10.0));
+    // With jitter and 3-minute cycles there are ~200 cycles in 10 h; the
+    // run must process app-phase events (jitter path executes).
+    assert!(sim.events_processed() > 300);
+}
+
+#[test]
+fn recovery_time_distribution_families_behave_sanely() {
+    use crate::config::RecoveryTimeModel;
+    // Same mean recovery; at a moderate failure rate the deterministic
+    // restart penalty makes Deterministic the costliest, memoryless
+    // Exponential the cheapest, and a heavy-tailed LogNormal close to
+    // Exponential (restarts truncate its tail).
+    let frac = |m: RecoveryTimeModel| {
+        let cfg = SystemConfig::builder()
+            .processors(262_144)
+            .recovery_time_model(m)
+            .build()
+            .unwrap();
+        measure(&cfg, 25, 20_000.0).useful_work_fraction()
+    };
+    let det = frac(RecoveryTimeModel::Deterministic);
+    let exp = frac(RecoveryTimeModel::Exponential);
+    let ln2 = frac(RecoveryTimeModel::LogNormal { cv: 2.0 });
+    assert!(
+        exp > det,
+        "memoryless recovery must beat deterministic under restarts: {exp} vs {det}"
+    );
+    assert!(
+        ln2 > det - 0.02,
+        "heavy tail with restarts stays above deterministic: {ln2} vs {det}"
+    );
+    for f in [det, exp, ln2] {
+        assert!((0.0..1.0).contains(&f));
+    }
+}

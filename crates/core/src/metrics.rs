@@ -1,0 +1,209 @@
+//! Performance measures: useful work and event counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse system phases, used to break down where simulated time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Application executing (computation or application I/O).
+    Executing,
+    /// Quiesce broadcast + coordination (includes waiting for app I/O).
+    Coordinating,
+    /// Checkpoint dump to the I/O nodes (includes waiting for them).
+    Dumping,
+    /// Rolling back / recovering.
+    Recovering,
+    /// Full system reboot.
+    Rebooting,
+}
+
+impl PhaseKind {
+    /// All phases, in display order.
+    pub const ALL: [PhaseKind; 5] = [
+        PhaseKind::Executing,
+        PhaseKind::Coordinating,
+        PhaseKind::Dumping,
+        PhaseKind::Recovering,
+        PhaseKind::Rebooting,
+    ];
+}
+
+/// Time spent in each [`PhaseKind`], in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    times: [f64; 5],
+}
+
+impl PhaseTimes {
+    /// Adds `dt` seconds to `phase`.
+    pub fn add(&mut self, phase: PhaseKind, dt: f64) {
+        self.times[phase as usize] += dt;
+    }
+
+    /// Seconds spent in `phase`.
+    #[must_use]
+    pub fn get(&self, phase: PhaseKind) -> f64 {
+        self.times[phase as usize]
+    }
+
+    /// Total seconds across all phases.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.times.iter().sum()
+    }
+}
+
+/// Monotone event counters collected during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Counters {
+    /// Compute-node failures during execution/checkpointing.
+    pub compute_failures: u64,
+    /// I/O-node failures.
+    pub io_failures: u64,
+    /// Master-node failures (only those that aborted a checkpoint).
+    pub master_failures: u64,
+    /// Failures from the generic correlated-failure stream.
+    pub generic_failures: u64,
+    /// Checkpoints whose dump completed (became recoverable).
+    pub checkpoints_completed: u64,
+    /// Checkpoints aborted by the master timeout.
+    pub checkpoints_aborted_timeout: u64,
+    /// Checkpoints aborted by an I/O-node failure.
+    pub checkpoints_aborted_io: u64,
+    /// Checkpoints aborted by a master failure.
+    pub checkpoints_aborted_master: u64,
+    /// Successful recoveries.
+    pub recoveries: u64,
+    /// Failures that struck during an ongoing recovery.
+    pub failed_recoveries: u64,
+    /// Full system reboots (severe-failure escalations).
+    pub reboots: u64,
+    /// Correlated-failure windows opened (error propagation).
+    pub correlated_windows: u64,
+    /// Spatially correlated compute/I-O co-failures (extension).
+    pub spatial_co_failures: u64,
+}
+
+/// Snapshot of a simulator's measures over an observation window.
+///
+/// The central quantity is **useful work**: the paper defines it as
+/// computation that contributes to the ultimate completion of the job, so
+/// work that is later lost to a rollback is *subtracted*. One "job unit"
+/// is the work a failure-free processor performs in unit time; at the
+/// system level the accumulator advances at rate 1 while the application
+/// executes and rolls back to the last recoverable checkpoint on failure.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Observation-window length, seconds.
+    pub window_secs: f64,
+    /// Net useful work over the window, in system-seconds.
+    pub useful_work_secs: f64,
+    /// Work lost to rollbacks over the window, in system-seconds.
+    pub work_lost_secs: f64,
+    /// Event counters.
+    pub counters: Counters,
+    /// Time breakdown by phase.
+    pub phase_times: PhaseTimes,
+}
+
+impl Metrics {
+    /// Useful work fraction: net useful work divided by elapsed time —
+    /// the paper's primary per-system metric (0 over an empty window).
+    #[must_use]
+    pub fn useful_work_fraction(&self) -> f64 {
+        if self.window_secs > 0.0 {
+            self.useful_work_secs / self.window_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total useful work in "job units": useful work fraction × number of
+    /// processors (the paper's Figure-4 y-axis).
+    #[must_use]
+    pub fn total_useful_work(&self, processors: u64) -> f64 {
+        self.useful_work_fraction() * processors as f64
+    }
+
+    /// Fraction of the window spent in `phase`.
+    #[must_use]
+    pub fn phase_fraction(&self, phase: PhaseKind) -> f64 {
+        if self.window_secs > 0.0 {
+            self.phase_times.get(phase) / self.window_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "useful work {:.4} over {:.1} h ({} ckpts, {} failures, {} recoveries, {} reboots)",
+            self.useful_work_fraction(),
+            self.window_secs / 3600.0,
+            self.counters.checkpoints_completed,
+            self.counters.compute_failures + self.counters.generic_failures,
+            self.counters.recoveries,
+            self.counters.reboots,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_and_total() {
+        let m = Metrics {
+            window_secs: 1000.0,
+            useful_work_secs: 420.0,
+            ..Metrics::default()
+        };
+        assert!((m.useful_work_fraction() - 0.42).abs() < 1e-12);
+        assert!((m.total_useful_work(131_072) - 0.42 * 131_072.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.useful_work_fraction(), 0.0);
+        assert_eq!(m.total_useful_work(1000), 0.0);
+        assert_eq!(m.phase_fraction(PhaseKind::Executing), 0.0);
+    }
+
+    #[test]
+    fn phase_times_accumulate() {
+        let mut p = PhaseTimes::default();
+        p.add(PhaseKind::Executing, 10.0);
+        p.add(PhaseKind::Executing, 5.0);
+        p.add(PhaseKind::Recovering, 2.0);
+        assert_eq!(p.get(PhaseKind::Executing), 15.0);
+        assert_eq!(p.get(PhaseKind::Recovering), 2.0);
+        assert_eq!(p.get(PhaseKind::Rebooting), 0.0);
+        assert_eq!(p.total(), 17.0);
+    }
+
+    #[test]
+    fn phase_fraction_uses_window() {
+        let mut m = Metrics {
+            window_secs: 100.0,
+            ..Metrics::default()
+        };
+        m.phase_times.add(PhaseKind::Dumping, 25.0);
+        assert!((m.phase_fraction(PhaseKind::Dumping) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_fraction() {
+        let m = Metrics {
+            window_secs: 3600.0,
+            useful_work_secs: 1800.0,
+            ..Metrics::default()
+        };
+        assert!(m.to_string().contains("0.5000"));
+    }
+}

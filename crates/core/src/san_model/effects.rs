@@ -1,0 +1,388 @@
+//! Shared marking transformations used by the failure/recovery gates.
+//!
+//! These mirror, function for function, the handlers of the direct
+//! simulator (`crate::direct`): `rollback` ↔ `rollback_and_recover`,
+//! `recovery_failure` ↔ `recovery_failed`, `io_failure_effect` ↔
+//! `on_io_failure`, so the two engines stay semantically identical.
+
+use super::ids::Ids;
+use ckpt_san::Marking;
+
+/// Clears every checkpoint-protocol place and resets the master and the
+/// application (used by aborts and rollbacks).
+pub(super) fn clear_protocol(ids: &Ids, m: &mut Marking) {
+    for p in [
+        ids.quiescing,
+        ids.checkpointing,
+        ids.to_coordination,
+        ids.coordinating,
+        ids.complete_coordination,
+        ids.timedout,
+        ids.enable_chkpt,
+        ids.protocol_done,
+    ] {
+        m.set_tokens(p, 0);
+    }
+    if m.has_token(ids.master_checkpointing) {
+        m.set_tokens(ids.master_checkpointing, 0);
+        m.set_tokens(ids.master_sleep, 1);
+    }
+}
+
+/// Aborts a checkpoint attempt and resumes execution (timeout or master
+/// failure): the paper's `skip_chkpt2` path.
+pub(super) fn abort_checkpoint(ids: &Ids, m: &mut Marking) {
+    clear_protocol(ids, m);
+    m.set_tokens(ids.execution, 1);
+    // The application resets at the compute state.
+    m.set_tokens(ids.app_compute, 1);
+    m.set_tokens(ids.app_io, 0);
+}
+
+/// Progress value a recovery would roll back to.
+pub(super) fn recovery_point(ids: &Ids, m: &Marking) -> f64 {
+    if m.has_token(ids.buffered) {
+        m.fluid(ids.w_buffered)
+    } else {
+        m.fluid(ids.w_fs)
+    }
+}
+
+/// Moves the system into the appropriate recovery stage given the current
+/// I/O-node state and checkpoint buffering.
+pub(super) fn start_recovery(ids: &Ids, m: &mut Marking) {
+    m.set_tokens(ids.recovering_wait_io, 0);
+    m.set_tokens(ids.recovering_stage1, 0);
+    m.set_tokens(ids.recovering_stage2, 0);
+    if m.has_token(ids.io_restarting) || m.has_token(ids.io_down) {
+        m.set_tokens(ids.recovering_wait_io, 1);
+    } else if m.has_token(ids.buffered) {
+        m.set_tokens(ids.recovering_stage2, 1);
+    } else if m.has_token(ids.ionode_idle) {
+        m.set_tokens(ids.ionode_idle, 0);
+        m.set_tokens(ids.reading_chkpt, 1);
+        m.set_tokens(ids.recovering_stage1, 1);
+    } else {
+        // I/O nodes busy (e.g. finishing an unbuffered write): wait.
+        m.set_tokens(ids.recovering_wait_io, 1);
+    }
+}
+
+/// Full rollback on a compute-node (or generic correlated) failure during
+/// execution or checkpointing: lose the unprotected work, tear down the
+/// protocol, and start recovery.
+pub(super) fn rollback(ids: &Ids, m: &mut Marking) {
+    let point = recovery_point(ids, m);
+    let lost = (m.fluid(ids.work) - point).max(0.0);
+    m.add_fluid(ids.lost, lost);
+    m.set_fluid(ids.work, point);
+
+    m.set_tokens(ids.execution, 0);
+    clear_protocol(ids, m);
+    m.set_tokens(ids.app_compute, 0);
+    m.set_tokens(ids.app_io, 0);
+    m.set_tokens(ids.app_data_ready, 0);
+    // Application data in flight belongs to rolled-back computation.
+    if m.has_token(ids.writing_app_data) {
+        m.set_tokens(ids.writing_app_data, 0);
+        m.set_tokens(ids.ionode_idle, 1);
+    }
+    m.set_tokens(ids.failed_recoveries, 0);
+    start_recovery(ids, m);
+}
+
+/// A failure struck during an ongoing recovery: either restart the
+/// recovery or, past the severe-failure threshold, reboot the system.
+pub(super) fn recovery_failure(ids: &Ids, threshold: u32, m: &mut Marking) {
+    m.add_tokens(ids.failed_recoveries, 1);
+    // Abort the in-progress stage.
+    m.set_tokens(ids.recovering_stage1, 0);
+    m.set_tokens(ids.recovering_stage2, 0);
+    m.set_tokens(ids.recovering_wait_io, 0);
+    if m.has_token(ids.reading_chkpt) {
+        m.set_tokens(ids.reading_chkpt, 0);
+        m.set_tokens(ids.ionode_idle, 1);
+    }
+    if m.tokens(ids.failed_recoveries) > u64::from(threshold) {
+        start_reboot(ids, m);
+    } else {
+        start_recovery(ids, m);
+    }
+}
+
+/// Severe-failure escalation: everything stops and the whole system
+/// reboots.
+pub(super) fn start_reboot(ids: &Ids, m: &mut Marking) {
+    m.set_tokens(ids.failed_recoveries, 0);
+    m.set_tokens(ids.execution, 0);
+    clear_protocol(ids, m);
+    m.set_tokens(ids.app_compute, 0);
+    m.set_tokens(ids.app_io, 0);
+    m.set_tokens(ids.app_data_ready, 0);
+    for p in [
+        ids.recovering_wait_io,
+        ids.recovering_stage1,
+        ids.recovering_stage2,
+    ] {
+        m.set_tokens(p, 0);
+    }
+    for p in [
+        ids.ionode_idle,
+        ids.writing_chkpt,
+        ids.writing_app_data,
+        ids.reading_chkpt,
+        ids.io_restarting,
+    ] {
+        m.set_tokens(p, 0);
+    }
+    m.set_tokens(ids.io_down, 1);
+    m.set_tokens(ids.buffered, 0);
+    m.set_tokens(ids.corr_window, 0);
+    m.set_tokens(ids.rebooting, 1);
+}
+
+/// Dispatches a compute-node (or generic correlated) failure exactly like
+/// the direct simulator's `apply_compute_failure`.
+pub(super) fn compute_failure_effect(ids: &Ids, threshold: u32, m: &mut Marking) {
+    if m.has_token(ids.rebooting) {
+        return;
+    }
+    if m.has_token(ids.recovering_wait_io)
+        || m.has_token(ids.recovering_stage1)
+        || m.has_token(ids.recovering_stage2)
+    {
+        recovery_failure(ids, threshold, m);
+    } else {
+        rollback(ids, m);
+    }
+}
+
+/// Effect of an I/O-node failure, dispatching on the I/O state exactly
+/// like the direct simulator's `on_io_failure`.
+pub(super) fn io_failure_effect(ids: &Ids, threshold: u32, m: &mut Marking) {
+    if m.has_token(ids.rebooting) || m.has_token(ids.io_down) {
+        return;
+    }
+    if m.has_token(ids.io_restarting) {
+        // Already restarting: the failure folds into the ongoing restart.
+        return;
+    }
+    if m.has_token(ids.writing_app_data) {
+        // Application results lost: full rollback, buffers perish.
+        m.set_tokens(ids.writing_app_data, 0);
+        m.set_tokens(ids.buffered, 0);
+        m.set_tokens(ids.io_restarting, 1);
+        m.set_tokens(ids.failed_recoveries, 0);
+        // rollback() skips the writing_app_data branch (already cleared)
+        // and routes recovery through the restarting I/O nodes.
+        rollback(ids, m);
+    } else if m.has_token(ids.writing_chkpt) {
+        // The in-flight checkpoint is aborted; the previous one on the
+        // file system stays valid.
+        m.set_tokens(ids.writing_chkpt, 0);
+        m.set_tokens(ids.buffered, 0);
+        m.set_tokens(ids.io_restarting, 1);
+        if m.has_token(ids.recovering_stage2) {
+            // Stage 2 was reading from the buffers that just died.
+            recovery_failure(ids, threshold, m);
+        }
+    } else if m.has_token(ids.reading_chkpt) {
+        // Failure during recovery stage 1.
+        m.set_tokens(ids.reading_chkpt, 0);
+        m.set_tokens(ids.io_restarting, 1);
+        recovery_failure(ids, threshold, m);
+    } else if m.has_token(ids.ionode_idle) {
+        m.set_tokens(ids.ionode_idle, 0);
+        m.set_tokens(ids.io_restarting, 1);
+        if m.has_token(ids.recovering_stage2) {
+            m.set_tokens(ids.buffered, 0);
+            recovery_failure(ids, threshold, m);
+        } else if m.has_token(ids.checkpointing) {
+            // The dump's receiving side died: abort the attempt.
+            abort_checkpoint(ids, m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_san::{Delay, SanBuilder};
+    use ckpt_stats::Dist;
+
+    /// Builds a marking with the model's shared places for direct gate
+    /// testing (one dummy activity keeps the builder happy).
+    fn setup() -> (Ids, Marking) {
+        let mut b = SanBuilder::new("effects-test");
+        let ids = Ids::register(&mut b);
+        b.timed_activity("dummy", Delay::from(Dist::deterministic(1.0)))
+            .input_arc(ids.execution, 1)
+            .output_arc(ids.execution, 1)
+            .build();
+        let san = b.build().unwrap();
+        let m = san.initial_marking();
+        (ids, m)
+    }
+
+    #[test]
+    fn rollback_loses_unprotected_work() {
+        let (ids, mut m) = setup();
+        m.set_fluid(ids.work, 100.0);
+        m.set_fluid(ids.w_fs, 40.0);
+        rollback(&ids, &mut m);
+        assert_eq!(m.fluid(ids.work), 40.0);
+        assert_eq!(m.fluid(ids.lost), 60.0);
+        assert!(!m.has_token(ids.execution));
+        // No buffered checkpoint → stage 1 via the file system.
+        assert!(m.has_token(ids.recovering_stage1));
+        assert!(m.has_token(ids.reading_chkpt));
+        assert!(!m.has_token(ids.ionode_idle));
+    }
+
+    #[test]
+    fn rollback_uses_buffered_checkpoint() {
+        let (ids, mut m) = setup();
+        m.set_fluid(ids.work, 100.0);
+        m.set_fluid(ids.w_fs, 40.0);
+        m.set_fluid(ids.w_buffered, 70.0);
+        m.set_tokens(ids.buffered, 1);
+        rollback(&ids, &mut m);
+        assert_eq!(m.fluid(ids.work), 70.0);
+        assert_eq!(m.fluid(ids.lost), 30.0);
+        // Buffered → skip stage 1.
+        assert!(m.has_token(ids.recovering_stage2));
+        assert!(!m.has_token(ids.recovering_stage1));
+        assert!(m.has_token(ids.ionode_idle), "I/O nodes untouched");
+    }
+
+    #[test]
+    fn rollback_mid_protocol_resets_master() {
+        let (ids, mut m) = setup();
+        m.set_tokens(ids.execution, 0);
+        m.set_tokens(ids.quiescing, 1);
+        m.set_tokens(ids.master_sleep, 0);
+        m.set_tokens(ids.master_checkpointing, 1);
+        m.set_tokens(ids.coordinating, 1);
+        rollback(&ids, &mut m);
+        assert!(m.has_token(ids.master_sleep));
+        assert!(!m.has_token(ids.master_checkpointing));
+        assert!(!m.has_token(ids.quiescing));
+        assert!(!m.has_token(ids.coordinating));
+    }
+
+    #[test]
+    fn recovery_failure_below_threshold_restarts() {
+        let (ids, mut m) = setup();
+        m.set_tokens(ids.execution, 0);
+        m.set_tokens(ids.app_compute, 0);
+        m.set_tokens(ids.recovering_stage2, 1);
+        m.set_tokens(ids.buffered, 1);
+        recovery_failure(&ids, 10, &mut m);
+        assert_eq!(m.tokens(ids.failed_recoveries), 1);
+        assert!(m.has_token(ids.recovering_stage2), "restarted at stage 2");
+        assert!(!m.has_token(ids.rebooting));
+    }
+
+    #[test]
+    fn recovery_failure_past_threshold_reboots() {
+        let (ids, mut m) = setup();
+        m.set_tokens(ids.execution, 0);
+        m.set_tokens(ids.recovering_stage2, 1);
+        m.set_tokens(ids.failed_recoveries, 3);
+        recovery_failure(&ids, 3, &mut m);
+        assert!(m.has_token(ids.rebooting));
+        assert!(m.has_token(ids.io_down));
+        assert!(!m.has_token(ids.ionode_idle));
+        assert!(!m.has_token(ids.buffered));
+        assert_eq!(m.tokens(ids.failed_recoveries), 0);
+    }
+
+    #[test]
+    fn io_failure_during_ckpt_write_spares_compute() {
+        let (ids, mut m) = setup();
+        m.set_tokens(ids.ionode_idle, 0);
+        m.set_tokens(ids.writing_chkpt, 1);
+        m.set_tokens(ids.buffered, 1);
+        m.set_fluid(ids.work, 50.0);
+        io_failure_effect(&ids, 10, &mut m);
+        assert!(m.has_token(ids.execution), "compute nodes unaffected");
+        assert!(!m.has_token(ids.buffered), "checkpoint aborted");
+        assert!(m.has_token(ids.io_restarting));
+        assert_eq!(m.fluid(ids.work), 50.0, "no work lost");
+    }
+
+    #[test]
+    fn io_failure_during_app_write_rolls_back_compute() {
+        let (ids, mut m) = setup();
+        m.set_tokens(ids.ionode_idle, 0);
+        m.set_tokens(ids.writing_app_data, 1);
+        m.set_fluid(ids.work, 50.0);
+        m.set_fluid(ids.w_fs, 10.0);
+        io_failure_effect(&ids, 10, &mut m);
+        assert!(!m.has_token(ids.execution));
+        assert_eq!(m.fluid(ids.work), 10.0);
+        assert!(m.has_token(ids.io_restarting));
+        assert!(
+            m.has_token(ids.recovering_wait_io),
+            "recovery waits for the I/O restart"
+        );
+    }
+
+    #[test]
+    fn io_failure_while_dumping_aborts_checkpoint() {
+        let (ids, mut m) = setup();
+        m.set_tokens(ids.execution, 0);
+        m.set_tokens(ids.checkpointing, 1);
+        m.set_tokens(ids.master_sleep, 0);
+        m.set_tokens(ids.master_checkpointing, 1);
+        io_failure_effect(&ids, 10, &mut m);
+        assert!(m.has_token(ids.execution), "abort resumes execution");
+        assert!(!m.has_token(ids.checkpointing));
+        assert!(m.has_token(ids.master_sleep));
+        assert!(m.has_token(ids.io_restarting));
+    }
+
+    #[test]
+    fn io_failure_while_restarting_is_folded() {
+        let (ids, mut m) = setup();
+        m.set_tokens(ids.ionode_idle, 0);
+        m.set_tokens(ids.io_restarting, 1);
+        let before = m.clone();
+        io_failure_effect(&ids, 10, &mut m);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn compute_failure_dispatches_by_phase() {
+        // Executing → rollback.
+        let (ids, mut m) = setup();
+        m.set_fluid(ids.work, 5.0);
+        compute_failure_effect(&ids, 10, &mut m);
+        assert!(m.has_token(ids.recovering_stage1));
+
+        // Recovering → counted as failed recovery.
+        compute_failure_effect(&ids, 10, &mut m);
+        assert_eq!(m.tokens(ids.failed_recoveries), 1);
+
+        // Rebooting → ignored.
+        let (ids, mut m) = setup();
+        m.set_tokens(ids.execution, 0);
+        m.set_tokens(ids.rebooting, 1);
+        let before = m.clone();
+        compute_failure_effect(&ids, 10, &mut m);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn abort_checkpoint_resets_app_to_compute() {
+        let (ids, mut m) = setup();
+        m.set_tokens(ids.execution, 0);
+        m.set_tokens(ids.quiescing, 1);
+        m.set_tokens(ids.app_compute, 0);
+        m.set_tokens(ids.app_io, 1);
+        abort_checkpoint(&ids, &mut m);
+        assert!(m.has_token(ids.execution));
+        assert!(m.has_token(ids.app_compute));
+        assert!(!m.has_token(ids.app_io));
+    }
+}

@@ -1,0 +1,174 @@
+//! Place/fluid handles shared by every submodel of the composed SAN.
+
+use ckpt_san::{FluidId, PlaceId};
+
+/// Every shared place and fluid of the composed model, in one copyable
+/// bundle so the gate closures of the submodels can capture it cheaply.
+///
+/// The places follow the naming of the paper's Figure 2 / Table 1;
+/// sharing the bundle *is* the state-sharing composition of Figure 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Ids {
+    // compute_nodes
+    /// Compute nodes executing the application.
+    pub execution: PlaceId,
+    /// Compute nodes quiescing (between the broadcast and coordination).
+    pub quiescing: PlaceId,
+    /// Compute nodes dumping their checkpoint (or waiting for the I/O
+    /// nodes to become idle first).
+    pub checkpointing: PlaceId,
+    /// Dump complete: the I/O nodes should write the checkpoint out.
+    pub enable_chkpt: PlaceId,
+    /// Protocol finished (completed or aborted): the master may reset.
+    pub protocol_done: PlaceId,
+
+    // master
+    /// Master idle between checkpoints.
+    pub master_sleep: PlaceId,
+    /// Master coordinating a checkpoint.
+    pub master_checkpointing: PlaceId,
+    /// Master timed out waiting for 'ready' responses.
+    pub timedout: PlaceId,
+
+    // coordination
+    /// Quiesce request delivered, coordination not yet started (may be
+    /// waiting for non-preemptive application I/O).
+    pub to_coordination: PlaceId,
+    /// Coordination in progress.
+    pub coordinating: PlaceId,
+    /// All nodes reported 'ready'.
+    pub complete_coordination: PlaceId,
+
+    // app_workload
+    /// Application computing.
+    pub app_compute: PlaceId,
+    /// Application performing non-preemptive I/O.
+    pub app_io: PlaceId,
+    /// A cycle's application data is buffered on the I/O nodes awaiting
+    /// its background write.
+    pub app_data_ready: PlaceId,
+
+    // io_nodes
+    /// I/O nodes idle (includes receiving data from compute nodes).
+    pub ionode_idle: PlaceId,
+    /// I/O nodes writing a checkpoint to the file system.
+    pub writing_chkpt: PlaceId,
+    /// I/O nodes writing application data to the file system.
+    pub writing_app_data: PlaceId,
+    /// I/O nodes reading a checkpoint back (recovery stage 1).
+    pub reading_chkpt: PlaceId,
+    /// I/O nodes restarting after a failure.
+    pub io_restarting: PlaceId,
+    /// I/O nodes down during a whole-system reboot.
+    pub io_down: PlaceId,
+    /// A recoverable checkpoint is buffered in the I/O nodes (0/1).
+    pub buffered: PlaceId,
+
+    // failure & recovery
+    /// Recovery blocked on the I/O nodes restarting.
+    pub recovering_wait_io: PlaceId,
+    /// Recovery stage 1 in progress.
+    pub recovering_stage1: PlaceId,
+    /// Recovery stage 2 in progress.
+    pub recovering_stage2: PlaceId,
+    /// Count of consecutive failed recoveries.
+    pub failed_recoveries: PlaceId,
+    /// Whole-system reboot in progress.
+    pub rebooting: PlaceId,
+
+    // correlated failures
+    /// Correlated-failure window open (error propagation).
+    pub corr_window: PlaceId,
+
+    // useful_work (fluid)
+    /// Virtual job progress W (system-seconds).
+    pub work: FluidId,
+    /// W at the quiesce point of the in-flight checkpoint.
+    pub w_candidate: FluidId,
+    /// W at the quiesce point of the buffered checkpoint.
+    pub w_buffered: FluidId,
+    /// W at the quiesce point of the file-system checkpoint.
+    pub w_fs: FluidId,
+    /// Total work lost to rollbacks.
+    pub lost: FluidId,
+}
+
+impl Ids {
+    /// Registers every shared place with its initial marking and returns
+    /// the bundle. Initial state: executing, application computing,
+    /// master asleep, I/O nodes idle.
+    pub fn register(b: &mut ckpt_san::SanBuilder) -> Ids {
+        Ids {
+            execution: b.place("execution", 1),
+            quiescing: b.place("quiescing", 0),
+            checkpointing: b.place("checkpointing", 0),
+            enable_chkpt: b.place("enable_chkpt", 0),
+            protocol_done: b.place("protocol_done", 0),
+            master_sleep: b.place("master_sleep", 1),
+            master_checkpointing: b.place("master_checkpointing", 0),
+            timedout: b.place("timedout", 0),
+            to_coordination: b.place("to_coordination", 0),
+            coordinating: b.place("coordinating", 0),
+            complete_coordination: b.place("complete_coordination", 0),
+            app_compute: b.place("app_compute", 1),
+            app_io: b.place("app_io", 0),
+            app_data_ready: b.place("app_data_ready", 0),
+            ionode_idle: b.place("ionode_idle", 1),
+            writing_chkpt: b.place("writing_chkpt", 0),
+            writing_app_data: b.place("writing_app_data", 0),
+            reading_chkpt: b.place("reading_chkpt", 0),
+            io_restarting: b.place("io_restarting", 0),
+            io_down: b.place("io_down", 0),
+            buffered: b.place("buffered", 0),
+            recovering_wait_io: b.place("recovering_wait_io", 0),
+            recovering_stage1: b.place("recovering_stage1", 0),
+            recovering_stage2: b.place("recovering_stage2", 0),
+            failed_recoveries: b.place("failed_recoveries", 0),
+            rebooting: b.place("rebooting", 0),
+            corr_window: b.place("corr_window", 0),
+            work: b.fluid_place("work", 0.0),
+            w_candidate: b.fluid_place("w_candidate", 0.0),
+            w_buffered: b.fluid_place("w_buffered", 0.0),
+            w_fs: b.fluid_place("w_fs", 0.0),
+            lost: b.fluid_place("lost", 0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_san::SanBuilder;
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let mut b = SanBuilder::new("t");
+        let a = Ids::register(&mut b);
+        let c = Ids::register(&mut b);
+        assert_eq!(a.execution, c.execution);
+        assert_eq!(a.corr_window, c.corr_window);
+        assert_eq!(a.work, c.work);
+    }
+
+    #[test]
+    fn initial_marking_is_executing() {
+        let mut b = SanBuilder::new("t");
+        let ids = Ids::register(&mut b);
+        // Builder needs at least one activity to build; add a dummy.
+        b.timed_activity(
+            "dummy",
+            ckpt_san::Delay::from(ckpt_stats::Dist::deterministic(1.0)),
+        )
+        .input_arc(ids.execution, 1)
+        .output_arc(ids.execution, 1)
+        .build();
+        let san = b.build().unwrap();
+        let m = san.initial_marking();
+        assert_eq!(m.tokens(ids.execution), 1);
+        assert_eq!(m.tokens(ids.master_sleep), 1);
+        assert_eq!(m.tokens(ids.app_compute), 1);
+        assert_eq!(m.tokens(ids.ionode_idle), 1);
+        assert_eq!(m.tokens(ids.quiescing), 0);
+        assert_eq!(m.fluid(ids.work), 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Unit tests for the SAN composition.
+
+use super::*;
+use crate::config::{ErrorPropagation, GenericCorrelated, SystemConfig};
+use crate::direct::DirectSimulator;
+
+fn base_config() -> SystemConfig {
+    SystemConfig::builder().build().unwrap()
+}
+
+fn run_san(cfg: &SystemConfig, seed: u64, hours: f64) -> Metrics {
+    let model = CheckpointSan::build(cfg).unwrap();
+    model
+        .run_steady_state(seed, SimTime::from_hours(500.0), SimTime::from_hours(hours))
+        .unwrap()
+}
+
+fn run_direct(cfg: &SystemConfig, seed: u64, hours: f64) -> Metrics {
+    let mut sim = DirectSimulator::new(cfg, seed);
+    sim.run(SimTime::from_hours(500.0));
+    sim.reset_metrics();
+    sim.run(SimTime::from_hours(hours));
+    sim.metrics()
+}
+
+#[test]
+fn model_structure_covers_table_1() {
+    let model = CheckpointSan::build(&base_config()).unwrap();
+    let san = model.san();
+    // Every Figure-2 activity of the computing & checkpointing module
+    // must exist by name.
+    for name in [
+        "checkpoint_trigger",
+        "recv_quiesce_bcast",
+        "coordinate",
+        "dump_chkpt",
+        "start_coord",
+        "coord",
+        "compute_phase",
+        "io_phase",
+        "start_write_chkpt",
+        "write_chkpt",
+        "comp_failure",
+        "io_failure",
+        "master_failure",
+        "recovery_stage1",
+        "recovery_stage2",
+        "io_restart",
+        "reboot",
+    ] {
+        assert!(
+            san.activity_by_name(name).is_some(),
+            "missing activity '{name}'"
+        );
+    }
+    // And the key shared places of Figure 2.
+    for place in [
+        "execution",
+        "quiescing",
+        "checkpointing",
+        "master_sleep",
+        "ionode_idle",
+        "complete_coordination",
+        "enable_chkpt",
+    ] {
+        assert!(
+            san.place_by_name(place).is_some(),
+            "missing place '{place}'"
+        );
+    }
+    assert!(format!("{model:?}").contains("CheckpointSan"));
+}
+
+#[test]
+fn timeout_adds_timer_activity() {
+    let without = CheckpointSan::build(&base_config()).unwrap();
+    assert!(without.san().activity_by_name("master_timeout").is_none());
+    let cfg = SystemConfig::builder()
+        .timeout(Some(SimTime::from_secs(60.0)))
+        .build()
+        .unwrap();
+    let with = CheckpointSan::build(&cfg).unwrap();
+    assert!(with.san().activity_by_name("master_timeout").is_some());
+}
+
+#[test]
+fn failure_free_model_has_no_failure_activities() {
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .build()
+        .unwrap();
+    let model = CheckpointSan::build(&cfg).unwrap();
+    assert!(model.san().activity_by_name("comp_failure").is_none());
+    assert!(model.san().activity_by_name("io_failure").is_none());
+}
+
+#[test]
+fn ablations_are_rejected() {
+    let cfg = SystemConfig::builder()
+        .background_checkpoint_write(false)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        CheckpointSan::build(&cfg),
+        Err(ModelError::UnsupportedAblation { .. })
+    ));
+    let cfg = SystemConfig::builder()
+        .buffered_recovery(false)
+        .build()
+        .unwrap();
+    let err = CheckpointSan::build(&cfg).unwrap_err();
+    assert!(err.to_string().contains("buffered_recovery"));
+}
+
+#[test]
+fn failure_free_fraction_matches_direct_simulator() {
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .build()
+        .unwrap();
+    let san = run_san(&cfg, 1, 2_000.0).useful_work_fraction();
+    let direct = run_direct(&cfg, 1, 2_000.0).useful_work_fraction();
+    // Both engines are deterministic here: they must agree tightly.
+    assert!(
+        (san - direct).abs() < 1e-3,
+        "SAN {san} vs direct {direct} (failure-free must be near-exact)"
+    );
+}
+
+#[test]
+fn base_model_cross_validates_against_direct_simulator() {
+    let cfg = base_config();
+    let san = run_san(&cfg, 2, 20_000.0);
+    let direct = run_direct(&cfg, 3, 20_000.0);
+    let fs = san.useful_work_fraction();
+    let fd = direct.useful_work_fraction();
+    assert!(
+        (fs - fd).abs() < 0.03,
+        "SAN {fs} vs direct {fd}: independent engines disagree"
+    );
+    // Checkpoint/recovery rates should also agree within noise.
+    let cs = san.counters.checkpoints_completed as f64;
+    let cd = direct.counters.checkpoints_completed as f64;
+    assert!(
+        (cs - cd).abs() / cd < 0.1,
+        "checkpoints: SAN {cs} vs direct {cd}"
+    );
+    let rs = san.counters.recoveries as f64;
+    let rd = direct.counters.recoveries as f64;
+    assert!(
+        (rs - rd).abs() / rd < 0.15,
+        "recoveries: SAN {rs} vs direct {rd}"
+    );
+}
+
+#[test]
+fn timeout_cross_validates_against_direct_simulator() {
+    let cfg = SystemConfig::builder()
+        .processors(65_536)
+        .mttf_per_node(SimTime::from_years(3.0))
+        .coordination(crate::config::CoordinationMode::MaxOfN)
+        .timeout(Some(SimTime::from_secs(100.0)))
+        .build()
+        .unwrap();
+    let san = run_san(&cfg, 4, 20_000.0);
+    let direct = run_direct(&cfg, 5, 20_000.0);
+    let fs = san.useful_work_fraction();
+    let fd = direct.useful_work_fraction();
+    assert!(
+        (fs - fd).abs() < 0.03,
+        "with coordination+timeout: SAN {fs} vs direct {fd}"
+    );
+}
+
+#[test]
+fn generic_correlated_cross_validates() {
+    let cfg = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(3.0))
+        .generic_correlated(Some(GenericCorrelated {
+            coefficient: 0.0025,
+            factor: 400.0,
+        }))
+        .build()
+        .unwrap();
+    let san = run_san(&cfg, 6, 20_000.0);
+    let direct = run_direct(&cfg, 7, 20_000.0);
+    assert!(san.counters.generic_failures > 0);
+    let fs = san.useful_work_fraction();
+    let fd = direct.useful_work_fraction();
+    assert!(
+        (fs - fd).abs() < 0.03,
+        "generic correlated: SAN {fs} vs direct {fd}"
+    );
+}
+
+#[test]
+fn error_propagation_opens_and_closes_windows() {
+    let cfg = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(1.0))
+        .processors(262_144)
+        .error_propagation(Some(ErrorPropagation {
+            probability: 0.2,
+            factor: 800.0,
+            window: 180.0,
+        }))
+        .build()
+        .unwrap();
+    let m = run_san(&cfg, 8, 10_000.0);
+    assert!(
+        m.counters.failed_recoveries == 0,
+        "SAN counters do not track failed recoveries directly"
+    );
+    // The elevated in-window rate shows up as extra compute failures
+    // relative to the nominal expectation n·λ·T.
+    let nominal = cfg.compute_failure_rate() * 10_000.0 * 3600.0;
+    assert!(
+        m.counters.compute_failures as f64 > nominal * 1.05,
+        "windows must inflate the failure count: {} vs nominal {nominal}",
+        m.counters.compute_failures
+    );
+}
+
+#[test]
+fn phase_rewards_partition_time() {
+    let m = run_san(&base_config(), 9, 5_000.0);
+    let total = m.phase_times.total();
+    assert!(
+        (total - m.window_secs).abs() < 1e-6 * m.window_secs,
+        "phase rewards {total} must sum to window {}",
+        m.window_secs
+    );
+}
+
+#[test]
+fn san_runs_are_reproducible() {
+    let cfg = base_config();
+    let a = run_san(&cfg, 42, 3_000.0);
+    let b = run_san(&cfg, 42, 3_000.0);
+    assert_eq!(a.useful_work_secs, b.useful_work_secs);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn reboots_occur_under_extreme_failure_rates() {
+    let cfg = SystemConfig::builder()
+        .processors(262_144)
+        .mttf_per_node(SimTime::from_hours(200.0))
+        .severe_failure_threshold(1)
+        .build()
+        .unwrap();
+    let m = run_san(&cfg, 10, 3_000.0);
+    assert!(m.counters.reboots > 0, "expected reboots: {:?}", m.counters);
+}
+
+#[test]
+fn san_walks_the_checkpoint_cycle_in_protocol_order() {
+    // Failure-free, compute-only: the marking must pass through
+    // execution → quiescing → checkpointing → execution, with the I/O
+    // nodes picking up the background write right after the dump.
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .build()
+        .unwrap();
+    let model = CheckpointSan::build(&cfg).unwrap();
+    let ids = *model.ids();
+    let mut sim = ckpt_san::Simulator::new(model.san(), 0).unwrap();
+
+    // Reach the quiescing state.
+    let t_quiesce = sim
+        .run_until_condition(|m| m.has_token(ids.quiescing), SimTime::from_hours(2.0))
+        .unwrap()
+        .expect("quiesce within one interval");
+    assert!(
+        (t_quiesce.as_secs()
+            - cfg.checkpoint_interval().as_secs()
+            - cfg.quiesce_broadcast_latency().as_secs())
+        .abs()
+            < 1e-6,
+        "quiesce at {t_quiesce}"
+    );
+    assert!(!sim.marking().has_token(ids.execution));
+    assert!(sim.marking().has_token(ids.master_checkpointing));
+
+    // Coordination completes (fixed quiesce = MTTQ) → dumping.
+    let t_dump = sim
+        .run_until_condition(|m| m.has_token(ids.checkpointing), SimTime::from_hours(2.0))
+        .unwrap()
+        .expect("coordination completes");
+    assert!((t_dump - t_quiesce).as_secs() - cfg.mttq().as_secs() < 1e-6);
+
+    // Dump completes → execution resumes, checkpoint buffered, I/O
+    // nodes writing it out in the background.
+    let t_exec = sim
+        .run_until_condition(|m| m.has_token(ids.execution), SimTime::from_hours(2.0))
+        .unwrap()
+        .expect("dump completes");
+    assert!(((t_exec - t_dump).as_secs() - cfg.checkpoint_dump_time().as_secs()).abs() < 1e-6);
+    assert!(sim.marking().has_token(ids.buffered));
+    assert!(sim.marking().has_token(ids.writing_chkpt));
+    assert!(sim.marking().has_token(ids.master_sleep));
+
+    // Background write finishes without stopping the computation.
+    let t_fs = sim
+        .run_until_condition(|m| m.has_token(ids.ionode_idle), SimTime::from_hours(2.0))
+        .unwrap()
+        .expect("FS write completes");
+    assert!(((t_fs - t_exec).as_secs() - cfg.checkpoint_fs_write_time().as_secs()).abs() < 1e-6);
+    assert!(sim.marking().has_token(ids.execution), "never stopped");
+
+    // The protected-work bookkeeping advanced: the quiesce point equals
+    // one interval of accrued work (plus the 2 ms of computation during
+    // the quiesce broadcast's delivery).
+    let w_fs = sim.marking().fluid(ids.w_fs);
+    let expect = cfg.checkpoint_interval().as_secs() + cfg.quiesce_broadcast_latency().as_secs();
+    assert!((w_fs - expect).abs() < 1e-6, "w_fs {w_fs} vs {expect}");
+}
+
+#[test]
+fn san_useful_work_rolls_back_on_failure() {
+    // Deterministic protocol + a hot failure rate: watch W drop to the
+    // recovery point at the first rollback.
+    let cfg = SystemConfig::builder()
+        .processors(262_144)
+        .mttf_per_node(SimTime::from_years(0.125))
+        .compute_fraction(1.0)
+        .build()
+        .unwrap();
+    let model = CheckpointSan::build(&cfg).unwrap();
+    let ids = *model.ids();
+    let mut sim = ckpt_san::Simulator::new(model.san(), 5).unwrap();
+    let hit = sim
+        .run_until_condition(
+            |m| {
+                m.has_token(ids.recovering_stage1)
+                    || m.has_token(ids.recovering_stage2)
+                    || m.has_token(ids.recovering_wait_io)
+            },
+            SimTime::from_hours(50.0),
+        )
+        .unwrap();
+    assert!(hit.is_some(), "a rollback occurs quickly at this rate");
+    let m = sim.marking();
+    let recovery_point = if m.has_token(ids.buffered) {
+        m.fluid(ids.w_buffered)
+    } else {
+        m.fluid(ids.w_fs)
+    };
+    assert!(
+        (m.fluid(ids.work) - recovery_point).abs() < 1e-9,
+        "W must sit exactly at the recovery point after rollback"
+    );
+    assert!(m.fluid(ids.lost) >= 0.0);
+}

@@ -1,0 +1,208 @@
+//! Run-control: drives an [`EventHandler`] over an [`EventQueue`].
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// The model side of the simulation loop: owns all model state and
+/// reacts to events popped from the queue, usually scheduling follow-up
+/// events.
+pub trait EventHandler {
+    /// The event payload type this handler understands.
+    type Event;
+
+    /// Processes one event that fired at simulated time `now`.
+    ///
+    /// The handler may schedule new events (at `now` or later) and cancel
+    /// pending ones through `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Why a call to [`Engine::run_until`] / [`Engine::run_for_events`]
+/// returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the limit was reached.
+    QueueEmpty,
+    /// The time horizon was reached (the next event lies beyond it).
+    HorizonReached,
+    /// The event budget was exhausted.
+    BudgetExhausted,
+}
+
+/// Pairs an [`EventHandler`] with an [`EventQueue`] and a clock, and runs
+/// the classic event loop: pop, advance clock, dispatch.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug)]
+pub struct Engine<H: EventHandler> {
+    handler: H,
+    queue: EventQueue<H::Event>,
+    now: SimTime,
+    events_processed: u64,
+}
+
+impl<H: EventHandler> Engine<H> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new(handler: H) -> Engine<H> {
+        Engine {
+            handler,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time (time of the last processed event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Borrows the model.
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Mutably borrows the model (e.g. to read off results between runs).
+    pub fn handler_mut(&mut self) -> &mut H {
+        &mut self.handler
+    }
+
+    /// Borrows the queue mutably, e.g. to seed initial events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<H::Event> {
+        &mut self.queue
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_handler(self) -> H {
+        self.handler
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `horizon`. Events exactly at the horizon are processed; the clock
+    /// is left at `max(now, horizon)` so rate-integrals can close out the
+    /// final interval.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => {
+                    self.now = self.now.max(horizon);
+                    return RunOutcome::QueueEmpty;
+                }
+                Some(t) if t > horizon => {
+                    self.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {
+                    let Some(ev) = self.queue.pop() else {
+                        unreachable!("peek_time returned Some")
+                    };
+                    self.now = ev.time();
+                    self.events_processed += 1;
+                    self.handler
+                        .handle(self.now, ev.into_payload(), &mut self.queue);
+                }
+            }
+        }
+    }
+
+    /// Processes at most `budget` events (or until the queue drains).
+    pub fn run_for_events(&mut self, budget: u64) -> RunOutcome {
+        for _ in 0..budget {
+            let Some(ev) = self.queue.pop() else {
+                return RunOutcome::QueueEmpty;
+            };
+            self.now = ev.time();
+            self.events_processed += 1;
+            self.handler
+                .handle(self.now, ev.into_payload(), &mut self.queue);
+        }
+        if self.queue.is_empty() {
+            RunOutcome::QueueEmpty
+        } else {
+            RunOutcome::BudgetExhausted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Collector {
+        seen: Vec<(f64, u32)>,
+    }
+
+    impl EventHandler for Collector {
+        type Event = u32;
+
+        fn handle(&mut self, now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+            self.seen.push((now.as_secs(), ev));
+            if ev < 3 {
+                queue.schedule(now + SimTime::from_secs(1.0), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_events_runs_to_completion() {
+        let mut engine = Engine::new(Collector { seen: vec![] });
+        engine.queue_mut().schedule(SimTime::ZERO, 0);
+        let outcome = engine.run_until(SimTime::from_secs(100.0));
+        assert_eq!(outcome, RunOutcome::QueueEmpty);
+        assert_eq!(
+            engine.handler().seen,
+            vec![(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+        );
+        assert_eq!(engine.events_processed(), 4);
+        // Clock advances to the horizon even after the queue drains.
+        assert_eq!(engine.now(), SimTime::from_secs(100.0));
+    }
+
+    #[test]
+    fn horizon_stops_mid_chain() {
+        let mut engine = Engine::new(Collector { seen: vec![] });
+        engine.queue_mut().schedule(SimTime::ZERO, 0);
+        let outcome = engine.run_until(SimTime::from_secs(1.5));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(engine.handler().seen, vec![(0.0, 0), (1.0, 1)]);
+        assert_eq!(engine.now(), SimTime::from_secs(1.5));
+        // Resuming picks up where we left off.
+        let outcome = engine.run_until(SimTime::from_secs(10.0));
+        assert_eq!(outcome, RunOutcome::QueueEmpty);
+        assert_eq!(engine.handler().seen.len(), 4);
+    }
+
+    #[test]
+    fn event_at_horizon_is_processed() {
+        let mut engine = Engine::new(Collector { seen: vec![] });
+        engine.queue_mut().schedule(SimTime::from_secs(5.0), 3);
+        let outcome = engine.run_until(SimTime::from_secs(5.0));
+        assert_eq!(outcome, RunOutcome::QueueEmpty);
+        assert_eq!(engine.handler().seen, vec![(5.0, 3)]);
+    }
+
+    #[test]
+    fn event_budget_is_respected() {
+        let mut engine = Engine::new(Collector { seen: vec![] });
+        engine.queue_mut().schedule(SimTime::ZERO, 0);
+        let outcome = engine.run_for_events(2);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(engine.handler().seen.len(), 2);
+    }
+
+    #[test]
+    fn into_handler_returns_model() {
+        let mut engine = Engine::new(Collector { seen: vec![] });
+        engine.queue_mut().schedule(SimTime::ZERO, 3);
+        engine.run_until(SimTime::from_secs(1.0));
+        let model = engine.into_handler();
+        assert_eq!(model.seen, vec![(0.0, 3)]);
+    }
+}

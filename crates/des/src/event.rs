@@ -1,0 +1,125 @@
+//! Scheduled-event bookkeeping types.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Opaque handle identifying a scheduled event so that it can later be
+/// cancelled.
+///
+/// Handles are unique for the lifetime of the [`EventQueue`] that issued
+/// them and are cheap to copy.
+///
+/// [`EventQueue`]: crate::EventQueue
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+/// A payload scheduled at a particular simulated time.
+///
+/// Ordering is by time, then by insertion sequence (FIFO among equal
+/// times), which keeps simulations deterministic when several events share
+/// a timestamp.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    pub(crate) time: SimTime,
+    pub(crate) id: EventId,
+    pub(crate) payload: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    /// The time this event fires.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The cancellation handle.
+    #[must_use]
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// Borrows the payload.
+    #[must_use]
+    pub fn payload(&self) -> &E {
+        &self.payload
+    }
+
+    /// Consumes the entry, returning the payload.
+    #[must_use]
+    pub fn into_payload(self) -> E {
+        self.payload
+    }
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_time_then_sequence() {
+        let a = ScheduledEvent {
+            time: SimTime::from_secs(1.0),
+            id: EventId(7),
+            payload: "a",
+        };
+        let b = ScheduledEvent {
+            time: SimTime::from_secs(1.0),
+            id: EventId(8),
+            payload: "b",
+        };
+        let c = ScheduledEvent {
+            time: SimTime::from_secs(0.5),
+            id: EventId(9),
+            payload: "c",
+        };
+        assert!(c < a);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = ScheduledEvent {
+            time: SimTime::from_secs(2.0),
+            id: EventId(1),
+            payload: 42,
+        };
+        assert_eq!(e.time(), SimTime::from_secs(2.0));
+        assert_eq!(e.id(), EventId(1));
+        assert_eq!(*e.payload(), 42);
+        assert_eq!(e.into_payload(), 42);
+    }
+
+    #[test]
+    fn event_id_display() {
+        assert_eq!(EventId(3).to_string(), "event#3");
+    }
+}

@@ -1,0 +1,268 @@
+//! Cancellable future-event list.
+
+use crate::event::{EventId, ScheduledEvent};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// The future-event list of a simulation: a min-heap of
+/// [`ScheduledEvent`]s keyed by time (FIFO among ties), with O(1)
+/// cancellation by tombstoning.
+///
+/// Cancelled entries remain in the heap until they surface at the top and
+/// are silently skipped, so memory is reclaimed lazily; an explicit
+/// compaction pass runs automatically when more than half of the stored
+/// entries are dead.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let early = q.schedule(SimTime::from_secs(1.0), "early");
+/// q.schedule(SimTime::from_secs(2.0), "late");
+/// q.cancel(early);
+///
+/// let next = q.pop().expect("one live event left");
+/// assert_eq!(next.into_payload(), "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<ScheduledEvent<E>>>,
+    /// Ids of events that are scheduled and neither fired nor cancelled.
+    pending: HashSet<EventId>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    /// Time of the most recently popped event; schedules before this are
+    /// rejected to preserve causality.
+    watermark: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the watermark at time zero.
+    #[must_use]
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`, returning a
+    /// handle usable with [`EventQueue::cancel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the most recently popped event:
+    /// scheduling into the past would violate causality and always
+    /// indicates a model bug.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.watermark,
+            "attempted to schedule an event at {time} before current time {}",
+            self.watermark
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(id);
+        self.heap
+            .push(Reverse(ScheduledEvent { time, id, payload }));
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it had
+    /// already fired, been cancelled, or never existed.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.pending.remove(&id) {
+            return false;
+        }
+        self.cancelled.insert(id);
+        self.maybe_compact();
+        true
+    }
+
+    /// Removes and returns the earliest live event, advancing the
+    /// watermark to its time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.pending.remove(&ev.id);
+            self.watermark = ev.time;
+            return Some(ev);
+        }
+        None
+    }
+
+    /// The time of the earliest live event without removing it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if self.cancelled.contains(&ev.id) {
+                let Some(Reverse(dead)) = self.heap.pop() else {
+                    unreachable!("peek just returned an entry")
+                };
+                self.cancelled.remove(&dead.id);
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The causality watermark: the time of the most recently popped
+    /// event. New events must not be scheduled before it.
+    #[must_use]
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Drops every pending event (live and cancelled) without changing the
+    /// watermark.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+        self.cancelled.clear();
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() > 64 && self.cancelled.len() * 2 > self.heap.len() {
+            let cancelled = std::mem::take(&mut self.cancelled);
+            let live: Vec<_> = std::mem::take(&mut self.heap)
+                .into_iter()
+                .filter(|Reverse(ev)| !cancelled.contains(&ev.id))
+                .collect();
+            self.heap = live.into();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), 3);
+        q.schedule(SimTime::from_secs(1.0), 1);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.into_payload())).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        q.schedule(t, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.into_payload())).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cancellation_hides_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().into_payload(), "b");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "a");
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.id(), a);
+        assert!(!q.cancel(a));
+        // A tombstone for a fired id must not kill a later event.
+        let b = q.schedule(SimTime::from_secs(2.0), "b");
+        assert_ne!(a, b);
+        assert_eq!(q.pop().unwrap().into_payload(), "b");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10.0), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5.0), ());
+    }
+
+    #[test]
+    fn watermark_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(4.0), ());
+        assert_eq!(q.watermark(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.watermark(), SimTime::from_secs(4.0));
+    }
+
+    #[test]
+    fn compaction_preserves_live_events() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for i in 0..500 {
+            let id = q.schedule(SimTime::from_secs(f64::from(i)), i);
+            if i % 10 != 0 {
+                q.cancel(id);
+            } else {
+                keep.push(i);
+            }
+        }
+        assert_eq!(q.len(), keep.len());
+        let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.into_payload())).collect();
+        assert_eq!(popped, keep);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

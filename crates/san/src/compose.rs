@@ -1,0 +1,184 @@
+//! Namespaced submodel composition.
+//!
+//! [`SanBuilder`] composes submodels by *state sharing*: same place name,
+//! same place. When building reusable submodels (Möbius' `Rep`/`Join`
+//! style), name collisions between unrelated internals become a hazard.
+//! [`Namespace`] scopes a submodel's places under a prefix while leaving
+//! an explicit list of *shared* names global — making the sharing
+//! interface of each submodel explicit and checkable.
+//!
+//! # Example
+//!
+//! ```
+//! use ckpt_san::{compose::Namespace, Delay, SanBuilder, Simulator};
+//! use ckpt_stats::Dist;
+//!
+//! /// A reusable two-state worker that consumes tokens from the shared
+//! /// "jobs" place.
+//! fn worker(ns: &mut Namespace<'_>, rate: f64) {
+//!     let idle = ns.place("idle", 1);        // private: prefixed
+//!     let busy = ns.place("busy", 0);        // private: prefixed
+//!     let jobs = ns.place("jobs", 0);        // shared: global name
+//!     ns.timed_activity("grab", Delay::from(Dist::exponential(rate)))
+//!         .input_arc(idle, 1)
+//!         .input_arc(jobs, 1)
+//!         .output_arc(busy, 1)
+//!         .build();
+//!     ns.timed_activity("finish", Delay::from(Dist::exponential(rate)))
+//!         .input_arc(busy, 1)
+//!         .output_arc(idle, 1)
+//!         .build();
+//! }
+//!
+//! let mut b = SanBuilder::new("farm");
+//! let jobs = b.place("jobs", 10);
+//! for i in 0..3 {
+//!     let mut ns = Namespace::new(&mut b, format!("w{i}"), &["jobs"]);
+//!     worker(&mut ns, 1.0);
+//! }
+//! let san = b.build()?;
+//! // Three private "idle" places exist, one shared "jobs".
+//! assert!(san.place_by_name("w0/idle").is_some());
+//! assert!(san.place_by_name("w2/idle").is_some());
+//! assert_eq!(san.place_by_name("jobs"), Some(jobs));
+//!
+//! let mut sim = Simulator::new(&san, 1)?;
+//! sim.run_for(ckpt_des::SimTime::from_secs(100.0))?;
+//! assert_eq!(sim.marking().tokens(jobs), 0, "all jobs grabbed");
+//! # Ok::<(), ckpt_san::SanError>(())
+//! ```
+
+use crate::activity::Delay;
+use crate::marking::{FluidId, Marking, PlaceId};
+use crate::model::{ActivityBuilder, SanBuilder};
+use std::collections::HashSet;
+
+/// A prefixed view of a [`SanBuilder`] for one submodel instance.
+#[derive(Debug)]
+pub struct Namespace<'a> {
+    builder: &'a mut SanBuilder,
+    prefix: String,
+    shared: HashSet<String>,
+}
+
+impl<'a> Namespace<'a> {
+    /// Creates a namespace with the given prefix; names in `shared`
+    /// resolve globally (unprefixed).
+    pub fn new(
+        builder: &'a mut SanBuilder,
+        prefix: impl Into<String>,
+        shared: &[&str],
+    ) -> Namespace<'a> {
+        Namespace {
+            builder,
+            prefix: prefix.into(),
+            shared: shared.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+
+    /// The fully qualified name `prefix/name`, or just `name` when it is
+    /// in the shared set.
+    #[must_use]
+    pub fn qualify(&self, name: &str) -> String {
+        if self.shared.contains(name) {
+            name.to_string()
+        } else {
+            format!("{}/{name}", self.prefix)
+        }
+    }
+
+    /// Registers (or resolves) a place under this namespace's scoping
+    /// rules.
+    ///
+    /// For **shared** names that the enclosing model has already
+    /// registered, the existing place is returned and `initial` is
+    /// ignored — the owner of the shared state declares its initial
+    /// marking, submodels merely connect to it.
+    pub fn place(&mut self, name: &str, initial: u64) -> PlaceId {
+        let q = self.qualify(name);
+        if self.shared.contains(name) {
+            if let Some(id) = self.builder.existing_place(&q) {
+                return id;
+            }
+        }
+        self.builder.place(q, initial)
+    }
+
+    /// Registers (or resolves) a fluid place.
+    pub fn fluid_place(&mut self, name: &str, initial: f64) -> FluidId {
+        let q = self.qualify(name);
+        self.builder.fluid_place(q, initial)
+    }
+
+    /// Attaches a flow to a fluid place (ids are global, so no scoping
+    /// applies).
+    pub fn flow<F>(&mut self, fluid: FluidId, rate: F)
+    where
+        F: Fn(&Marking) -> f64 + Send + Sync + 'static,
+    {
+        self.builder.flow(fluid, rate);
+    }
+
+    /// Starts a timed activity named `prefix/name`.
+    pub fn timed_activity(&mut self, name: &str, delay: Delay) -> ActivityBuilder<'_> {
+        let q = format!("{}/{name}", self.prefix);
+        self.builder.timed_activity(q, delay)
+    }
+
+    /// Starts an instantaneous activity named `prefix/name`.
+    pub fn instantaneous_activity(&mut self, name: &str, priority: u32) -> ActivityBuilder<'_> {
+        let q = format!("{}/{name}", self.prefix);
+        self.builder.instantaneous_activity(q, priority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_stats::Dist;
+
+    #[test]
+    fn private_places_are_prefixed_shared_are_not() {
+        let mut b = SanBuilder::new("m");
+        let global = b.place("bus", 0);
+        let (p0, s0) = {
+            let mut ns = Namespace::new(&mut b, "a", &["bus"]);
+            (ns.place("state", 1), ns.place("bus", 0))
+        };
+        let (p1, s1) = {
+            let mut ns = Namespace::new(&mut b, "b", &["bus"]);
+            (ns.place("state", 1), ns.place("bus", 0))
+        };
+        assert_ne!(p0, p1, "private places must be distinct");
+        assert_eq!(s0, global);
+        assert_eq!(s1, global);
+    }
+
+    #[test]
+    fn qualify_rules() {
+        let mut b = SanBuilder::new("m");
+        let ns = Namespace::new(&mut b, "sub", &["shared"]);
+        assert_eq!(ns.qualify("x"), "sub/x");
+        assert_eq!(ns.qualify("shared"), "shared");
+    }
+
+    #[test]
+    fn replicated_submodels_run_independently() {
+        let mut b = SanBuilder::new("reps");
+        let done = b.place("done", 0);
+        for i in 0..4 {
+            let mut ns = Namespace::new(&mut b, format!("r{i}"), &["done"]);
+            let start = ns.place("start", 1);
+            let done_shared = ns.place("done", 0);
+            ns.timed_activity("work", Delay::from(Dist::deterministic(f64::from(i + 1))))
+                .input_arc(start, 1)
+                .output_arc(done_shared, 1)
+                .build();
+        }
+        let san = b.build().unwrap();
+        assert_eq!(san.activity_count(), 4);
+        let mut sim = crate::Simulator::new(&san, 0).unwrap();
+        sim.run_for(ckpt_des::SimTime::from_secs(10.0)).unwrap();
+        assert_eq!(sim.marking().tokens(done), 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! Graphviz (DOT) export of a SAN's structure.
+//!
+//! Places render as circles (fluid places as doublecircles), timed
+//! activities as unfilled rectangles, instantaneous activities as thin
+//! filled bars — the conventional SAN iconography. Input arcs point into
+//! the activity, output arcs out of it; gates are listed inside the
+//! activity label since their functions are opaque closures.
+//!
+//! ```sh
+//! cargo run -p ckpt-cli --bin ckptsim -- dot | dot -Tsvg > model.svg
+//! ```
+
+use crate::activity::Timing;
+use crate::model::San;
+use std::fmt::Write as _;
+
+/// Renders the net's structure as a DOT digraph.
+#[must_use]
+pub fn to_dot(san: &San) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(san.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontsize=10];");
+
+    for i in 0..san.place_count() {
+        let id = crate::marking::PlaceId(i);
+        let _ = writeln!(
+            out,
+            "  p{} [shape=circle label=\"{}\\n({})\"];",
+            i,
+            escape(san.place_name(id)),
+            san.initial_marking().tokens(id)
+        );
+    }
+    for (i, name) in san.fluid_names_iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  f{i} [shape=doublecircle label=\"{}\"];",
+            escape(name)
+        );
+    }
+
+    for (i, def) in san.activity_defs_iter().enumerate() {
+        let (shape, style) = match def.timing {
+            Timing::Timed(_) => ("rectangle", ""),
+            Timing::Instantaneous { .. } => (
+                "rectangle",
+                " style=filled fillcolor=black fontcolor=white width=0.1",
+            ),
+        };
+        let mut label = escape(&def.name);
+        if !def.input_gates.is_empty() {
+            let gates: Vec<&str> = def.input_gates.iter().map(|g| g.name()).collect();
+            let _ = write!(label, "\\n[{}]", escape(&gates.join(", ")));
+        }
+        let _ = writeln!(out, "  a{i} [shape={shape}{style} label=\"{label}\"];");
+        for &(p, count) in &def.input_arcs {
+            let w = if count > 1 {
+                format!(" [label=\"{count}\"]")
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "  p{} -> a{i}{w};", p.0);
+        }
+        for case in &def.cases {
+            for &(p, count) in &case.output_arcs {
+                let w = if count > 1 {
+                    format!(" [label=\"{count}\"]")
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(out, "  a{i} -> p{}{w};", p.0);
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delay, SanBuilder};
+    use ckpt_stats::Dist;
+
+    fn tiny() -> San {
+        let mut b = SanBuilder::new("tiny \"net\"");
+        let up = b.place("up", 1);
+        let down = b.place("down", 0);
+        let _acc = b.fluid_place("uptime", 0.0);
+        b.timed_activity("fail", Delay::from(Dist::exponential(0.1)))
+            .input_arc(up, 1)
+            .output_arc(down, 2)
+            .build();
+        b.instantaneous_activity("instant_repair", 1)
+            .input_arc(down, 2)
+            .output_arc(up, 1)
+            .build();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let dot = to_dot(&tiny());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("shape=doublecircle"));
+        assert!(dot.contains("fail"));
+        assert!(dot.contains("instant_repair"));
+        assert!(dot.contains("style=filled"), "instantaneous bar styling");
+        // Multi-token arcs carry weight labels.
+        assert!(dot.contains("[label=\"2\"]"));
+        // Quotes in the model name are escaped.
+        assert!(dot.contains("tiny \\\"net\\\""));
+    }
+
+    #[test]
+    fn arc_endpoints_reference_defined_nodes() {
+        let dot = to_dot(&tiny());
+        for line in dot.lines().filter(|l| l.contains("->")) {
+            let l = line.trim().trim_end_matches(';');
+            let parts: Vec<&str> = l.split("->").collect();
+            let from = parts[0].trim();
+            let to = parts[1].split_whitespace().next().unwrap();
+            for node in [from, to] {
+                assert!(
+                    dot.contains(&format!("  {node} [")),
+                    "undefined node {node} in '{line}'"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for SAN construction and simulation.
+
+use std::fmt;
+
+/// Errors raised while building a [`San`](crate::San) or running a
+/// [`Simulator`](crate::Simulator).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SanError {
+    /// An activity was defined with no output effect at all (no cases,
+    /// arcs, or gates) — almost always a model bug.
+    ActivityWithoutEffect {
+        /// Name of the offending activity.
+        activity: String,
+    },
+    /// Two places were registered with the same name but different
+    /// initial markings.
+    ConflictingInitialMarking {
+        /// Name of the place.
+        place: String,
+    },
+    /// A case weight evaluated to a non-finite or negative value, or all
+    /// weights were zero.
+    BadCaseWeights {
+        /// Name of the offending activity.
+        activity: String,
+    },
+    /// A timed activity's delay sampler returned a negative or non-finite
+    /// duration.
+    BadDelay {
+        /// Name of the offending activity.
+        activity: String,
+        /// The value the sampler produced.
+        value: f64,
+    },
+    /// More than `limit` instantaneous firings occurred without time
+    /// advancing — the net almost certainly contains an instantaneous
+    /// cycle.
+    InstantaneousLivelock {
+        /// The configured firing limit that was exceeded.
+        limit: u32,
+    },
+    /// The model contains no activities.
+    EmptyModel,
+    /// A reward variable with the given name was requested but never
+    /// registered.
+    UnknownReward {
+        /// The requested name.
+        name: String,
+    },
+    /// A reward variable with the given name was registered twice.
+    DuplicateReward {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SanError::ActivityWithoutEffect { activity } => {
+                write!(f, "activity '{activity}' has no output arcs, gates, or cases")
+            }
+            SanError::ConflictingInitialMarking { place } => write!(
+                f,
+                "place '{place}' registered twice with different initial markings"
+            ),
+            SanError::BadCaseWeights { activity } => {
+                write!(f, "activity '{activity}' produced invalid case weights")
+            }
+            SanError::BadDelay { activity, value } => {
+                write!(f, "activity '{activity}' sampled an invalid delay {value}")
+            }
+            SanError::InstantaneousLivelock { limit } => write!(
+                f,
+                "more than {limit} instantaneous firings without time advancing (instantaneous cycle?)"
+            ),
+            SanError::EmptyModel => write!(f, "model defines no activities"),
+            SanError::UnknownReward { name } => {
+                write!(f, "no reward variable named '{name}'")
+            }
+            SanError::DuplicateReward { name } => {
+                write!(f, "reward variable '{name}' registered twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offenders() {
+        let e = SanError::ActivityWithoutEffect {
+            activity: "dump".into(),
+        };
+        assert!(e.to_string().contains("dump"));
+        let e = SanError::BadDelay {
+            activity: "coord".into(),
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("coord"));
+        assert!(e.to_string().contains("-1"));
+        let e = SanError::InstantaneousLivelock { limit: 10_000 };
+        assert!(e.to_string().contains("10000"));
+    }
+}

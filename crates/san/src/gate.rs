@@ -1,0 +1,165 @@
+//! Input and output gates.
+
+use crate::marking::Marking;
+use std::fmt;
+use std::sync::Arc;
+
+/// Predicate half of an input gate.
+pub type GatePredicate = Arc<dyn Fn(&Marking) -> bool + Send + Sync>;
+/// Marking-transformation half of a gate.
+pub type GateFunction = Arc<dyn Fn(&mut Marking) + Send + Sync>;
+
+/// An input gate: the activity it is attached to is enabled only while
+/// the predicate holds, and the gate's function is applied to the marking
+/// when the activity fires (after input arcs are consumed).
+#[derive(Clone)]
+pub struct InputGate {
+    name: String,
+    predicate: GatePredicate,
+    function: GateFunction,
+}
+
+impl InputGate {
+    /// Creates an input gate from a predicate and a firing function.
+    pub fn new<P, F>(name: impl Into<String>, predicate: P, function: F) -> InputGate
+    where
+        P: Fn(&Marking) -> bool + Send + Sync + 'static,
+        F: Fn(&mut Marking) + Send + Sync + 'static,
+    {
+        InputGate {
+            name: name.into(),
+            predicate: Arc::new(predicate),
+            function: Arc::new(function),
+        }
+    }
+
+    /// A pure enabling condition with no marking effect.
+    pub fn predicate_only<P>(name: impl Into<String>, predicate: P) -> InputGate
+    where
+        P: Fn(&Marking) -> bool + Send + Sync + 'static,
+    {
+        InputGate::new(name, predicate, |_| {})
+    }
+
+    /// The gate's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the enabling predicate.
+    #[must_use]
+    pub fn holds(&self, marking: &Marking) -> bool {
+        (self.predicate)(marking)
+    }
+
+    /// Applies the firing function.
+    pub fn apply(&self, marking: &mut Marking) {
+        (self.function)(marking);
+    }
+}
+
+impl fmt::Debug for InputGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InputGate")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// An output gate: a marking transformation applied when the activity
+/// (case) it is attached to completes.
+#[derive(Clone)]
+pub struct OutputGate {
+    name: String,
+    function: GateFunction,
+}
+
+impl OutputGate {
+    /// Creates an output gate from a firing function.
+    pub fn new<F>(name: impl Into<String>, function: F) -> OutputGate
+    where
+        F: Fn(&mut Marking) + Send + Sync + 'static,
+    {
+        OutputGate {
+            name: name.into(),
+            function: Arc::new(function),
+        }
+    }
+
+    /// The gate's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Applies the firing function.
+    pub fn apply(&self, marking: &mut Marking) {
+        (self.function)(marking);
+    }
+}
+
+impl fmt::Debug for OutputGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OutputGate")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marking::PlaceId;
+
+    fn marking() -> Marking {
+        Marking::new(vec![2, 0], vec![])
+    }
+
+    #[test]
+    fn input_gate_predicate_and_function() {
+        let p0 = PlaceId(0);
+        let p1 = PlaceId(1);
+        let g = InputGate::new(
+            "move",
+            move |m| m.tokens(p0) >= 2,
+            move |m| {
+                m.remove_tokens(p0, 2);
+                m.add_tokens(p1, 1);
+            },
+        );
+        let mut m = marking();
+        assert!(g.holds(&m));
+        g.apply(&mut m);
+        assert_eq!(m.tokens(p0), 0);
+        assert_eq!(m.tokens(p1), 1);
+        assert!(!g.holds(&m));
+        assert_eq!(g.name(), "move");
+    }
+
+    #[test]
+    fn predicate_only_gate_leaves_marking_alone() {
+        let p0 = PlaceId(0);
+        let g = InputGate::predicate_only("check", move |m| m.has_token(p0));
+        let mut m = marking();
+        let v = m.version();
+        g.apply(&mut m);
+        assert_eq!(m.version(), v);
+    }
+
+    #[test]
+    fn output_gate_applies() {
+        let p1 = PlaceId(1);
+        let g = OutputGate::new("emit", move |m| m.add_tokens(p1, 3));
+        let mut m = marking();
+        g.apply(&mut m);
+        assert_eq!(m.tokens(p1), 3);
+        assert_eq!(g.name(), "emit");
+    }
+
+    #[test]
+    fn debug_shows_name() {
+        let g = OutputGate::new("emit", |_| {});
+        assert!(format!("{g:?}").contains("emit"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Places and markings.
+
+use std::fmt;
+
+/// Handle to a discrete (token-holding) place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub(crate) usize);
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "place#{}", self.0)
+    }
+}
+
+/// Handle to a fluid (continuous accumulator) place.
+///
+/// Fluid places extend classic SANs with a continuously integrated
+/// quantity: each has a marking-dependent *flow rate*, and the simulator
+/// advances `fluid += rate(marking) · dt` between events. Gates may read
+/// and write fluid levels; the checkpoint model uses one to track the
+/// amount of computation not yet protected by a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FluidId(pub(crate) usize);
+
+impl fmt::Display for FluidId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fluid#{}", self.0)
+    }
+}
+
+/// The state of a SAN: token counts for every discrete place and levels
+/// for every fluid place.
+///
+/// Token counts are `u64`; attempts to remove more tokens than present
+/// panic (it indicates an enabling-rule bug in the executor or a gate
+/// function violating its contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marking {
+    tokens: Vec<u64>,
+    fluid: Vec<f64>,
+    /// Bumped on every mutation; the simulator uses it to detect marking
+    /// changes without diffing.
+    version: u64,
+}
+
+impl Marking {
+    pub(crate) fn new(tokens: Vec<u64>, fluid: Vec<f64>) -> Marking {
+        Marking {
+            tokens,
+            fluid,
+            version: 0,
+        }
+    }
+
+    /// Number of tokens in `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` does not belong to this model.
+    #[must_use]
+    pub fn tokens(&self, place: PlaceId) -> u64 {
+        self.tokens[place.0]
+    }
+
+    /// Sets the token count of `place`.
+    pub fn set_tokens(&mut self, place: PlaceId, count: u64) {
+        if self.tokens[place.0] != count {
+            self.tokens[place.0] = count;
+            self.version += 1;
+        }
+    }
+
+    /// Adds `count` tokens to `place`.
+    pub fn add_tokens(&mut self, place: PlaceId, count: u64) {
+        if count > 0 {
+            self.tokens[place.0] += count;
+            self.version += 1;
+        }
+    }
+
+    /// Removes `count` tokens from `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` tokens are present.
+    pub fn remove_tokens(&mut self, place: PlaceId, count: u64) {
+        let have = self.tokens[place.0];
+        assert!(
+            have >= count,
+            "cannot remove {count} tokens from {place} holding {have}"
+        );
+        if count > 0 {
+            self.tokens[place.0] = have - count;
+            self.version += 1;
+        }
+    }
+
+    /// True if `place` holds at least one token.
+    #[must_use]
+    pub fn has_token(&self, place: PlaceId) -> bool {
+        self.tokens(place) > 0
+    }
+
+    /// The level of fluid place `id`.
+    #[must_use]
+    pub fn fluid(&self, id: FluidId) -> f64 {
+        self.fluid[id.0]
+    }
+
+    /// Sets the level of fluid place `id`.
+    pub fn set_fluid(&mut self, id: FluidId, level: f64) {
+        self.fluid[id.0] = level;
+        self.version += 1;
+    }
+
+    /// Adds `amount` (may be negative) to fluid place `id`.
+    pub fn add_fluid(&mut self, id: FluidId, amount: f64) {
+        self.fluid[id.0] += amount;
+        self.version += 1;
+    }
+
+    /// Monotone counter incremented on every mutation. Two equal versions
+    /// on the same marking imply no mutation happened in between.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of discrete places.
+    #[must_use]
+    pub fn place_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of fluid places.
+    #[must_use]
+    pub fn fluid_count(&self) -> usize {
+        self.fluid.len()
+    }
+
+    pub(crate) fn integrate_fluid(&mut self, id: FluidId, amount: f64) {
+        // Integration is not a logical "marking change": it must not
+        // trigger activity reactivation, so it bypasses the version bump.
+        self.fluid[id.0] += amount;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marking() -> Marking {
+        Marking::new(vec![1, 0, 5], vec![0.0, 2.5])
+    }
+
+    #[test]
+    fn token_accessors() {
+        let mut m = marking();
+        assert_eq!(m.tokens(PlaceId(0)), 1);
+        assert!(m.has_token(PlaceId(0)));
+        assert!(!m.has_token(PlaceId(1)));
+        m.add_tokens(PlaceId(1), 2);
+        assert_eq!(m.tokens(PlaceId(1)), 2);
+        m.remove_tokens(PlaceId(2), 5);
+        assert_eq!(m.tokens(PlaceId(2)), 0);
+        m.set_tokens(PlaceId(2), 7);
+        assert_eq!(m.tokens(PlaceId(2)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn underflow_panics() {
+        let mut m = marking();
+        m.remove_tokens(PlaceId(0), 2);
+    }
+
+    #[test]
+    fn version_bumps_on_changes_only() {
+        let mut m = marking();
+        let v0 = m.version();
+        m.set_tokens(PlaceId(0), 1); // no-op
+        assert_eq!(m.version(), v0);
+        m.add_tokens(PlaceId(0), 0); // no-op
+        assert_eq!(m.version(), v0);
+        m.remove_tokens(PlaceId(0), 0); // no-op
+        assert_eq!(m.version(), v0);
+        m.set_tokens(PlaceId(0), 3);
+        assert!(m.version() > v0);
+    }
+
+    #[test]
+    fn fluid_accessors() {
+        let mut m = marking();
+        assert_eq!(m.fluid(FluidId(1)), 2.5);
+        m.add_fluid(FluidId(0), 1.5);
+        assert_eq!(m.fluid(FluidId(0)), 1.5);
+        m.set_fluid(FluidId(0), 0.0);
+        assert_eq!(m.fluid(FluidId(0)), 0.0);
+    }
+
+    #[test]
+    fn integration_does_not_bump_version() {
+        let mut m = marking();
+        let v = m.version();
+        m.integrate_fluid(FluidId(0), 10.0);
+        assert_eq!(m.version(), v);
+        assert_eq!(m.fluid(FluidId(0)), 10.0);
+    }
+
+    #[test]
+    fn counts() {
+        let m = marking();
+        assert_eq!(m.place_count(), 3);
+        assert_eq!(m.fluid_count(), 2);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(PlaceId(4).to_string(), "place#4");
+        assert_eq!(FluidId(2).to_string(), "fluid#2");
+    }
+}

@@ -1,0 +1,797 @@
+//! Discrete-event execution of a SAN.
+
+use crate::activity::{ActivityId, Reactivation, Timing};
+use crate::error::SanError;
+use crate::marking::Marking;
+use crate::model::San;
+use crate::reward::{RewardReport, RewardSpec, RewardValue};
+use ckpt_des::{EventId, EventQueue, SimRng, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Upper bound on instantaneous firings between two time advances before
+/// the simulator reports a livelock.
+const INSTANTANEOUS_LIMIT: u32 = 100_000;
+
+struct RewardState {
+    spec: RewardSpec,
+    total: f64,
+    impulse_count: u64,
+}
+
+/// Executes a [`San`] under standard SAN simulation semantics:
+///
+/// * an activity is *enabled* while its input arcs are satisfied and all
+///   input-gate predicates hold;
+/// * enabled **instantaneous** activities fire immediately, highest
+///   priority first (ties by definition order);
+/// * enabled **timed** activities sample a completion delay when they
+///   become enabled; if they become disabled the sampled completion is
+///   **aborted**, and on other marking changes the
+///   [`Reactivation`] policy decides whether the sample is kept or
+///   redrawn;
+/// * on completion, input arcs are consumed, input-gate functions run, a
+///   probabilistic case is selected by (marking-dependent) weights, and
+///   the case's output arcs/gates are applied;
+/// * between events, fluid places and rate rewards are integrated over
+///   the constant marking.
+///
+/// See the [crate-level example](crate).
+pub struct Simulator<'m> {
+    san: &'m San,
+    marking: Marking,
+    now: SimTime,
+    queue: EventQueue<ActivityId>,
+    scheduled: Vec<Option<EventId>>,
+    sampled_version: Vec<u64>,
+    rng: SimRng,
+    rewards: Vec<RewardState>,
+    firing_counts: Vec<u64>,
+    window_start: SimTime,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator over `san` seeded with `seed`, settles any
+    /// initially enabled instantaneous activities, and schedules the
+    /// initially enabled timed ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError`] if the initial settling livelocks or a delay
+    /// sampler misbehaves.
+    pub fn new(san: &'m San, seed: u64) -> Result<Simulator<'m>, SanError> {
+        let n = san.activities.len();
+        let mut sim = Simulator {
+            san,
+            marking: san.initial_marking(),
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            scheduled: vec![None; n],
+            sampled_version: vec![0; n],
+            rng: SimRng::seed_from_u64(seed),
+            rewards: Vec::new(),
+            firing_counts: vec![0; n],
+            window_start: SimTime::ZERO,
+        };
+        sim.settle_instantaneous()?;
+        sim.update_schedules()?;
+        Ok(sim)
+    }
+
+    /// Registers a reward variable. Rewards accumulate from the moment
+    /// they are registered (or from the last [`Simulator::reset_rewards`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicateReward`] if the name is taken.
+    pub fn add_reward(&mut self, spec: RewardSpec) -> Result<(), SanError> {
+        if self.rewards.iter().any(|r| r.spec.name() == spec.name()) {
+            return Err(SanError::DuplicateReward {
+                name: spec.name().into(),
+            });
+        }
+        self.rewards.push(RewardState {
+            spec,
+            total: 0.0,
+            impulse_count: 0,
+        });
+        Ok(())
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to the current marking.
+    #[must_use]
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// How many times `activity` has fired since construction.
+    #[must_use]
+    pub fn firing_count(&self, activity: ActivityId) -> u64 {
+        self.firing_counts[activity.0]
+    }
+
+    /// Zeroes all reward accumulators and restarts the observation
+    /// window at the current time — the "transient discard" step of
+    /// steady-state simulation.
+    pub fn reset_rewards(&mut self) {
+        for r in &mut self.rewards {
+            r.total = 0.0;
+            r.impulse_count = 0;
+        }
+        self.window_start = self.now;
+    }
+
+    /// Snapshot of all reward variables over the current window.
+    #[must_use]
+    pub fn reward_report(&self) -> RewardReport {
+        let window = (self.now - self.window_start).as_secs();
+        let values: HashMap<String, RewardValue> = self
+            .rewards
+            .iter()
+            .map(|r| {
+                (
+                    r.spec.name().to_string(),
+                    RewardValue {
+                        total: r.total,
+                        window,
+                        impulse_count: r.impulse_count,
+                    },
+                )
+            })
+            .collect();
+        RewardReport::new(values)
+    }
+
+    /// Runs for `duration` of simulated time from the current instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError`] on instantaneous livelock or invalid sampled
+    /// delays.
+    pub fn run_for(&mut self, duration: SimTime) -> Result<(), SanError> {
+        self.run_until(self.now + duration)
+    }
+
+    /// Runs until `condition` holds on the marking (checked after every
+    /// event) or until `horizon`. Returns the time the condition first
+    /// held, or `None` if the horizon struck first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError`] on instantaneous livelock or invalid sampled
+    /// delays.
+    pub fn run_until_condition<P>(
+        &mut self,
+        condition: P,
+        horizon: SimTime,
+    ) -> Result<Option<SimTime>, SanError>
+    where
+        P: Fn(&Marking) -> bool,
+    {
+        if condition(&self.marking) {
+            return Ok(Some(self.now));
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let Some(ev) = self.queue.pop() else {
+                unreachable!("peek_time returned Some")
+            };
+            let activity = ev.into_payload();
+            self.integrate_to(t);
+            self.now = t;
+            self.scheduled[activity.0] = None;
+            self.fire(activity)?;
+            self.settle_instantaneous()?;
+            self.update_schedules()?;
+            if condition(&self.marking) {
+                return Ok(Some(self.now));
+            }
+        }
+        if horizon > self.now {
+            self.integrate_to(horizon);
+            self.now = horizon;
+        }
+        Ok(None)
+    }
+
+    /// Runs until the absolute time `horizon`. Events exactly at the
+    /// horizon fire; integration closes the window exactly at `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError`] on instantaneous livelock or invalid sampled
+    /// delays.
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<(), SanError> {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let Some(ev) = self.queue.pop() else {
+                unreachable!("peek_time returned Some")
+            };
+            let activity = ev.into_payload();
+            self.integrate_to(t);
+            self.now = t;
+            self.scheduled[activity.0] = None;
+            self.fire(activity)?;
+            self.settle_instantaneous()?;
+            self.update_schedules()?;
+        }
+        if horizon > self.now {
+            self.integrate_to(horizon);
+            self.now = horizon;
+        }
+        Ok(())
+    }
+
+    /// Advances fluid places and rate rewards over `[self.now, to)`.
+    fn integrate_to(&mut self, to: SimTime) {
+        let dt = (to - self.now).as_secs();
+        if dt <= 0.0 {
+            return;
+        }
+        for (fluid, rate) in &self.san.flows {
+            let r = rate(&self.marking);
+            if r != 0.0 {
+                self.marking.integrate_fluid(*fluid, r * dt);
+            }
+        }
+        for r in &mut self.rewards {
+            if let Some(rate) = r.spec.rate_fn() {
+                let v = rate(&self.marking);
+                if v != 0.0 {
+                    r.total += v * dt;
+                }
+            }
+        }
+    }
+
+    /// Fires one activity: consume inputs, run gates, pick a case, apply
+    /// outputs, record impulses.
+    fn fire(&mut self, id: ActivityId) -> Result<(), SanError> {
+        let def = &self.san.activities[id.0];
+        debug_assert!(
+            def.enabled(&self.marking),
+            "activity '{}' fired while disabled — scheduling bug",
+            def.name
+        );
+        // Select the case on the pre-firing marking.
+        let case_idx = if def.cases.len() == 1 {
+            0
+        } else {
+            let weights: Vec<f64> = def
+                .cases
+                .iter()
+                .map(|c| c.weight.eval(&self.marking))
+                .collect();
+            if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                return Err(SanError::BadCaseWeights {
+                    activity: def.name.clone(),
+                });
+            }
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                return Err(SanError::BadCaseWeights {
+                    activity: def.name.clone(),
+                });
+            }
+            let mut x = self.rng.open_unit() * total;
+            let mut chosen = weights.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    chosen = i;
+                    break;
+                }
+                x -= w;
+            }
+            chosen
+        };
+
+        for &(p, count) in &def.input_arcs {
+            self.marking.remove_tokens(p, count);
+        }
+        for g in &def.input_gates {
+            g.apply(&mut self.marking);
+        }
+        let case = &def.cases[case_idx];
+        for &(p, count) in &case.output_arcs {
+            self.marking.add_tokens(p, count);
+        }
+        for g in &case.output_gates {
+            g.apply(&mut self.marking);
+        }
+        self.firing_counts[id.0] += 1;
+
+        for r in &mut self.rewards {
+            for (act, f) in r.spec.impulses() {
+                if *act == id {
+                    r.total += f(&self.marking);
+                    r.impulse_count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fires enabled instantaneous activities (highest priority first)
+    /// until none remain.
+    fn settle_instantaneous(&mut self) -> Result<(), SanError> {
+        let mut fired = 0u32;
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for (i, def) in self.san.activities.iter().enumerate() {
+                if let Timing::Instantaneous { priority } = def.timing {
+                    if def.enabled(&self.marking) {
+                        let better = match best {
+                            None => true,
+                            Some((bp, _)) => priority > bp,
+                        };
+                        if better {
+                            best = Some((priority, i));
+                        }
+                    }
+                }
+            }
+            let Some((_, idx)) = best else {
+                return Ok(());
+            };
+            self.fire(ActivityId(idx))?;
+            fired += 1;
+            if fired > INSTANTANEOUS_LIMIT {
+                return Err(SanError::InstantaneousLivelock {
+                    limit: INSTANTANEOUS_LIMIT,
+                });
+            }
+        }
+    }
+
+    /// Reconciles timed-activity schedules with the current marking.
+    fn update_schedules(&mut self) -> Result<(), SanError> {
+        let version = self.marking.version();
+        for (i, def) in self.san.activities.iter().enumerate() {
+            let Timing::Timed(delay) = &def.timing else {
+                continue;
+            };
+            let enabled = def.enabled(&self.marking);
+            match (enabled, self.scheduled[i]) {
+                (false, Some(ev)) => {
+                    // Disabling aborts the activity.
+                    self.queue.cancel(ev);
+                    self.scheduled[i] = None;
+                }
+                (false, None) => {}
+                (true, Some(ev)) => {
+                    if def.reactivation == Reactivation::Resample
+                        && self.sampled_version[i] != version
+                    {
+                        self.queue.cancel(ev);
+                        self.scheduled[i] = None;
+                        self.schedule_timed(i, delay)?;
+                    }
+                }
+                (true, None) => {
+                    self.schedule_timed(i, delay)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn schedule_timed(
+        &mut self,
+        idx: usize,
+        delay: &crate::activity::Delay,
+    ) -> Result<(), SanError> {
+        let d = delay.sample(&self.marking, &mut self.rng);
+        if !d.is_finite() || d < 0.0 {
+            return Err(SanError::BadDelay {
+                activity: self.san.activities[idx].name.clone(),
+                value: d,
+            });
+        }
+        let at = self.now + SimTime::from_secs(d);
+        let ev = self.queue.schedule(at, ActivityId(idx));
+        self.scheduled[idx] = Some(ev);
+        self.sampled_version[idx] = self.marking.version();
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Simulator<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("model", &self.san.name())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Delay;
+    use crate::gate::{InputGate, OutputGate};
+    use crate::model::SanBuilder;
+    use ckpt_stats::Dist;
+
+    /// up --fail(exp 0.1)--> down --repair(exp 0.9)--> up
+    fn repair_model() -> San {
+        let mut b = SanBuilder::new("repair");
+        let up = b.place("up", 1);
+        let down = b.place("down", 0);
+        b.timed_activity("fail", Delay::from(Dist::exponential(0.1)))
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build();
+        b.timed_activity("repair", Delay::from(Dist::exponential(0.9)))
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn repair_model_availability() {
+        let san = repair_model();
+        let up = san.place_by_name("up").unwrap();
+        let mut sim = Simulator::new(&san, 1).unwrap();
+        sim.add_reward(RewardSpec::rate("avail", move |m| {
+            if m.has_token(up) {
+                1.0
+            } else {
+                0.0
+            }
+        }))
+        .unwrap();
+        sim.run_for(SimTime::from_secs(200_000.0)).unwrap();
+        let a = sim.reward_report().value("avail").unwrap().time_average();
+        assert!((a - 0.9).abs() < 0.01, "availability {a}");
+    }
+
+    #[test]
+    fn deterministic_cycle_counts_firings() {
+        let mut b = SanBuilder::new("clock");
+        let p = b.place("p", 1);
+        let tick = b
+            .timed_activity("tick", Delay::from(Dist::deterministic(2.0)))
+            .input_arc(p, 1)
+            .output_arc(p, 1)
+            .build();
+        let san = b.build().unwrap();
+        let mut sim = Simulator::new(&san, 0).unwrap();
+        sim.run_until(SimTime::from_secs(10.0)).unwrap();
+        // Fires at t = 2, 4, 6, 8, 10.
+        assert_eq!(sim.firing_count(tick), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    fn instantaneous_priority_order() {
+        // A timed source enables two instantaneous activities; the
+        // higher-priority one must fire first and steal the token.
+        let mut b = SanBuilder::new("prio");
+        let src = b.place("src", 1);
+        let trigger = b.place("trigger", 0);
+        let hi = b.place("hi", 0);
+        let lo = b.place("lo", 0);
+        b.timed_activity("arm", Delay::from(Dist::deterministic(1.0)))
+            .input_arc(src, 1)
+            .output_arc(trigger, 1)
+            .build();
+        let low = b
+            .instantaneous_activity("low", 1)
+            .input_arc(trigger, 1)
+            .output_arc(lo, 1)
+            .build();
+        let high = b
+            .instantaneous_activity("high", 2)
+            .input_arc(trigger, 1)
+            .output_arc(hi, 1)
+            .build();
+        let san = b.build().unwrap();
+        let mut sim = Simulator::new(&san, 0).unwrap();
+        sim.run_until(SimTime::from_secs(5.0)).unwrap();
+        assert_eq!(sim.firing_count(high), 1);
+        assert_eq!(sim.firing_count(low), 0);
+        assert!(sim.marking().has_token(hi));
+        assert!(!sim.marking().has_token(lo));
+    }
+
+    #[test]
+    fn instantaneous_livelock_is_detected() {
+        // Two instantaneous activities ping-ponging a token forever.
+        let mut b = SanBuilder::new("livelock");
+        let a = b.place("a", 1);
+        let c = b.place("c", 0);
+        b.instantaneous_activity("ab", 0)
+            .input_arc(a, 1)
+            .output_arc(c, 1)
+            .build();
+        b.instantaneous_activity("ba", 0)
+            .input_arc(c, 1)
+            .output_arc(a, 1)
+            .build();
+        let san = b.build().unwrap();
+        let err = Simulator::new(&san, 0).unwrap_err();
+        assert!(matches!(err, SanError::InstantaneousLivelock { .. }));
+    }
+
+    #[test]
+    fn disabling_aborts_timed_activity() {
+        // "slow" would fire at t=10 but "blocker" disables it at t=1 by
+        // stealing the shared token; "slow" must never fire.
+        let mut b = SanBuilder::new("abort");
+        let shared = b.place("shared", 1);
+        let out = b.place("out", 0);
+        let slow = b
+            .timed_activity("slow", Delay::from(Dist::deterministic(10.0)))
+            .input_arc(shared, 1)
+            .output_arc(out, 1)
+            .build();
+        let fast = b
+            .timed_activity("fast", Delay::from(Dist::deterministic(1.0)))
+            .input_arc(shared, 1)
+            .output_arc(out, 1)
+            .build();
+        let san = b.build().unwrap();
+        let mut sim = Simulator::new(&san, 0).unwrap();
+        sim.run_until(SimTime::from_secs(100.0)).unwrap();
+        assert_eq!(sim.firing_count(fast), 1);
+        assert_eq!(sim.firing_count(slow), 0);
+    }
+
+    #[test]
+    fn resample_policy_tracks_marking_dependent_rate() {
+        // Failure rate is 100x while "window" holds a token. The window
+        // opens at t=5 (deterministic). With Resample, failures inside
+        // the window occur at the high rate.
+        let mut b = SanBuilder::new("modulated");
+        let window = b.place("window", 0);
+        let armed = b.place("armed", 1);
+        let failures = b.place("failures", 0);
+        let alive = b.place("alive", 1);
+        b.timed_activity("open_window", Delay::from(Dist::deterministic(5.0)))
+            .input_arc(armed, 1)
+            .output_arc(window, 1)
+            .build();
+        let wid = window;
+        let fail = b
+            .timed_activity(
+                "fail",
+                Delay::from_fn(move |m, rng| {
+                    let rate = if m.has_token(wid) { 100.0 } else { 0.01 };
+                    rng.exponential(rate)
+                }),
+            )
+            .reactivation(Reactivation::Resample)
+            .input_arc(alive, 1)
+            .output_arc(alive, 1)
+            .output_arc(failures, 1)
+            .build();
+        let san = b.build().unwrap();
+        let mut sim = Simulator::new(&san, 7).unwrap();
+        sim.run_until(SimTime::from_secs(5.0)).unwrap();
+        let before = sim.firing_count(fail);
+        sim.run_until(SimTime::from_secs(6.0)).unwrap();
+        let after = sim.firing_count(fail);
+        // Expect ~100 failures in the one second inside the window and
+        // almost none in the five seconds before it.
+        assert!(before < 5, "failures before window: {before}");
+        assert!(
+            after - before > 50,
+            "failures inside window: {}",
+            after - before
+        );
+    }
+
+    #[test]
+    fn keep_policy_preserves_deterministic_timer() {
+        // A deterministic "interval" timer must not be perturbed by other
+        // activity firings while it counts down (Keep is the default).
+        let mut b = SanBuilder::new("timer");
+        let run = b.place("run", 1);
+        let ticks = b.place("ticks", 0);
+        let noise = b.place("noise", 1);
+        let timer = b
+            .timed_activity("interval", Delay::from(Dist::deterministic(10.0)))
+            .input_arc(run, 1)
+            .output_arc(run, 1)
+            .output_arc(ticks, 1)
+            .build();
+        b.timed_activity("noisy", Delay::from(Dist::exponential(5.0)))
+            .input_arc(noise, 1)
+            .output_arc(noise, 1)
+            .build();
+        let san = b.build().unwrap();
+        let mut sim = Simulator::new(&san, 3).unwrap();
+        sim.run_until(SimTime::from_secs(100.0)).unwrap();
+        assert_eq!(
+            sim.firing_count(timer),
+            10,
+            "timer must tick exactly every 10 s"
+        );
+    }
+
+    #[test]
+    fn cases_split_probabilistically() {
+        let mut b = SanBuilder::new("cases");
+        let src = b.place("src", 1);
+        let heads = b.place("heads", 0);
+        let tails = b.place("tails", 0);
+        b.timed_activity("flip", Delay::from(Dist::deterministic(1.0)))
+            .input_arc(src, 1)
+            .case(0.25, |c| c.output_arc(heads, 1).output_arc(src, 1))
+            .case(0.75, |c| c.output_arc(tails, 1).output_arc(src, 1))
+            .build();
+        let san = b.build().unwrap();
+        let mut sim = Simulator::new(&san, 11).unwrap();
+        sim.run_until(SimTime::from_secs(100_000.0)).unwrap();
+        let h = sim.marking().tokens(san.place_by_name("heads").unwrap()) as f64;
+        let t = sim.marking().tokens(san.place_by_name("tails").unwrap()) as f64;
+        let frac = h / (h + t);
+        assert!((frac - 0.25).abs() < 0.02, "heads fraction {frac}");
+    }
+
+    #[test]
+    fn input_and_output_gates_run_in_order() {
+        let mut b = SanBuilder::new("gates");
+        let src = b.place("src", 1);
+        let staged = b.place("staged", 0);
+        let done = b.place("done", 0);
+        b.timed_activity("go", Delay::from(Dist::deterministic(1.0)))
+            .input_arc(src, 1)
+            .input_gate(InputGate::new(
+                "stage",
+                |_| true,
+                move |m| m.add_tokens(staged, 2),
+            ))
+            .output_gate(OutputGate::new("finish", move |m| {
+                let n = m.tokens(staged);
+                m.remove_tokens(staged, n);
+                m.add_tokens(done, n);
+            }))
+            .build();
+        let san = b.build().unwrap();
+        let mut sim = Simulator::new(&san, 0).unwrap();
+        sim.run_until(SimTime::from_secs(2.0)).unwrap();
+        assert_eq!(sim.marking().tokens(done), 2);
+        assert_eq!(sim.marking().tokens(staged), 0);
+    }
+
+    #[test]
+    fn fluid_integration_and_reset() {
+        let mut b = SanBuilder::new("fluid");
+        let on = b.place("on", 1);
+        let off = b.place("off", 0);
+        let acc = b.fluid_place("acc", 0.0);
+        let on_c = on;
+        b.flow(acc, move |m| if m.has_token(on_c) { 2.0 } else { 0.0 });
+        b.timed_activity("stop", Delay::from(Dist::deterministic(3.0)))
+            .input_arc(on, 1)
+            .output_arc(off, 1)
+            .build();
+        let san = b.build().unwrap();
+        let mut sim = Simulator::new(&san, 0).unwrap();
+        sim.run_until(SimTime::from_secs(10.0)).unwrap();
+        // Flow of 2.0 for 3 seconds, then off.
+        assert!((sim.marking().fluid(acc) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impulse_rewards_fire_with_activity() {
+        let san = repair_model();
+        let fail = san.activity_by_name("fail").unwrap();
+        let mut sim = Simulator::new(&san, 5).unwrap();
+        sim.add_reward(RewardSpec::impulse_only("failures").with_impulse(fail, |_| 1.0))
+            .unwrap();
+        sim.run_for(SimTime::from_secs(100_000.0)).unwrap();
+        let v = sim.reward_report().value("failures").unwrap();
+        assert_eq!(v.total as u64, v.impulse_count);
+        // Long-run failure frequency: up fraction (0.9) × rate 0.1 = 0.09/s.
+        let freq = v.total / 100_000.0;
+        assert!((freq - 0.09).abs() < 0.005, "failure frequency {freq}");
+    }
+
+    #[test]
+    fn reset_rewards_discards_transient() {
+        let san = repair_model();
+        let up = san.place_by_name("up").unwrap();
+        let mut sim = Simulator::new(&san, 2).unwrap();
+        sim.add_reward(RewardSpec::rate("avail", move |m| {
+            if m.has_token(up) {
+                1.0
+            } else {
+                0.0
+            }
+        }))
+        .unwrap();
+        sim.run_for(SimTime::from_secs(1_000.0)).unwrap();
+        sim.reset_rewards();
+        let r = sim.reward_report().value("avail").unwrap();
+        assert_eq!(r.total, 0.0);
+        assert_eq!(r.window, 0.0);
+        sim.run_for(SimTime::from_secs(50_000.0)).unwrap();
+        let r = sim.reward_report().value("avail").unwrap();
+        assert!((r.window - 50_000.0).abs() < 1e-6);
+        assert!((r.time_average() - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn duplicate_reward_is_rejected() {
+        let san = repair_model();
+        let mut sim = Simulator::new(&san, 0).unwrap();
+        sim.add_reward(RewardSpec::rate("x", |_| 1.0)).unwrap();
+        let err = sim.add_reward(RewardSpec::rate("x", |_| 2.0)).unwrap_err();
+        assert!(matches!(err, SanError::DuplicateReward { .. }));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_exactly() {
+        let san = repair_model();
+        let run = |seed| {
+            let mut sim = Simulator::new(&san, seed).unwrap();
+            sim.run_for(SimTime::from_secs(10_000.0)).unwrap();
+            (
+                sim.firing_count(san.activity_by_name("fail").unwrap()),
+                sim.firing_count(san.activity_by_name("repair").unwrap()),
+            )
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn bad_delay_is_reported() {
+        let mut b = SanBuilder::new("bad");
+        let p = b.place("p", 1);
+        b.timed_activity("nan", Delay::from_fn(|_, _| f64::NAN))
+            .input_arc(p, 1)
+            .output_arc(p, 1)
+            .build();
+        let san = b.build().unwrap();
+        let err = match Simulator::new(&san, 0) {
+            Err(e) => e,
+            Ok(_) => panic!("expected BadDelay"),
+        };
+        assert!(matches!(err, SanError::BadDelay { .. }));
+    }
+
+    #[test]
+    fn run_until_condition_stops_at_first_hit() {
+        let san = repair_model();
+        let down = san.place_by_name("down").unwrap();
+        let mut sim = Simulator::new(&san, 4).unwrap();
+        let hit = sim
+            .run_until_condition(|m| m.has_token(down), SimTime::from_hours(10.0))
+            .unwrap();
+        let t = hit.expect("a failure occurs well within 10 h at rate 0.1/s");
+        assert_eq!(sim.now(), t);
+        assert!(sim.marking().has_token(down));
+        // With an immediate condition the clock does not move.
+        let t2 = sim
+            .run_until_condition(|m| m.has_token(down), SimTime::from_hours(20.0))
+            .unwrap();
+        assert_eq!(t2, Some(t));
+        // An impossible condition runs to the horizon and returns None.
+        let none = sim
+            .run_until_condition(|_| false, sim.now() + SimTime::from_secs(5.0))
+            .unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn debug_output() {
+        let san = repair_model();
+        let sim = Simulator::new(&san, 0).unwrap();
+        assert!(format!("{sim:?}").contains("repair"));
+    }
+}

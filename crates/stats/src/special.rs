@@ -1,0 +1,156 @@
+//! Special functions used by the distributions and analytic models.
+
+/// Euler–Mascheroni constant.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// `n`-th harmonic number `H_n = Σ_{k=1..n} 1/k`.
+///
+/// Exact summation is used up to `n = 1_000_000`; beyond that the
+/// asymptotic expansion `ln n + γ + 1/(2n) − 1/(12n²)` is used, whose
+/// absolute error at the switch-over point is below 1e-25. This keeps the
+/// function O(1) for the paper's Figure-5 sweep up to 10⁹ processors.
+///
+/// # Example
+///
+/// ```
+/// let h4 = ckpt_stats::special::harmonic(4);
+/// assert!((h4 - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn harmonic(n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= 1_000_000 {
+        // Sum smallest-first for floating-point accuracy.
+        let mut acc = 0.0;
+        for k in (1..=n).rev() {
+            acc += 1.0 / k as f64;
+        }
+        acc
+    } else {
+        let x = n as f64;
+        x.ln() + EULER_GAMMA + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x)
+    }
+}
+
+/// Generalized harmonic number of order 2, `H_n^{(2)} = Σ 1/k²`,
+/// used for the variance of the maximum of `n` exponentials:
+/// `Var[Y] = H_n^{(2)} / λ²`.
+#[must_use]
+pub fn harmonic2(n: u64) -> f64 {
+    const PI2_OVER_6: f64 = std::f64::consts::PI * std::f64::consts::PI / 6.0;
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= 1_000_000 {
+        let mut acc = 0.0;
+        for k in (1..=n).rev() {
+            let kf = k as f64;
+            acc += 1.0 / (kf * kf);
+        }
+        acc
+    } else {
+        // ζ(2) − tail; tail ≈ 1/n − 1/(2n²) + 1/(6n³).
+        let x = n as f64;
+        PI2_OVER_6 - (1.0 / x - 1.0 / (2.0 * x * x) + 1.0 / (6.0 * x * x * x))
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, |ε| < 1e-13
+/// for positive arguments), used by the Weibull/Erlang moments.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos g=7, n=9 coefficients.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEFFS[0];
+        let t = x + 7.5;
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Gamma function for positive arguments.
+#[must_use]
+pub fn gamma(x: f64) -> f64 {
+    ln_gamma(x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_small_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(10) - 2.928_968_253_968_254).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_asymptotic_matches_exact_at_switchover() {
+        let n = 1_000_000u64;
+        let exact = harmonic(n);
+        let x = n as f64;
+        let asym = x.ln() + EULER_GAMMA + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x);
+        assert!((exact - asym).abs() < 1e-10, "exact {exact} vs asym {asym}");
+    }
+
+    #[test]
+    fn harmonic_is_monotone_across_switchover() {
+        assert!(harmonic(1_000_001) > harmonic(1_000_000));
+        assert!(harmonic(2_000_000) > harmonic(1_000_001));
+    }
+
+    #[test]
+    fn harmonic2_converges_to_zeta2() {
+        let h = harmonic2(100_000_000);
+        let zeta2 = std::f64::consts::PI * std::f64::consts::PI / 6.0;
+        assert!((h - zeta2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn harmonic2_small_values() {
+        assert!((harmonic2(1) - 1.0).abs() < 1e-15);
+        assert!((harmonic2(2) - 1.25).abs() < 1e-15);
+        assert!((harmonic2(3) - (1.0 + 0.25 + 1.0 / 9.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gamma_matches_factorials() {
+        for n in 1..10u64 {
+            let fact: f64 = (1..n).map(|k| k as f64).product();
+            assert!(
+                (gamma(n as f64) - fact).abs() / fact < 1e-10,
+                "gamma({n}) = {} expected {fact}",
+                gamma(n as f64)
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_half() {
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        assert!((gamma(0.5) - sqrt_pi).abs() < 1e-10);
+        assert!((gamma(1.5) - 0.5 * sqrt_pi).abs() < 1e-10);
+    }
+}

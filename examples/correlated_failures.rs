@@ -1,0 +1,87 @@
+//! Correlated failures: the paper's two classes side by side.
+//!
+//! * **Error propagation** — a failure opens a short window (3 min) of
+//!   elevated rates with probability `p_e`; because the window mostly
+//!   overlaps recovery, the useful-work fraction barely moves (Fig. 7).
+//! * **Generic correlation** — a standing extra failure stream of rate
+//!   `α·r·n·λ`; with α·r = 1 it doubles the failure rate and costs a
+//!   quarter of the machine at 256K processors (Fig. 8).
+//!
+//! The `frate_correlated_factor` is derived from the Figure-3
+//! birth–death process via `ckpt_stats::markov`.
+//!
+//! ```sh
+//! cargo run --release --example correlated_failures
+//! ```
+
+use ckptsim::des::SimTime;
+use ckptsim::model::config::{ErrorPropagation, GenericCorrelated};
+use ckptsim::model::{EngineKind, Experiment, SystemConfig};
+use ckptsim::stats::BirthDeathCorrelation;
+
+fn run(cfg: SystemConfig) -> Result<f64, Box<dyn std::error::Error>> {
+    Ok(Experiment::new(cfg)
+        .engine(EngineKind::Direct)
+        .transient(SimTime::from_hours(500.0))
+        .horizon(SimTime::from_hours(10_000.0))
+        .replications(3)
+        .run()?
+        .useful_work_fraction()
+        .mean)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let procs = 262_144u64;
+    let mttf = SimTime::from_years(3.0);
+
+    // Derive the correlated-failure factor the way Section 6 does: from
+    // the conditional probability of a follow-on failure.
+    let bd = BirthDeathCorrelation::new(
+        procs / 8,
+        1.0 / mttf.as_secs(),
+        1.0 / SimTime::from_mins(10.0).as_secs(),
+    );
+    println!("Birth–death calibration (Figure 3):");
+    for p in [0.1, 0.3, 0.5] {
+        println!(
+            "  conditional failure probability {p} → frate_correlated_factor ≈ {:.0}",
+            bd.factor_from_conditional_probability(p)
+        );
+    }
+
+    let baseline = run(SystemConfig::builder()
+        .processors(procs)
+        .mttf_per_node(mttf)
+        .build()?)?;
+    println!("\nBaseline (no correlation): useful work fraction {baseline:.4}\n");
+
+    println!("Error propagation (window 3 min, factor 800):");
+    for pe in [0.05, 0.1, 0.2] {
+        let f = run(SystemConfig::builder()
+            .processors(procs)
+            .mttf_per_node(mttf)
+            .error_propagation(Some(ErrorPropagation {
+                probability: pe,
+                factor: 800.0,
+                window: 180.0,
+            }))
+            .build()?)?;
+        println!("  p_e = {pe:<5} → {f:.4}  (Δ {:+.4})", f - baseline);
+    }
+
+    println!("\nGeneric correlation (α = 0.0025, r = 400 ⇒ rate doubled):");
+    let f = run(SystemConfig::builder()
+        .processors(procs)
+        .mttf_per_node(mttf)
+        .generic_correlated(Some(GenericCorrelated {
+            coefficient: 0.0025,
+            factor: 400.0,
+        }))
+        .build()?)?;
+    println!("  with correlation → {f:.4}  (Δ {:+.4})", f - baseline);
+
+    println!("\nReading: propagation-driven bursts mostly strike during recovery and");
+    println!("cost little; a standing correlated stream scales the whole failure");
+    println!("process and is what actually limits machine size (Figures 7 vs 8).");
+    Ok(())
+}

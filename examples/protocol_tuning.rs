@@ -1,0 +1,83 @@
+//! Protocol tuning: choosing the master's 'ready' timeout.
+//!
+//! The coordination time is the max of n exponential quiesce times, so a
+//! too-small timeout aborts most checkpoints (and every abort risks an
+//! unprotected interval), while past a threshold the timeout is
+//! harmless. This example reproduces the paper's Figure-6 reasoning for
+//! one machine size, next to the closed-form abort probability
+//! `P(Y > T) = 1 − (1 − e^{−T/MTTQ})^n`.
+//!
+//! ```sh
+//! cargo run --release --example protocol_tuning
+//! ```
+
+use ckptsim::analytic::coordination;
+use ckptsim::des::SimTime;
+use ckptsim::model::{CoordinationMode, EngineKind, Experiment, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let procs = 65_536u64;
+    let nodes = procs / 8; // coordination is the max over compute nodes (§5)
+    let mttq = 10.0;
+    println!(
+        "Tuning the coordination timeout: {procs} processors ({nodes} nodes), \
+         MTTQ {mttq} s, MTTF 3 yr/node\n"
+    );
+    println!(
+        "Expected coordination time E[Y] = {:.1} s; 99.9th percentile = {:.1} s\n",
+        coordination::expected_time(nodes, mttq),
+        coordination::quantile(nodes, mttq, 0.999),
+    );
+    println!(
+        "{:>12} {:>22} {:>18} {:>16}",
+        "timeout", "P(abort) analytic", "aborts/checkpoint", "work fraction"
+    );
+
+    for timeout in [
+        None,
+        Some(120.0),
+        Some(100.0),
+        Some(80.0),
+        Some(60.0),
+        Some(40.0),
+    ] {
+        let config = SystemConfig::builder()
+            .processors(procs)
+            .mttf_per_node(SimTime::from_years(3.0))
+            .coordination(CoordinationMode::MaxOfN)
+            .timeout(timeout.map(SimTime::from_secs))
+            .build()?;
+        let est = Experiment::new(config)
+            .engine(EngineKind::Direct)
+            .transient(SimTime::from_hours(500.0))
+            .horizon(SimTime::from_hours(10_000.0))
+            .replications(3)
+            .run()?;
+        let frac = est.useful_work_fraction();
+        let aborts = est.mean_of(|m| {
+            let attempts =
+                m.counters.checkpoints_completed + m.counters.checkpoints_aborted_timeout;
+            if attempts == 0 {
+                0.0
+            } else {
+                m.counters.checkpoints_aborted_timeout as f64 / attempts as f64
+            }
+        });
+        let (label, p_analytic) = match timeout {
+            None => ("none".to_string(), 0.0),
+            Some(t) => (
+                format!("{t} s"),
+                coordination::timeout_probability(nodes, mttq, t),
+            ),
+        };
+        println!(
+            "{label:>12} {p_analytic:>22.4} {aborts:>18.4} {:>9.4} ±{:<6.4}",
+            frac.mean, frac.half_width
+        );
+    }
+
+    println!("\nReading: the measured abort ratio tracks the closed form; once the");
+    println!("timeout clears the ~100 s threshold the useful work fraction matches");
+    println!("the no-timeout protocol — exactly the paper's Figure-6 conclusion.");
+    Ok(())
+}

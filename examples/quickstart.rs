@@ -1,0 +1,68 @@
+//! Quickstart: simulate the paper's base system (64K processors,
+//! coordinated checkpointing, MTTF 1 y/node) with both engines and
+//! compare against the Daly analytic baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ckptsim::analytic;
+use ckptsim::des::SimTime;
+use ckptsim::model::{EngineKind, Experiment, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Table-3 defaults: 64K processors (8 per node),
+    // 30-minute checkpoint interval, MTTF 1 y/node, MTTR 10 min.
+    let config = SystemConfig::builder().build()?;
+    println!(
+        "System: {} processors on {} nodes, {} I/O nodes",
+        config.processors(),
+        config.node_count(),
+        config.io_node_count()
+    );
+    println!(
+        "Checkpoint cycle: dump {:.1} s to I/O nodes, {:.1} s background write",
+        config.checkpoint_dump_time().as_secs(),
+        config.checkpoint_fs_write_time().as_secs()
+    );
+    println!(
+        "System failure rate: {:.3}/h\n",
+        config.compute_failure_rate() * 3600.0
+    );
+
+    for (name, engine) in [("direct", EngineKind::Direct), ("SAN", EngineKind::San)] {
+        let est = Experiment::new(config.clone())
+            .engine(engine)
+            .transient(SimTime::from_hours(500.0))
+            .horizon(SimTime::from_hours(5_000.0))
+            .replications(3)
+            .run()?;
+        let ci = est.useful_work_fraction();
+        println!(
+            "{name:>6} engine: useful work fraction {ci}  (total {:.0} job units)",
+            est.total_useful_work().mean
+        );
+    }
+
+    // Daly's closed form (no coordination, no I/O effects) should sit a
+    // little above the simulated values.
+    let overhead = config.quiesce_broadcast_latency().as_secs()
+        + config.mttq().as_secs()
+        + config.checkpoint_dump_time().as_secs();
+    let rate =
+        analytic::availability::system_failure_rate(config.node_count(), 8_766.0 * 3_600.0, 0.0);
+    let daly = analytic::availability::predicted_useful_work_fraction(
+        config.checkpoint_interval().as_secs(),
+        overhead,
+        config.mttr_system().as_secs(),
+        rate,
+    );
+    println!("  Daly analytic (optimistic bound): {daly:.4}");
+
+    let tau_opt = analytic::daly::optimal_interval(overhead, 1.0 / rate);
+    println!(
+        "  Daly-optimal checkpoint interval for this machine: {:.1} min",
+        tau_opt / 60.0
+    );
+    Ok(())
+}

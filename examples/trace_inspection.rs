@@ -1,0 +1,59 @@
+//! Trace inspection: watch the model's event sequence directly.
+//!
+//! Attaches an execution trace to the direct simulator under an
+//! aggressive failure regime and prints the last stretch of model
+//! events: checkpoint lifecycles, rollbacks, interrupted recoveries,
+//! correlated windows, and reboots.
+//!
+//! ```sh
+//! cargo run --release --example trace_inspection
+//! ```
+
+use ckptsim::des::SimTime;
+use ckptsim::model::config::ErrorPropagation;
+use ckptsim::model::direct::DirectSimulator;
+use ckptsim::model::trace::TraceEvent;
+use ckptsim::model::SystemConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::builder()
+        .processors(262_144)
+        .mttf_per_node(SimTime::from_years(0.5))
+        .severe_failure_threshold(3)
+        .error_propagation(Some(ErrorPropagation {
+            probability: 0.3,
+            factor: 800.0,
+            window: 180.0,
+        }))
+        .build()?;
+
+    let mut sim = DirectSimulator::new(&cfg, 2024);
+    sim.enable_trace(60);
+    sim.run(SimTime::from_hours(500.0));
+
+    let trace = sim.trace().expect("trace enabled");
+    println!("Last {} model events (of a 500-hour run):\n", trace.len());
+    print!("{trace}");
+
+    let m = sim.metrics();
+    println!("\nSummary: {m}");
+    println!(
+        "Checkpoint aborts: {} timeout, {} master, {} I/O; correlated windows: {}",
+        m.counters.checkpoints_aborted_timeout,
+        m.counters.checkpoints_aborted_master,
+        m.counters.checkpoints_aborted_io,
+        m.counters.correlated_windows,
+    );
+
+    let buffered_recoveries = trace
+        .filter(|e| matches!(e, TraceEvent::Rollback { from_buffer: true }))
+        .count();
+    let fs_recoveries = trace
+        .filter(|e| matches!(e, TraceEvent::Rollback { from_buffer: false }))
+        .count();
+    println!(
+        "Rollbacks in the trace window: {buffered_recoveries} from the I/O buffers, \
+         {fs_recoveries} from the file system"
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Transient analysis: how fast does the system reach steady state?
+//!
+//! The paper discards a fixed 1000-hour transient before measuring. This
+//! example checks that choice two ways: numerically, with the CTMC phase
+//! model solved by uniformization (`occupancy_at`), and empirically,
+//! with short-window measurements from the direct simulator — both show
+//! the phase mix settling well before 1000 hours at the base point.
+//!
+//! ```sh
+//! cargo run --release --example transient_analysis
+//! ```
+
+use ckptsim::analytic::phase_model::PhaseModel;
+use ckptsim::des::SimTime;
+use ckptsim::model::direct::DirectSimulator;
+use ckptsim::model::{PhaseKind, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::builder().build()?;
+    let model = PhaseModel {
+        interval: cfg.checkpoint_interval().as_secs(),
+        coordination: cfg.quiesce_broadcast_latency().as_secs() + cfg.mttq().as_secs(),
+        dump: cfg.checkpoint_dump_time().as_secs(),
+        recovery: cfg.mttr_system().as_secs(),
+        failure_rate: cfg.compute_failure_rate(),
+        reboot: cfg.reboot_time().as_secs(),
+        severe_rate: 0.0,
+    };
+
+    println!("CTMC transient (uniformization), starting from 'computing':");
+    println!(
+        "{:>10} {:>11} {:>13} {:>9} {:>11}",
+        "t", "computing", "coordinating", "dumping", "recovering"
+    );
+    for hours in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 1_000.0] {
+        let pi = model.occupancy_at(hours * 3_600.0)?;
+        println!(
+            "{:>8.1} h {:>11.4} {:>13.4} {:>9.4} {:>11.4}",
+            hours, pi[0], pi[1], pi[2], pi[3]
+        );
+    }
+    let steady = model.occupancy()?;
+    println!(
+        "{:>10} {:>11.4} {:>13.4} {:>9.4} {:>11.4}",
+        "steady", steady[0], steady[1], steady[2], steady[3]
+    );
+
+    println!("\nSimulated useful-work fraction over consecutive 200-hour windows:");
+    let mut sim = DirectSimulator::new(&cfg, 11);
+    for w in 0..6 {
+        sim.reset_metrics();
+        sim.run(SimTime::from_hours(200.0));
+        let m = sim.metrics();
+        println!(
+            "  window {w}: fraction {:.4} (executing {:.4}, recovering {:.4})",
+            m.useful_work_fraction(),
+            m.phase_fraction(PhaseKind::Executing),
+            m.phase_fraction(PhaseKind::Recovering)
+        );
+    }
+    println!("\nReading: the phase mix converges within a few hours — the paper's");
+    println!("1000-hour transient discard is comfortably conservative.");
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Cross-validation of the two independently written simulators: the
+//! paper-faithful SAN composition and the direct event simulator must
+//! agree on every configuration they both support.
+
+use ckptsim::des::SimTime;
+use ckptsim::model::config::{ErrorPropagation, GenericCorrelated};
+use ckptsim::model::{CoordinationMode, EngineKind, Experiment, SystemConfig};
+
+/// Runs both engines and asserts their useful-work fractions agree
+/// within `tol` (they use different random streams, so agreement is
+/// statistical, not exact).
+fn assert_engines_agree(cfg: SystemConfig, tol: f64, what: &str) {
+    let run = |engine| {
+        Experiment::new(cfg.clone())
+            .engine(engine)
+            .transient(SimTime::from_hours(500.0))
+            .horizon(SimTime::from_hours(8_000.0))
+            .replications(3)
+            .run()
+            .expect("experiment must run")
+            .useful_work_fraction()
+            .mean
+    };
+    let direct = run(EngineKind::Direct);
+    let san = run(EngineKind::San);
+    assert!(
+        (direct - san).abs() < tol,
+        "{what}: direct {direct} vs SAN {san} (tol {tol})"
+    );
+}
+
+#[test]
+fn agree_on_base_model() {
+    let cfg = SystemConfig::builder().build().unwrap();
+    assert_engines_agree(cfg, 0.03, "base model");
+}
+
+#[test]
+fn agree_without_failures_exactly() {
+    // Deterministic protocol: both engines must match to numerical noise.
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(1.0)
+        .build()
+        .unwrap();
+    assert_engines_agree(cfg, 1e-3, "failure-free deterministic");
+}
+
+#[test]
+fn agree_with_app_io_and_no_failures() {
+    let cfg = SystemConfig::builder()
+        .failures_enabled(false)
+        .compute_fraction(0.88)
+        .build()
+        .unwrap();
+    assert_engines_agree(cfg, 1e-2, "app I/O, failure-free");
+}
+
+#[test]
+fn agree_at_small_and_large_scale() {
+    for procs in [8_192u64, 262_144] {
+        let cfg = SystemConfig::builder()
+            .processors(procs)
+            .mttf_per_node(SimTime::from_years(3.0))
+            .build()
+            .unwrap();
+        assert_engines_agree(cfg, 0.03, &format!("{procs} processors"));
+    }
+}
+
+#[test]
+fn agree_with_max_of_n_coordination_and_timeout() {
+    let cfg = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(3.0))
+        .coordination(CoordinationMode::MaxOfN)
+        .timeout(Some(SimTime::from_secs(100.0)))
+        .build()
+        .unwrap();
+    assert_engines_agree(cfg, 0.03, "max-of-n + 100 s timeout");
+}
+
+#[test]
+fn agree_with_aggressive_timeout() {
+    // 60 s timeout at 256K processors: heavy aborts; both engines must
+    // model the probabilistic checkpoint-abort identically.
+    let cfg = SystemConfig::builder()
+        .processors(262_144)
+        .mttf_per_node(SimTime::from_years(3.0))
+        .coordination(CoordinationMode::MaxOfN)
+        .timeout(Some(SimTime::from_secs(60.0)))
+        .build()
+        .unwrap();
+    assert_engines_agree(cfg, 0.04, "aggressive timeout");
+}
+
+#[test]
+fn agree_with_error_propagation() {
+    let cfg = SystemConfig::builder()
+        .processors(131_072)
+        .mttf_per_node(SimTime::from_years(3.0))
+        .error_propagation(Some(ErrorPropagation {
+            probability: 0.15,
+            factor: 800.0,
+            window: 180.0,
+        }))
+        .build()
+        .unwrap();
+    assert_engines_agree(cfg, 0.03, "error propagation");
+}
+
+#[test]
+fn agree_with_generic_correlation() {
+    let cfg = SystemConfig::builder()
+        .mttf_per_node(SimTime::from_years(3.0))
+        .generic_correlated(Some(GenericCorrelated {
+            coefficient: 0.0025,
+            factor: 400.0,
+        }))
+        .build()
+        .unwrap();
+    assert_engines_agree(cfg, 0.03, "generic correlation");
+}
+
+#[test]
+fn agree_under_extreme_failure_pressure() {
+    // Reboot-heavy regime exercises the severe-failure escalation in
+    // both engines.
+    let cfg = SystemConfig::builder()
+        .processors(65_536)
+        .mttf_per_node(SimTime::from_hours(500.0))
+        .severe_failure_threshold(2)
+        .build()
+        .unwrap();
+    assert_engines_agree(cfg, 0.05, "extreme failure pressure");
+}

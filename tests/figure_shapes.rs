@@ -1,0 +1,300 @@
+//! Shape checks: quick re-runs of the paper's figures must reproduce the
+//! qualitative results the paper reports (who wins, where the optimum
+//! sits, where the cliffs are). Absolute values get the generous
+//! tolerance of `ckpt_bench::paper` — the substrate is a
+//! reimplementation, not the authors' Möbius install.
+
+use ckpt_bench::figures;
+use ckpt_bench::paper::{self, claims};
+use ckpt_bench::sweep::{run_sweep, Series};
+use ckpt_bench::RunOptions;
+use ckpt_des::SimTime;
+
+fn quick_opts() -> RunOptions {
+    RunOptions {
+        reps: 3,
+        horizon: SimTime::from_hours(8_000.0),
+        transient: SimTime::from_hours(500.0),
+        ..RunOptions::default()
+    }
+}
+
+fn run(spec: figures::FigureSpec) -> Vec<Series> {
+    run_sweep(&spec.labels, spec.cells, spec.metric, &quick_opts())
+}
+
+fn series<'a>(all: &'a [Series], label: &str) -> &'a Series {
+    all.iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("missing series '{label}'"))
+}
+
+fn argmax(s: &Series) -> f64 {
+    paper::argmax(&s.points.iter().map(|p| (p.x, p.y)).collect::<Vec<_>>())
+}
+
+#[test]
+fn fig4a_has_interior_optimum_that_moves_with_mttf() {
+    let all = run(figures::fig4a());
+    // MTTF 1 y: optimum at 128K processors (the paper's headline claim).
+    let mttf1 = series(&all, "MTTF (yrs) = 1");
+    assert_eq!(
+        argmax(mttf1) as u64,
+        claims::FIG4A_OPTIMUM_PROCS_MTTF1Y,
+        "MTTF 1 y curve: {:?}",
+        mttf1.points
+    );
+    // Peak value within tolerance of the paper's 56000 job units.
+    let peak = mttf1.points.iter().map(|p| p.y).fold(f64::MIN, f64::max);
+    assert!(
+        paper::close_to_reference(peak, claims::FIG4A_PEAK_TOTAL_USEFUL_WORK),
+        "peak {peak} vs paper {}",
+        claims::FIG4A_PEAK_TOTAL_USEFUL_WORK
+    );
+    // Halving the MTTF halves the optimum (128K → 64K).
+    let half = series(&all, "MTTF (yrs) = 0.5");
+    assert!(
+        (argmax(half) as u64) <= claims::FIG4A_OPTIMUM_PROCS_MTTF_HALF_Y,
+        "MTTF 0.5 y optimum at {}",
+        argmax(half)
+    );
+    // Larger MTTF dominates pointwise.
+    let worse = series(&all, "MTTF (yrs) = 0.25");
+    for (a, b) in mttf1.points.iter().zip(&worse.points) {
+        assert!(a.y > b.y, "MTTF 1 y must beat 0.25 y at {}", a.x);
+    }
+    // Useful work fraction at the peak stays below 50 % (paper's
+    // conclusion about failure-dominated machines).
+    let frac = peak / claims::FIG4A_OPTIMUM_PROCS_MTTF1Y as f64;
+    assert!(
+        frac < claims::MTTF1Y_FRACTION_CEILING,
+        "peak fraction {frac}"
+    );
+}
+
+#[test]
+fn fig4b_shows_no_practical_optimal_interval() {
+    let all = run(figures::fig4b());
+    // For every machine size, total useful work is (weakly) maximal at
+    // the shortest interval in the practical range — the paper's
+    // contradiction of Young/Daly's interior optimum.
+    for s in &all {
+        let first = s.points.first().unwrap();
+        let best = s.points.iter().map(|p| p.y).fold(f64::MIN, f64::max);
+        assert!(
+            first.y >= 0.97 * best,
+            "{}: 15-minute interval ({}) must be within noise of the best ({best})",
+            s.label,
+            first.y
+        );
+        // Intervals in the hours range are worse everywhere, and
+        // *sharply* worse for the large machines the paper targets
+        // (small machines fail too rarely for the interval to bite).
+        let last = s.points.last().unwrap();
+        assert!(
+            last.y < first.y,
+            "{}: 4-hour interval must cost: {} vs {}",
+            s.label,
+            last.y,
+            first.y
+        );
+        let procs: f64 = s
+            .label
+            .trim_start_matches("processors = ")
+            .parse()
+            .expect("label carries the processor count");
+        if procs >= 65_536.0 {
+            assert!(
+                last.y < 0.8 * first.y,
+                "{}: 4-hour interval must cost >20 % at scale: {} vs {}",
+                s.label,
+                last.y,
+                first.y
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4c_larger_mttr_lowers_optimum_and_curves() {
+    let all = run(figures::fig4c());
+    let m10 = series(&all, "MTTR (mins) = 10");
+    let m80 = series(&all, "MTTR (mins) = 80");
+    for (a, b) in m10.points.iter().zip(&m80.points) {
+        assert!(a.y > b.y, "MTTR 10 min must dominate 80 min at {}", a.x);
+    }
+    assert!(
+        argmax(m80) <= argmax(m10),
+        "optimum must not grow with MTTR"
+    );
+    // MTTR 40 min moves the optimum down to ≤64K (paper's claim).
+    let m40 = series(&all, "MTTR (mins) = 40");
+    assert!(
+        (argmax(m40) as u64) <= claims::FIG4C_OPTIMUM_PROCS_MTTR40,
+        "MTTR 40 min optimum at {}",
+        argmax(m40)
+    );
+}
+
+#[test]
+fn fig4f_mttf8_matches_papers_quoted_values() {
+    let all = run(figures::fig4f());
+    let mttf8 = series(&all, "MTTF per node (yrs) = 8");
+    for (mins, reference) in claims::FIG4F_MTTF8_BY_INTERVAL {
+        let p = mttf8
+            .points
+            .iter()
+            .find(|p| p.x == mins)
+            .expect("interval point exists");
+        assert!(
+            paper::close_to_reference(p.y, reference),
+            "MTTF 8 y at {mins} min: measured {} vs paper {reference}",
+            p.y
+        );
+    }
+}
+
+#[test]
+fn fig4g_more_procs_per_node_raises_total_useful_work() {
+    let g = run(figures::fig4gh(32));
+    let h = run(figures::fig4gh(16));
+    // At equal node count the 32-way nodes deliver ~2× the work of the
+    // 16-way nodes (same failure rate, double the compute).
+    let g1 = series(&g, "MTTF per node (yrs) = 1");
+    let h1 = series(&h, "MTTF per node (yrs) = 1");
+    for (a, b) in g1.points.iter().zip(&h1.points) {
+        assert!(
+            a.y > 1.6 * b.y,
+            "32-way nodes must far outwork 16-way at {} nodes: {} vs {}",
+            a.x,
+            a.y,
+            b.y
+        );
+    }
+}
+
+#[test]
+fn fig5_coordination_effect_is_logarithmic_and_small() {
+    let all = run(figures::fig5());
+    for s in &all {
+        // Fractions decline monotonically in n...
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].y <= w[0].y + 0.002,
+                "{}: fraction must not grow with n",
+                s.label
+            );
+        }
+        // ...but remain high even at 2^30 processors (paper's Figure 5
+        // spans ~0.80–0.98 for MTTQ 10 s).
+        let last = s.points.last().unwrap().y;
+        assert!(
+            last > 0.78,
+            "{}: fraction at 2^30 processors is {last}, not logarithmic decline",
+            s.label
+        );
+    }
+    // Larger MTTQ costs more.
+    let q10 = series(&all, "MTTQ=10s").points.last().unwrap().y;
+    let q05 = series(&all, "MTTQ=0.5s").points.last().unwrap().y;
+    assert!(q05 > q10);
+}
+
+#[test]
+fn fig6_timeout_cliff_sits_between_80_and_100_seconds() {
+    let all = run(figures::fig6());
+    let no_timeout = series(&all, "no timeout");
+    let t100 = series(&all, "timeout=100s");
+    let t20 = series(&all, "timeout=20s");
+    for ((a, b), c) in no_timeout.points.iter().zip(&t100.points).zip(&t20.points) {
+        // ≥ safe threshold: near the no-timeout curve up to the scale
+        // where the coordination tail outgrows 100 s (the paper's
+        // "insensitive provided the timeout is large enough").
+        if a.x <= 65_536.0 {
+            assert!(
+                (a.y - b.y).abs() < 0.06,
+                "100 s timeout must track no-timeout at {}: {} vs {}",
+                a.x,
+                b.y,
+                a.y
+            );
+        }
+        // 20 s: the checkpoint always aborts → fraction collapses.
+        assert!(
+            c.y < a.y - 0.2,
+            "20 s timeout must collapse at {}: {} vs {}",
+            a.x,
+            c.y,
+            a.y
+        );
+    }
+    // Longer timeouts can only help: the curves are ordered in the
+    // timeout at every machine size.
+    for ts in [
+        ("timeout=120s", "timeout=80s"),
+        ("timeout=80s", "timeout=60s"),
+        ("timeout=60s", "timeout=40s"),
+        ("timeout=40s", "timeout=20s"),
+    ] {
+        let hi = series(&all, ts.0);
+        let lo = series(&all, ts.1);
+        for (a, b) in hi.points.iter().zip(&lo.points) {
+            assert!(
+                a.y >= b.y - 0.03,
+                "{} must not lose to {} at {}: {} vs {}",
+                ts.0,
+                ts.1,
+                a.x,
+                a.y,
+                b.y
+            );
+        }
+    }
+    // "No coordination" is the upper envelope.
+    let none = series(&all, "no coordination");
+    for (a, b) in none.points.iter().zip(&no_timeout.points) {
+        assert!(a.y >= b.y - 0.02);
+    }
+}
+
+#[test]
+fn fig7_error_propagation_moves_fraction_little() {
+    let all = run(figures::fig7());
+    for s in &all {
+        let ys: Vec<f64> = s.points.iter().map(|p| p.y).collect();
+        let min = ys.iter().copied().fold(f64::MAX, f64::min);
+        let max = ys.iter().copied().fold(f64::MIN, f64::max);
+        // The paper's band is 0.51–0.56; allow reimplementation offset
+        // but insist the spread stays small.
+        assert!(
+            max - min < 0.06,
+            "{}: spread {min}..{max} too wide for Figure 7",
+            s.label
+        );
+        assert!(
+            min > claims::FIG7_FRACTION_BAND.0 - 0.1 && max < claims::FIG7_FRACTION_BAND.1 + 0.1,
+            "{}: band {min}..{max} far from the paper's {:?}",
+            s.label,
+            claims::FIG7_FRACTION_BAND
+        );
+    }
+}
+
+#[test]
+fn fig8_generic_correlation_degrades_scaling() {
+    let all = run(figures::fig8());
+    let without = series(&all, "without correlated failure");
+    let with = series(&all, "with correlated failure");
+    for (a, b) in without.points.iter().zip(&with.points) {
+        assert!(a.y > b.y, "correlation must hurt at {}", a.x);
+    }
+    // At 256K processors the drop is large (paper: ≈0.24, i.e. 51 %).
+    let a = without.points.last().unwrap().y;
+    let b = with.points.last().unwrap().y;
+    let drop = a - b;
+    assert!(
+        drop > 0.5 * claims::FIG8_FRACTION_DROP_AT_256K,
+        "drop at 256K procs is {drop}, paper reports {}",
+        claims::FIG8_FRACTION_DROP_AT_256K
+    );
+}

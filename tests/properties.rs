@@ -1,0 +1,144 @@
+//! Property-based tests: model invariants must hold for *any* valid
+//! configuration, not just the paper's parameter points.
+
+use ckptsim::des::SimTime;
+use ckptsim::model::config::{ErrorPropagation, GenericCorrelated};
+use ckptsim::model::direct::DirectSimulator;
+use ckptsim::model::{CoordinationMode, PhaseKind, SystemConfig};
+use proptest::prelude::*;
+
+/// Strategy over valid system configurations spanning the paper's
+/// parameter ranges (and a little beyond).
+fn config_strategy() -> impl Strategy<Value = SystemConfig> {
+    let procs_per_node = prop_oneof![Just(1u32), Just(8), Just(16), Just(32)];
+    (
+        procs_per_node,
+        1u64..=4096,     // nodes
+        (5.0f64..240.0), // checkpoint interval, minutes
+        (0.05f64..25.0), // MTTF per node, years
+        (1.0f64..80.0),  // MTTR, minutes
+        (0.5f64..10.0),  // MTTQ, seconds
+        (0.85f64..=1.0), // compute fraction
+        prop_oneof![
+            Just(CoordinationMode::FixedQuiesce),
+            Just(CoordinationMode::SystemExponential),
+            Just(CoordinationMode::MaxOfN)
+        ],
+        proptest::option::of(20.0f64..120.0), // timeout, seconds
+        proptest::option::of((0.01f64..0.3, 100.0f64..1600.0)), // error propagation
+        proptest::option::of(0.0005f64..0.005), // generic correlation α (r = 400)
+    )
+        .prop_map(
+            |(ppn, nodes, int_min, mttf_y, mttr_min, mttq, frac, coord, timeout, ep, gc)| {
+                SystemConfig::builder()
+                    .processors(nodes * u64::from(ppn))
+                    .procs_per_node(ppn)
+                    .checkpoint_interval(SimTime::from_mins(int_min))
+                    .mttf_per_node(SimTime::from_years(mttf_y))
+                    .mttr_system(SimTime::from_mins(mttr_min))
+                    .mttq(SimTime::from_secs(mttq))
+                    .compute_fraction(frac)
+                    .coordination(coord)
+                    .timeout(timeout.map(SimTime::from_secs))
+                    .error_propagation(ep.map(|(p, r)| ErrorPropagation {
+                        probability: p,
+                        factor: r,
+                        window: 180.0,
+                    }))
+                    .generic_correlated(gc.map(|a| GenericCorrelated {
+                        coefficient: a,
+                        factor: 400.0,
+                    }))
+                    .build()
+                    .expect("strategy yields valid configs")
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// The fundamental sanity bundle, on every config: the fraction is a
+    /// fraction, phase times tile the window, useful work never exceeds
+    /// executing time, and losses are non-negative.
+    #[test]
+    fn simulator_invariants_hold(cfg in config_strategy(), seed in 0u64..1_000) {
+        let mut sim = DirectSimulator::new(&cfg, seed);
+        sim.run(SimTime::from_hours(200.0));
+        sim.reset_metrics();
+        sim.run(SimTime::from_hours(2_000.0));
+        let m = sim.metrics();
+
+        prop_assert!(m.useful_work_fraction() <= 1.0 + 1e-9,
+            "fraction {} > 1", m.useful_work_fraction());
+        // Useful work can be negative over a window only through a
+        // rollback past the window start; bounded by one interval+window.
+        prop_assert!(m.useful_work_secs >= -(cfg.checkpoint_interval().as_secs() + 200.0 * 3600.0),
+            "useful work absurdly negative: {}", m.useful_work_secs);
+        prop_assert!(m.work_lost_secs >= 0.0);
+
+        let total = m.phase_times.total();
+        prop_assert!((total - m.window_secs).abs() < 1e-6 * m.window_secs.max(1.0),
+            "phase times {total} vs window {}", m.window_secs);
+
+        // Useful work accrues while executing, plus during the slice of
+        // the coordinating phase where non-preemptive application I/O is
+        // still finishing under a pending quiesce.
+        let accruable = m.phase_times.get(PhaseKind::Executing)
+            + m.phase_times.get(PhaseKind::Coordinating);
+        prop_assert!(m.useful_work_secs <= accruable + 1e-6,
+            "useful {} > accruable {accruable}", m.useful_work_secs);
+    }
+
+    /// Same seed ⇒ bit-identical trajectory; different seed ⇒ different
+    /// trajectory (statistically certain on 2000 h of failures).
+    #[test]
+    fn determinism(cfg in config_strategy()) {
+        let run = |seed: u64| {
+            let mut sim = DirectSimulator::new(&cfg, seed);
+            sim.run(SimTime::from_hours(2_000.0));
+            (sim.metrics().useful_work_secs, sim.events_processed())
+        };
+        let a = run(7);
+        prop_assert_eq!(a, run(7));
+    }
+
+    /// Checkpoint accounting: completed + aborted never exceeds the
+    /// number of initiation opportunities (one per interval), and with
+    /// failures disabled nothing is ever lost.
+    #[test]
+    fn checkpoint_accounting(cfg in config_strategy()) {
+        let mut sim = DirectSimulator::new(&cfg, 3);
+        sim.run(SimTime::from_hours(2_000.0));
+        let m = sim.metrics();
+        let attempts = m.counters.checkpoints_completed
+            + m.counters.checkpoints_aborted_timeout
+            + m.counters.checkpoints_aborted_master
+            + m.counters.checkpoints_aborted_io;
+        let upper = (2_000.0 * 3600.0 / cfg.checkpoint_interval().as_secs()) as u64 + 2;
+        prop_assert!(attempts <= upper, "{attempts} attempts > {upper} opportunities");
+    }
+
+    /// Monotonicity in the failure rate: a strictly harsher MTTF must
+    /// not (beyond noise) improve the useful work fraction.
+    #[test]
+    fn harsher_mttf_does_not_help(seed in 0u64..100) {
+        let frac = |years: f64| {
+            let cfg = SystemConfig::builder()
+                .mttf_per_node(SimTime::from_years(years))
+                .build()
+                .unwrap();
+            let mut sim = DirectSimulator::new(&cfg, seed);
+            sim.run(SimTime::from_hours(500.0));
+            sim.reset_metrics();
+            sim.run(SimTime::from_hours(5_000.0));
+            sim.metrics().useful_work_fraction()
+        };
+        let good = frac(8.0);
+        let bad = frac(0.25);
+        prop_assert!(good > bad, "MTTF 8 y ({good}) must beat 0.25 y ({bad})");
+    }
+}
