@@ -21,6 +21,9 @@ pub struct RunOptions {
     pub csv: bool,
     /// Smoke-test parameters (few short replications).
     pub quick: bool,
+    /// Worker threads for sweep cells and replications (default: all
+    /// available cores; 1 forces the sequential path).
+    pub jobs: usize,
 }
 
 impl Default for RunOptions {
@@ -33,8 +36,15 @@ impl Default for RunOptions {
             seed: 0x5eed,
             csv: false,
             quick: false,
+            jobs: default_jobs(),
         }
     }
+}
+
+/// Default worker count: available parallelism, 1 if unknown.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Error from option parsing.
@@ -99,6 +109,12 @@ impl RunOptions {
                         .parse()
                         .map_err(|e| ParseError(format!("--seed: {e}")))?;
                 }
+                "--jobs" => {
+                    let n: usize = value_for("--jobs")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--jobs: {e}")))?;
+                    opts.jobs = n.max(1);
+                }
                 "--csv" => opts.csv = true,
                 "--quick" => {
                     opts.quick = true;
@@ -109,7 +125,7 @@ impl RunOptions {
                 "--help" | "-h" => {
                     return Err(ParseError(
                         "usage: [--engine direct|san] [--reps N] [--hours H] \
-                         [--transient H] [--seed S] [--csv] [--quick]"
+                         [--transient H] [--seed S] [--jobs N] [--csv] [--quick]"
                             .to_string(),
                     ))
                 }
@@ -187,5 +203,14 @@ mod tests {
         assert!(parse(&["--reps", "many"]).is_err());
         assert!(parse(&["--reps"]).is_err());
         assert!(parse(&["--help"]).is_err());
+        assert!(parse(&["--jobs", "zero"]).is_err());
+    }
+
+    #[test]
+    fn jobs_parses_and_clamps() {
+        assert_eq!(parse(&["--jobs", "6"]).unwrap().jobs, 6);
+        // 0 would deadlock a worker pool; clamp to the sequential path.
+        assert_eq!(parse(&["--jobs", "0"]).unwrap().jobs, 1);
+        assert!(parse(&[]).unwrap().jobs >= 1);
     }
 }

@@ -1,0 +1,96 @@
+//! Measures the parallel replication engine: one full-size Figure 4
+//! point (65536 processors, paper defaults) run with `--jobs 1` and
+//! `--jobs 4`, written to `BENCH_parallel.json`.
+//!
+//! The two runs must produce byte-identical metrics — replication `k`
+//! always draws from seed `base_seed + k` — so the only thing allowed
+//! to differ is wall time. Speedup is bounded by the host's core
+//! count, which is recorded alongside the measurements.
+//!
+//! Flags: see `ckpt_bench::args` (`--quick` shrinks the horizon for a
+//! smoke run; `--seed`, `--hours`, `--transient` carry through).
+
+use ckpt_bench::RunOptions;
+use ckpt_core::{Estimate, Experiment, SystemConfig};
+use std::time::Instant;
+
+const REPLICATIONS: u32 = 4;
+
+fn run_point(cfg: &SystemConfig, opts: &RunOptions, jobs: usize) -> (Estimate, f64) {
+    let start = Instant::now();
+    let est = Experiment::new(cfg.clone())
+        .engine(opts.engine)
+        .transient(opts.transient)
+        .horizon(opts.horizon)
+        .replications(REPLICATIONS)
+        .seed(opts.seed)
+        .jobs(jobs)
+        .run()
+        .expect("benchmark point failed to run");
+    (est, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let opts = RunOptions::from_env();
+    // The Figure 4 reference point: 65536 processors at Table 3 defaults
+    // (MTTF 1 yr/node, MTTR 10 min, checkpoint interval 30 min).
+    let cfg = SystemConfig::builder()
+        .processors(65_536)
+        .build()
+        .expect("valid benchmark config");
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut runs = String::new();
+    let mut baseline: Option<(Estimate, f64)> = None;
+    let mut identical = true;
+    let mut wall_by_jobs = Vec::new();
+    for jobs in [1usize, 4] {
+        let (est, wall) = run_point(&cfg, &opts, jobs);
+        eprintln!(
+            "jobs={jobs}: {wall:.2} s wall, {:.0} events/s per worker",
+            est.events_per_sec()
+        );
+        if let Some((ref base, _)) = baseline {
+            identical &= base
+                .replicates()
+                .iter()
+                .zip(est.replicates())
+                .all(|(a, b)| a.useful_work_secs == b.useful_work_secs);
+        }
+        if !runs.is_empty() {
+            runs.push(',');
+        }
+        runs.push_str(&format!(
+            "\n    {{\"jobs\": {jobs}, \"wall_secs\": {wall:.3}, \
+             \"events_per_sec_per_worker\": {:.0}}}",
+            est.events_per_sec()
+        ));
+        wall_by_jobs.push(wall);
+        if baseline.is_none() {
+            baseline = Some((est, wall));
+        }
+    }
+    assert!(identical, "jobs=1 and jobs=4 metrics diverged");
+
+    let speedup = wall_by_jobs[0] / wall_by_jobs[1].max(1e-9);
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig4 point, 65536 processors, Table 3 defaults\",\n  \
+         \"engine\": \"{:?}\",\n  \
+         \"replications\": {REPLICATIONS},\n  \
+         \"transient_hours\": {:.0},\n  \
+         \"horizon_hours\": {:.0},\n  \
+         \"seed\": {},\n  \
+         \"host_parallelism\": {host},\n  \
+         \"runs\": [{runs}\n  ],\n  \
+         \"speedup_jobs4_vs_jobs1\": {speedup:.2},\n  \
+         \"identical_results\": {identical},\n  \
+         \"note\": \"speedup is bounded by host_parallelism; replication k always \
+         draws from seed + k, so all runs return identical metrics\"\n}}\n",
+        opts.engine,
+        opts.transient.as_hours(),
+        opts.horizon.as_hours(),
+        opts.seed,
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("{json}");
+}

@@ -24,7 +24,10 @@ fn fraction(cfg: &SystemConfig, engine: EngineKind, opts: &RunOptions) -> (f64, 
 fn main() {
     let opts = RunOptions::from_env();
     let configs: Vec<(&str, SystemConfig)> = vec![
-        ("base model (64K, MTTF 1y)", SystemConfig::builder().build().unwrap()),
+        (
+            "base model (64K, MTTF 1y)",
+            SystemConfig::builder().build().unwrap(),
+        ),
         (
             "small machine (8K, MTTF 3y)",
             SystemConfig::builder()
@@ -102,9 +105,7 @@ fn main() {
         if opts.csv {
             println!("{name},{fd:.6},{hd:.6},{fs:.6},{hs:.6},{delta:+.6}");
         } else {
-            println!(
-                "{name:<36} {fd:>8.4} ±{hd:<6.4} {fs:>8.4} ±{hs:<6.4} {delta:>+8.4}"
-            );
+            println!("{name:<36} {fd:>8.4} ±{hd:<6.4} {fs:>8.4} ±{hs:<6.4} {delta:>+8.4}");
         }
     }
     println!("\nworst |Δ| = {worst:.4} (the integration tests enforce < 0.03–0.05)");

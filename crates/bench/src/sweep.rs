@@ -56,9 +56,15 @@ pub struct Cell {
     pub config: SystemConfig,
 }
 
-/// Evaluates every cell in parallel (one OS thread per available core)
-/// and assembles the labeled series. Cells of a series are returned in
-/// the order they were supplied.
+/// Evaluates every cell in parallel (up to `opts.jobs` OS threads) and
+/// assembles the labeled series. Cells of a series are returned in the
+/// order they were supplied, and every cell's result is independent of
+/// the worker count — parallelism only changes scheduling, never
+/// sampling.
+///
+/// When there are fewer cells than `opts.jobs`, leftover parallelism is
+/// pushed one level down: each cell's experiment runs its replications
+/// on `opts.jobs / workers` threads.
 ///
 /// # Panics
 ///
@@ -73,10 +79,8 @@ pub fn run_sweep(
 ) -> Vec<Series> {
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<(usize, Point)>>> = Mutex::new(vec![None; cells.len()]);
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(cells.len().max(1));
+    let workers = opts.jobs.max(1).min(cells.len().max(1));
+    let inner_jobs = (opts.jobs.max(1) / workers).max(1);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -92,6 +96,7 @@ pub fn run_sweep(
                     .horizon(opts.horizon)
                     .replications(opts.reps)
                     .seed(opts.seed)
+                    .jobs(inner_jobs)
                     .run()
                     .expect("sweep cell failed to run");
                 let (y, half_width) = metric.extract(&est);

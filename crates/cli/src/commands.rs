@@ -20,6 +20,7 @@ pub fn run_single(args: Vec<String>) -> Result<(), CliError> {
         .horizon(opts.horizon)
         .replications(opts.reps)
         .seed(opts.seed)
+        .jobs(opts.jobs)
         .run()
         .map_err(|e| CliError::new(e.to_string()))?;
 
@@ -38,6 +39,8 @@ pub fn run_single(args: Vec<String>) -> Result<(), CliError> {
                 est.mean_of(|m| m.phase_fraction(kind))
             );
         }
+        println!("perf_wall_secs,{:.3},", est.total_wall_secs());
+        println!("perf_events_per_sec,{:.0},", est.events_per_sec());
         return Ok(());
     }
 
@@ -70,6 +73,20 @@ pub fn run_single(args: Vec<String>) -> Result<(), CliError> {
         est.mean_of(|m| m.counters.checkpoints_completed as f64 / (m.window_secs / 3.6e6)),
         est.mean_of(|m| m.counters.reboots as f64 / (m.window_secs / 3.6e6)),
     );
+    println!(
+        "performance          : {} replications on {} worker(s), {:.2} s compute, {:.0} events/s",
+        est.replicates().len(),
+        opts.jobs,
+        est.total_wall_secs(),
+        est.events_per_sec()
+    );
+    for (k, p) in est.profiles().iter().enumerate() {
+        println!(
+            "  rep {k:<2} {:>8.2} s  {:>12.0} events/s",
+            p.wall_secs,
+            p.events_per_sec()
+        );
+    }
     Ok(())
 }
 
@@ -95,7 +112,16 @@ pub fn run_figure(mut args: Vec<String>) -> Result<(), CliError> {
         .map(|(_, spec)| spec)
         .ok_or_else(|| CliError::new(format!("unknown figure '{id}' (see 'ckptsim list')")))?;
     let opts = run_options(args)?;
+    let cell_count = spec.cells.len();
+    let start = std::time::Instant::now();
     let series = run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
+    if !opts.csv {
+        eprintln!(
+            "sweep: {cell_count} cells on {} worker(s) in {:.2} s",
+            opts.jobs,
+            start.elapsed().as_secs_f64()
+        );
+    }
     table::emit(&spec.title, &spec.x_name, &series, opts.csv);
     Ok(())
 }

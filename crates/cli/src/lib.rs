@@ -76,8 +76,12 @@ RUN FLAGS:
     --hours H                measurement horizon            [20000]
     --transient H            warm-up discard                [1000]
     --seed S                 base RNG seed                  [0x5eed]
+    --jobs N                 worker threads (1 = sequential) [all cores]
     --csv                    machine-readable output
     --quick                  fast smoke parameters
+
+Results are independent of --jobs: replication k always draws from
+seed S + k, so parallelism changes scheduling, never sampling.
 ";
 
 /// Entry point used by `main`; returns the process exit code.

@@ -1,6 +1,19 @@
 //! Steady-state experiment runner: the paper's estimation procedure
 //! (transient discard + independent replications at 95 % confidence)
 //! over either simulation engine.
+//!
+//! # Parallel execution
+//!
+//! Replications are embarrassingly parallel: replication `k` always
+//! draws from seed `base_seed + k`, so its sample path is fixed no
+//! matter which thread runs it or in what order. [`Experiment::jobs`]
+//! sets the worker count (default: all available cores when the
+//! `parallel` feature is on); scheduling never changes sampling, so
+//! results are bit-identical across any `jobs` value. Sequential
+//! stopping runs in *chunks*: each round launches
+//! `min(jobs, remaining)` replications, then re-tests the confidence
+//! interval, so a parallel run may overshoot the target by at most one
+//! chunk — each replication it adds is still the same seed-`k` path.
 
 use crate::config::SystemConfig;
 use crate::direct::DirectSimulator;
@@ -9,6 +22,90 @@ use crate::san_model::{CheckpointSan, ModelError};
 use ckpt_des::SimTime;
 use ckpt_stats::{ConfidenceInterval, Replications};
 use std::fmt;
+use std::time::Instant;
+
+/// Default worker count: every core the OS grants us when threading is
+/// compiled in, otherwise the sequential path.
+#[must_use]
+fn default_jobs() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Runs `count` indexed tasks across up to `jobs` worker threads and
+/// returns the results in index order.
+///
+/// Workers pull indices from a shared counter, so thread scheduling
+/// decides only *when* each task runs — task `i` computes the same
+/// value regardless. With `jobs <= 1`, `count <= 1`, or the `parallel`
+/// feature disabled this degenerates to a plain sequential loop.
+fn run_indexed<T, F>(count: usize, jobs: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let workers = jobs.min(count);
+        if workers > 1 {
+            let next = AtomicUsize::new(0);
+            let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let value = task(i);
+                        slots.lock().expect("a sibling worker panicked")[i] = Some(value);
+                    });
+                }
+            });
+            return slots
+                .into_inner()
+                .expect("workers joined cleanly")
+                .into_iter()
+                .map(|slot| slot.expect("every index was claimed exactly once"))
+                .collect();
+        }
+    }
+    let _ = jobs;
+    (0..count).map(task).collect()
+}
+
+/// Wall-clock cost of one replication: how long it took and how many
+/// simulation events (direct-engine events or SAN activity firings) it
+/// processed, including its transient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationProfile {
+    /// Wall-clock duration of the replication in seconds.
+    pub wall_secs: f64,
+    /// Simulation events the replication processed.
+    pub events: u64,
+}
+
+impl ReplicationProfile {
+    /// Simulation events per wall-clock second (0 for an instantaneous
+    /// measurement).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
 
 /// Which simulation engine evaluates the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,6 +141,7 @@ pub enum Estimation {
 pub struct Estimate {
     config: SystemConfig,
     replicates: Vec<Metrics>,
+    profiles: Vec<ReplicationProfile>,
     level: f64,
 }
 
@@ -58,6 +156,34 @@ impl Estimate {
     #[must_use]
     pub fn replicates(&self) -> &[Metrics] {
         &self.replicates
+    }
+
+    /// Wall-clock profiles of the runs behind this estimate: one entry
+    /// per replication under [`Estimation::Replications`], a single
+    /// aggregate entry for the whole run under
+    /// [`Estimation::BatchMeans`].
+    #[must_use]
+    pub fn profiles(&self) -> &[ReplicationProfile] {
+        &self.profiles
+    }
+
+    /// Total wall-clock seconds across all profiled runs.
+    #[must_use]
+    pub fn total_wall_secs(&self) -> f64 {
+        self.profiles.iter().map(|p| p.wall_secs).sum()
+    }
+
+    /// Aggregate simulation-event throughput: total events over total
+    /// *compute* time. Under parallel execution this is per-worker
+    /// throughput, not wall-clock speedup.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        let wall = self.total_wall_secs();
+        if wall > 0.0 {
+            self.profiles.iter().map(|p| p.events).sum::<u64>() as f64 / wall
+        } else {
+            0.0
+        }
     }
 
     /// Confidence interval of the useful work fraction across
@@ -120,10 +246,13 @@ impl fmt::Display for Estimate {
 
 /// Builder-style experiment definition.
 ///
-/// Defaults follow the paper: 1000-hour transient, 95 % confidence. The
-/// measurement horizon and replication count default to values that keep
-/// a single figure point in the low seconds on a laptop; raise them for
-/// tighter intervals.
+/// Defaults follow the paper: 1000-hour transient, 95 % confidence.
+/// How long a figure point takes depends on the engine and horizon —
+/// the direct engine runs a default point in seconds, the SAN engine
+/// in tens of seconds per replication; replications run across worker
+/// threads (see [`Experiment::jobs`]), so wall time divides by the
+/// core count. Raise the horizon or replication count for tighter
+/// intervals.
 ///
 /// See the [crate-level example](crate).
 #[derive(Debug, Clone)]
@@ -137,6 +266,7 @@ pub struct Experiment {
     target_precision: Option<(f64, u32)>,
     base_seed: u64,
     level: f64,
+    jobs: usize,
 }
 
 impl Experiment {
@@ -154,6 +284,7 @@ impl Experiment {
             target_precision: None,
             base_seed: 0x5eed,
             level: 0.95,
+            jobs: default_jobs(),
         }
     }
 
@@ -207,6 +338,17 @@ impl Experiment {
         self
     }
 
+    /// Worker threads for replication execution (clamped to at least
+    /// 1). The default is the machine's available parallelism with the
+    /// `parallel` feature enabled, 1 otherwise. `jobs(1)` forces the
+    /// sequential path; any value yields bit-identical metrics because
+    /// replication `k` always draws from seed `base_seed + k`.
+    #[must_use]
+    pub fn jobs(mut self, n: usize) -> Experiment {
+        self.jobs = n.max(1);
+        self
+    }
+
     /// Sequential stopping (Möbius-style): after the configured
     /// replications, keep adding replications until the useful-work
     /// fraction's relative CI half-width drops to `rel_half_width`, or
@@ -226,54 +368,112 @@ impl Experiment {
     /// model cannot be built or executed (the direct engine is
     /// infallible once the config validated).
     pub fn run(self) -> Result<Estimate, ModelError> {
-        let replicates = match self.estimation {
+        let (replicates, profiles) = match self.estimation {
             Estimation::Replications => self.run_replications()?,
             Estimation::BatchMeans { batches } => self.run_batch_means(batches.max(2))?,
         };
         Ok(Estimate {
             config: self.config,
             replicates,
+            profiles,
             level: self.level,
         })
     }
 
-    fn run_replications(&self) -> Result<Vec<Metrics>, ModelError> {
-        let mut replicates = Vec::with_capacity(self.replications as usize);
+    /// Runs replication `k` (seed `base_seed + k`) on the configured
+    /// engine and profiles its wall time and event count.
+    fn run_one(
+        &self,
+        san_model: Option<&CheckpointSan>,
+        k: u32,
+    ) -> Result<(Metrics, ReplicationProfile), ModelError> {
+        let seed = self.base_seed + u64::from(k);
+        let start = Instant::now();
+        let (metrics, events) = match san_model {
+            None => {
+                let mut sim = DirectSimulator::new(&self.config, seed);
+                sim.run(self.transient);
+                sim.reset_metrics();
+                sim.run(self.horizon);
+                (sim.metrics(), sim.events_processed())
+            }
+            Some(model) => model.run_steady_state_profiled(seed, self.transient, self.horizon)?,
+        };
+        let profile = ReplicationProfile {
+            wall_secs: start.elapsed().as_secs_f64(),
+            events,
+        };
+        Ok((metrics, profile))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_replications(&self) -> Result<(Vec<Metrics>, Vec<ReplicationProfile>), ModelError> {
         let san_model = match self.engine {
             EngineKind::San => Some(CheckpointSan::build(&self.config)?),
             EngineKind::Direct => None,
         };
-        let run_one = |k: u32| -> Result<Metrics, ModelError> {
-            let seed = self.base_seed + u64::from(k);
-            match &san_model {
-                None => {
-                    let mut sim = DirectSimulator::new(&self.config, seed);
-                    sim.run(self.transient);
-                    sim.reset_metrics();
-                    sim.run(self.horizon);
-                    Ok(sim.metrics())
-                }
-                Some(model) => model.run_steady_state(seed, self.transient, self.horizon),
+        let mut replicates = Vec::with_capacity(self.replications as usize);
+        let mut profiles = Vec::with_capacity(self.replications as usize);
+        // Incremental accumulator for the stopping rule: pushing each
+        // new replication is O(1), where rebuilding from the replicate
+        // list every round made the stopping loop quadratic.
+        let mut accum = Replications::new();
+        let launch = |from: u32,
+                      count: u32,
+                      replicates: &mut Vec<Metrics>,
+                      profiles: &mut Vec<ReplicationProfile>,
+                      accum: &mut Replications|
+         -> Result<(), ModelError> {
+            let chunk = run_indexed(count as usize, self.jobs, |i| {
+                self.run_one(san_model.as_ref(), from + i as u32)
+            });
+            // Index order is preserved, so replication k lands at slot
+            // k and errors surface in the same order as a sequential
+            // run would report them.
+            for result in chunk {
+                let (metrics, profile) = result?;
+                accum.push(metrics.useful_work_fraction());
+                replicates.push(metrics);
+                profiles.push(profile);
             }
+            Ok(())
         };
-        for k in 0..self.replications {
-            replicates.push(run_one(k)?);
-        }
+        launch(
+            0,
+            self.replications,
+            &mut replicates,
+            &mut profiles,
+            &mut accum,
+        )?;
         if let Some((target, max_reps)) = self.target_precision {
             let mut k = self.replications;
-            while k < max_reps && relative_half_width(&replicates, self.level) > target {
-                replicates.push(run_one(k)?);
-                k += 1;
+            while k < max_reps
+                && accum.confidence_interval(self.level).relative_half_width() > target
+            {
+                // Chunked stopping: one round per CI test, sized to
+                // keep every worker busy without overshooting the cap.
+                let round = (max_reps - k).min(self.jobs.max(1) as u32);
+                launch(k, round, &mut replicates, &mut profiles, &mut accum)?;
+                k += round;
             }
         }
-        Ok(replicates)
+        Ok((replicates, profiles))
     }
 
     /// One long run, one transient, `batches` measurement slices.
-    fn run_batch_means(&self, batches: u32) -> Result<Vec<Metrics>, ModelError> {
+    ///
+    /// Inherently sequential (each batch continues the same sample
+    /// path), so `jobs` does not apply; the profile is a single entry
+    /// covering the whole run.
+    #[allow(clippy::type_complexity)]
+    fn run_batch_means(
+        &self,
+        batches: u32,
+    ) -> Result<(Vec<Metrics>, Vec<ReplicationProfile>), ModelError> {
         let slice = self.horizon / f64::from(batches);
         let mut replicates = Vec::with_capacity(batches as usize);
-        match self.engine {
+        let start = Instant::now();
+        let events = match self.engine {
             EngineKind::Direct => {
                 let mut sim = DirectSimulator::new(&self.config, self.base_seed);
                 sim.run(self.transient);
@@ -282,6 +482,7 @@ impl Experiment {
                     sim.run(slice);
                     replicates.push(sim.metrics());
                 }
+                sim.events_processed()
             }
             EngineKind::San => {
                 // The SAN runner owns its transient handling; emulate
@@ -290,15 +491,17 @@ impl Experiment {
                 // re-simulate, so run slices through the direct window
                 // API equivalent: a single simulator with reward resets.
                 let model = CheckpointSan::build(&self.config)?;
-                replicates.extend(model.run_batched(
-                    self.base_seed,
-                    self.transient,
-                    slice,
-                    batches,
-                )?);
+                let (batch_metrics, batch_events) =
+                    model.run_batched_profiled(self.base_seed, self.transient, slice, batches)?;
+                replicates.extend(batch_metrics);
+                batch_events
             }
-        }
-        Ok(replicates)
+        };
+        let profiles = vec![ReplicationProfile {
+            wall_secs: start.elapsed().as_secs_f64(),
+            events,
+        }];
+        Ok((replicates, profiles))
     }
 }
 
@@ -346,12 +549,19 @@ impl Experiment {
     /// [`EngineKind`] (job runs are a direct-simulator feature).
     #[must_use]
     pub fn job_completion(&self, solve: SimTime, deadline: SimTime) -> CompletionEstimate {
+        let outcomes = run_indexed(self.replications as usize, self.jobs, |i| {
+            let seed = self.base_seed + i as u64;
+            let mut sim = DirectSimulator::new(&self.config, seed);
+            sim.run_until_useful_work(solve.as_secs(), deadline)
+                .map(SimTime::as_secs)
+        });
         let mut times = Vec::new();
         let mut timed_out = 0;
-        for k in 0..self.replications {
-            let mut sim = DirectSimulator::new(&self.config, self.base_seed + u64::from(k));
-            match sim.run_until_useful_work(solve.as_secs(), deadline) {
-                Some(t) => times.push(t.as_secs()),
+        // `outcomes` is in replication order, so `times_secs` matches
+        // the sequential path element for element.
+        for outcome in outcomes {
+            match outcome {
+                Some(t) => times.push(t),
                 None => timed_out += 1,
             }
         }
@@ -361,16 +571,6 @@ impl Experiment {
             level: self.level,
         }
     }
-}
-
-/// Relative CI half-width of the useful-work fraction over `replicates`.
-fn relative_half_width(replicates: &[Metrics], level: f64) -> f64 {
-    replicates
-        .iter()
-        .map(Metrics::useful_work_fraction)
-        .collect::<Replications>()
-        .confidence_interval(level)
-        .relative_half_width()
 }
 
 #[cfg(test)]

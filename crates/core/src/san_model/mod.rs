@@ -199,6 +199,23 @@ impl CheckpointSan {
         transient: SimTime,
         horizon: SimTime,
     ) -> Result<Metrics, ModelError> {
+        self.run_steady_state_profiled(seed, transient, horizon)
+            .map(|(metrics, _)| metrics)
+    }
+
+    /// Like [`CheckpointSan::run_steady_state`], but also reports the
+    /// total number of activity firings the replication processed
+    /// (transient included) for throughput accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SAN execution errors.
+    pub fn run_steady_state_profiled(
+        &self,
+        seed: u64,
+        transient: SimTime,
+        horizon: SimTime,
+    ) -> Result<(Metrics, u64), ModelError> {
         let ids = self.ids;
         let mut sim = Simulator::new(&self.san, seed)?;
 
@@ -262,13 +279,14 @@ impl CheckpointSan {
         }
 
         let counters1 = self.read_counters(&sim);
-        Ok(Metrics {
+        let metrics = Metrics {
             window_secs: horizon.as_secs(),
             useful_work_secs: sim.marking().fluid(ids.work) - w0,
             work_lost_secs: sim.marking().fluid(ids.lost) - lost0,
             counters: diff_counters(counters0, counters1),
             phase_times,
-        })
+        };
+        Ok((metrics, sim.events_processed()))
     }
 
     /// Runs one long replication cut into `batches` measurement slices
@@ -285,6 +303,24 @@ impl CheckpointSan {
         slice: SimTime,
         batches: u32,
     ) -> Result<Vec<Metrics>, ModelError> {
+        self.run_batched_profiled(seed, transient, slice, batches)
+            .map(|(metrics, _)| metrics)
+    }
+
+    /// Like [`CheckpointSan::run_batched`], but also reports the total
+    /// number of activity firings across the whole run (transient
+    /// included) for throughput accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SAN execution errors.
+    pub fn run_batched_profiled(
+        &self,
+        seed: u64,
+        transient: SimTime,
+        slice: SimTime,
+        batches: u32,
+    ) -> Result<(Vec<Metrics>, u64), ModelError> {
         let ids = self.ids;
         let mut sim = Simulator::new(&self.san, seed)?;
         sim.run_for(transient)?;
@@ -306,7 +342,8 @@ impl CheckpointSan {
             lost0 = sim.marking().fluid(ids.lost);
             counters0 = counters1;
         }
-        Ok(out)
+        let events = sim.events_processed();
+        Ok((out, events))
     }
 
     fn read_counters(&self, sim: &Simulator<'_>) -> Counters {

@@ -116,6 +116,14 @@ impl<'m> Simulator<'m> {
         self.firing_counts[activity.0]
     }
 
+    /// Total number of activity firings (timed and instantaneous) since
+    /// construction — the SAN analogue of "events processed", used for
+    /// throughput reporting.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.firing_counts.iter().sum()
+    }
+
     /// Zeroes all reward accumulators and restarts the observation
     /// window at the current time — the "transient discard" step of
     /// steady-state simulation.

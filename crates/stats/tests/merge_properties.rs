@@ -1,0 +1,70 @@
+//! Property tests for the parallel-merge path of [`OnlineStats`]:
+//! merging per-partition accumulators must agree with one sequential
+//! accumulator over the same data, which is what makes per-worker
+//! statistics safe to combine after a parallel replication run.
+
+use ckpt_stats::OnlineStats;
+use proptest::prelude::*;
+
+fn sequential(values: &[f64]) -> OnlineStats {
+    let mut s = OnlineStats::new();
+    for &x in values {
+        s.push(x);
+    }
+    s
+}
+
+proptest! {
+    /// Splitting the value stream into arbitrary contiguous partitions,
+    /// accumulating each independently, and merging the parts matches
+    /// the sequential accumulator to within 1e-10.
+    #[test]
+    fn merge_of_partitions_matches_sequential(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..200),
+        parts in 1usize..8,
+    ) {
+        let reference = sequential(&values);
+
+        let chunk = values.len().div_ceil(parts).max(1);
+        let mut merged = OnlineStats::new();
+        for part in values.chunks(chunk) {
+            merged.merge(&sequential(part));
+        }
+
+        prop_assert_eq!(merged.count(), reference.count());
+        // 1e-10 relative (1e-10 absolute near zero): both accumulators
+        // see the same numbers, only the association order differs.
+        let tol = |x: f64| 1e-10 * x.abs().max(1.0);
+        prop_assert!(
+            (merged.mean() - reference.mean()).abs() <= tol(reference.mean()),
+            "mean: merged {} vs sequential {}",
+            merged.mean(),
+            reference.mean()
+        );
+        prop_assert!(
+            (merged.variance() - reference.variance()).abs() <= tol(reference.variance()),
+            "variance: merged {} vs sequential {}",
+            merged.variance(),
+            reference.variance()
+        );
+    }
+
+    /// Merging an empty accumulator on either side is the identity.
+    #[test]
+    fn merge_with_empty_is_identity(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let reference = sequential(&values);
+
+        let mut left = sequential(&values);
+        left.merge(&OnlineStats::new());
+        prop_assert_eq!(left.count(), reference.count());
+        prop_assert!((left.mean() - reference.mean()).abs() <= 1e-12);
+
+        let mut right = OnlineStats::new();
+        right.merge(&reference);
+        prop_assert_eq!(right.count(), reference.count());
+        prop_assert!((right.mean() - reference.mean()).abs() <= 1e-12);
+        prop_assert!((right.variance() - reference.variance()).abs() <= 1e-12);
+    }
+}

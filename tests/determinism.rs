@@ -1,0 +1,129 @@
+//! Parallelism must never change sampling: the same configuration and
+//! seed produce byte-identical per-replication results no matter how
+//! many worker threads run them. Replication `k` always draws from
+//! seed `base_seed + k`, so a parallel run is a reordering of the same
+//! sample paths — these tests pin that contract for both engines, for
+//! sequential stopping, and for job-completion runs.
+
+use ckptsim::des::SimTime;
+use ckptsim::model::{EngineKind, Estimate, Experiment, SystemConfig};
+
+const SEED: u64 = 0x0D15_EA5E;
+
+fn experiment(cfg: &SystemConfig, engine: EngineKind, jobs: usize) -> Experiment {
+    Experiment::new(cfg.clone())
+        .engine(engine)
+        .transient(SimTime::from_hours(100.0))
+        .horizon(SimTime::from_hours(1_000.0))
+        .replications(4)
+        .seed(SEED)
+        .jobs(jobs)
+}
+
+fn assert_bitwise_equal(a: &Estimate, b: &Estimate) {
+    assert_eq!(a.replicates().len(), b.replicates().len());
+    for (k, (x, y)) in a.replicates().iter().zip(b.replicates()).enumerate() {
+        assert_eq!(
+            x.useful_work_secs.to_bits(),
+            y.useful_work_secs.to_bits(),
+            "replication {k}: useful_work_secs diverged across worker counts"
+        );
+        assert_eq!(
+            x.work_lost_secs.to_bits(),
+            y.work_lost_secs.to_bits(),
+            "replication {k}: work_lost_secs diverged across worker counts"
+        );
+        assert_eq!(x.counters, y.counters, "replication {k}: counters diverged");
+    }
+}
+
+#[test]
+fn direct_engine_is_identical_across_jobs() {
+    let cfg = SystemConfig::builder().build().unwrap();
+    let seq = experiment(&cfg, EngineKind::Direct, 1).run().unwrap();
+    let par = experiment(&cfg, EngineKind::Direct, 8).run().unwrap();
+    assert_bitwise_equal(&seq, &par);
+}
+
+#[test]
+fn san_engine_is_identical_across_jobs() {
+    let cfg = SystemConfig::builder().build().unwrap();
+    let seq = experiment(&cfg, EngineKind::San, 1).run().unwrap();
+    let par = experiment(&cfg, EngineKind::San, 8).run().unwrap();
+    assert_bitwise_equal(&seq, &par);
+}
+
+/// Sequential stopping launches chunks of `jobs` replications per
+/// round, so a parallel run may add *more* replications than `jobs(1)`
+/// — but every replication `k` it runs must still be the seed-`k`
+/// sample path. Verify each against an independent single-replication
+/// run with that exact seed.
+#[test]
+fn sequential_stopping_preserves_per_replication_seeds() {
+    let cfg = SystemConfig::builder().build().unwrap();
+    let loose = experiment(&cfg, EngineKind::Direct, 1)
+        .replications(2)
+        .run()
+        .unwrap();
+    let target = loose.useful_work_fraction().relative_half_width() / 2.0;
+
+    let stopped = experiment(&cfg, EngineKind::Direct, 8)
+        .replications(2)
+        .target_precision(target, 12)
+        .run()
+        .unwrap();
+    assert!(
+        stopped.replicates().len() > 2,
+        "stopping rule was expected to add replications"
+    );
+    for (k, rep) in stopped.replicates().iter().enumerate() {
+        let single = Experiment::new(cfg.clone())
+            .transient(SimTime::from_hours(100.0))
+            .horizon(SimTime::from_hours(1_000.0))
+            .replications(1)
+            .seed(SEED + k as u64)
+            .jobs(1)
+            .run()
+            .unwrap();
+        assert_eq!(
+            rep.useful_work_secs.to_bits(),
+            single.replicates()[0].useful_work_secs.to_bits(),
+            "replication {k} did not use seed base_seed + {k}"
+        );
+    }
+}
+
+#[test]
+fn job_completion_is_identical_across_jobs() {
+    let cfg = SystemConfig::builder().build().unwrap();
+    let solve = SimTime::from_hours(20.0);
+    let deadline = SimTime::from_hours(1_000.0);
+    let seq = experiment(&cfg, EngineKind::Direct, 1).job_completion(solve, deadline);
+    let par = experiment(&cfg, EngineKind::Direct, 8).job_completion(solve, deadline);
+    assert_eq!(seq.timed_out(), par.timed_out());
+    assert_eq!(seq.times_secs().len(), par.times_secs().len());
+    for (k, (a, b)) in seq.times_secs().iter().zip(par.times_secs()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "completion replication {k} diverged across worker counts"
+        );
+    }
+}
+
+/// Profiles ride along with every replication and carry real event
+/// counts for both engines.
+#[test]
+fn profiles_report_events_for_both_engines() {
+    let cfg = SystemConfig::builder().build().unwrap();
+    for engine in [EngineKind::Direct, EngineKind::San] {
+        let est = experiment(&cfg, engine, 2).run().unwrap();
+        assert_eq!(est.profiles().len(), est.replicates().len());
+        for p in est.profiles() {
+            assert!(p.events > 0, "{engine:?}: replication processed no events");
+            assert!(p.wall_secs >= 0.0);
+        }
+        assert!(est.total_wall_secs() > 0.0);
+        assert!(est.events_per_sec() > 0.0, "{engine:?}: zero throughput");
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the minimal API the workspace's benches use: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`BenchmarkId`], [`black_box`]
+//! and the `criterion_group!` / `criterion_main!` macros. Instead of
+//! statistical sampling it times a handful of iterations and prints the
+//! mean — enough to track trends, deliberately cheap enough to run as a
+//! CI smoke test (`cargo bench -- --test` semantics: everything runs
+//! once).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How many timed iterations a full (non-smoke) run performs.
+const FULL_RUN_ITERS: u32 = 5;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    /// Honors `-- --test` (smoke mode: one iteration per bench), which is
+    /// what CI passes; any other arguments are ignored.
+    fn default() -> Criterion {
+        Criterion {
+            smoke: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Times a single benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: if self.smoke { 1 } else { FULL_RUN_ITERS },
+            report: None,
+        };
+        f(&mut b);
+        b.print(name);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness has a fixed
+    /// iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: if self.criterion.smoke {
+                1
+            } else {
+                FULL_RUN_ITERS
+            },
+            report: None,
+        };
+        f(&mut b, input);
+        b.print(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter(p: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new(function: impl fmt::Display, p: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{p}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    iters: u32,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean seconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.report = Some(start.elapsed().as_secs_f64() / f64::from(self.iters));
+    }
+
+    fn print(&self, name: &str) {
+        match self.report {
+            Some(secs) => println!("bench {name:<44} {:>12.3} ms/iter", secs * 1e3),
+            None => println!("bench {name:<44} (no measurement)"),
+        }
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n * 100).sum::<u64>());
+            });
+        }
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(21) * 2));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

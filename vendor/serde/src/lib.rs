@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate supplies
+//! the two derive macros the workspace annotates its data types with.
+//! They expand to nothing: no code in the workspace currently consumes
+//! the `Serialize`/`Deserialize` trait impls (there is no `serde_json`
+//! either — JSON the project emits is hand-written). If real serde is
+//! ever restored, the annotations are already in place.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
