@@ -24,6 +24,16 @@ pub struct RunOptions {
     /// Worker threads for sweep cells and replications (default: all
     /// available cores; 1 forces the sequential path).
     pub jobs: usize,
+    /// Write the merged model-event trace as JSON Lines to this path.
+    pub trace: Option<String>,
+    /// Write the metrics report (manifest + merged registry +
+    /// per-replication registries) as JSON to this path.
+    pub metrics: Option<String>,
+    /// Write just the run manifest as JSON to this path.
+    pub manifest: Option<String>,
+    /// Suppress per-replication profile output and progress heartbeats
+    /// (for scripting).
+    pub quiet: bool,
 }
 
 impl Default for RunOptions {
@@ -37,6 +47,10 @@ impl Default for RunOptions {
             csv: false,
             quick: false,
             jobs: default_jobs(),
+            trace: None,
+            metrics: None,
+            manifest: None,
+            quiet: false,
         }
     }
 }
@@ -115,6 +129,10 @@ impl RunOptions {
                         .map_err(|e| ParseError(format!("--jobs: {e}")))?;
                     opts.jobs = n.max(1);
                 }
+                "--trace" => opts.trace = Some(value_for("--trace")?),
+                "--metrics" => opts.metrics = Some(value_for("--metrics")?),
+                "--manifest" => opts.manifest = Some(value_for("--manifest")?),
+                "--quiet" => opts.quiet = true,
                 "--csv" => opts.csv = true,
                 "--quick" => {
                     opts.quick = true;
@@ -125,7 +143,8 @@ impl RunOptions {
                 "--help" | "-h" => {
                     return Err(ParseError(
                         "usage: [--engine direct|san] [--reps N] [--hours H] \
-                         [--transient H] [--seed S] [--jobs N] [--csv] [--quick]"
+                         [--transient H] [--seed S] [--jobs N] [--csv] [--quick] \
+                         [--trace FILE] [--metrics FILE] [--manifest FILE] [--quiet]"
                             .to_string(),
                     ))
                 }
@@ -204,6 +223,28 @@ mod tests {
         assert!(parse(&["--reps"]).is_err());
         assert!(parse(&["--help"]).is_err());
         assert!(parse(&["--jobs", "zero"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let o = parse(&[
+            "--trace",
+            "t.jsonl",
+            "--metrics",
+            "m.json",
+            "--manifest",
+            "r.json",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.metrics.as_deref(), Some("m.json"));
+        assert_eq!(o.manifest.as_deref(), Some("r.json"));
+        assert!(o.quiet);
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&["--metrics"]).is_err());
+        let d = parse(&[]).unwrap();
+        assert!(d.trace.is_none() && d.metrics.is_none() && d.manifest.is_none() && !d.quiet);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Runs every figure of the paper and writes one CSV per figure into
-//! `results/`, printing a one-line summary per figure. This is the
-//! one-shot command behind EXPERIMENTS.md.
+//! `results/`, plus a `.manifest.json` with the run's provenance
+//! (version, engine, seeds, host parallelism, wall time), printing a
+//! one-line summary per figure. This is the one-shot command behind
+//! EXPERIMENTS.md.
 
 use ckpt_bench::sweep::Metric;
-use ckpt_bench::{figures, run_sweep, svg, table, RunOptions};
+use ckpt_bench::{figures, run_sweep, sweep_manifest_json, svg, table, RunOptions};
 use std::fs;
 use std::time::Instant;
 
@@ -14,9 +16,14 @@ fn main() {
 
     for (id, spec) in figures::all_figures() {
         let started = Instant::now();
+        let cell_count = spec.cells.len();
         let series = run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
         let csv = table::to_csv(&spec.x_name, &series);
         fs::write(out_dir.join(format!("{id}.csv")), &csv).expect("write figure csv");
+        let manifest =
+            sweep_manifest_json(id, cell_count, &opts, started.elapsed().as_secs_f64());
+        fs::write(out_dir.join(format!("{id}.manifest.json")), &manifest)
+            .expect("write figure manifest");
         let y_name = match spec.metric {
             Metric::UsefulWorkFraction => "useful work fraction",
             Metric::TotalUsefulWork => "total useful work (job units)",

@@ -35,4 +35,4 @@ pub mod sweep;
 pub mod table;
 
 pub use args::RunOptions;
-pub use sweep::{run_sweep, Point, Series};
+pub use sweep::{run_sweep, sweep_manifest_json, Point, Series};

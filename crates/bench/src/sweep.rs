@@ -66,6 +66,11 @@ pub struct Cell {
 /// pushed one level down: each cell's experiment runs its replications
 /// on `opts.jobs / workers` threads.
 ///
+/// Long sweeps print a heartbeat line to stderr as each cell completes
+/// (suppressed by `--csv` and `--quiet`), so a multi-minute figure run
+/// is visibly alive. The heartbeat is purely cosmetic: completion
+/// *order* depends on scheduling, but every cell's result does not.
+///
 /// # Panics
 ///
 /// Panics if a cell's experiment fails (SAN build error), which
@@ -78,9 +83,11 @@ pub fn run_sweep(
     opts: &RunOptions,
 ) -> Vec<Series> {
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<(usize, Point)>>> = Mutex::new(vec![None; cells.len()]);
     let workers = opts.jobs.max(1).min(cells.len().max(1));
     let inner_jobs = (opts.jobs.max(1) / workers).max(1);
+    let heartbeat = !opts.csv && !opts.quiet;
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -106,6 +113,15 @@ pub fn run_sweep(
                     half_width,
                 };
                 results.lock().expect("sweep mutex poisoned")[i] = Some((cell.series, point));
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if heartbeat {
+                    eprintln!(
+                        "  [{finished}/{}] {} x={} done",
+                        cells.len(),
+                        labels.get(cell.series).map_or("", |l| l.as_str()),
+                        cell.x
+                    );
+                }
             });
         }
     });
@@ -122,6 +138,33 @@ pub fn run_sweep(
         series[s].points.push(p);
     }
     series
+}
+
+/// Provenance manifest for one figure sweep: which figure ran, with
+/// which engine/seed/horizon/worker settings, on how much host
+/// parallelism, and how long it took. Pure provenance — nothing in the
+/// simulation path reads it, so the wall-clock value does not affect
+/// determinism.
+#[must_use]
+pub fn sweep_manifest_json(id: &str, cells: usize, opts: &RunOptions, wall_secs: f64) -> String {
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"tool\": \"ckptsim\",\n  \
+         \"version\": \"{}\",\n  \"figure\": \"{}\",\n  \"engine\": \"{}\",\n  \
+         \"base_seed\": {},\n  \"transient_hours\": {:.6},\n  \
+         \"horizon_hours\": {:.6},\n  \"replications\": {},\n  \"jobs\": {},\n  \
+         \"host_parallelism\": {},\n  \"cells\": {},\n  \"wall_secs\": {:.6}\n}}\n",
+        env!("CARGO_PKG_VERSION"),
+        ckpt_obs::json_escape(id),
+        opts.engine.name(),
+        opts.seed,
+        opts.transient.as_hours(),
+        opts.horizon.as_hours(),
+        opts.reps,
+        opts.jobs,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        cells,
+        wall_secs,
+    )
 }
 
 #[cfg(test)]
@@ -164,6 +207,17 @@ mod tests {
         }
         // Identical configs in both series → identical results.
         assert_eq!(series[0].points[0].y, series[1].points[0].y);
+    }
+
+    #[test]
+    fn sweep_manifest_renders_provenance() {
+        let opts = RunOptions::default();
+        let j = sweep_manifest_json("fig4a", 12, &opts, 1.5);
+        assert!(j.contains("\"figure\": \"fig4a\""));
+        assert!(j.contains("\"cells\": 12"));
+        assert!(j.contains("\"engine\": \"direct\""));
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.ends_with("}\n"));
     }
 
     #[test]

@@ -4,25 +4,108 @@ use crate::config_flags::parse_config;
 use crate::CliError;
 use ckpt_analytic::{availability, coordination, daly, vaidya, young};
 use ckpt_bench::{figures, run_sweep, table, RunOptions};
-use ckpt_core::{Experiment, PhaseKind, SystemConfig};
+use ckpt_core::{Estimate, Experiment, ObserveSpec, PhaseKind, SystemConfig};
+use ckpt_obs::Recorder;
+
+/// Ring-buffer capacity behind `--trace`: large enough to keep every
+/// model event of a default-length replication; if a longer run
+/// overflows it, the JSONL notes the dropped count per replication.
+const TRACE_CAPACITY: usize = 1 << 20;
 
 fn run_options(rest: Vec<String>) -> Result<RunOptions, CliError> {
     RunOptions::parse(rest).map_err(|e| CliError::new(e.to_string()))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| CliError::new(format!("writing {path}: {e}")))
+}
+
+/// Renders the per-replication trace buffers as JSON Lines, one model
+/// event per line, tagged with the replication index (index order, so
+/// the file is identical at any `--jobs`). Replications whose ring
+/// buffer overflowed get a leading marker line with the dropped count.
+fn trace_jsonl(recordings: &[Recorder]) -> String {
+    let mut out = String::new();
+    for (rep, rec) in recordings.iter().enumerate() {
+        let Some(buf) = rec.trace() else { continue };
+        if buf.dropped() > 0 {
+            out.push_str(&format!(
+                "{{\"rep\":{rep},\"dropped\":{}}}\n",
+                buf.dropped()
+            ));
+        }
+        for entry in buf.iter() {
+            let body = entry.to_json();
+            out.push_str(&format!("{{\"rep\":{rep},{}\n", &body[1..]));
+        }
+    }
+    out
+}
+
+/// Renders the full metrics report: manifest, merged registry,
+/// per-replication registries, and the registry-vs-engine phase-time
+/// reconciliation verdicts.
+fn metrics_json(est: &Estimate) -> String {
+    let mut s = String::from("{\n\"schema_version\": 1,\n\"manifest\": ");
+    s.push_str(est.manifest().to_json().trim_end());
+    s.push_str(",\n\"merged_registry\": ");
+    match est.merged_registry() {
+        Some(reg) => s.push_str(&reg.to_json()),
+        None => s.push_str("null"),
+    }
+    s.push_str(",\n\"replications\": [");
+    let mut first = true;
+    for (rep, rec) in est.recordings().iter().enumerate() {
+        let Some(reg) = rec.registry() else { continue };
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let reconcile = match est.replicates().get(rep) {
+            Some(m) => match reg.reconcile(&m.phase_times, 1e-6) {
+                Ok(()) => "\"ok\"".to_string(),
+                Err(e) => format!("\"{}\"", ckpt_obs::json_escape(&e.to_string())),
+            },
+            None => "\"no metrics\"".to_string(),
+        };
+        s.push_str(&format!(
+            "\n{{\"rep\":{rep},\"reconcile\":{reconcile},\"registry\":{}}}",
+            reg.to_json()
+        ));
+    }
+    s.push_str("\n]\n}\n");
+    s
 }
 
 /// `ckptsim run`: simulate one configuration and print its metrics.
 pub fn run_single(args: Vec<String>) -> Result<(), CliError> {
     let (cfg, rest) = parse_config(args)?;
     let opts = run_options(rest)?;
-    let est = Experiment::new(cfg.clone())
+    let observing = opts.trace.is_some() || opts.metrics.is_some();
+    let mut exp = Experiment::new(cfg.clone())
         .engine(opts.engine)
         .transient(opts.transient)
         .horizon(opts.horizon)
         .replications(opts.reps)
         .seed(opts.seed)
-        .jobs(opts.jobs)
-        .run()
-        .map_err(|e| CliError::new(e.to_string()))?;
+        .jobs(opts.jobs);
+    if observing {
+        exp = exp.observe(ObserveSpec {
+            trace_capacity: opts.trace.as_ref().map(|_| TRACE_CAPACITY),
+            registry: true,
+        });
+    }
+    let est = exp.run().map_err(|e| CliError::new(e.to_string()))?;
+
+    if let Some(path) = &opts.trace {
+        write_file(path, &trace_jsonl(est.recordings()))?;
+    }
+    if let Some(path) = &opts.metrics {
+        write_file(path, &metrics_json(&est))?;
+    }
+    if let Some(path) = &opts.manifest {
+        write_file(path, &est.manifest().to_json())?;
+    }
 
     let frac = est.useful_work_fraction();
     let tuw = est.total_useful_work();
@@ -41,6 +124,19 @@ pub fn run_single(args: Vec<String>) -> Result<(), CliError> {
         }
         println!("perf_wall_secs,{:.3},", est.total_wall_secs());
         println!("perf_events_per_sec,{:.0},", est.events_per_sec());
+        if !opts.quiet {
+            // Per-replication profile section; header documented in
+            // EXPERIMENTS.md. Suppress with --quiet when scripting.
+            println!("rep,wall_secs,events,events_per_sec");
+            for (k, p) in est.profiles().iter().enumerate() {
+                println!(
+                    "{k},{:.6},{},{:.0}",
+                    p.wall_secs,
+                    p.events,
+                    p.events_per_sec()
+                );
+            }
+        }
         return Ok(());
     }
 
@@ -80,12 +176,19 @@ pub fn run_single(args: Vec<String>) -> Result<(), CliError> {
         est.total_wall_secs(),
         est.events_per_sec()
     );
-    for (k, p) in est.profiles().iter().enumerate() {
+    if !opts.quiet {
         println!(
-            "  rep {k:<2} {:>8.2} s  {:>12.0} events/s",
-            p.wall_secs,
-            p.events_per_sec()
+            "  {:<4} {:>10} {:>14} {:>14}",
+            "rep", "wall_secs", "events", "events_per_sec"
         );
+        for (k, p) in est.profiles().iter().enumerate() {
+            println!(
+                "  {k:<4} {:>10.2} {:>14} {:>14.0}",
+                p.wall_secs,
+                p.events,
+                p.events_per_sec()
+            );
+        }
     }
     Ok(())
 }
@@ -115,12 +218,15 @@ pub fn run_figure(mut args: Vec<String>) -> Result<(), CliError> {
     let cell_count = spec.cells.len();
     let start = std::time::Instant::now();
     let series = run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
-    if !opts.csv {
-        eprintln!(
-            "sweep: {cell_count} cells on {} worker(s) in {:.2} s",
-            opts.jobs,
-            start.elapsed().as_secs_f64()
-        );
+    let wall_secs = start.elapsed().as_secs_f64();
+    if !opts.csv && !opts.quiet {
+        eprintln!("sweep: {cell_count} cells on {} worker(s) in {wall_secs:.2} s", opts.jobs);
+    }
+    if let Some(path) = &opts.manifest {
+        write_file(
+            path,
+            &ckpt_bench::sweep_manifest_json(&id, cell_count, &opts, wall_secs),
+        )?;
     }
     table::emit(&spec.title, &spec.x_name, &series, opts.csv);
     Ok(())

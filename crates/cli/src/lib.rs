@@ -79,9 +79,14 @@ RUN FLAGS:
     --jobs N                 worker threads (1 = sequential) [all cores]
     --csv                    machine-readable output
     --quick                  fast smoke parameters
+    --trace FILE             write the model-event trace as JSON Lines
+    --metrics FILE           write metrics report (manifest + registries) as JSON
+    --manifest FILE          write just the run manifest as JSON
+    --quiet                  suppress per-rep profiles and progress heartbeats
 
 Results are independent of --jobs: replication k always draws from
-seed S + k, so parallelism changes scheduling, never sampling.
+seed S + k, so parallelism changes scheduling, never sampling —
+observers included (traces and registries merge in replication order).
 ";
 
 /// Entry point used by `main`; returns the process exit code.
@@ -180,6 +185,68 @@ mod tests {
             ])),
             0
         );
+    }
+
+    #[test]
+    fn run_writes_trace_metrics_and_manifest() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("ckptsim_cli_test_trace.jsonl");
+        let metrics = dir.join("ckptsim_cli_test_metrics.json");
+        let manifest = dir.join("ckptsim_cli_test_manifest.json");
+        assert_eq!(
+            run(argv(&[
+                "run",
+                "--processors",
+                "8192",
+                "--reps",
+                "2",
+                "--hours",
+                "200",
+                "--transient",
+                "20",
+                "--quiet",
+                "--trace",
+                trace.to_str().unwrap(),
+                "--metrics",
+                metrics.to_str().unwrap(),
+                "--manifest",
+                manifest.to_str().unwrap(),
+            ])),
+            0
+        );
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.lines().next().unwrap().starts_with("{\"rep\":0,"));
+        assert!(t.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"merged_registry\""));
+        assert!(m.contains("\"reconcile\":\"ok\""));
+        let man = std::fs::read_to_string(&manifest).unwrap();
+        assert!(man.contains("\"schema_version\": 1"));
+        assert!(man.contains("\"engine\": \"direct\""));
+        for p in [&trace, &metrics, &manifest] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn figure_quick_writes_sweep_manifest() {
+        let manifest = std::env::temp_dir().join("ckptsim_cli_test_fig_manifest.json");
+        assert_eq!(
+            run(argv(&[
+                "figure",
+                "fig5",
+                "--quick",
+                "--quiet",
+                "--csv",
+                "--manifest",
+                manifest.to_str().unwrap(),
+            ])),
+            0
+        );
+        let man = std::fs::read_to_string(&manifest).unwrap();
+        assert!(man.contains("\"figure\": \"fig5\""));
+        assert!(man.contains("\"cells\":"));
+        let _ = std::fs::remove_file(&manifest);
     }
 
     #[test]

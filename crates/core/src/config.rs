@@ -459,6 +459,115 @@ impl SystemConfig {
     pub fn io_phase(&self) -> SimTime {
         SimTime::from_secs(self.app_cycle_period * (1.0 - self.compute_fraction))
     }
+
+    /// Flat key/value rendering of every configuration field, in a
+    /// stable order — the `config` section of a run manifest
+    /// (provenance), and generally useful for logging. Values use plain
+    /// `Display`/`Debug` formatting; durations are in seconds.
+    #[must_use]
+    pub fn summary(&self) -> Vec<(String, String)> {
+        fn opt<T: fmt::Display>(v: Option<T>) -> String {
+            v.map_or_else(|| "none".to_string(), |x| x.to_string())
+        }
+        vec![
+            ("processors".into(), self.processors.to_string()),
+            ("procs_per_node".into(), self.procs_per_node.to_string()),
+            (
+                "compute_nodes_per_io_node".into(),
+                self.compute_nodes_per_io_node.to_string(),
+            ),
+            (
+                "checkpoint_interval_secs".into(),
+                self.checkpoint_interval.to_string(),
+            ),
+            ("mttq_secs".into(), self.mttq.to_string()),
+            (
+                "broadcast_overhead_secs".into(),
+                self.broadcast_overhead.to_string(),
+            ),
+            (
+                "software_overhead_secs".into(),
+                self.software_overhead.to_string(),
+            ),
+            ("coordination".into(), format!("{:?}", self.coordination)),
+            ("timeout_secs".into(), opt(self.timeout)),
+            (
+                "background_checkpoint_write".into(),
+                self.background_checkpoint_write.to_string(),
+            ),
+            (
+                "buffered_recovery".into(),
+                self.buffered_recovery.to_string(),
+            ),
+            ("mttf_per_node_secs".into(), self.mttf_per_node.to_string()),
+            ("mttr_system_secs".into(), self.mttr_system.to_string()),
+            ("mttr_io_secs".into(), self.mttr_io.to_string()),
+            (
+                "recovery_time_model".into(),
+                format!("{:?}", self.recovery_time_model),
+            ),
+            (
+                "severe_failure_threshold".into(),
+                self.severe_failure_threshold.to_string(),
+            ),
+            ("reboot_time_secs".into(), self.reboot_time.to_string()),
+            (
+                "model_master_failures".into(),
+                self.model_master_failures.to_string(),
+            ),
+            (
+                "model_io_failures".into(),
+                self.model_io_failures.to_string(),
+            ),
+            (
+                "failures_enabled".into(),
+                self.failures_enabled.to_string(),
+            ),
+            (
+                "error_propagation".into(),
+                self.error_propagation
+                    .map_or_else(|| "none".to_string(), |e| format!("{e:?}")),
+            ),
+            (
+                "generic_correlated".into(),
+                self.generic_correlated
+                    .map_or_else(|| "none".to_string(), |g| format!("{g:?}")),
+            ),
+            (
+                "spatial_correlation".into(),
+                opt(self.spatial_correlation),
+            ),
+            (
+                "app_cycle_period_secs".into(),
+                self.app_cycle_period.to_string(),
+            ),
+            (
+                "compute_fraction".into(),
+                self.compute_fraction.to_string(),
+            ),
+            (
+                "compute_fraction_jitter".into(),
+                self.compute_fraction_jitter
+                    .map_or_else(|| "none".to_string(), |(lo, hi)| format!("{lo}..{hi}")),
+            ),
+            (
+                "compute_io_bandwidth_mbps".into(),
+                self.compute_io_bandwidth_mbps.to_string(),
+            ),
+            (
+                "fs_bandwidth_per_io_mbps".into(),
+                self.fs_bandwidth_per_io_mbps.to_string(),
+            ),
+            (
+                "checkpoint_size_per_node_mb".into(),
+                self.checkpoint_size_per_node_mb.to_string(),
+            ),
+            (
+                "app_io_data_per_node_mb".into(),
+                self.app_io_data_per_node_mb.to_string(),
+            ),
+        ]
+    }
 }
 
 /// Builder for [`SystemConfig`]; all setters take the strongly typed
@@ -1013,6 +1122,29 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(big.node_count(), 32_768);
+    }
+
+    #[test]
+    fn summary_lists_every_field_in_stable_order() {
+        let c = SystemConfig::builder()
+            .timeout(Some(SimTime::from_secs(60.0)))
+            .build()
+            .unwrap();
+        let s = c.summary();
+        assert_eq!(s[0], ("processors".to_string(), "65536".to_string()));
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k.as_str()).collect();
+        for key in [
+            "coordination",
+            "timeout_secs",
+            "failures_enabled",
+            "app_io_data_per_node_mb",
+        ] {
+            assert!(keys.contains(&key), "missing {key}");
+        }
+        let timeout = s.iter().find(|(k, _)| k == "timeout_secs").unwrap();
+        assert_eq!(timeout.1, "60");
+        // Same config, same rendering: manifests must be reproducible.
+        assert_eq!(s, c.summary());
     }
 
     #[test]

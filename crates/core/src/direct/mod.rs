@@ -29,6 +29,7 @@ mod events;
 use crate::config::{CoordinationMode, RecoveryTimeModel, SystemConfig};
 use crate::metrics::{Counters, Metrics, PhaseKind, PhaseTimes};
 use crate::trace::{AbortReason, TraceBuffer, TraceEvent};
+use ckpt_obs::{ObsEvent, Observer};
 use ckpt_des::{EventId, EventQueue, RngFactory, SimRng, SimTime, StreamId};
 use ckpt_stats::dist::sample_max_exponential;
 use events::{AppPhase, Event, IoState, RecoveryStage, SysPhase};
@@ -107,6 +108,10 @@ pub struct DirectSimulator<'c> {
     phase_times: PhaseTimes,
     events_processed: u64,
     trace: Option<TraceBuffer>,
+    observer: Option<&'c mut dyn Observer>,
+    /// Last phase reported to the observer (suppresses no-op `Phase`
+    /// notifications).
+    observed_phase: PhaseKind,
 }
 
 impl<'c> DirectSimulator<'c> {
@@ -147,6 +152,8 @@ impl<'c> DirectSimulator<'c> {
             phase_times: PhaseTimes::default(),
             events_processed: 0,
             trace: None,
+            observer: None,
+            observed_phase: PhaseKind::Executing,
         };
         sim.schedule_app_phase_end();
         sim.arm_checkpoint_trigger();
@@ -197,6 +204,7 @@ impl<'c> DirectSimulator<'c> {
             let event = ev.into_payload();
             self.clear_pending(event, id);
             self.dispatch(event);
+            self.notify_phase();
         }
         Some(self.now)
     }
@@ -216,6 +224,7 @@ impl<'c> DirectSimulator<'c> {
             let event = ev.into_payload();
             self.clear_pending(event, id);
             self.dispatch(event);
+            self.notify_phase();
             debug_assert!(
                 !self.cfg.failures_enabled()
                     || self.phase == SysPhase::Rebooting
@@ -254,9 +263,46 @@ impl<'c> DirectSimulator<'c> {
         self.trace.as_ref()
     }
 
+    /// Attaches an observer receiving every subsequent model event plus
+    /// phase transitions. Observation never affects simulation results
+    /// (observers are pure consumers; see [`ckpt_obs::Observer`]), so
+    /// runs stay bit-identical with or without one.
+    pub fn set_observer(&mut self, observer: &'c mut dyn Observer) {
+        self.observed_phase = self.current_phase();
+        self.observer = Some(observer);
+    }
+
+    /// Detaches the observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Coarse phase the system is currently in.
+    #[must_use]
+    pub fn current_phase(&self) -> PhaseKind {
+        self.phase_kind()
+    }
+
     fn record(&mut self, event: TraceEvent) {
         if let Some(t) = &mut self.trace {
             t.record(self.now, event);
+        }
+        if let Some(o) = self.observer.as_deref_mut() {
+            o.on_event(self.now, ObsEvent::Model(event));
+        }
+    }
+
+    /// Reports a phase transition to the observer, if one is attached
+    /// and the coarse phase actually changed since the last report.
+    fn notify_phase(&mut self) {
+        if self.observer.is_some() {
+            let p = self.phase_kind();
+            if p != self.observed_phase {
+                self.observed_phase = p;
+                if let Some(o) = self.observer.as_deref_mut() {
+                    o.on_event(self.now, ObsEvent::Phase(p));
+                }
+            }
         }
     }
 

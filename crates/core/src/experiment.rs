@@ -20,6 +20,7 @@ use crate::direct::DirectSimulator;
 use crate::metrics::Metrics;
 use crate::san_model::{CheckpointSan, ModelError};
 use ckpt_des::SimTime;
+use ckpt_obs::{MetricsRegistry, Observer, Recorder, RunManifest, RunProfile};
 use ckpt_stats::{ConfidenceInterval, Replications};
 use std::fmt;
 use std::time::Instant;
@@ -107,6 +108,42 @@ impl ReplicationProfile {
     }
 }
 
+/// What each replication records beyond its metrics (see
+/// [`Experiment::observe`]).
+///
+/// Observation never perturbs the simulation: observers are pure
+/// consumers of the event stream, so results stay bit-identical to an
+/// unobserved run at any [`Experiment::jobs`] value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObserveSpec {
+    /// Keep the last `n` model events of each replication in a ring
+    /// buffer ([`ckpt_obs::TraceBuffer`]); `None` disables tracing.
+    pub trace_capacity: Option<usize>,
+    /// Accumulate a [`MetricsRegistry`] (event counters, activity
+    /// firings, sim-time-weighted phase times) per replication.
+    pub registry: bool,
+}
+
+impl ObserveSpec {
+    /// Registry only — the cheap default for phase-time accounting.
+    #[must_use]
+    pub fn metrics() -> ObserveSpec {
+        ObserveSpec {
+            trace_capacity: None,
+            registry: true,
+        }
+    }
+
+    /// Registry plus a model-event trace of the given capacity.
+    #[must_use]
+    pub fn full(trace_capacity: usize) -> ObserveSpec {
+        ObserveSpec {
+            trace_capacity: Some(trace_capacity),
+            registry: true,
+        }
+    }
+}
+
 /// Which simulation engine evaluates the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
@@ -115,6 +152,17 @@ pub enum EngineKind {
     Direct,
     /// The paper-faithful SAN composition.
     San,
+}
+
+impl EngineKind {
+    /// Stable lower-case name, used in manifests and CLI output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Direct => "direct",
+            EngineKind::San => "san",
+        }
+    }
 }
 
 /// How the steady-state estimate is formed.
@@ -140,8 +188,15 @@ pub enum Estimation {
 #[derive(Debug, Clone)]
 pub struct Estimate {
     config: SystemConfig,
+    engine: EngineKind,
+    estimation: Estimation,
+    base_seed: u64,
+    transient: SimTime,
+    horizon: SimTime,
+    jobs: usize,
     replicates: Vec<Metrics>,
     profiles: Vec<ReplicationProfile>,
+    recordings: Vec<Recorder>,
     level: f64,
 }
 
@@ -165,6 +220,68 @@ impl Estimate {
     #[must_use]
     pub fn profiles(&self) -> &[ReplicationProfile] {
         &self.profiles
+    }
+
+    /// The engine that produced this estimate.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Per-replication observability recordings, in replication (index)
+    /// order — one per replication when [`Experiment::observe`] was
+    /// set under [`Estimation::Replications`], empty otherwise
+    /// (batch-means runs one continuous sample path, which has no
+    /// per-replication windows to record).
+    #[must_use]
+    pub fn recordings(&self) -> &[Recorder] {
+        &self.recordings
+    }
+
+    /// Merges every replication's [`MetricsRegistry`] into one
+    /// aggregate (index order, so the result is deterministic at any
+    /// `jobs` value). `None` when no registry was recorded.
+    #[must_use]
+    pub fn merged_registry(&self) -> Option<MetricsRegistry> {
+        let mut iter = self.recordings.iter().filter_map(Recorder::registry);
+        let mut merged = iter.next()?.clone();
+        for r in iter {
+            merged.merge(r);
+        }
+        Some(merged)
+    }
+
+    /// Run manifest: full provenance (tool version, engine, seeds,
+    /// horizon, host parallelism, the complete configuration, and
+    /// per-replication wall/event profiles) for reproducing or auditing
+    /// this estimate.
+    #[must_use]
+    pub fn manifest(&self) -> RunManifest {
+        RunManifest {
+            tool: "ckptsim".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            engine: self.engine.name().to_string(),
+            estimation: match self.estimation {
+                Estimation::Replications => "replications".to_string(),
+                Estimation::BatchMeans { batches } => format!("batch_means:{batches}"),
+            },
+            base_seed: self.base_seed,
+            transient_hours: self.transient.as_hours(),
+            horizon_hours: self.horizon.as_hours(),
+            replications: self.replicates.len(),
+            jobs: self.jobs,
+            host_parallelism: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get),
+            config: self.config.summary(),
+            profiles: self
+                .profiles
+                .iter()
+                .map(|p| RunProfile {
+                    wall_secs: p.wall_secs,
+                    events: p.events,
+                })
+                .collect(),
+        }
     }
 
     /// Total wall-clock seconds across all profiled runs.
@@ -267,6 +384,7 @@ pub struct Experiment {
     base_seed: u64,
     level: f64,
     jobs: usize,
+    observe: Option<ObserveSpec>,
 }
 
 impl Experiment {
@@ -285,6 +403,7 @@ impl Experiment {
             base_seed: 0x5eed,
             level: 0.95,
             jobs: default_jobs(),
+            observe: None,
         }
     }
 
@@ -349,6 +468,19 @@ impl Experiment {
         self
     }
 
+    /// Attaches a [`Recorder`] to every replication (default: none —
+    /// the zero-cost no-observer path). Recordings come back through
+    /// [`Estimate::recordings`] in replication order; only
+    /// [`Estimation::Replications`] records (batch means is one
+    /// continuous path with no per-replication windows). Observation
+    /// never changes sampling: metrics stay bit-identical to an
+    /// unobserved run.
+    #[must_use]
+    pub fn observe(mut self, spec: ObserveSpec) -> Experiment {
+        self.observe = Some(spec);
+        self
+    }
+
     /// Sequential stopping (Möbius-style): after the configured
     /// replications, keep adding replications until the useful-work
     /// fraction's relative CI half-width drops to `rel_half_width`, or
@@ -368,52 +500,82 @@ impl Experiment {
     /// model cannot be built or executed (the direct engine is
     /// infallible once the config validated).
     pub fn run(self) -> Result<Estimate, ModelError> {
-        let (replicates, profiles) = match self.estimation {
+        let (replicates, profiles, recordings) = match self.estimation {
             Estimation::Replications => self.run_replications()?,
             Estimation::BatchMeans { batches } => self.run_batch_means(batches.max(2))?,
         };
         Ok(Estimate {
             config: self.config,
+            engine: self.engine,
+            estimation: self.estimation,
+            base_seed: self.base_seed,
+            transient: self.transient,
+            horizon: self.horizon,
+            jobs: self.jobs,
             replicates,
             profiles,
+            recordings,
             level: self.level,
         })
     }
 
     /// Runs replication `k` (seed `base_seed + k`) on the configured
-    /// engine and profiles its wall time and event count.
+    /// engine and profiles its wall time and event count. When
+    /// observation is enabled the recorder watches exactly the
+    /// measurement window (transient excluded), so its phase times are
+    /// comparable to the replication's [`Metrics`].
     fn run_one(
         &self,
         san_model: Option<&CheckpointSan>,
         k: u32,
-    ) -> Result<(Metrics, ReplicationProfile), ModelError> {
+    ) -> Result<(Metrics, ReplicationProfile, Option<Recorder>), ModelError> {
         let seed = self.base_seed + u64::from(k);
+        let mut recorder = self
+            .observe
+            .map(|spec| Recorder::new(spec.trace_capacity, spec.registry));
         let start = Instant::now();
         let (metrics, events) = match san_model {
             None => {
                 let mut sim = DirectSimulator::new(&self.config, seed);
                 sim.run(self.transient);
                 sim.reset_metrics();
+                if let Some(rec) = recorder.as_mut() {
+                    rec.on_window_begin(sim.now(), sim.current_phase());
+                    sim.set_observer(rec);
+                }
                 sim.run(self.horizon);
-                (sim.metrics(), sim.events_processed())
+                let out = (sim.metrics(), sim.events_processed());
+                let end = sim.now();
+                if let Some(rec) = recorder.as_mut() {
+                    rec.on_window_end(end);
+                }
+                out
             }
-            Some(model) => model.run_steady_state_profiled(seed, self.transient, self.horizon)?,
+            Some(model) => match recorder.as_mut() {
+                None => model.run_steady_state_profiled(seed, self.transient, self.horizon)?,
+                Some(rec) => {
+                    model.run_steady_state_observed(seed, self.transient, self.horizon, rec)?
+                }
+            },
         };
         let profile = ReplicationProfile {
             wall_secs: start.elapsed().as_secs_f64(),
             events,
         };
-        Ok((metrics, profile))
+        Ok((metrics, profile, recorder))
     }
 
     #[allow(clippy::type_complexity)]
-    fn run_replications(&self) -> Result<(Vec<Metrics>, Vec<ReplicationProfile>), ModelError> {
+    fn run_replications(
+        &self,
+    ) -> Result<(Vec<Metrics>, Vec<ReplicationProfile>, Vec<Recorder>), ModelError> {
         let san_model = match self.engine {
             EngineKind::San => Some(CheckpointSan::build(&self.config)?),
             EngineKind::Direct => None,
         };
         let mut replicates = Vec::with_capacity(self.replications as usize);
         let mut profiles = Vec::with_capacity(self.replications as usize);
+        let mut recordings = Vec::new();
         // Incremental accumulator for the stopping rule: pushing each
         // new replication is O(1), where rebuilding from the replicate
         // list every round made the stopping loop quadratic.
@@ -422,19 +584,24 @@ impl Experiment {
                       count: u32,
                       replicates: &mut Vec<Metrics>,
                       profiles: &mut Vec<ReplicationProfile>,
+                      recordings: &mut Vec<Recorder>,
                       accum: &mut Replications|
          -> Result<(), ModelError> {
             let chunk = run_indexed(count as usize, self.jobs, |i| {
                 self.run_one(san_model.as_ref(), from + i as u32)
             });
             // Index order is preserved, so replication k lands at slot
-            // k and errors surface in the same order as a sequential
-            // run would report them.
+            // k (metrics, profile, and recording alike) and errors
+            // surface in the same order as a sequential run would
+            // report them.
             for result in chunk {
-                let (metrics, profile) = result?;
+                let (metrics, profile, recorder) = result?;
                 accum.push(metrics.useful_work_fraction());
                 replicates.push(metrics);
                 profiles.push(profile);
+                if let Some(r) = recorder {
+                    recordings.push(r);
+                }
             }
             Ok(())
         };
@@ -443,6 +610,7 @@ impl Experiment {
             self.replications,
             &mut replicates,
             &mut profiles,
+            &mut recordings,
             &mut accum,
         )?;
         if let Some((target, max_reps)) = self.target_precision {
@@ -453,23 +621,31 @@ impl Experiment {
                 // Chunked stopping: one round per CI test, sized to
                 // keep every worker busy without overshooting the cap.
                 let round = (max_reps - k).min(self.jobs.max(1) as u32);
-                launch(k, round, &mut replicates, &mut profiles, &mut accum)?;
+                launch(
+                    k,
+                    round,
+                    &mut replicates,
+                    &mut profiles,
+                    &mut recordings,
+                    &mut accum,
+                )?;
                 k += round;
             }
         }
-        Ok((replicates, profiles))
+        Ok((replicates, profiles, recordings))
     }
 
     /// One long run, one transient, `batches` measurement slices.
     ///
     /// Inherently sequential (each batch continues the same sample
     /// path), so `jobs` does not apply; the profile is a single entry
-    /// covering the whole run.
+    /// covering the whole run, and [`Experiment::observe`] is ignored
+    /// (there are no per-replication windows to record).
     #[allow(clippy::type_complexity)]
     fn run_batch_means(
         &self,
         batches: u32,
-    ) -> Result<(Vec<Metrics>, Vec<ReplicationProfile>), ModelError> {
+    ) -> Result<(Vec<Metrics>, Vec<ReplicationProfile>, Vec<Recorder>), ModelError> {
         let slice = self.horizon / f64::from(batches);
         let mut replicates = Vec::with_capacity(batches as usize);
         let start = Instant::now();
@@ -501,7 +677,7 @@ impl Experiment {
             wall_secs: start.elapsed().as_secs_f64(),
             events,
         }];
-        Ok((replicates, profiles))
+        Ok((replicates, profiles, Vec::new()))
     }
 }
 
@@ -757,6 +933,45 @@ mod tests {
             .job_completion(SimTime::from_hours(100.0), SimTime::from_hours(300.0));
         assert_eq!(est.timed_out(), 2);
         assert!(est.times_secs().is_empty());
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_records() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        let plain = quick(cfg.clone(), EngineKind::Direct);
+        let observed = Experiment::new(cfg)
+            .transient(SimTime::from_hours(100.0))
+            .horizon(SimTime::from_hours(1_000.0))
+            .replications(3)
+            .observe(ObserveSpec::full(64))
+            .run()
+            .unwrap();
+        assert_eq!(observed.recordings().len(), 3);
+        // Observers are pure consumers: attaching one must not perturb
+        // the sample path.
+        for (a, b) in plain.replicates().iter().zip(observed.replicates()) {
+            assert_eq!(a.useful_work_secs, b.useful_work_secs);
+            assert_eq!(a.counters, b.counters);
+        }
+        let reg = observed.merged_registry().unwrap();
+        assert!(reg.window_secs() > 0.0);
+        assert!(!observed.recordings()[0].trace().unwrap().is_empty());
+    }
+
+    #[test]
+    fn manifest_captures_provenance() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        let est = quick(cfg, EngineKind::Direct);
+        let m = est.manifest();
+        assert_eq!(m.engine, "direct");
+        assert_eq!(m.estimation, "replications");
+        assert_eq!(m.replications, 3);
+        assert_eq!(m.base_seed, 0x5eed);
+        assert_eq!(m.profiles.len(), 3);
+        let json = m.to_json();
+        assert!(json.contains("schema_version"));
+        assert!(json.contains("\"processors\""));
+        assert!(json.contains("\"host_parallelism\""));
     }
 
     #[test]

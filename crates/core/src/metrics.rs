@@ -1,58 +1,13 @@
 //! Performance measures: useful work and event counters.
+//!
+//! The phase taxonomy ([`PhaseKind`] / [`PhaseTimes`]) lives in the
+//! engine-agnostic `ckpt-obs` crate (both engines and the observability
+//! layer share it) and is re-exported here under its original paths.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Coarse system phases, used to break down where simulated time went.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PhaseKind {
-    /// Application executing (computation or application I/O).
-    Executing,
-    /// Quiesce broadcast + coordination (includes waiting for app I/O).
-    Coordinating,
-    /// Checkpoint dump to the I/O nodes (includes waiting for them).
-    Dumping,
-    /// Rolling back / recovering.
-    Recovering,
-    /// Full system reboot.
-    Rebooting,
-}
-
-impl PhaseKind {
-    /// All phases, in display order.
-    pub const ALL: [PhaseKind; 5] = [
-        PhaseKind::Executing,
-        PhaseKind::Coordinating,
-        PhaseKind::Dumping,
-        PhaseKind::Recovering,
-        PhaseKind::Rebooting,
-    ];
-}
-
-/// Time spent in each [`PhaseKind`], in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct PhaseTimes {
-    times: [f64; 5],
-}
-
-impl PhaseTimes {
-    /// Adds `dt` seconds to `phase`.
-    pub fn add(&mut self, phase: PhaseKind, dt: f64) {
-        self.times[phase as usize] += dt;
-    }
-
-    /// Seconds spent in `phase`.
-    #[must_use]
-    pub fn get(&self, phase: PhaseKind) -> f64 {
-        self.times[phase as usize]
-    }
-
-    /// Total seconds across all phases.
-    #[must_use]
-    pub fn total(&self) -> f64 {
-        self.times.iter().sum()
-    }
-}
+pub use ckpt_obs::{PhaseKind, PhaseTimes};
 
 /// Monotone event counters collected during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]

@@ -1,0 +1,186 @@
+//! Translates SAN activity firings into the engine-agnostic event
+//! vocabulary of `ckpt-obs`.
+//!
+//! The SAN executor is model-agnostic: it reports *which activity
+//! fired* and the resulting marking, nothing more. This bridge holds
+//! the checkpoint model's [`Ids`] plus a little shadow state (previous
+//! phase, in-flight file-system write, correlated-window flag,
+//! failed-recovery count) and derives the same [`ModelEvent`]s — in the
+//! same order — that the direct simulator records natively, so traces
+//! from the two engines can be diffed entry by entry on one seed.
+//!
+//! The mapping mirrors the dispatch in `super::effects` (which in turn
+//! mirrors `crate::direct`); see the match below for the activity →
+//! event table.
+
+use super::ids::Ids;
+use ckpt_obs::{AbortReason, ModelEvent, ObsEvent, Observer, PhaseKind};
+use ckpt_san::{Marking, SanObserver};
+use ckpt_des::SimTime;
+
+/// Coarse phase implied by a marking, matching the direct simulator's
+/// phase mapping (and the rate rewards `t_exec` … `t_reboot`).
+pub(super) fn phase_of(ids: &Ids, m: &Marking) -> PhaseKind {
+    if m.has_token(ids.rebooting) {
+        PhaseKind::Rebooting
+    } else if m.has_token(ids.recovering_wait_io)
+        || m.has_token(ids.recovering_stage1)
+        || m.has_token(ids.recovering_stage2)
+    {
+        PhaseKind::Recovering
+    } else if m.has_token(ids.checkpointing) {
+        PhaseKind::Dumping
+    } else if m.has_token(ids.quiescing) {
+        PhaseKind::Coordinating
+    } else {
+        PhaseKind::Executing
+    }
+}
+
+/// Adapts a generic [`Observer`] to the SAN executor's notification
+/// interface, deriving model events from firings.
+pub(super) struct SanBridge<'a> {
+    ids: Ids,
+    inner: &'a mut dyn Observer,
+    phase: PhaseKind,
+    /// A background checkpoint write to the file system is in flight.
+    writing_chkpt: bool,
+    /// A correlated-failure window is open.
+    window_open: bool,
+    /// Shadow of the `failed_recoveries` place (detects folded
+    /// failures, which must not produce `RecoveryInterrupted`).
+    failed_recoveries: u64,
+}
+
+impl<'a> SanBridge<'a> {
+    /// Builds a bridge synchronized to the current marking.
+    pub(super) fn new(ids: Ids, inner: &'a mut dyn Observer, m: &Marking) -> SanBridge<'a> {
+        SanBridge {
+            ids,
+            phase: phase_of(&ids, m),
+            writing_chkpt: m.has_token(ids.writing_chkpt),
+            window_open: m.has_token(ids.corr_window),
+            failed_recoveries: m.tokens(ids.failed_recoveries),
+            inner,
+        }
+    }
+
+    /// Notifies the inner observer that the measurement window closed.
+    pub(super) fn finish(&mut self, at: SimTime) {
+        self.inner.on_window_end(at);
+    }
+
+    fn emit(&mut self, at: SimTime, event: ModelEvent) {
+        self.inner.on_event(at, ObsEvent::Model(event));
+    }
+}
+
+impl SanObserver for SanBridge<'_> {
+    fn activity_fired(&mut self, at: SimTime, name: &str, m: &Marking) {
+        self.inner.on_event(at, ObsEvent::ActivityFired { name });
+
+        let ids = self.ids;
+        let pre = self.phase;
+        match name {
+            "checkpoint_trigger" => self.emit(at, ModelEvent::CheckpointInitiated),
+            "coordinate" => self.emit(at, ModelEvent::CoordinationComplete),
+            "dump_chkpt" => self.emit(at, ModelEvent::CheckpointCompleted),
+            "start_write_chkpt" => self.writing_chkpt = true,
+            "write_chkpt" => {
+                self.writing_chkpt = false;
+                self.emit(at, ModelEvent::CheckpointOnFs);
+            }
+            "skip_chkpt" => self.emit(at, ModelEvent::CheckpointAborted(AbortReason::Timeout)),
+            "master_failure" => {
+                self.emit(at, ModelEvent::CheckpointAborted(AbortReason::MasterFailure));
+            }
+            "comp_failure" | "generic_failure" => match pre {
+                // Folded: failures during a reboot are absorbed.
+                PhaseKind::Rebooting => {}
+                PhaseKind::Recovering => self.emit(at, ModelEvent::RecoveryInterrupted),
+                _ => {
+                    self.emit(
+                        at,
+                        ModelEvent::Rollback {
+                            from_buffer: m.has_token(ids.buffered),
+                        },
+                    );
+                    if matches!(pre, PhaseKind::Coordinating | PhaseKind::Dumping) {
+                        self.emit(
+                            at,
+                            ModelEvent::CheckpointAborted(AbortReason::ComputeFailure),
+                        );
+                    }
+                }
+            },
+            "io_failure" => {
+                self.emit(at, ModelEvent::IoFailure);
+                if self.writing_chkpt && !m.has_token(ids.writing_chkpt) {
+                    // The in-flight file-system write was torn down.
+                    self.writing_chkpt = false;
+                    self.emit(at, ModelEvent::CheckpointAborted(AbortReason::IoFailure));
+                } else if pre == PhaseKind::Dumping && !m.has_token(ids.checkpointing) {
+                    // The dump's receiving side died.
+                    self.emit(at, ModelEvent::CheckpointAborted(AbortReason::IoFailure));
+                }
+                if pre == PhaseKind::Recovering
+                    && (m.tokens(ids.failed_recoveries) != self.failed_recoveries
+                        || m.has_token(ids.rebooting))
+                {
+                    self.emit(at, ModelEvent::RecoveryInterrupted);
+                }
+                if matches!(pre, PhaseKind::Executing | PhaseKind::Coordinating)
+                    && phase_of(&ids, m) == PhaseKind::Recovering
+                {
+                    // An application-data write died with the I/O node:
+                    // full rollback (mirrors `io_failure_effect`'s
+                    // `writing_app_data` branch, which forwards to
+                    // `rollback`).
+                    self.emit(
+                        at,
+                        ModelEvent::Rollback {
+                            from_buffer: m.has_token(ids.buffered),
+                        },
+                    );
+                    if pre == PhaseKind::Coordinating {
+                        self.emit(
+                            at,
+                            ModelEvent::CheckpointAborted(AbortReason::ComputeFailure),
+                        );
+                    }
+                }
+            }
+            "recovery_stage2" => self.emit(at, ModelEvent::RecoveryComplete),
+            "reboot" => self.emit(at, ModelEvent::RebootComplete),
+            _ => {}
+        }
+
+        if m.has_token(ids.rebooting) && pre != PhaseKind::Rebooting {
+            self.emit(at, ModelEvent::RebootStarted);
+        }
+
+        let window_now = m.has_token(ids.corr_window);
+        if window_now != self.window_open {
+            self.window_open = window_now;
+            self.emit(
+                at,
+                if window_now {
+                    ModelEvent::WindowOpened
+                } else {
+                    ModelEvent::WindowClosed
+                },
+            );
+        }
+
+        self.failed_recoveries = m.tokens(ids.failed_recoveries);
+        let phase = phase_of(&ids, m);
+        if phase != self.phase {
+            self.phase = phase;
+            self.inner.on_event(at, ObsEvent::Phase(phase));
+        }
+    }
+
+    fn reward_updated(&mut self, at: SimTime, name: &str, total: f64) {
+        self.inner.on_event(at, ObsEvent::RewardUpdate { name, total });
+    }
+}

@@ -31,6 +31,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod bridge;
 mod effects;
 mod ids;
 #[cfg(test)]
@@ -40,7 +41,9 @@ pub use ids::Ids;
 
 use crate::config::{CoordinationMode, RecoveryTimeModel, SystemConfig};
 use crate::metrics::{Counters, Metrics, PhaseKind, PhaseTimes};
+use bridge::SanBridge;
 use ckpt_des::SimTime;
+use ckpt_obs::{Observer, TraceBuffer};
 use ckpt_san::{ActivityId, Delay, InputGate, Reactivation, San, SanBuilder, SanError, Simulator};
 use ckpt_stats::Dist;
 use std::fmt;
@@ -216,6 +219,59 @@ impl CheckpointSan {
         transient: SimTime,
         horizon: SimTime,
     ) -> Result<(Metrics, u64), ModelError> {
+        self.run_steady_state_inner(seed, transient, horizon, None)
+    }
+
+    /// Like [`CheckpointSan::run_steady_state_profiled`], but streams
+    /// the measurement window to `observer`: every activity firing and
+    /// impulse-reward update, plus the derived model events and phase
+    /// transitions of the shared vocabulary (see [`ckpt_obs`]). The
+    /// observer's window opens after the transient discard, aligned
+    /// with the reward reset, and closes at the horizon. Observation
+    /// never affects results: metrics are bit-identical to an
+    /// unobserved run on the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SAN execution errors.
+    pub fn run_steady_state_observed(
+        &self,
+        seed: u64,
+        transient: SimTime,
+        horizon: SimTime,
+        observer: &mut dyn Observer,
+    ) -> Result<(Metrics, u64), ModelError> {
+        self.run_steady_state_inner(seed, transient, horizon, Some(observer))
+    }
+
+    /// Runs one replication from time zero (no transient) with a
+    /// [`TraceBuffer`] of `capacity` entries attached, returning the
+    /// metrics and the recorded trace — the SAN counterpart of
+    /// [`crate::direct::DirectSimulator::enable_trace`], so the two
+    /// engines can be diffed event by event on the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SAN execution errors.
+    pub fn run_traced(
+        &self,
+        seed: u64,
+        horizon: SimTime,
+        capacity: usize,
+    ) -> Result<(Metrics, TraceBuffer), ModelError> {
+        let mut buf = TraceBuffer::new(capacity);
+        let (metrics, _) =
+            self.run_steady_state_inner(seed, SimTime::ZERO, horizon, Some(&mut buf))?;
+        Ok((metrics, buf))
+    }
+
+    fn run_steady_state_inner(
+        &self,
+        seed: u64,
+        transient: SimTime,
+        horizon: SimTime,
+        observer: Option<&mut dyn Observer>,
+    ) -> Result<(Metrics, u64), ModelError> {
         let ids = self.ids;
         let mut sim = Simulator::new(&self.san, seed)?;
 
@@ -264,6 +320,16 @@ impl CheckpointSan {
         let lost0 = sim.marking().fluid(ids.lost);
         let counters0 = self.read_counters(&sim);
         sim.reset_rewards();
+        // The observer's measurement window opens here, aligned with the
+        // reward reset, so registry accumulations reconcile with the
+        // reward-variable estimates.
+        let mut obs_bridge = observer.map(|obs| {
+            obs.on_window_begin(sim.now(), bridge::phase_of(&ids, sim.marking()));
+            SanBridge::new(ids, obs, sim.marking())
+        });
+        if let Some(b) = obs_bridge.as_mut() {
+            sim.set_observer(b);
+        }
         sim.run_for(horizon)?;
 
         let report = sim.reward_report();
@@ -286,7 +352,12 @@ impl CheckpointSan {
             counters: diff_counters(counters0, counters1),
             phase_times,
         };
-        Ok((metrics, sim.events_processed()))
+        let events = sim.events_processed();
+        let end = sim.now();
+        if let Some(b) = obs_bridge.as_mut() {
+            b.finish(end);
+        }
+        Ok((metrics, events))
     }
 
     /// Runs one long replication cut into `batches` measurement slices

@@ -1,280 +1,8 @@
-//! Execution tracing: a bounded event log attachable to the direct
-//! simulator.
+//! Execution tracing — re-exported from [`ckpt_obs`].
 //!
-//! A [`TraceBuffer`] records [`TraceEvent`]s — phase transitions,
-//! checkpoint lifecycle, failures, recoveries — with their timestamps,
-//! keeping only the most recent `capacity` entries. It is the tool for
-//! inspecting *why* a configuration behaves the way it does (see the
-//! `trace_inspection` example) and for asserting fine-grained ordering
-//! properties in tests.
+//! The trace vocabulary and buffer moved to the engine-agnostic
+//! observability crate so the SAN engine can record the same events;
+//! these aliases keep the original `ckpt_core::trace` paths working.
+//! `TraceEvent` is the historical name of [`ckpt_obs::ModelEvent`].
 
-use ckpt_des::SimTime;
-use std::collections::VecDeque;
-use std::fmt;
-
-/// One recorded model event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// Master initiated a checkpoint (quiesce broadcast).
-    CheckpointInitiated,
-    /// All nodes reported ready; dump may begin.
-    CoordinationComplete,
-    /// The checkpoint dump finished (checkpoint became recoverable).
-    CheckpointCompleted,
-    /// The checkpoint was written out to the file system.
-    CheckpointOnFs,
-    /// A checkpoint attempt was abandoned.
-    CheckpointAborted(AbortReason),
-    /// A compute-node (or generic correlated) failure rolled the system
-    /// back.
-    Rollback {
-        /// Whether the recovery uses the I/O-node buffered copy.
-        from_buffer: bool,
-    },
-    /// An I/O-node failure occurred.
-    IoFailure,
-    /// A failure interrupted an ongoing recovery.
-    RecoveryInterrupted,
-    /// Recovery completed; execution resumed.
-    RecoveryComplete,
-    /// Severe-failure escalation: whole-system reboot started.
-    RebootStarted,
-    /// Reboot finished.
-    RebootComplete,
-    /// A correlated-failure window opened.
-    WindowOpened,
-    /// The correlated-failure window closed.
-    WindowClosed,
-}
-
-/// Why a checkpoint attempt was abandoned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AbortReason {
-    /// The master timed out waiting for 'ready' responses.
-    Timeout,
-    /// The master node failed mid-protocol.
-    MasterFailure,
-    /// An I/O node failed while receiving or writing the checkpoint.
-    IoFailure,
-    /// A compute-node failure rolled the system back mid-protocol.
-    ComputeFailure,
-}
-
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TraceEvent::CheckpointInitiated => write!(f, "checkpoint initiated"),
-            TraceEvent::CoordinationComplete => write!(f, "coordination complete"),
-            TraceEvent::CheckpointCompleted => write!(f, "checkpoint completed (buffered)"),
-            TraceEvent::CheckpointOnFs => write!(f, "checkpoint on file system"),
-            TraceEvent::CheckpointAborted(r) => write!(f, "checkpoint aborted ({r:?})"),
-            TraceEvent::Rollback { from_buffer } => {
-                write!(
-                    f,
-                    "rollback (recover from {})",
-                    if *from_buffer {
-                        "buffer"
-                    } else {
-                        "file system"
-                    }
-                )
-            }
-            TraceEvent::IoFailure => write!(f, "I/O-node failure"),
-            TraceEvent::RecoveryInterrupted => write!(f, "recovery interrupted"),
-            TraceEvent::RecoveryComplete => write!(f, "recovery complete"),
-            TraceEvent::RebootStarted => write!(f, "system reboot started"),
-            TraceEvent::RebootComplete => write!(f, "system reboot complete"),
-            TraceEvent::WindowOpened => write!(f, "correlated window opened"),
-            TraceEvent::WindowClosed => write!(f, "correlated window closed"),
-        }
-    }
-}
-
-/// A timestamped trace entry.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TraceEntry {
-    /// When the event occurred.
-    pub at: SimTime,
-    /// What happened.
-    pub event: TraceEvent,
-}
-
-impl fmt::Display for TraceEntry {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12.3} h] {}", self.at.as_hours(), self.event)
-    }
-}
-
-/// Bounded ring buffer of trace entries.
-#[derive(Debug, Clone)]
-pub struct TraceBuffer {
-    entries: VecDeque<TraceEntry>,
-    capacity: usize,
-    dropped: u64,
-}
-
-impl TraceBuffer {
-    /// Creates a buffer retaining the most recent `capacity` events.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    #[must_use]
-    pub fn new(capacity: usize) -> TraceBuffer {
-        assert!(capacity > 0, "trace capacity must be positive");
-        TraceBuffer {
-            entries: VecDeque::with_capacity(capacity),
-            capacity,
-            dropped: 0,
-        }
-    }
-
-    /// Records an event, evicting the oldest if full.
-    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
-            self.dropped += 1;
-        }
-        self.entries.push_back(TraceEntry { at, event });
-    }
-
-    /// Retained entries, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> + '_ {
-        self.entries.iter()
-    }
-
-    /// Number of retained entries.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// True when nothing has been recorded (or everything evicted).
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Events evicted due to the capacity bound.
-    #[must_use]
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    /// Entries matching a predicate, oldest first.
-    pub fn filter<'a, P>(&'a self, pred: P) -> impl Iterator<Item = &'a TraceEntry> + 'a
-    where
-        P: Fn(&TraceEvent) -> bool + 'a,
-    {
-        self.entries.iter().filter(move |e| pred(&e.event))
-    }
-
-    /// Clears the buffer (the dropped counter is preserved).
-    pub fn clear(&mut self) {
-        self.entries.clear();
-    }
-}
-
-impl fmt::Display for TraceBuffer {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for e in &self.entries {
-            writeln!(f, "{e}")?;
-        }
-        if self.dropped > 0 {
-            writeln!(f, "({} earlier events dropped)", self.dropped)?;
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn records_in_order() {
-        let mut t = TraceBuffer::new(8);
-        t.record(SimTime::from_secs(1.0), TraceEvent::CheckpointInitiated);
-        t.record(SimTime::from_secs(2.0), TraceEvent::CoordinationComplete);
-        t.record(SimTime::from_secs(3.0), TraceEvent::CheckpointCompleted);
-        assert_eq!(t.len(), 3);
-        let times: Vec<f64> = t.iter().map(|e| e.at.as_secs()).collect();
-        assert_eq!(times, vec![1.0, 2.0, 3.0]);
-        assert_eq!(t.dropped(), 0);
-    }
-
-    #[test]
-    fn evicts_oldest_beyond_capacity() {
-        let mut t = TraceBuffer::new(2);
-        for i in 0..5 {
-            t.record(SimTime::from_secs(f64::from(i)), TraceEvent::IoFailure);
-        }
-        assert_eq!(t.len(), 2);
-        assert_eq!(t.dropped(), 3);
-        assert_eq!(t.iter().next().unwrap().at.as_secs(), 3.0);
-    }
-
-    #[test]
-    fn filter_selects_events() {
-        let mut t = TraceBuffer::new(16);
-        t.record(SimTime::ZERO, TraceEvent::CheckpointInitiated);
-        t.record(
-            SimTime::from_secs(1.0),
-            TraceEvent::CheckpointAborted(AbortReason::Timeout),
-        );
-        t.record(SimTime::from_secs(2.0), TraceEvent::CheckpointInitiated);
-        let aborts: Vec<_> = t
-            .filter(|e| matches!(e, TraceEvent::CheckpointAborted(_)))
-            .collect();
-        assert_eq!(aborts.len(), 1);
-        assert_eq!(
-            aborts[0].event,
-            TraceEvent::CheckpointAborted(AbortReason::Timeout)
-        );
-    }
-
-    #[test]
-    fn display_renders_every_variant() {
-        let variants = [
-            TraceEvent::CheckpointInitiated,
-            TraceEvent::CoordinationComplete,
-            TraceEvent::CheckpointCompleted,
-            TraceEvent::CheckpointOnFs,
-            TraceEvent::CheckpointAborted(AbortReason::MasterFailure),
-            TraceEvent::Rollback { from_buffer: true },
-            TraceEvent::Rollback { from_buffer: false },
-            TraceEvent::IoFailure,
-            TraceEvent::RecoveryInterrupted,
-            TraceEvent::RecoveryComplete,
-            TraceEvent::RebootStarted,
-            TraceEvent::RebootComplete,
-            TraceEvent::WindowOpened,
-            TraceEvent::WindowClosed,
-        ];
-        for v in variants {
-            assert!(!v.to_string().is_empty());
-        }
-        let mut t = TraceBuffer::new(1);
-        t.record(SimTime::from_hours(1.0), TraceEvent::RebootStarted);
-        t.record(SimTime::from_hours(2.0), TraceEvent::RebootComplete);
-        let s = t.to_string();
-        assert!(s.contains("reboot"));
-        assert!(s.contains("dropped"));
-    }
-
-    #[test]
-    fn clear_preserves_dropped_counter() {
-        let mut t = TraceBuffer::new(1);
-        t.record(SimTime::ZERO, TraceEvent::IoFailure);
-        t.record(SimTime::from_secs(1.0), TraceEvent::IoFailure);
-        t.clear();
-        assert!(t.is_empty());
-        assert_eq!(t.dropped(), 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_rejected() {
-        let _ = TraceBuffer::new(0);
-    }
-}
+pub use ckpt_obs::{AbortReason, ModelEvent as TraceEvent, TraceBuffer, TraceEntry};

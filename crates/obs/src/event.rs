@@ -1,0 +1,278 @@
+//! The model-level event vocabulary and the phase taxonomy.
+
+use std::fmt;
+
+/// One checkpoint-protocol event, as emitted by either engine.
+///
+/// This is the common vocabulary the direct simulator records natively
+/// and the SAN engine derives from its activity firings, so traces from
+/// the two engines can be diffed entry by entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelEvent {
+    /// Master initiated a checkpoint (quiesce broadcast).
+    CheckpointInitiated,
+    /// All nodes reported ready; dump may begin.
+    CoordinationComplete,
+    /// The checkpoint dump finished (checkpoint became recoverable).
+    CheckpointCompleted,
+    /// The checkpoint was written out to the file system.
+    CheckpointOnFs,
+    /// A checkpoint attempt was abandoned.
+    CheckpointAborted(AbortReason),
+    /// A compute-node (or generic correlated) failure rolled the system
+    /// back.
+    Rollback {
+        /// Whether the recovery uses the I/O-node buffered copy.
+        from_buffer: bool,
+    },
+    /// An I/O-node failure occurred.
+    IoFailure,
+    /// A failure interrupted an ongoing recovery.
+    RecoveryInterrupted,
+    /// Recovery completed; execution resumed.
+    RecoveryComplete,
+    /// Severe-failure escalation: whole-system reboot started.
+    RebootStarted,
+    /// Reboot finished.
+    RebootComplete,
+    /// A correlated-failure window opened.
+    WindowOpened,
+    /// The correlated-failure window closed.
+    WindowClosed,
+}
+
+impl ModelEvent {
+    /// Stable machine-readable name (the `event` field of trace JSONL).
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            ModelEvent::CheckpointInitiated => "checkpoint_initiated",
+            ModelEvent::CoordinationComplete => "coordination_complete",
+            ModelEvent::CheckpointCompleted => "checkpoint_completed",
+            ModelEvent::CheckpointOnFs => "checkpoint_on_fs",
+            ModelEvent::CheckpointAborted(_) => "checkpoint_aborted",
+            ModelEvent::Rollback { .. } => "rollback",
+            ModelEvent::IoFailure => "io_failure",
+            ModelEvent::RecoveryInterrupted => "recovery_interrupted",
+            ModelEvent::RecoveryComplete => "recovery_complete",
+            ModelEvent::RebootStarted => "reboot_started",
+            ModelEvent::RebootComplete => "reboot_complete",
+            ModelEvent::WindowOpened => "window_opened",
+            ModelEvent::WindowClosed => "window_closed",
+        }
+    }
+
+    /// Stable counter key: like [`key`](Self::key) but with abort
+    /// reasons and rollback sources split out, so a
+    /// [`MetricsRegistry`](crate::MetricsRegistry) tallies them
+    /// separately.
+    #[must_use]
+    pub fn counter_key(&self) -> &'static str {
+        match self {
+            ModelEvent::CheckpointAborted(r) => match r {
+                AbortReason::Timeout => "checkpoint_aborted_timeout",
+                AbortReason::MasterFailure => "checkpoint_aborted_master",
+                AbortReason::IoFailure => "checkpoint_aborted_io",
+                AbortReason::ComputeFailure => "checkpoint_aborted_compute",
+            },
+            ModelEvent::Rollback { from_buffer: true } => "rollback_from_buffer",
+            ModelEvent::Rollback { from_buffer: false } => "rollback_from_fs",
+            other => other.key(),
+        }
+    }
+}
+
+/// Why a checkpoint attempt was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The master timed out waiting for 'ready' responses.
+    Timeout,
+    /// The master node failed mid-protocol.
+    MasterFailure,
+    /// An I/O node failed while receiving or writing the checkpoint.
+    IoFailure,
+    /// A compute-node failure rolled the system back mid-protocol.
+    ComputeFailure,
+}
+
+impl AbortReason {
+    /// Stable machine-readable name (the `reason` field of trace JSONL).
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            AbortReason::Timeout => "timeout",
+            AbortReason::MasterFailure => "master_failure",
+            AbortReason::IoFailure => "io_failure",
+            AbortReason::ComputeFailure => "compute_failure",
+        }
+    }
+}
+
+impl fmt::Display for ModelEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelEvent::CheckpointInitiated => write!(f, "checkpoint initiated"),
+            ModelEvent::CoordinationComplete => write!(f, "coordination complete"),
+            ModelEvent::CheckpointCompleted => write!(f, "checkpoint completed (buffered)"),
+            ModelEvent::CheckpointOnFs => write!(f, "checkpoint on file system"),
+            ModelEvent::CheckpointAborted(r) => write!(f, "checkpoint aborted ({r:?})"),
+            ModelEvent::Rollback { from_buffer } => {
+                write!(
+                    f,
+                    "rollback (recover from {})",
+                    if *from_buffer {
+                        "buffer"
+                    } else {
+                        "file system"
+                    }
+                )
+            }
+            ModelEvent::IoFailure => write!(f, "I/O-node failure"),
+            ModelEvent::RecoveryInterrupted => write!(f, "recovery interrupted"),
+            ModelEvent::RecoveryComplete => write!(f, "recovery complete"),
+            ModelEvent::RebootStarted => write!(f, "system reboot started"),
+            ModelEvent::RebootComplete => write!(f, "system reboot complete"),
+            ModelEvent::WindowOpened => write!(f, "correlated window opened"),
+            ModelEvent::WindowClosed => write!(f, "correlated window closed"),
+        }
+    }
+}
+
+/// Coarse system phases, used to break down where simulated time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Application executing (computation or application I/O).
+    Executing,
+    /// Quiesce broadcast + coordination (includes waiting for app I/O).
+    Coordinating,
+    /// Checkpoint dump to the I/O nodes (includes waiting for them).
+    Dumping,
+    /// Rolling back / recovering.
+    Recovering,
+    /// Full system reboot.
+    Rebooting,
+}
+
+impl PhaseKind {
+    /// All phases, in display order.
+    pub const ALL: [PhaseKind; 5] = [
+        PhaseKind::Executing,
+        PhaseKind::Coordinating,
+        PhaseKind::Dumping,
+        PhaseKind::Recovering,
+        PhaseKind::Rebooting,
+    ];
+
+    /// Stable machine-readable name (metrics JSON field).
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            PhaseKind::Executing => "executing",
+            PhaseKind::Coordinating => "coordinating",
+            PhaseKind::Dumping => "dumping",
+            PhaseKind::Recovering => "recovering",
+            PhaseKind::Rebooting => "rebooting",
+        }
+    }
+}
+
+/// Time spent in each [`PhaseKind`], in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseTimes {
+    times: [f64; 5],
+}
+
+impl PhaseTimes {
+    /// Adds `dt` seconds to `phase`.
+    pub fn add(&mut self, phase: PhaseKind, dt: f64) {
+        self.times[phase as usize] += dt;
+    }
+
+    /// Seconds spent in `phase`.
+    #[must_use]
+    pub fn get(&self, phase: PhaseKind) -> f64 {
+        self.times[phase as usize]
+    }
+
+    /// Total seconds across all phases.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.times.iter().sum()
+    }
+
+    /// Adds every phase of `other` into `self`.
+    pub fn accumulate(&mut self, other: &PhaseTimes) {
+        for (a, b) in self.times.iter_mut().zip(other.times) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_times_accumulate() {
+        let mut p = PhaseTimes::default();
+        p.add(PhaseKind::Executing, 10.0);
+        p.add(PhaseKind::Executing, 5.0);
+        p.add(PhaseKind::Recovering, 2.0);
+        assert_eq!(p.get(PhaseKind::Executing), 15.0);
+        assert_eq!(p.get(PhaseKind::Recovering), 2.0);
+        assert_eq!(p.get(PhaseKind::Rebooting), 0.0);
+        assert_eq!(p.total(), 17.0);
+
+        let mut q = PhaseTimes::default();
+        q.add(PhaseKind::Rebooting, 1.0);
+        q.accumulate(&p);
+        assert_eq!(q.total(), 18.0);
+        assert_eq!(q.get(PhaseKind::Executing), 15.0);
+    }
+
+    #[test]
+    fn keys_are_unique_and_stable() {
+        let keys: Vec<_> = PhaseKind::ALL.iter().map(PhaseKind::key).collect();
+        assert_eq!(
+            keys,
+            ["executing", "coordinating", "dumping", "recovering", "rebooting"]
+        );
+    }
+
+    #[test]
+    fn counter_keys_split_reasons() {
+        assert_eq!(
+            ModelEvent::CheckpointAborted(AbortReason::Timeout).counter_key(),
+            "checkpoint_aborted_timeout"
+        );
+        assert_eq!(
+            ModelEvent::Rollback { from_buffer: true }.counter_key(),
+            "rollback_from_buffer"
+        );
+        assert_eq!(ModelEvent::CheckpointOnFs.counter_key(), "checkpoint_on_fs");
+    }
+
+    #[test]
+    fn display_renders_every_variant() {
+        let variants = [
+            ModelEvent::CheckpointInitiated,
+            ModelEvent::CoordinationComplete,
+            ModelEvent::CheckpointCompleted,
+            ModelEvent::CheckpointOnFs,
+            ModelEvent::CheckpointAborted(AbortReason::MasterFailure),
+            ModelEvent::Rollback { from_buffer: true },
+            ModelEvent::Rollback { from_buffer: false },
+            ModelEvent::IoFailure,
+            ModelEvent::RecoveryInterrupted,
+            ModelEvent::RecoveryComplete,
+            ModelEvent::RebootStarted,
+            ModelEvent::RebootComplete,
+            ModelEvent::WindowOpened,
+            ModelEvent::WindowClosed,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!v.key().is_empty());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The streaming observation interface shared by both engines.
+
+use crate::{ModelEvent, PhaseKind};
+use ckpt_des::SimTime;
+
+/// A structured, sim-timestamped notification from a simulation engine.
+///
+/// Borrowed string fields reference engine-owned names (activity and
+/// reward identifiers); observers that retain them must copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObsEvent<'a> {
+    /// A checkpoint-protocol event (emitted by both engines).
+    Model(ModelEvent),
+    /// The system entered a new coarse phase (emitted by both engines).
+    Phase(PhaseKind),
+    /// A SAN activity fired (SAN engine only).
+    ActivityFired {
+        /// Name of the activity that fired.
+        name: &'a str,
+    },
+    /// An impulse reward accrued on a firing (SAN engine only).
+    RewardUpdate {
+        /// Name of the reward variable.
+        name: &'a str,
+        /// Running total of the reward after the update.
+        total: f64,
+    },
+}
+
+/// Receives engine notifications during a run.
+///
+/// Implementations must be pure consumers: an attached observer may
+/// never influence simulation semantics (engines pass it copies of
+/// already-computed state and consult none of its answers), so results
+/// with any observer attached are bit-identical to an unobserved run.
+pub trait Observer {
+    /// Called for every notification, in nondecreasing `at` order.
+    fn on_event(&mut self, at: SimTime, event: ObsEvent<'_>);
+
+    /// The measurement window opened (transient discarded) with the
+    /// system currently in `phase`.
+    fn on_window_begin(&mut self, _at: SimTime, _phase: PhaseKind) {}
+
+    /// The measurement window closed.
+    fn on_window_end(&mut self, _at: SimTime) {}
+}
+
+/// The do-nothing default observer.
+///
+/// Engines store `Option<&mut dyn Observer>` and skip all event
+/// derivation when it is `None`, so the unobserved hot path costs one
+/// well-predicted branch per event; `NoopObserver` exists for call
+/// sites that want to exercise the observed path without recording.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    #[inline]
+    fn on_event(&mut self, _at: SimTime, _event: ObsEvent<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_observer_accepts_everything() {
+        let mut o = NoopObserver;
+        o.on_window_begin(SimTime::ZERO, PhaseKind::Executing);
+        o.on_event(SimTime::ZERO, ObsEvent::Model(ModelEvent::CheckpointInitiated));
+        o.on_event(SimTime::ZERO, ObsEvent::ActivityFired { name: "coordinate" });
+        o.on_event(
+            SimTime::ZERO,
+            ObsEvent::RewardUpdate {
+                name: "t_exec",
+                total: 1.0,
+            },
+        );
+        o.on_window_end(SimTime::from_secs(1.0));
+    }
+}

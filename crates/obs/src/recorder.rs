@@ -1,0 +1,96 @@
+//! The everything-on composite observer used by the experiment layer.
+
+use crate::{MetricsRegistry, ObsEvent, Observer, PhaseKind, TraceBuffer};
+use ckpt_des::SimTime;
+
+/// An observer bundling an optional [`TraceBuffer`] and an optional
+/// [`MetricsRegistry`], forwarding every notification to whichever are
+/// enabled. One `Recorder` is attached per replication; the experiment
+/// layer returns them in replication-index order so downstream merging
+/// is deterministic at any `--jobs` value.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    trace: Option<TraceBuffer>,
+    registry: Option<MetricsRegistry>,
+}
+
+impl Recorder {
+    /// Creates a recorder with a trace ring of `trace_capacity` entries
+    /// (if any) and a metrics registry (if `registry`).
+    #[must_use]
+    pub fn new(trace_capacity: Option<usize>, registry: bool) -> Recorder {
+        Recorder {
+            trace: trace_capacity.map(TraceBuffer::new),
+            registry: registry.then(MetricsRegistry::new),
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// The metrics registry, if enabled.
+    #[must_use]
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.registry.as_ref()
+    }
+}
+
+impl Observer for Recorder {
+    fn on_event(&mut self, at: SimTime, event: ObsEvent<'_>) {
+        if let Some(t) = &mut self.trace {
+            t.on_event(at, event);
+        }
+        if let Some(r) = &mut self.registry {
+            r.on_event(at, event);
+        }
+    }
+
+    fn on_window_begin(&mut self, at: SimTime, phase: PhaseKind) {
+        if let Some(t) = &mut self.trace {
+            t.on_window_begin(at, phase);
+        }
+        if let Some(r) = &mut self.registry {
+            r.on_window_begin(at, phase);
+        }
+    }
+
+    fn on_window_end(&mut self, at: SimTime) {
+        if let Some(t) = &mut self.trace {
+            t.on_window_end(at);
+        }
+        if let Some(r) = &mut self.registry {
+            r.on_window_end(at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelEvent;
+
+    #[test]
+    fn forwards_to_enabled_parts() {
+        let mut rec = Recorder::new(Some(8), true);
+        rec.on_window_begin(SimTime::ZERO, PhaseKind::Executing);
+        rec.on_event(
+            SimTime::from_secs(1.0),
+            ObsEvent::Model(ModelEvent::CheckpointInitiated),
+        );
+        rec.on_window_end(SimTime::from_secs(2.0));
+        assert_eq!(rec.trace().unwrap().len(), 1);
+        let reg = rec.registry().unwrap();
+        assert_eq!(reg.count("checkpoint_initiated"), 1);
+        assert_eq!(reg.window_secs(), 2.0);
+    }
+
+    #[test]
+    fn disabled_parts_stay_none() {
+        let rec = Recorder::new(None, false);
+        assert!(rec.trace().is_none());
+        assert!(rec.registry().is_none());
+    }
+}

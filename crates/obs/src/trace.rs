@@ -1,0 +1,245 @@
+//! Execution tracing: a bounded event log attachable to either engine.
+//!
+//! A [`TraceBuffer`] records [`ModelEvent`]s — checkpoint lifecycle,
+//! failures, recoveries — with their timestamps, keeping only the most
+//! recent `capacity` entries. It is the tool for inspecting *why* a
+//! configuration behaves the way it does (see the `trace_inspection`
+//! example) and for asserting fine-grained ordering properties in
+//! tests. As an [`Observer`] it records `Model` events and ignores the
+//! rest, so the same buffer attaches to the direct simulator and to the
+//! SAN engine and the resulting traces can be diffed entry by entry.
+
+use crate::{ModelEvent, ObsEvent, Observer};
+use ckpt_des::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A timestamped trace entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// What happened.
+    pub event: ModelEvent,
+}
+
+impl TraceEntry {
+    /// The entry as one JSON object (the per-line payload of trace
+    /// JSONL files): `t_secs`, `event`, plus `reason` for aborts and
+    /// `from_buffer` for rollbacks.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"t_secs\":{:.6},\"event\":\"{}\"",
+            self.at.as_secs(),
+            self.event.key()
+        );
+        match self.event {
+            ModelEvent::CheckpointAborted(r) => {
+                s.push_str(&format!(",\"reason\":\"{}\"", r.key()));
+            }
+            ModelEvent::Rollback { from_buffer } => {
+                s.push_str(&format!(",\"from_buffer\":{from_buffer}"));
+            }
+            _ => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12.3} h] {}", self.at.as_hours(), self.event)
+    }
+}
+
+/// Bounded ring buffer of trace entries.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceBuffer {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if full.
+    pub fn record(&mut self, at: SimTime, event: ModelEvent) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { at, event });
+    }
+
+    /// Retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded (or everything evicted).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries matching a predicate, oldest first.
+    pub fn filter<'a, P>(&'a self, pred: P) -> impl Iterator<Item = &'a TraceEntry> + 'a
+    where
+        P: Fn(&ModelEvent) -> bool + 'a,
+    {
+        self.entries.iter().filter(move |e| pred(&e.event))
+    }
+
+    /// Clears the buffer (the dropped counter is preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl Observer for TraceBuffer {
+    fn on_event(&mut self, at: SimTime, event: ObsEvent<'_>) {
+        if let ObsEvent::Model(e) = event {
+            self.record(at, e);
+        }
+    }
+}
+
+impl fmt::Display for TraceBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{e}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "({} earlier events dropped)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AbortReason;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TraceBuffer::new(8);
+        t.record(SimTime::from_secs(1.0), ModelEvent::CheckpointInitiated);
+        t.record(SimTime::from_secs(2.0), ModelEvent::CoordinationComplete);
+        t.record(SimTime::from_secs(3.0), ModelEvent::CheckpointCompleted);
+        assert_eq!(t.len(), 3);
+        let times: Vec<f64> = t.iter().map(|e| e.at.as_secs()).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..5 {
+            t.record(SimTime::from_secs(f64::from(i)), ModelEvent::IoFailure);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.iter().next().unwrap().at.as_secs(), 3.0);
+    }
+
+    #[test]
+    fn filter_selects_events() {
+        let mut t = TraceBuffer::new(16);
+        t.record(SimTime::ZERO, ModelEvent::CheckpointInitiated);
+        t.record(
+            SimTime::from_secs(1.0),
+            ModelEvent::CheckpointAborted(AbortReason::Timeout),
+        );
+        t.record(SimTime::from_secs(2.0), ModelEvent::CheckpointInitiated);
+        let aborts: Vec<_> = t
+            .filter(|e| matches!(e, ModelEvent::CheckpointAborted(_)))
+            .collect();
+        assert_eq!(aborts.len(), 1);
+        assert_eq!(
+            aborts[0].event,
+            ModelEvent::CheckpointAborted(AbortReason::Timeout)
+        );
+    }
+
+    #[test]
+    fn observer_impl_records_model_events_only() {
+        let mut t = TraceBuffer::new(4);
+        t.on_event(SimTime::ZERO, ObsEvent::Model(ModelEvent::CheckpointInitiated));
+        t.on_event(SimTime::ZERO, ObsEvent::ActivityFired { name: "coordinate" });
+        t.on_event(SimTime::ZERO, ObsEvent::Phase(crate::PhaseKind::Dumping));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn entry_json_carries_payload_fields() {
+        let e = TraceEntry {
+            at: SimTime::from_secs(2.5),
+            event: ModelEvent::CheckpointAborted(AbortReason::IoFailure),
+        };
+        let j = e.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"event\":\"checkpoint_aborted\""));
+        assert!(j.contains("\"reason\":\"io_failure\""));
+        let r = TraceEntry {
+            at: SimTime::ZERO,
+            event: ModelEvent::Rollback { from_buffer: true },
+        };
+        assert!(r.to_json().contains("\"from_buffer\":true"));
+    }
+
+    #[test]
+    fn display_renders_dropped_note() {
+        let mut t = TraceBuffer::new(1);
+        t.record(SimTime::from_hours(1.0), ModelEvent::RebootStarted);
+        t.record(SimTime::from_hours(2.0), ModelEvent::RebootComplete);
+        let s = t.to_string();
+        assert!(s.contains("reboot"));
+        assert!(s.contains("dropped"));
+    }
+
+    #[test]
+    fn clear_preserves_dropped_counter() {
+        let mut t = TraceBuffer::new(1);
+        t.record(SimTime::ZERO, ModelEvent::IoFailure);
+        t.record(SimTime::from_secs(1.0), ModelEvent::IoFailure);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(0);
+    }
+}

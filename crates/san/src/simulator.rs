@@ -19,6 +19,26 @@ struct RewardState {
     impulse_count: u64,
 }
 
+/// Receives notifications from a running [`Simulator`].
+///
+/// The executor is model-agnostic, so its observation surface is too:
+/// every activity firing (timed and instantaneous) and every impulse
+/// reward accrual is reported, with the post-firing marking available
+/// for inspection. Model-aware layers (e.g. the checkpoint model in
+/// `ckpt-core`) translate these into domain events.
+///
+/// Observers are pure consumers: they receive references to state the
+/// simulator already computed and cannot influence the run, so results
+/// with an observer attached are bit-identical to an unobserved run.
+pub trait SanObserver {
+    /// `activity` (named `name`) fired at `at`, leaving `marking`.
+    fn activity_fired(&mut self, at: SimTime, name: &str, marking: &Marking);
+
+    /// An impulse of reward variable `name` accrued on a firing,
+    /// bringing its running total to `total`.
+    fn reward_updated(&mut self, _at: SimTime, _name: &str, _total: f64) {}
+}
+
 /// Executes a [`San`] under standard SAN simulation semantics:
 ///
 /// * an activity is *enabled* while its input arcs are satisfied and all
@@ -48,6 +68,7 @@ pub struct Simulator<'m> {
     rewards: Vec<RewardState>,
     firing_counts: Vec<u64>,
     window_start: SimTime,
+    observer: Option<&'m mut dyn SanObserver>,
 }
 
 impl<'m> Simulator<'m> {
@@ -72,6 +93,7 @@ impl<'m> Simulator<'m> {
             rewards: Vec::new(),
             firing_counts: vec![0; n],
             window_start: SimTime::ZERO,
+            observer: None,
         };
         sim.settle_instantaneous()?;
         sim.update_schedules()?;
@@ -96,6 +118,18 @@ impl<'m> Simulator<'m> {
             impulse_count: 0,
         });
         Ok(())
+    }
+
+    /// Attaches an observer notified of every subsequent activity
+    /// firing and impulse-reward accrual. Observation never affects
+    /// simulation results (see [`SanObserver`]).
+    pub fn set_observer(&mut self, observer: &'m mut dyn SanObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches the observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
     }
 
     /// Current simulated time.
@@ -323,8 +357,14 @@ impl<'m> Simulator<'m> {
                 if *act == id {
                     r.total += f(&self.marking);
                     r.impulse_count += 1;
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.reward_updated(self.now, r.spec.name(), r.total);
+                    }
                 }
             }
+        }
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.activity_fired(self.now, &def.name, &self.marking);
         }
         Ok(())
     }

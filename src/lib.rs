@@ -17,6 +17,7 @@
 //! | [`san`] | `ckpt-san` | Stochastic Activity Networks: places, activities, gates, rewards, simulator |
 //! | [`model`] | `ckpt-core` | the paper's 12-submodel checkpoint system, a direct event simulator, configuration and metrics |
 //! | [`analytic`] | `ckpt-analytic` | Young / Daly / Vaidya baselines and coordination expectations |
+//! | [`obs`] | `ckpt-obs` | engine-agnostic observability: tracing, phase-time metrics, run manifests |
 //!
 //! # Quickstart
 //!
@@ -44,5 +45,6 @@
 pub use ckpt_analytic as analytic;
 pub use ckpt_core as model;
 pub use ckpt_des as des;
+pub use ckpt_obs as obs;
 pub use ckpt_san as san;
 pub use ckpt_stats as stats;
