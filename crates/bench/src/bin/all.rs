@@ -5,7 +5,7 @@
 //! EXPERIMENTS.md.
 
 use ckpt_bench::sweep::Metric;
-use ckpt_bench::{figures, run_sweep, sweep_manifest_json, svg, table, RunOptions};
+use ckpt_bench::{figures, run_sweep, svg, sweep_manifest_json, table, RunOptions};
 use std::fs;
 use std::time::Instant;
 
@@ -20,8 +20,7 @@ fn main() {
         let series = run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
         let csv = table::to_csv(&spec.x_name, &series);
         fs::write(out_dir.join(format!("{id}.csv")), &csv).expect("write figure csv");
-        let manifest =
-            sweep_manifest_json(id, cell_count, &opts, started.elapsed().as_secs_f64());
+        let manifest = sweep_manifest_json(id, cell_count, &opts, started.elapsed().as_secs_f64());
         fs::write(out_dir.join(format!("{id}.manifest.json")), &manifest)
             .expect("write figure manifest");
         let y_name = match spec.metric {

@@ -1,0 +1,184 @@
+//! Head-to-head of the SAN executor's two scheduling strategies — the
+//! incremental place→activity dependency scheduler against the O(A)
+//! full-scan reference — on the Figure 4 point (65536 processors,
+//! Table 3 defaults). Written to `BENCH_engines.json`.
+//!
+//! The two schedulers consume the same RNG stream in the same order, so
+//! every replication must return **bit-identical** metrics; the binary
+//! asserts this (making it double as an equivalence smoke test — CI
+//! runs it with `--quick`) and reports events/sec and ns/event for
+//! each, with per-replication profiles recorded through the standard
+//! [`RunManifest`] provenance machinery.
+//!
+//! Flags: see `ckpt_bench::args` (`--quick` shrinks the run for a smoke
+//! pass; `--seed`, `--hours`, `--transient`, `--reps` carry through).
+//! Additionally `--baseline-eps <events/sec>` records a pre-PR full-scan
+//! baseline measurement (produced by `scripts/bench_baseline.sh`, which
+//! builds the parent commit in a throwaway worktree and runs the same
+//! workload) so the emitted JSON carries the before/after comparison.
+
+use ckpt_bench::RunOptions;
+use ckpt_core::san_model::CheckpointSan;
+use ckpt_core::{Metrics, SystemConfig};
+use ckpt_obs::{RunManifest, RunProfile};
+use ckpt_san::Scheduling;
+use std::time::Instant;
+
+struct EngineRun {
+    name: &'static str,
+    metrics: Vec<Metrics>,
+    profiles: Vec<RunProfile>,
+    wall_secs: f64,
+    events: u64,
+}
+
+fn run_engine(
+    model: &CheckpointSan,
+    opts: &RunOptions,
+    scheduling: Scheduling,
+    name: &'static str,
+) -> EngineRun {
+    let mut metrics = Vec::with_capacity(opts.reps as usize);
+    let mut profiles = Vec::with_capacity(opts.reps as usize);
+    let mut events = 0u64;
+    let start = Instant::now();
+    for k in 0..u64::from(opts.reps) {
+        let rep_start = Instant::now();
+        let (m, ev) = model
+            .run_steady_state_profiled_with(opts.seed + k, opts.transient, opts.horizon, scheduling)
+            .expect("benchmark replication failed");
+        profiles.push(RunProfile {
+            wall_secs: rep_start.elapsed().as_secs_f64(),
+            events: ev,
+        });
+        metrics.push(m);
+        events += ev;
+    }
+    EngineRun {
+        name,
+        metrics,
+        profiles,
+        wall_secs: start.elapsed().as_secs_f64(),
+        events,
+    }
+}
+
+fn main() {
+    // Peel off the flag specific to this binary before handing the rest
+    // to the shared option parser (which rejects unknown flags).
+    let mut baseline_eps: Option<f64> = None;
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--baseline-eps" {
+            let v = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--baseline-eps expects a number (events/sec)");
+                std::process::exit(2);
+            });
+            baseline_eps = Some(v);
+        } else {
+            rest.push(arg);
+        }
+    }
+    let opts = match RunOptions::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    // The Figure 4 reference point: 65536 processors at Table 3 defaults.
+    let cfg = SystemConfig::builder()
+        .processors(65_536)
+        .build()
+        .expect("valid benchmark config");
+    let model = CheckpointSan::build(&cfg).expect("model builds");
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let full = run_engine(&model, &opts, Scheduling::FullScan, "full_scan");
+    let inc = run_engine(&model, &opts, Scheduling::Incremental, "incremental");
+
+    assert_eq!(
+        full.events, inc.events,
+        "schedulers processed different event counts"
+    );
+    let identical = full.metrics == inc.metrics;
+    assert!(
+        identical,
+        "scheduler metrics diverged — bit-identity broken"
+    );
+
+    let mut runs = String::new();
+    for r in [&full, &inc] {
+        let events_per_sec = r.events as f64 / r.wall_secs.max(1e-9);
+        let ns_per_event = r.wall_secs * 1e9 / (r.events.max(1)) as f64;
+        eprintln!(
+            "{}: {:.2} s wall, {:.0} events/s, {:.0} ns/event",
+            r.name, r.wall_secs, events_per_sec, ns_per_event
+        );
+        let manifest = RunManifest {
+            tool: "ckptsim".into(),
+            version: env!("CARGO_PKG_VERSION").into(),
+            engine: format!("san/{}", r.name),
+            estimation: "replications".into(),
+            base_seed: opts.seed,
+            transient_hours: opts.transient.as_hours(),
+            horizon_hours: opts.horizon.as_hours(),
+            replications: opts.reps as usize,
+            jobs: 1,
+            host_parallelism: host,
+            config: vec![("processors".into(), "65536".into())],
+            profiles: r.profiles.clone(),
+        };
+        if !runs.is_empty() {
+            runs.push(',');
+        }
+        // Indent the embedded manifest to keep the file readable.
+        let manifest = manifest.to_json().trim_end().replace('\n', "\n      ");
+        runs.push_str(&format!(
+            "\n    {{\"scheduler\": \"{}\", \"wall_secs\": {:.3}, \
+             \"events\": {}, \"events_per_sec\": {:.0}, \
+             \"ns_per_event\": {:.1},\n      \"manifest\": {manifest}}}",
+            r.name, r.wall_secs, r.events, events_per_sec, ns_per_event
+        ));
+    }
+
+    let speedup = full.wall_secs / inc.wall_secs.max(1e-9);
+    // The in-binary full scan is NOT the pre-PR baseline: it already
+    // shares the slab queue, impulse map, and scratch buffers with the
+    // incremental engine. The true "before" number comes from
+    // scripts/bench_baseline.sh, which benchmarks the parent commit's
+    // executor (HashSet-probed queue, per-firing allocations) on the
+    // same workload and feeds it back via --baseline-eps.
+    let baseline = baseline_eps.map_or(String::new(), |eps| {
+        let inc_eps = inc.events as f64 / inc.wall_secs.max(1e-9);
+        format!(
+            "\n  \"pre_pr_baseline_events_per_sec\": {eps:.0},\n  \
+             \"pre_pr_baseline_source\": \"scripts/bench_baseline.sh \
+             (parent commit, same workload, same host)\",\n  \
+             \"speedup_incremental_vs_pre_pr_baseline\": {:.2},",
+            inc_eps / eps.max(1e-9)
+        )
+    });
+    let json = format!(
+        "{{\n  \"benchmark\": \"SAN scheduler comparison, fig4 point \
+         (65536 processors, Table 3 defaults)\",\n  \
+         \"replications\": {},\n  \
+         \"transient_hours\": {:.0},\n  \
+         \"horizon_hours\": {:.0},\n  \
+         \"seed\": {},\n  \
+         \"host_parallelism\": {host},\n  \
+         \"runs\": [{runs}\n  ],\n  \
+         \"speedup_incremental_vs_full_scan\": {speedup:.2},{baseline}\n  \
+         \"identical_results\": {identical},\n  \
+         \"note\": \"both schedulers draw the same RNG stream in the same \
+         order; metrics are asserted bit-identical, so only wall time may \
+         differ\"\n}}\n",
+        opts.reps,
+        opts.transient.as_hours(),
+        opts.horizon.as_hours(),
+        opts.seed,
+    );
+    std::fs::write("BENCH_engines.json", &json).expect("write BENCH_engines.json");
+    println!("{json}");
+}

@@ -220,7 +220,10 @@ pub fn run_figure(mut args: Vec<String>) -> Result<(), CliError> {
     let series = run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
     let wall_secs = start.elapsed().as_secs_f64();
     if !opts.csv && !opts.quiet {
-        eprintln!("sweep: {cell_count} cells on {} worker(s) in {wall_secs:.2} s", opts.jobs);
+        eprintln!(
+            "sweep: {cell_count} cells on {} worker(s) in {wall_secs:.2} s",
+            opts.jobs
+        );
     }
     if let Some(path) = &opts.manifest {
         write_file(

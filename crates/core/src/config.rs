@@ -519,10 +519,7 @@ impl SystemConfig {
                 "model_io_failures".into(),
                 self.model_io_failures.to_string(),
             ),
-            (
-                "failures_enabled".into(),
-                self.failures_enabled.to_string(),
-            ),
+            ("failures_enabled".into(), self.failures_enabled.to_string()),
             (
                 "error_propagation".into(),
                 self.error_propagation
@@ -533,18 +530,12 @@ impl SystemConfig {
                 self.generic_correlated
                     .map_or_else(|| "none".to_string(), |g| format!("{g:?}")),
             ),
-            (
-                "spatial_correlation".into(),
-                opt(self.spatial_correlation),
-            ),
+            ("spatial_correlation".into(), opt(self.spatial_correlation)),
             (
                 "app_cycle_period_secs".into(),
                 self.app_cycle_period.to_string(),
             ),
-            (
-                "compute_fraction".into(),
-                self.compute_fraction.to_string(),
-            ),
+            ("compute_fraction".into(), self.compute_fraction.to_string()),
             (
                 "compute_fraction_jitter".into(),
                 self.compute_fraction_jitter

@@ -29,8 +29,8 @@ mod events;
 use crate::config::{CoordinationMode, RecoveryTimeModel, SystemConfig};
 use crate::metrics::{Counters, Metrics, PhaseKind, PhaseTimes};
 use crate::trace::{AbortReason, TraceBuffer, TraceEvent};
-use ckpt_obs::{ObsEvent, Observer};
 use ckpt_des::{EventId, EventQueue, RngFactory, SimRng, SimTime, StreamId};
+use ckpt_obs::{ObsEvent, Observer};
 use ckpt_stats::dist::sample_max_exponential;
 use events::{AppPhase, Event, IoState, RecoveryStage, SysPhase};
 use std::fmt;

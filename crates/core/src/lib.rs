@@ -52,5 +52,7 @@ pub mod san_model;
 pub mod trace;
 
 pub use config::{ConfigError, CoordinationMode, SystemConfig};
-pub use experiment::{EngineKind, Estimate, Estimation, Experiment, ObserveSpec, ReplicationProfile};
+pub use experiment::{
+    EngineKind, Estimate, Estimation, Experiment, ObserveSpec, ReplicationProfile,
+};
 pub use metrics::{Counters, Metrics, PhaseKind};

@@ -14,9 +14,9 @@
 //! event table.
 
 use super::ids::Ids;
+use ckpt_des::SimTime;
 use ckpt_obs::{AbortReason, ModelEvent, ObsEvent, Observer, PhaseKind};
 use ckpt_san::{Marking, SanObserver};
-use ckpt_des::SimTime;
 
 /// Coarse phase implied by a marking, matching the direct simulator's
 /// phase mapping (and the rate rewards `t_exec` … `t_reboot`).
@@ -92,7 +92,10 @@ impl SanObserver for SanBridge<'_> {
             }
             "skip_chkpt" => self.emit(at, ModelEvent::CheckpointAborted(AbortReason::Timeout)),
             "master_failure" => {
-                self.emit(at, ModelEvent::CheckpointAborted(AbortReason::MasterFailure));
+                self.emit(
+                    at,
+                    ModelEvent::CheckpointAborted(AbortReason::MasterFailure),
+                );
             }
             "comp_failure" | "generic_failure" => match pre {
                 // Folded: failures during a reboot are absorbed.
@@ -181,6 +184,7 @@ impl SanObserver for SanBridge<'_> {
     }
 
     fn reward_updated(&mut self, at: SimTime, name: &str, total: f64) {
-        self.inner.on_event(at, ObsEvent::RewardUpdate { name, total });
+        self.inner
+            .on_event(at, ObsEvent::RewardUpdate { name, total });
     }
 }

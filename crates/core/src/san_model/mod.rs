@@ -44,7 +44,9 @@ use crate::metrics::{Counters, Metrics, PhaseKind, PhaseTimes};
 use bridge::SanBridge;
 use ckpt_des::SimTime;
 use ckpt_obs::{Observer, TraceBuffer};
-use ckpt_san::{ActivityId, Delay, InputGate, Reactivation, San, SanBuilder, SanError, Simulator};
+use ckpt_san::{
+    ActivityId, Delay, InputGate, Reactivation, San, SanBuilder, SanError, Scheduling, Simulator,
+};
 use ckpt_stats::Dist;
 use std::fmt;
 
@@ -219,7 +221,26 @@ impl CheckpointSan {
         transient: SimTime,
         horizon: SimTime,
     ) -> Result<(Metrics, u64), ModelError> {
-        self.run_steady_state_inner(seed, transient, horizon, None)
+        self.run_steady_state_inner(seed, transient, horizon, None, Scheduling::default())
+    }
+
+    /// Like [`CheckpointSan::run_steady_state_profiled`], but with an
+    /// explicit [`Scheduling`] strategy. Both strategies produce
+    /// bit-identical metrics on the same seed; the engine benchmark uses
+    /// this to compare their throughput, and tests use the full scan as
+    /// an equivalence oracle for the incremental scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SAN execution errors.
+    pub fn run_steady_state_profiled_with(
+        &self,
+        seed: u64,
+        transient: SimTime,
+        horizon: SimTime,
+        scheduling: Scheduling,
+    ) -> Result<(Metrics, u64), ModelError> {
+        self.run_steady_state_inner(seed, transient, horizon, None, scheduling)
     }
 
     /// Like [`CheckpointSan::run_steady_state_profiled`], but streams
@@ -241,7 +262,13 @@ impl CheckpointSan {
         horizon: SimTime,
         observer: &mut dyn Observer,
     ) -> Result<(Metrics, u64), ModelError> {
-        self.run_steady_state_inner(seed, transient, horizon, Some(observer))
+        self.run_steady_state_inner(
+            seed,
+            transient,
+            horizon,
+            Some(observer),
+            Scheduling::default(),
+        )
     }
 
     /// Runs one replication from time zero (no transient) with a
@@ -260,8 +287,13 @@ impl CheckpointSan {
         capacity: usize,
     ) -> Result<(Metrics, TraceBuffer), ModelError> {
         let mut buf = TraceBuffer::new(capacity);
-        let (metrics, _) =
-            self.run_steady_state_inner(seed, SimTime::ZERO, horizon, Some(&mut buf))?;
+        let (metrics, _) = self.run_steady_state_inner(
+            seed,
+            SimTime::ZERO,
+            horizon,
+            Some(&mut buf),
+            Scheduling::default(),
+        )?;
         Ok((metrics, buf))
     }
 
@@ -271,9 +303,10 @@ impl CheckpointSan {
         transient: SimTime,
         horizon: SimTime,
         observer: Option<&mut dyn Observer>,
+        scheduling: Scheduling,
     ) -> Result<(Metrics, u64), ModelError> {
         let ids = self.ids;
-        let mut sim = Simulator::new(&self.san, seed)?;
+        let mut sim = Simulator::with_scheduling(&self.san, seed, scheduling)?;
 
         // Phase-time rate rewards (used for the time-breakdown metric).
         sim.add_reward(ckpt_san::RewardSpec::rate("t_exec", move |m| {
@@ -482,7 +515,10 @@ fn submodel_master(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
         Delay::from(Dist::deterministic(cfg.checkpoint_interval().as_secs())),
     )
     .input_arc(ids.master_sleep, 1)
-    .enabled_when("system_executing", move |m| m.has_token(i.execution))
+    .input_gate(
+        InputGate::predicate_only("system_executing", move |m| m.has_token(i.execution))
+            .reads(&[ids.execution]),
+    )
     .output_arc(ids.master_checkpointing, 1)
     .build();
 
@@ -495,9 +531,12 @@ fn submodel_master(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
             Delay::from(Dist::deterministic(timeout.as_secs())),
         )
         .input_arc(ids.master_checkpointing, 1)
-        .enabled_when("awaiting_ready", move |m| {
-            !m.has_token(i.checkpointing) && !m.has_token(i.timedout)
-        })
+        .input_gate(
+            InputGate::predicate_only("awaiting_ready", move |m| {
+                !m.has_token(i.checkpointing) && !m.has_token(i.timedout)
+            })
+            .reads(&[ids.checkpointing, ids.timedout]),
+        )
         .output_arc(ids.master_checkpointing, 1)
         .output_arc(ids.timedout, 1)
         .build();
@@ -528,9 +567,12 @@ fn submodel_compute_nodes(
         )),
     )
     .input_arc(ids.execution, 1)
-    .enabled_when("master_broadcasting", move |m| {
-        m.has_token(i.master_checkpointing)
-    })
+    .input_gate(
+        InputGate::predicate_only("master_broadcasting", move |m| {
+            m.has_token(i.master_checkpointing)
+        })
+        .reads(&[ids.master_checkpointing]),
+    )
     .output_arc(ids.quiescing, 1)
     .output_arc(ids.to_coordination, 1)
     .build();
@@ -554,9 +596,10 @@ fn submodel_compute_nodes(
             Delay::from(Dist::deterministic(cfg.checkpoint_dump_time().as_secs())),
         )
         .input_arc(ids.checkpointing, 1)
-        .input_gate(InputGate::predicate_only("ionode_is_idle", move |m| {
-            m.has_token(i.ionode_idle)
-        }))
+        .input_gate(
+            InputGate::predicate_only("ionode_is_idle", move |m| m.has_token(i.ionode_idle))
+                .reads(&[ids.ionode_idle]),
+        )
         .output_arc(ids.execution, 1)
         .output_arc(ids.enable_chkpt, 1)
         .output_arc(ids.protocol_done, 1)
@@ -595,7 +638,10 @@ fn submodel_coordination(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
     let i = *ids;
     b.instantaneous_activity("start_coord", 3)
         .input_arc(ids.to_coordination, 1)
-        .enabled_when("app_not_in_io", move |m| m.has_token(i.app_compute))
+        .input_gate(
+            InputGate::predicate_only("app_not_in_io", move |m| m.has_token(i.app_compute))
+                .reads(&[ids.app_compute]),
+        )
         .output_arc(ids.coordinating, 1)
         .build();
 
@@ -627,7 +673,10 @@ fn submodel_app_workload(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
         Delay::from(Dist::deterministic(cfg.compute_phase().as_secs())),
     )
     .input_arc(ids.app_compute, 1)
-    .enabled_when("executing", move |m| m.has_token(i.execution))
+    .input_gate(
+        InputGate::predicate_only("executing", move |m| m.has_token(i.execution))
+            .reads(&[ids.execution]),
+    )
     .output_arc(ids.app_io, 1)
     .build();
 
@@ -637,9 +686,12 @@ fn submodel_app_workload(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
         Delay::from(Dist::deterministic(cfg.io_phase().as_secs())),
     )
     .input_arc(ids.app_io, 1)
-    .enabled_when("executing_or_quiescing", move |m| {
-        m.has_token(i.execution) || m.has_token(i.quiescing)
-    })
+    .input_gate(
+        InputGate::predicate_only("executing_or_quiescing", move |m| {
+            m.has_token(i.execution) || m.has_token(i.quiescing)
+        })
+        .reads(&[ids.execution, ids.quiescing]),
+    )
     .output_arc(ids.app_compute, 1)
     .output_arc(ids.app_data_ready, 1)
     .build();
@@ -680,7 +732,10 @@ fn submodel_io_nodes(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
         // their buffers (the next write covers it).
         b.instantaneous_activity("drop_app_data", 0)
             .input_arc(ids.app_data_ready, 1)
-            .enabled_when("ionode_busy", move |m| !m.has_token(i.ionode_idle))
+            .input_gate(
+                InputGate::predicate_only("ionode_busy", move |m| !m.has_token(i.ionode_idle))
+                    .reads(&[ids.ionode_idle]),
+            )
             .build();
 
         b.timed_activity(
@@ -726,7 +781,10 @@ fn submodel_comp_node_failure(
     let ab = b
         .timed_activity("comp_failure", delay)
         .reactivation(Reactivation::Resample)
-        .enabled_when("not_rebooting", move |m| !m.has_token(i.rebooting));
+        .input_gate(
+            InputGate::predicate_only("not_rebooting", move |m| !m.has_token(i.rebooting))
+                .reads(&[ids.rebooting]),
+        );
     acts.comp_failure = Some(if pe > 0.0 {
         ab.case(pe, |c| {
             c.effect("failure_with_propagation", move |m| {
@@ -763,7 +821,10 @@ fn submodel_io_node_failure(
     acts.io_failure = Some(
         b.timed_activity("io_failure", delay)
             .reactivation(Reactivation::Resample)
-            .enabled_when("not_rebooting", move |m| !m.has_token(i.rebooting))
+            .input_gate(
+                InputGate::predicate_only("not_rebooting", move |m| !m.has_token(i.rebooting))
+                    .reads(&[ids.rebooting]),
+            )
             .effect("io_failure_effect", move |m| {
                 effects::io_failure_effect(&i, threshold, m);
             })
@@ -787,10 +848,17 @@ fn submodel_master_failure(
     acts.master_failure = Some(
         b.timed_activity("master_failure", delay)
             .reactivation(Reactivation::Resample)
-            .enabled_when("checkpoint_in_progress", move |m| {
-                m.has_token(i.master_checkpointing)
-                    && (m.has_token(i.quiescing) || m.has_token(i.checkpointing))
-            })
+            .input_gate(
+                InputGate::predicate_only("checkpoint_in_progress", move |m| {
+                    m.has_token(i.master_checkpointing)
+                        && (m.has_token(i.quiescing) || m.has_token(i.checkpointing))
+                })
+                .reads(&[
+                    ids.master_checkpointing,
+                    ids.quiescing,
+                    ids.checkpointing,
+                ]),
+            )
             .effect("master_abort", move |m| {
                 effects::abort_checkpoint(&i, m);
             })
@@ -820,7 +888,10 @@ fn submodel_correlated_failures(
         let ab = b
             .timed_activity("generic_failure", Delay::from(Dist::exponential(rate)))
             .reactivation(Reactivation::Resample)
-            .enabled_when("not_rebooting", move |m| !m.has_token(i.rebooting));
+            .input_gate(
+                InputGate::predicate_only("not_rebooting", move |m| !m.has_token(i.rebooting))
+                    .reads(&[ids.rebooting]),
+            );
         acts.generic_failure = Some(if pe > 0.0 {
             ab.case(pe, |c| {
                 c.effect("generic_with_propagation", move |m| {
@@ -857,15 +928,22 @@ fn submodel_comp_node_recovery(
     b.instantaneous_activity("recovery_from_wait_stage1", 2)
         .input_arc(ids.recovering_wait_io, 1)
         .input_arc(ids.ionode_idle, 1)
-        .enabled_when("not_buffered", move |m| !m.has_token(i.buffered))
+        .input_gate(
+            InputGate::predicate_only("not_buffered", move |m| !m.has_token(i.buffered))
+                .reads(&[ids.buffered]),
+        )
         .output_arc(ids.reading_chkpt, 1)
         .output_arc(ids.recovering_stage1, 1)
         .build();
     b.instantaneous_activity("recovery_from_wait_stage2", 2)
         .input_arc(ids.recovering_wait_io, 1)
-        .enabled_when("buffered_and_io_up", move |m| {
-            m.has_token(i.buffered) && (m.has_token(i.ionode_idle) || m.has_token(i.writing_chkpt))
-        })
+        .input_gate(
+            InputGate::predicate_only("buffered_and_io_up", move |m| {
+                m.has_token(i.buffered)
+                    && (m.has_token(i.ionode_idle) || m.has_token(i.writing_chkpt))
+            })
+            .reads(&[ids.buffered, ids.ionode_idle, ids.writing_chkpt]),
+        )
         .output_arc(ids.recovering_stage2, 1)
         .build();
 

@@ -7,8 +7,10 @@ use std::fmt;
 /// Opaque handle identifying a scheduled event so that it can later be
 /// cancelled.
 ///
-/// Handles are unique for the lifetime of the [`EventQueue`] that issued
-/// them and are cheap to copy.
+/// Handles are cheap to copy. Internally the low half indexes a slot in
+/// the issuing [`EventQueue`]'s slab and the high half carries that
+/// slot's generation, so a handle held past its event's firing or
+/// cancellation goes stale instead of aliasing a later event.
 ///
 /// [`EventQueue`]: crate::EventQueue
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -29,6 +31,9 @@ impl fmt::Display for EventId {
 pub struct ScheduledEvent<E> {
     pub(crate) time: SimTime,
     pub(crate) id: EventId,
+    /// Monotone insertion sequence; the FIFO tie-breaker (ids recycle
+    /// slab slots, so they do not order insertions).
+    pub(crate) seq: u64,
     pub(crate) payload: E,
 }
 
@@ -59,24 +64,27 @@ impl<E> ScheduledEvent<E> {
 }
 
 impl<E> PartialEq for ScheduledEvent<E> {
+    #[inline]
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.id == other.id
+        self.time == other.time && self.seq == other.seq
     }
 }
 
 impl<E> Eq for ScheduledEvent<E> {}
 
 impl<E> PartialOrd for ScheduledEvent<E> {
+    #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl<E> Ord for ScheduledEvent<E> {
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         self.time
             .cmp(&other.time)
-            .then_with(|| self.id.cmp(&other.id))
+            .then_with(|| self.seq.cmp(&other.seq))
     }
 }
 
@@ -89,16 +97,20 @@ mod tests {
         let a = ScheduledEvent {
             time: SimTime::from_secs(1.0),
             id: EventId(7),
+            seq: 0,
             payload: "a",
         };
         let b = ScheduledEvent {
             time: SimTime::from_secs(1.0),
-            id: EventId(8),
+            // A smaller id (recycled slot) must not jump the FIFO line.
+            id: EventId(2),
+            seq: 1,
             payload: "b",
         };
         let c = ScheduledEvent {
             time: SimTime::from_secs(0.5),
             id: EventId(9),
+            seq: 2,
             payload: "c",
         };
         assert!(c < a);
@@ -110,6 +122,7 @@ mod tests {
         let e = ScheduledEvent {
             time: SimTime::from_secs(2.0),
             id: EventId(1),
+            seq: 0,
             payload: 42,
         };
         assert_eq!(e.time(), SimTime::from_secs(2.0));

@@ -3,16 +3,24 @@
 use crate::event::{EventId, ScheduledEvent};
 use crate::time::SimTime;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// The future-event list of a simulation: a min-heap of
 /// [`ScheduledEvent`]s keyed by time (FIFO among ties), with O(1)
 /// cancellation by tombstoning.
 ///
+/// Bookkeeping is a slab of per-event slots indexed directly by the
+/// [`EventId`] (generation-counted so recycled slots never confuse a
+/// stale handle with a live event) — the hot schedule/cancel/pop path
+/// does no hashing and no per-event allocation once the slab has grown
+/// to the working-set size.
+///
 /// Cancelled entries remain in the heap until they surface at the top and
 /// are silently skipped, so memory is reclaimed lazily; an explicit
-/// compaction pass runs automatically when more than half of the stored
-/// entries are dead.
+/// in-place (allocation-free) compaction pass runs automatically once
+/// tombstones outnumber live entries, which keeps the heap — and every
+/// sift — near the live working-set size even when far-future events are
+/// cancelled faster than they surface.
 ///
 /// # Example
 ///
@@ -31,13 +39,39 @@ use std::collections::{BinaryHeap, HashSet};
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<ScheduledEvent<E>>>,
-    /// Ids of events that are scheduled and neither fired nor cancelled.
-    pending: HashSet<EventId>,
-    cancelled: HashSet<EventId>,
-    next_id: u64,
+    /// One slot per in-flight event, indexed by the low half of the
+    /// [`EventId`]; the high half must match the slot's generation.
+    slots: Vec<Slot>,
+    /// Indices of slots available for reuse.
+    free: Vec<u32>,
+    pending: usize,
+    cancelled: usize,
+    /// Monotone insertion sequence, the FIFO tie-breaker among events
+    /// scheduled at the same time (slot ids recycle, so they cannot
+    /// order insertions).
+    next_seq: u64,
     /// Time of the most recently popped event; schedules before this are
     /// rejected to preserve causality.
     watermark: SimTime,
+}
+
+/// Lifecycle of one slab slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// No event currently uses this slot.
+    Free,
+    /// Scheduled, neither fired nor cancelled.
+    Pending,
+    /// Cancelled; its heap entry is a tombstone awaiting reclamation.
+    Cancelled,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Bumped on every release; a handle whose generation mismatches is
+    /// stale (already fired or cancelled).
+    gen: u32,
+    state: SlotState,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -52,9 +86,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
-            next_id: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            pending: 0,
+            cancelled: 0,
+            next_seq: 0,
             watermark: SimTime::ZERO,
         }
     }
@@ -73,11 +109,29 @@ impl<E> EventQueue<E> {
             "attempted to schedule an event at {time} before current time {}",
             self.watermark
         );
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.pending.insert(id);
-        self.heap
-            .push(Reverse(ScheduledEvent { time, id, payload }));
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight events");
+                self.slots.push(Slot {
+                    gen: 0,
+                    state: SlotState::Free,
+                });
+                s
+            }
+        };
+        debug_assert_eq!(self.slots[slot as usize].state, SlotState::Free);
+        self.slots[slot as usize].state = SlotState::Pending;
+        self.pending += 1;
+        let id = EventId(u64::from(self.slots[slot as usize].gen) << 32 | u64::from(slot));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(ScheduledEvent {
+            time,
+            id,
+            seq,
+            payload,
+        }));
         id
     }
 
@@ -86,10 +140,15 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event was still pending, `false` if it had
     /// already fired, been cancelled, or never existed.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.pending.remove(&id) {
+        let Some(slot) = self.resolve(id) else {
+            return false;
+        };
+        if self.slots[slot].state != SlotState::Pending {
             return false;
         }
-        self.cancelled.insert(id);
+        self.slots[slot].state = SlotState::Cancelled;
+        self.pending -= 1;
+        self.cancelled += 1;
         self.maybe_compact();
         true
     }
@@ -98,12 +157,20 @@ impl<E> EventQueue<E> {
     /// watermark to its time.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         while let Some(Reverse(ev)) = self.heap.pop() {
-            if self.cancelled.remove(&ev.id) {
-                continue;
+            let slot = (ev.id.0 & 0xFFFF_FFFF) as usize;
+            match self.slots[slot].state {
+                SlotState::Cancelled => {
+                    self.cancelled -= 1;
+                    self.release(slot);
+                }
+                SlotState::Pending => {
+                    self.pending -= 1;
+                    self.release(slot);
+                    self.watermark = ev.time;
+                    return Some(ev);
+                }
+                SlotState::Free => unreachable!("heap entry for a freed slot"),
             }
-            self.pending.remove(&ev.id);
-            self.watermark = ev.time;
-            return Some(ev);
         }
         None
     }
@@ -112,11 +179,11 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(Reverse(ev)) = self.heap.peek() {
-            if self.cancelled.contains(&ev.id) {
-                let Some(Reverse(dead)) = self.heap.pop() else {
-                    unreachable!("peek just returned an entry")
-                };
-                self.cancelled.remove(&dead.id);
+            let slot = (ev.id.0 & 0xFFFF_FFFF) as usize;
+            if self.slots[slot].state == SlotState::Cancelled {
+                self.heap.pop();
+                self.cancelled -= 1;
+                self.release(slot);
                 continue;
             }
             return Some(ev.time);
@@ -127,7 +194,7 @@ impl<E> EventQueue<E> {
     /// Number of live (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.pending
     }
 
     /// True if no live events remain.
@@ -144,22 +211,64 @@ impl<E> EventQueue<E> {
     }
 
     /// Drops every pending event (live and cancelled) without changing the
-    /// watermark.
+    /// watermark. Previously issued handles become stale, never aliases
+    /// of later events.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
-        self.cancelled.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.state != SlotState::Free {
+                slot.state = SlotState::Free;
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+        self.pending = 0;
+        self.cancelled = 0;
+    }
+
+    /// Maps a handle to its slot index, `None` when stale or foreign.
+    fn resolve(&self, id: EventId) -> Option<usize> {
+        let slot = (id.0 & 0xFFFF_FFFF) as usize;
+        let gen = (id.0 >> 32) as u32;
+        (slot < self.slots.len() && self.slots[slot].gen == gen).then_some(slot)
+    }
+
+    /// Returns a slot to the free list under a fresh generation.
+    fn release(&mut self, slot: usize) {
+        Self::release_in(&mut self.slots, &mut self.free, slot);
+    }
+
+    /// [`EventQueue::release`] on borrowed fields, callable where `self`
+    /// is partially borrowed (the compaction closure).
+    fn release_in(slots: &mut [Slot], free: &mut Vec<u32>, slot: usize) {
+        slots[slot].state = SlotState::Free;
+        slots[slot].gen = slots[slot].gen.wrapping_add(1);
+        free.push(slot as u32);
     }
 
     fn maybe_compact(&mut self) {
-        if self.cancelled.len() > 64 && self.cancelled.len() * 2 > self.heap.len() {
-            let cancelled = std::mem::take(&mut self.cancelled);
-            let live: Vec<_> = std::mem::take(&mut self.heap)
-                .into_iter()
-                .filter(|Reverse(ev)| !cancelled.contains(&ev.id))
-                .collect();
-            self.heap = live.into();
+        // Workloads with `Resample`-style churn cancel several far-future
+        // events per step; those tombstones never surface at `pop`, so
+        // without compaction the heap depth (and every sift) grows with
+        // the cancellation backlog. A low threshold keeps the heap near
+        // its live size; `retain` rebuilds in place without allocating.
+        if self.cancelled <= 16 || self.cancelled * 2 <= self.heap.len() {
+            return;
         }
+        let slots = &mut self.slots;
+        let free = &mut self.free;
+        let mut reclaimed = 0usize;
+        self.heap.retain(|Reverse(ev)| {
+            let slot = (ev.id.0 & 0xFFFF_FFFF) as usize;
+            if slots[slot].state == SlotState::Cancelled {
+                Self::release_in(slots, free, slot);
+                reclaimed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.cancelled -= reclaimed;
     }
 }
 
@@ -189,6 +298,25 @@ mod tests {
     }
 
     #[test]
+    fn ties_are_fifo_across_slot_reuse() {
+        // Slot indices recycle after pops/cancels; insertion order at a
+        // shared timestamp must still win, not slot order.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "warmup0");
+        q.schedule(SimTime::from_secs(1.0), "warmup1");
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().into_payload(), "warmup1");
+        // Both slots are now free; reuse happens in LIFO free-list order,
+        // so the ids come out in an order unrelated to insertion.
+        let t = SimTime::from_secs(5.0);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        q.schedule(t, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.into_payload())).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
     fn cancellation_hides_events() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_secs(1.0), "a");
@@ -209,6 +337,19 @@ mod tests {
         // A tombstone for a fired id must not kill a later event.
         let b = q.schedule(SimTime::from_secs(2.0), "b");
         assert_ne!(a, b);
+        assert_eq!(q.pop().unwrap().into_payload(), "b");
+    }
+
+    #[test]
+    fn stale_handle_after_slot_reuse_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "a");
+        q.pop();
+        // "b" reuses a's slot under a new generation.
+        let b = q.schedule(SimTime::from_secs(2.0), "b");
+        assert_ne!(a, b);
+        assert!(!q.cancel(a), "stale handle must not cancel the new event");
+        assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().into_payload(), "b");
     }
 
@@ -258,11 +399,35 @@ mod tests {
     }
 
     #[test]
+    fn slots_are_recycled() {
+        // A long-lived queue with churn must not grow its slab beyond the
+        // in-flight working set.
+        let mut q = EventQueue::new();
+        for round in 0..1_000 {
+            let t = SimTime::from_secs(f64::from(round));
+            q.schedule(t, round);
+            q.schedule(t, round);
+            q.pop();
+            q.pop();
+        }
+        assert!(
+            q.slots.len() <= 4,
+            "slab grew to {} slots for 2 in-flight events",
+            q.slots.len()
+        );
+    }
+
+    #[test]
     fn clear_empties_queue() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(1.0), ());
+        let a = q.schedule(SimTime::from_secs(1.0), ());
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+        // Handles issued before the clear are stale, not aliases.
+        assert!(!q.cancel(a));
+        let b = q.schedule(SimTime::from_secs(1.0), ());
+        assert_ne!(a, b);
+        assert_eq!(q.len(), 1);
     }
 }

@@ -82,7 +82,10 @@ impl SimTime {
                 kind: TimeErrorKind::Negative,
             })
         } else {
-            Ok(SimTime(secs))
+            // `+ 0.0` canonicalizes -0.0 (which passes the sign check) to
+            // +0.0, preserving the invariant that the wrapped bits of
+            // equal times are equal — see `Ord`.
+            Ok(SimTime(secs + 0.0))
         }
     }
 
@@ -166,15 +169,19 @@ impl Eq for SimTime {}
 
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
+    #[inline]
     fn cmp(&self, other: &SimTime) -> std::cmp::Ordering {
-        // Invariant: the wrapped value is never NaN, so partial_cmp is total.
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is never NaN by construction")
+        // Invariant: the wrapped value is finite, non-negative, and never
+        // -0.0 (canonicalized at construction), so the IEEE-754 bit
+        // patterns order exactly like the values. The integer compare is
+        // branch-free and inlines into the event queue's heap sifts,
+        // where this is the hottest comparison in the simulator.
+        self.0.to_bits().cmp(&other.0.to_bits())
     }
 }
 
 impl PartialOrd for SimTime {
+    #[inline]
     fn partial_cmp(&self, other: &SimTime) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -268,6 +275,16 @@ mod tests {
     #[should_panic(expected = "invalid SimTime")]
     fn from_secs_panics_on_nan() {
         let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn negative_zero_is_canonicalized() {
+        // -0.0 passes the sign check; it must collapse to +0.0 so the
+        // bitwise Ord stays consistent with numeric equality.
+        let t = SimTime::from_secs(-0.0);
+        assert_eq!(t.as_secs().to_bits(), 0.0f64.to_bits());
+        assert_eq!(t.cmp(&SimTime::ZERO), std::cmp::Ordering::Equal);
+        assert!(t < SimTime::from_secs(1.0));
     }
 
     #[test]

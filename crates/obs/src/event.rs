@@ -235,7 +235,13 @@ mod tests {
         let keys: Vec<_> = PhaseKind::ALL.iter().map(PhaseKind::key).collect();
         assert_eq!(
             keys,
-            ["executing", "coordinating", "dumping", "recovering", "rebooting"]
+            [
+                "executing",
+                "coordinating",
+                "dumping",
+                "recovering",
+                "rebooting"
+            ]
         );
     }
 

@@ -67,8 +67,14 @@ mod tests {
     fn noop_observer_accepts_everything() {
         let mut o = NoopObserver;
         o.on_window_begin(SimTime::ZERO, PhaseKind::Executing);
-        o.on_event(SimTime::ZERO, ObsEvent::Model(ModelEvent::CheckpointInitiated));
-        o.on_event(SimTime::ZERO, ObsEvent::ActivityFired { name: "coordinate" });
+        o.on_event(
+            SimTime::ZERO,
+            ObsEvent::Model(ModelEvent::CheckpointInitiated),
+        );
+        o.on_event(
+            SimTime::ZERO,
+            ObsEvent::ActivityFired { name: "coordinate" },
+        );
         o.on_event(
             SimTime::ZERO,
             ObsEvent::RewardUpdate {

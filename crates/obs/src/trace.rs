@@ -194,8 +194,14 @@ mod tests {
     #[test]
     fn observer_impl_records_model_events_only() {
         let mut t = TraceBuffer::new(4);
-        t.on_event(SimTime::ZERO, ObsEvent::Model(ModelEvent::CheckpointInitiated));
-        t.on_event(SimTime::ZERO, ObsEvent::ActivityFired { name: "coordinate" });
+        t.on_event(
+            SimTime::ZERO,
+            ObsEvent::Model(ModelEvent::CheckpointInitiated),
+        );
+        t.on_event(
+            SimTime::ZERO,
+            ObsEvent::ActivityFired { name: "coordinate" },
+        );
         t.on_event(SimTime::ZERO, ObsEvent::Phase(crate::PhaseKind::Dumping));
         assert_eq!(t.len(), 1);
     }

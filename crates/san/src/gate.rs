@@ -1,6 +1,6 @@
 //! Input and output gates.
 
-use crate::marking::Marking;
+use crate::marking::{Marking, PlaceId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -12,11 +12,21 @@ pub type GateFunction = Arc<dyn Fn(&mut Marking) + Send + Sync>;
 /// An input gate: the activity it is attached to is enabled only while
 /// the predicate holds, and the gate's function is applied to the marking
 /// when the activity fires (after input arcs are consumed).
+///
+/// A gate may additionally *declare* the discrete places its predicate
+/// reads via [`InputGate::reads`]. The declaration is a contract with the
+/// incremental scheduler: the predicate's result must depend **only** on
+/// the token counts of the declared places (never on fluid levels), so
+/// the scheduler can skip re-evaluating the activity when none of them
+/// changed. Undeclared gates are handled conservatively — the activity is
+/// re-checked after every firing — so existing models keep working
+/// unchanged, just without the fast path.
 #[derive(Clone)]
 pub struct InputGate {
     name: String,
     predicate: GatePredicate,
     function: GateFunction,
+    reads: Option<Vec<PlaceId>>,
 }
 
 impl InputGate {
@@ -30,6 +40,7 @@ impl InputGate {
             name: name.into(),
             predicate: Arc::new(predicate),
             function: Arc::new(function),
+            reads: None,
         }
     }
 
@@ -39,6 +50,28 @@ impl InputGate {
         P: Fn(&Marking) -> bool + Send + Sync + 'static,
     {
         InputGate::new(name, predicate, |_| {})
+    }
+
+    /// Declares the discrete places the predicate reads, opting the
+    /// attached activity into incremental scheduling.
+    ///
+    /// Contract: the predicate's result may change **only** when the
+    /// token count of one of `places` changes. Declaring too few places
+    /// makes the scheduler miss enablings/disablings (a debug-build
+    /// consistency assertion in the simulator catches this); declaring
+    /// extra places is safe, merely slower. The gate's *function* needs
+    /// no declaration — its writes are tracked by the marking itself.
+    #[must_use]
+    pub fn reads(mut self, places: &[PlaceId]) -> InputGate {
+        self.reads = Some(places.to_vec());
+        self
+    }
+
+    /// The declared read set, or `None` for a conservative (re-check
+    /// always) gate.
+    #[must_use]
+    pub fn declared_reads(&self) -> Option<&[PlaceId]> {
+        self.reads.as_deref()
     }
 
     /// The gate's diagnostic name.
@@ -161,5 +194,14 @@ mod tests {
     fn debug_shows_name() {
         let g = OutputGate::new("emit", |_| {});
         assert!(format!("{g:?}").contains("emit"));
+    }
+
+    #[test]
+    fn reads_declaration_is_recorded() {
+        let p0 = PlaceId(0);
+        let g = InputGate::predicate_only("check", move |m| m.has_token(p0));
+        assert_eq!(g.declared_reads(), None, "undeclared by default");
+        let g = g.reads(&[p0]);
+        assert_eq!(g.declared_reads(), Some(&[p0][..]));
     }
 }

@@ -70,4 +70,4 @@ pub use gate::{InputGate, OutputGate};
 pub use marking::{FluidId, Marking, PlaceId};
 pub use model::{ActivityBuilder, CaseBuilder, San, SanBuilder};
 pub use reward::{RewardReport, RewardSpec, RewardValue};
-pub use simulator::{SanObserver, Simulator};
+pub use simulator::{SanObserver, Scheduling, Simulator};

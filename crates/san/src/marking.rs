@@ -34,21 +34,48 @@ impl fmt::Display for FluidId {
 /// Token counts are `u64`; attempts to remove more tokens than present
 /// panic (it indicates an enabling-rule bug in the executor or a gate
 /// function violating its contract).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Besides the token/fluid vectors, a marking carries cheap *dirty-place*
+/// bookkeeping for the incremental scheduler: a bounded scratch list of
+/// the discrete places touched since the last dirty-window reset
+/// (`begin_dirty_window`, crate-internal), de-duplicated by a per-place
+/// generation stamp. Recording a dirty place is two array writes in the
+/// worst case and one compare in the common (already-dirty) case; the
+/// steady state allocates nothing. Equality ([`PartialEq`]) compares
+/// tokens and fluid levels only — never the bookkeeping.
+#[derive(Debug, Clone)]
 pub struct Marking {
     tokens: Vec<u64>,
     fluid: Vec<f64>,
     /// Bumped on every mutation; the simulator uses it to detect marking
     /// changes without diffing.
     version: u64,
+    /// Discrete places mutated since the last `begin_dirty_window`, each
+    /// listed once. Bounded by the place count.
+    dirty: Vec<u32>,
+    /// Per-place stamp; equals `dirty_gen` iff the place is in `dirty`.
+    dirty_stamp: Vec<u64>,
+    /// Current dirty-window generation (bumped by `begin_dirty_window`).
+    dirty_gen: u64,
+}
+
+impl PartialEq for Marking {
+    fn eq(&self, other: &Self) -> bool {
+        self.tokens == other.tokens && self.fluid == other.fluid
+    }
 }
 
 impl Marking {
     pub(crate) fn new(tokens: Vec<u64>, fluid: Vec<f64>) -> Marking {
+        let places = tokens.len();
         Marking {
             tokens,
             fluid,
             version: 0,
+            dirty: Vec::with_capacity(places),
+            dirty_stamp: vec![0; places],
+            // Start at 1 so the zero-initialized stamps read as clean.
+            dirty_gen: 1,
         }
     }
 
@@ -67,6 +94,7 @@ impl Marking {
         if self.tokens[place.0] != count {
             self.tokens[place.0] = count;
             self.version += 1;
+            self.mark_dirty(place.0);
         }
     }
 
@@ -75,6 +103,7 @@ impl Marking {
         if count > 0 {
             self.tokens[place.0] += count;
             self.version += 1;
+            self.mark_dirty(place.0);
         }
     }
 
@@ -92,6 +121,7 @@ impl Marking {
         if count > 0 {
             self.tokens[place.0] = have - count;
             self.version += 1;
+            self.mark_dirty(place.0);
         }
     }
 
@@ -142,6 +172,29 @@ impl Marking {
         // Integration is not a logical "marking change": it must not
         // trigger activity reactivation, so it bypasses the version bump.
         self.fluid[id.0] += amount;
+    }
+
+    /// Opens a fresh dirty window: subsequently mutated discrete places
+    /// accumulate in [`Marking::dirty_places`]. The incremental scheduler
+    /// calls this once per event; resetting is one counter bump plus a
+    /// `Vec::clear` (capacity retained — no allocation in steady state).
+    pub(crate) fn begin_dirty_window(&mut self) {
+        self.dirty_gen += 1;
+        self.dirty.clear();
+    }
+
+    /// The discrete places mutated since the last
+    /// [`Marking::begin_dirty_window`], each exactly once, in first-touch
+    /// order.
+    pub(crate) fn dirty_places(&self) -> &[u32] {
+        &self.dirty
+    }
+
+    fn mark_dirty(&mut self, place: usize) {
+        if self.dirty_stamp[place] != self.dirty_gen {
+            self.dirty_stamp[place] = self.dirty_gen;
+            self.dirty.push(place as u32);
+        }
     }
 }
 
@@ -212,6 +265,39 @@ mod tests {
         let m = marking();
         assert_eq!(m.place_count(), 3);
         assert_eq!(m.fluid_count(), 2);
+    }
+
+    #[test]
+    fn dirty_window_tracks_each_place_once() {
+        let mut m = marking();
+        m.begin_dirty_window();
+        assert!(m.dirty_places().is_empty());
+        m.add_tokens(PlaceId(1), 2);
+        m.set_tokens(PlaceId(1), 5); // same place: still listed once
+        m.remove_tokens(PlaceId(2), 1);
+        m.set_tokens(PlaceId(0), 1); // no-op: not dirty
+        assert_eq!(m.dirty_places(), &[1, 2]);
+        // Fluid mutation and integration never dirty a discrete place.
+        m.add_fluid(FluidId(0), 1.0);
+        m.integrate_fluid(FluidId(0), 1.0);
+        assert_eq!(m.dirty_places(), &[1, 2]);
+        // A new window starts clean and re-collects.
+        m.begin_dirty_window();
+        assert!(m.dirty_places().is_empty());
+        m.add_tokens(PlaceId(1), 1);
+        assert_eq!(m.dirty_places(), &[1]);
+    }
+
+    #[test]
+    fn equality_ignores_dirty_bookkeeping() {
+        let mut a = marking();
+        let mut b = marking();
+        a.begin_dirty_window();
+        a.add_tokens(PlaceId(0), 1);
+        a.remove_tokens(PlaceId(0), 1);
+        b.set_tokens(PlaceId(2), 5); // no-op write, no dirty entry
+        assert_eq!(a, b, "same tokens/fluid must compare equal");
+        assert_ne!(a.dirty_places(), b.dirty_places());
     }
 
     #[test]

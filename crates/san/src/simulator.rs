@@ -13,6 +13,29 @@ use std::fmt;
 /// the simulator reports a livelock.
 const INSTANTANEOUS_LIMIT: u32 = 100_000;
 
+/// Which scheduling strategy a [`Simulator`] uses to reconcile activity
+/// schedules after each firing.
+///
+/// Both strategies are **bit-identical**: same RNG draw sequence, same
+/// firing order, same rewards, same final marking. The full scan is kept
+/// as the reference executor (and as an equivalence oracle in tests and
+/// benchmarks); the incremental scheduler is the default because its
+/// per-event cost is proportional to what the firing actually changed,
+/// not to the total number of activities in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Visit only activities whose dependency set (input-arc places ∪
+    /// declared [`InputGate::reads`](crate::InputGate::reads) sets)
+    /// intersects the places dirtied by the current event, plus the
+    /// conservatively re-checked "global" activities (undeclared gates,
+    /// `Resample` timers). The default.
+    #[default]
+    Incremental,
+    /// Re-examine every activity after every event — the original O(A)
+    /// reference behaviour.
+    FullScan,
+}
+
 struct RewardState {
     spec: RewardSpec,
     total: f64,
@@ -66,21 +89,53 @@ pub struct Simulator<'m> {
     sampled_version: Vec<u64>,
     rng: SimRng,
     rewards: Vec<RewardState>,
+    /// Activity index → `(reward index, impulse index)` pairs, so firing
+    /// only touches rewards that actually attach an impulse to it.
+    impulse_map: Vec<Vec<(u32, u32)>>,
     firing_counts: Vec<u64>,
+    /// Running total of firings; kept so `events_processed` is O(1).
+    events_total: u64,
     window_start: SimTime,
     observer: Option<&'m mut dyn SanObserver>,
+    scheduling: Scheduling,
+    /// Reused per multi-case firing; never reallocated in steady state.
+    weights_scratch: Vec<f64>,
+    /// Timed activities to reconcile this event (incremental mode).
+    visit_scratch: Vec<u32>,
+    /// Dedup stamps for `visit_scratch`; equal to `visit_gen` iff queued.
+    visit_stamp: Vec<u64>,
+    visit_gen: u64,
+    /// Instantaneous-candidate stamps; equal to `inst_gen` iff the
+    /// activity is a settle candidate for the current event.
+    inst_stamp: Vec<u64>,
+    inst_gen: u64,
 }
 
 impl<'m> Simulator<'m> {
     /// Creates a simulator over `san` seeded with `seed`, settles any
     /// initially enabled instantaneous activities, and schedules the
-    /// initially enabled timed ones.
+    /// initially enabled timed ones. Uses [`Scheduling::Incremental`];
+    /// see [`Simulator::with_scheduling`] to choose.
     ///
     /// # Errors
     ///
     /// Returns [`SanError`] if the initial settling livelocks or a delay
     /// sampler misbehaves.
     pub fn new(san: &'m San, seed: u64) -> Result<Simulator<'m>, SanError> {
+        Simulator::with_scheduling(san, seed, Scheduling::default())
+    }
+
+    /// Creates a simulator with an explicit [`Scheduling`] strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError`] if the initial settling livelocks or a delay
+    /// sampler misbehaves.
+    pub fn with_scheduling(
+        san: &'m San,
+        seed: u64,
+        scheduling: Scheduling,
+    ) -> Result<Simulator<'m>, SanError> {
         let n = san.activities.len();
         let mut sim = Simulator {
             san,
@@ -91,13 +146,32 @@ impl<'m> Simulator<'m> {
             sampled_version: vec![0; n],
             rng: SimRng::seed_from_u64(seed),
             rewards: Vec::new(),
+            impulse_map: vec![Vec::new(); n],
             firing_counts: vec![0; n],
+            events_total: 0,
             window_start: SimTime::ZERO,
             observer: None,
+            scheduling,
+            weights_scratch: Vec::new(),
+            visit_scratch: Vec::with_capacity(n),
+            visit_stamp: vec![0; n],
+            visit_gen: 0,
+            inst_stamp: vec![0; n],
+            inst_gen: 0,
         };
+        // Initialization settles and schedules with the full scan in both
+        // modes: it visits every activity in ascending index order, which
+        // is exactly what the incremental scheduler must be equivalent to,
+        // and there is no previous event to diff against.
         sim.settle_instantaneous()?;
         sim.update_schedules()?;
         Ok(sim)
+    }
+
+    /// The scheduling strategy this simulator runs with.
+    #[must_use]
+    pub fn scheduling(&self) -> Scheduling {
+        self.scheduling
     }
 
     /// Registers a reward variable. Rewards accumulate from the moment
@@ -111,6 +185,11 @@ impl<'m> Simulator<'m> {
             return Err(SanError::DuplicateReward {
                 name: spec.name().into(),
             });
+        }
+        let reward_idx = u32::try_from(self.rewards.len()).expect("more than 2^32 rewards");
+        for (impulse_idx, (act, _)) in spec.impulses().iter().enumerate() {
+            let impulse_idx = u32::try_from(impulse_idx).expect("more than 2^32 impulses");
+            self.impulse_map[act.0].push((reward_idx, impulse_idx));
         }
         self.rewards.push(RewardState {
             spec,
@@ -152,10 +231,11 @@ impl<'m> Simulator<'m> {
 
     /// Total number of activity firings (timed and instantaneous) since
     /// construction — the SAN analogue of "events processed", used for
-    /// throughput reporting.
+    /// throughput reporting. Maintained as a running counter, so this is
+    /// O(1) and safe to poll per event.
     #[must_use]
     pub fn events_processed(&self) -> u64 {
-        self.firing_counts.iter().sum()
+        self.events_total
     }
 
     /// Zeroes all reward accumulators and restarts the observation
@@ -226,13 +306,7 @@ impl<'m> Simulator<'m> {
             let Some(ev) = self.queue.pop() else {
                 unreachable!("peek_time returned Some")
             };
-            let activity = ev.into_payload();
-            self.integrate_to(t);
-            self.now = t;
-            self.scheduled[activity.0] = None;
-            self.fire(activity)?;
-            self.settle_instantaneous()?;
-            self.update_schedules()?;
+            self.step_event(t, ev.into_payload())?;
             if condition(&self.marking) {
                 return Ok(Some(self.now));
             }
@@ -259,17 +333,35 @@ impl<'m> Simulator<'m> {
             let Some(ev) = self.queue.pop() else {
                 unreachable!("peek_time returned Some")
             };
-            let activity = ev.into_payload();
-            self.integrate_to(t);
-            self.now = t;
-            self.scheduled[activity.0] = None;
-            self.fire(activity)?;
-            self.settle_instantaneous()?;
-            self.update_schedules()?;
+            self.step_event(t, ev.into_payload())?;
         }
         if horizon > self.now {
             self.integrate_to(horizon);
             self.now = horizon;
+        }
+        Ok(())
+    }
+
+    /// Processes one timed completion at `t`: advance the clock, fire,
+    /// settle instantaneous activities, reconcile timed schedules.
+    fn step_event(&mut self, t: SimTime, activity: ActivityId) -> Result<(), SanError> {
+        self.integrate_to(t);
+        self.now = t;
+        self.scheduled[activity.0] = None;
+        match self.scheduling {
+            Scheduling::FullScan => {
+                self.fire(activity)?;
+                self.settle_instantaneous()?;
+                self.update_schedules()?;
+            }
+            Scheduling::Incremental => {
+                self.marking.begin_dirty_window();
+                self.fire(activity)?;
+                self.settle_incremental()?;
+                self.update_schedules_incremental(activity)?;
+                #[cfg(debug_assertions)]
+                self.assert_schedule_consistency();
+            }
         }
         Ok(())
     }
@@ -299,21 +391,22 @@ impl<'m> Simulator<'m> {
     /// Fires one activity: consume inputs, run gates, pick a case, apply
     /// outputs, record impulses.
     fn fire(&mut self, id: ActivityId) -> Result<(), SanError> {
-        let def = &self.san.activities[id.0];
+        let san = self.san;
+        let def = &san.activities[id.0];
         debug_assert!(
             def.enabled(&self.marking),
             "activity '{}' fired while disabled — scheduling bug",
             def.name
         );
-        // Select the case on the pre-firing marking.
+        // Select the case on the pre-firing marking. The single-case fast
+        // path draws no randomness and touches no weight buffer.
         let case_idx = if def.cases.len() == 1 {
             0
         } else {
-            let weights: Vec<f64> = def
-                .cases
-                .iter()
-                .map(|c| c.weight.eval(&self.marking))
-                .collect();
+            self.weights_scratch.clear();
+            self.weights_scratch
+                .extend(def.cases.iter().map(|c| c.weight.eval(&self.marking)));
+            let weights = &self.weights_scratch;
             if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
                 return Err(SanError::BadCaseWeights {
                     activity: def.name.clone(),
@@ -351,16 +444,17 @@ impl<'m> Simulator<'m> {
             g.apply(&mut self.marking);
         }
         self.firing_counts[id.0] += 1;
+        self.events_total += 1;
 
-        for r in &mut self.rewards {
-            for (act, f) in r.spec.impulses() {
-                if *act == id {
-                    r.total += f(&self.marking);
-                    r.impulse_count += 1;
-                    if let Some(obs) = self.observer.as_deref_mut() {
-                        obs.reward_updated(self.now, r.spec.name(), r.total);
-                    }
-                }
+        // Impulse rewards attached to this activity, in registration
+        // order (same order the reward-list scan used to produce).
+        for &(reward_idx, impulse_idx) in &self.impulse_map[id.0] {
+            let r = &mut self.rewards[reward_idx as usize];
+            let f = &r.spec.impulses()[impulse_idx as usize].1;
+            r.total += f(&self.marking);
+            r.impulse_count += 1;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.reward_updated(self.now, r.spec.name(), r.total);
             }
         }
         if let Some(obs) = self.observer.as_deref_mut() {
@@ -370,7 +464,8 @@ impl<'m> Simulator<'m> {
     }
 
     /// Fires enabled instantaneous activities (highest priority first)
-    /// until none remain.
+    /// until none remain, re-checking every activity each round — the
+    /// full-scan reference path, also used during initialization.
     fn settle_instantaneous(&mut self) -> Result<(), SanError> {
         let mut fired = 0u32;
         loop {
@@ -401,36 +496,179 @@ impl<'m> Simulator<'m> {
         }
     }
 
-    /// Reconciles timed-activity schedules with the current marking.
+    /// Incremental settle: between events no instantaneous activity is
+    /// enabled (the previous settle reached a fixpoint, and neither
+    /// schedule reconciliation nor fluid integration changes discrete
+    /// token counts), so the only activities that can have become enabled
+    /// are those depending on a place dirtied during this event — plus
+    /// the conservatively re-checked global set. Candidates accumulate as
+    /// firings dirty further places; priority order and tie-breaking
+    /// match the full scan exactly.
+    fn settle_incremental(&mut self) -> Result<(), SanError> {
+        let san = self.san;
+        self.inst_gen += 1;
+        let gen = self.inst_gen;
+        for &a in &san.deps.global_inst {
+            self.inst_stamp[a as usize] = gen;
+        }
+        let mut consumed = 0usize;
+        let mut fired = 0u32;
+        loop {
+            // Fold places dirtied since the previous round into the
+            // candidate set.
+            loop {
+                let dirty = self.marking.dirty_places();
+                if consumed >= dirty.len() {
+                    break;
+                }
+                let p = dirty[consumed] as usize;
+                consumed += 1;
+                for &a in &san.deps.place_to_inst[p] {
+                    self.inst_stamp[a as usize] = gen;
+                }
+            }
+            // `inst_priority_order` is sorted (priority desc, index asc),
+            // so the first enabled candidate is exactly the activity the
+            // full scan's "first maximum" selection would pick.
+            let mut chosen = None;
+            for &a in &san.deps.inst_priority_order {
+                if self.inst_stamp[a as usize] == gen
+                    && san.activities[a as usize].enabled(&self.marking)
+                {
+                    chosen = Some(a as usize);
+                    break;
+                }
+            }
+            let Some(idx) = chosen else {
+                return Ok(());
+            };
+            self.fire(ActivityId(idx))?;
+            fired += 1;
+            if fired > INSTANTANEOUS_LIMIT {
+                return Err(SanError::InstantaneousLivelock {
+                    limit: INSTANTANEOUS_LIMIT,
+                });
+            }
+        }
+    }
+
+    /// Reconciles timed-activity schedules with the current marking by
+    /// examining every activity — the full-scan reference path, also used
+    /// during initialization.
     fn update_schedules(&mut self) -> Result<(), SanError> {
         let version = self.marking.version();
-        for (i, def) in self.san.activities.iter().enumerate() {
-            let Timing::Timed(delay) = &def.timing else {
-                continue;
-            };
-            let enabled = def.enabled(&self.marking);
-            match (enabled, self.scheduled[i]) {
-                (false, Some(ev)) => {
-                    // Disabling aborts the activity.
-                    self.queue.cancel(ev);
-                    self.scheduled[i] = None;
-                }
-                (false, None) => {}
-                (true, Some(ev)) => {
-                    if def.reactivation == Reactivation::Resample
-                        && self.sampled_version[i] != version
-                    {
-                        self.queue.cancel(ev);
-                        self.scheduled[i] = None;
-                        self.schedule_timed(i, delay)?;
-                    }
-                }
-                (true, None) => {
-                    self.schedule_timed(i, delay)?;
+        for i in 0..self.san.activities.len() {
+            self.reconcile_timed(i, version)?;
+        }
+        Ok(())
+    }
+
+    /// Incremental schedule reconciliation: visits the just-fired
+    /// activity (its pop cleared `scheduled`, and it may be immediately
+    /// re-enabled without dirtying any place it depends on), every global
+    /// activity, and every timed activity depending on a place dirtied
+    /// during this event — in ascending activity index, so delay draws
+    /// happen in exactly the order the full scan would make them.
+    ///
+    /// Activities outside that set are provably no-ops under the full
+    /// scan: their enabling cannot have changed (their dependency places
+    /// did not), so they sit in the `(enabled, scheduled)` states
+    /// `(true, Some)` with `Keep` or `(false, None)`, neither of which
+    /// draws randomness or touches the queue.
+    fn update_schedules_incremental(&mut self, fired: ActivityId) -> Result<(), SanError> {
+        let san = self.san;
+        self.visit_gen += 1;
+        let gen = self.visit_gen;
+        self.visit_scratch.clear();
+        {
+            let a = u32::try_from(fired.0).expect("more than 2^32 activities");
+            self.visit_stamp[fired.0] = gen;
+            self.visit_scratch.push(a);
+        }
+        for &a in &san.deps.global_timed {
+            if self.visit_stamp[a as usize] != gen {
+                self.visit_stamp[a as usize] = gen;
+                self.visit_scratch.push(a);
+            }
+        }
+        for &p in self.marking.dirty_places() {
+            for &a in &san.deps.place_to_timed[p as usize] {
+                if self.visit_stamp[a as usize] != gen {
+                    self.visit_stamp[a as usize] = gen;
+                    self.visit_scratch.push(a);
                 }
             }
         }
+        self.visit_scratch.sort_unstable();
+        let version = self.marking.version();
+        for k in 0..self.visit_scratch.len() {
+            self.reconcile_timed(self.visit_scratch[k] as usize, version)?;
+        }
         Ok(())
+    }
+
+    /// Brings one timed activity's schedule in line with the marking.
+    /// Shared by both scheduling strategies; instantaneous activities are
+    /// ignored.
+    fn reconcile_timed(&mut self, i: usize, version: u64) -> Result<(), SanError> {
+        let def = &self.san.activities[i];
+        let Timing::Timed(delay) = &def.timing else {
+            return Ok(());
+        };
+        let enabled = def.enabled(&self.marking);
+        match (enabled, self.scheduled[i]) {
+            (false, Some(ev)) => {
+                // Disabling aborts the activity.
+                self.queue.cancel(ev);
+                self.scheduled[i] = None;
+            }
+            (false, None) => {}
+            (true, Some(ev)) => {
+                if def.reactivation == Reactivation::Resample && self.sampled_version[i] != version
+                {
+                    self.queue.cancel(ev);
+                    self.scheduled[i] = None;
+                    self.schedule_timed(i, delay)?;
+                }
+            }
+            (true, None) => {
+                self.schedule_timed(i, delay)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the incremental scheduler's core invariants against a
+    /// ground-truth scan (debug builds only): every timed activity is
+    /// scheduled iff enabled, and no instantaneous activity is enabled
+    /// between events. A violation means some gate's declared
+    /// [`reads`](crate::InputGate::reads) set is stale — its predicate
+    /// changed without any declared place changing.
+    #[cfg(debug_assertions)]
+    fn assert_schedule_consistency(&self) {
+        for (i, def) in self.san.activities.iter().enumerate() {
+            match def.timing {
+                Timing::Timed(_) => {
+                    debug_assert_eq!(
+                        def.enabled(&self.marking),
+                        self.scheduled[i].is_some(),
+                        "timed activity '{}' out of sync with its schedule — \
+                         a gate predicate changed without any of its declared \
+                         reads() places changing",
+                        def.name
+                    );
+                }
+                Timing::Instantaneous { .. } => {
+                    debug_assert!(
+                        !def.enabled(&self.marking),
+                        "instantaneous activity '{}' enabled after settling — \
+                         a gate predicate changed without any of its declared \
+                         reads() places changing",
+                        def.name
+                    );
+                }
+            }
+        }
     }
 
     fn schedule_timed(

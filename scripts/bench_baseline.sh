@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Measures the pre-PR full-scan executor — the "before" number recorded in
+# BENCH_engines.json — by building the given commit (default: the parent
+# of HEAD) in a throwaway git worktree with a small harness injected, and
+# running the same Figure 4 workload bench_engines uses.
+#
+# Usage: scripts/bench_baseline.sh [commit] [extra bench flags...]
+#
+# Prints one JSON line with the measurement and, on success, re-runs
+# bench_engines with --baseline-eps so BENCH_engines.json carries the
+# before/after pair. Requires only the vendored toolchain (no network).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+commit="${1:-HEAD~1}"
+shift || true
+wt="$repo/.baseline_wt"
+
+cleanup() {
+  git -C "$repo" worktree remove --force "$wt" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+cleanup
+git -C "$repo" worktree add --detach "$wt" "$commit" >/dev/null
+
+cat > "$wt/crates/bench/src/bin/bench_baseline.rs" <<'EOF'
+//! Injected pre-PR baseline harness (see scripts/bench_baseline.sh).
+use ckpt_bench::RunOptions;
+use ckpt_core::san_model::CheckpointSan;
+use ckpt_core::SystemConfig;
+use std::time::Instant;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let cfg = SystemConfig::builder()
+        .processors(65_536)
+        .build()
+        .expect("valid benchmark config");
+    let model = CheckpointSan::build(&cfg).expect("model builds");
+    let mut events = 0u64;
+    let start = Instant::now();
+    for k in 0..u64::from(opts.reps) {
+        let (_m, ev) = model
+            .run_steady_state_profiled(opts.seed + k, opts.transient, opts.horizon)
+            .expect("replication failed");
+        events += ev;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "{{\"reps\": {}, \"horizon_hours\": {:.0}, \"transient_hours\": {:.0}, \
+         \"seed\": {}, \"wall_secs\": {:.3}, \"events\": {events}, \
+         \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}}}",
+        opts.reps,
+        opts.horizon.as_hours(),
+        opts.transient.as_hours(),
+        opts.seed,
+        wall,
+        events as f64 / wall.max(1e-9),
+        wall * 1e9 / (events.max(1)) as f64,
+    );
+}
+EOF
+
+(cd "$wt" && cargo build --release -p ckpt-bench --bin bench_baseline >&2)
+out="$("$wt/target/release/bench_baseline" "$@")"
+echo "baseline ($commit): $out" >&2
+echo "$out"
+
+eps="$(echo "$out" | sed -n 's/.*"events_per_sec": \([0-9]*\).*/\1/p')"
+if [ -n "$eps" ]; then
+  (cd "$repo" && cargo build --release -p ckpt-bench --bin bench_engines >&2 \
+    && ./target/release/bench_engines --baseline-eps "$eps" "$@")
+fi
