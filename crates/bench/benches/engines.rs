@@ -3,7 +3,7 @@
 
 use ckpt_core::config::SystemConfig;
 use ckpt_core::direct::DirectSimulator;
-use ckpt_core::san_model::CheckpointSan;
+use ckpt_core::san_model::{CheckpointSan, RunOptions};
 use ckpt_des::SimTime;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -31,8 +31,14 @@ fn san_engine(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(procs), &model, |b, model| {
             b.iter(|| {
                 model
-                    .run_steady_state(1, SimTime::ZERO, SimTime::from_hours(1_000.0))
+                    .run(&RunOptions {
+                        seed: 1,
+                        transient: SimTime::ZERO,
+                        horizon: SimTime::from_hours(1_000.0),
+                        ..RunOptions::default()
+                    })
                     .unwrap()
+                    .metrics
                     .useful_work_fraction()
             });
         });

@@ -34,6 +34,13 @@ pub struct RunOptions {
     /// Suppress per-replication profile output and progress heartbeats
     /// (for scripting).
     pub quiet: bool,
+    /// Persist a resumable progress snapshot to this path.
+    pub snapshot: Option<String>,
+    /// Persist the snapshot after every N completed replications
+    /// (0 = only on interrupt/completion).
+    pub snapshot_every: u32,
+    /// Resume from a snapshot written by an interrupted run.
+    pub resume: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -51,6 +58,9 @@ impl Default for RunOptions {
             metrics: None,
             manifest: None,
             quiet: false,
+            snapshot: None,
+            snapshot_every: 1,
+            resume: None,
         }
     }
 }
@@ -133,6 +143,13 @@ impl RunOptions {
                 "--metrics" => opts.metrics = Some(value_for("--metrics")?),
                 "--manifest" => opts.manifest = Some(value_for("--manifest")?),
                 "--quiet" => opts.quiet = true,
+                "--snapshot" => opts.snapshot = Some(value_for("--snapshot")?),
+                "--snapshot-every" => {
+                    opts.snapshot_every = value_for("--snapshot-every")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--snapshot-every: {e}")))?;
+                }
+                "--resume" => opts.resume = Some(value_for("--resume")?),
                 "--csv" => opts.csv = true,
                 "--quick" => {
                     opts.quick = true;
@@ -144,7 +161,8 @@ impl RunOptions {
                     return Err(ParseError(
                         "usage: [--engine direct|san] [--reps N] [--hours H] \
                          [--transient H] [--seed S] [--jobs N] [--csv] [--quick] \
-                         [--trace FILE] [--metrics FILE] [--manifest FILE] [--quiet]"
+                         [--trace FILE] [--metrics FILE] [--manifest FILE] [--quiet] \
+                         [--snapshot FILE] [--snapshot-every N] [--resume FILE]"
                             .to_string(),
                     ))
                 }
@@ -245,6 +263,28 @@ mod tests {
         assert!(parse(&["--metrics"]).is_err());
         let d = parse(&[]).unwrap();
         assert!(d.trace.is_none() && d.metrics.is_none() && d.manifest.is_none() && !d.quiet);
+    }
+
+    #[test]
+    fn snapshot_flags_parse() {
+        let o = parse(&[
+            "--snapshot",
+            "s.json",
+            "--snapshot-every",
+            "4",
+            "--resume",
+            "r.json",
+        ])
+        .unwrap();
+        assert_eq!(o.snapshot.as_deref(), Some("s.json"));
+        assert_eq!(o.snapshot_every, 4);
+        assert_eq!(o.resume.as_deref(), Some("r.json"));
+        assert!(parse(&["--snapshot"]).is_err());
+        assert!(parse(&["--snapshot-every", "often"]).is_err());
+        assert!(parse(&["--resume"]).is_err());
+        let d = parse(&[]).unwrap();
+        assert!(d.snapshot.is_none() && d.resume.is_none());
+        assert_eq!(d.snapshot_every, 1);
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! paper's semantics only) on the base system at MTTF 3 y and reports
 //! the useful work fraction.
 
-use ckpt_bench::RunOptions;
+use ckpt_bench::{experiment_spec, RunOptions};
 use ckpt_core::config::{CoordinationMode, RecoveryTimeModel, SystemConfigBuilder};
-use ckpt_core::{EngineKind, Experiment, SystemConfig};
+use ckpt_core::{EngineKind, SystemConfig};
 use ckpt_des::SimTime;
 
 fn base() -> SystemConfigBuilder {
@@ -18,12 +18,9 @@ fn base() -> SystemConfigBuilder {
 }
 
 fn fraction(cfg: SystemConfig, opts: &RunOptions) -> (f64, f64) {
-    let ci = Experiment::new(cfg)
-        .engine(EngineKind::Direct)
-        .transient(opts.transient)
-        .horizon(opts.horizon)
-        .replications(opts.reps)
-        .seed(opts.seed)
+    let ci = experiment_spec(cfg, EngineKind::Direct, opts)
+        .expect("valid ablation spec")
+        .to_experiment()
         .run()
         .expect("direct engine cannot fail")
         .useful_work_fraction();

@@ -6,23 +6,55 @@
 
 use ckpt_bench::sweep::Metric;
 use ckpt_bench::{figures, run_sweep, svg, sweep_manifest_json, table, RunOptions};
+use ckpt_harness::CkptError;
 use std::fs;
+use std::process::exit;
 use std::time::Instant;
+
+fn fail(e: &CkptError) -> ! {
+    eprintln!("error: {e}");
+    exit(e.exit_code());
+}
+
+fn write_or_fail(path: &std::path::Path, contents: &str) {
+    if let Err(e) = fs::write(path, contents) {
+        fail(&CkptError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        });
+    }
+}
 
 fn main() {
     let opts = RunOptions::from_env();
+    if opts.snapshot.is_some() || opts.resume.is_some() {
+        // One journal cannot span figures (cell indices collide); point
+        // users at the per-figure binaries, which support both flags.
+        fail(&CkptError::Usage(
+            "--snapshot/--resume are per-figure; use the individual figure \
+             binaries (e.g. fig4a) or 'ckptsim figure <id>'"
+                .into(),
+        ));
+    }
     let out_dir = std::path::Path::new("results");
-    fs::create_dir_all(out_dir).expect("create results dir");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        fail(&CkptError::Io {
+            path: out_dir.display().to_string(),
+            message: e.to_string(),
+        });
+    }
 
     for (id, spec) in figures::all_figures() {
         let started = Instant::now();
         let cell_count = spec.cells.len();
-        let series = run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
+        let series = match run_sweep(&spec.labels, spec.cells, spec.metric, &opts) {
+            Ok(series) => series,
+            Err(e) => fail(&e),
+        };
         let csv = table::to_csv(&spec.x_name, &series);
-        fs::write(out_dir.join(format!("{id}.csv")), &csv).expect("write figure csv");
+        write_or_fail(&out_dir.join(format!("{id}.csv")), &csv);
         let manifest = sweep_manifest_json(id, cell_count, &opts, started.elapsed().as_secs_f64());
-        fs::write(out_dir.join(format!("{id}.manifest.json")), &manifest)
-            .expect("write figure manifest");
+        write_or_fail(&out_dir.join(format!("{id}.manifest.json")), &manifest);
         let y_name = match spec.metric {
             Metric::UsefulWorkFraction => "useful work fraction",
             Metric::TotalUsefulWork => "total useful work (job units)",

@@ -9,8 +9,8 @@
 //! monotone.
 
 use ckpt_analytic::{daly, vaidya, young};
-use ckpt_bench::RunOptions;
-use ckpt_core::{EngineKind, Experiment, SystemConfig};
+use ckpt_bench::{experiment_spec, RunOptions};
+use ckpt_core::{EngineKind, SystemConfig};
 use ckpt_des::SimTime;
 
 fn main() {
@@ -51,12 +51,9 @@ fn main() {
             .checkpoint_interval(SimTime::from_mins(mins))
             .build()
             .unwrap();
-        let ci = Experiment::new(cfg)
-            .engine(EngineKind::Direct)
-            .transient(opts.transient)
-            .horizon(opts.horizon)
-            .replications(opts.reps)
-            .seed(opts.seed)
+        let ci = experiment_spec(cfg, EngineKind::Direct, &opts)
+            .expect("valid baseline spec")
+            .to_experiment()
             .run()
             .expect("direct engine cannot fail")
             .useful_work_fraction();

@@ -18,7 +18,7 @@
 //! workload) so the emitted JSON carries the before/after comparison.
 
 use ckpt_bench::RunOptions;
-use ckpt_core::san_model::CheckpointSan;
+use ckpt_core::san_model::{CheckpointSan, RunOptions as SanRunOptions};
 use ckpt_core::{Metrics, SystemConfig};
 use ckpt_obs::{RunManifest, RunProfile};
 use ckpt_san::Scheduling;
@@ -44,9 +44,15 @@ fn run_engine(
     let start = Instant::now();
     for k in 0..u64::from(opts.reps) {
         let rep_start = Instant::now();
-        let (m, ev) = model
-            .run_steady_state_profiled_with(opts.seed + k, opts.transient, opts.horizon, scheduling)
+        let outcome = model
+            .run(&SanRunOptions {
+                seed: opts.seed + k,
+                transient: opts.transient,
+                horizon: opts.horizon,
+                scheduling,
+            })
             .expect("benchmark replication failed");
+        let (m, ev) = (outcome.metrics, outcome.events);
         profiles.push(RunProfile {
             wall_secs: rep_start.elapsed().as_secs_f64(),
             events: ev,
@@ -125,6 +131,7 @@ fn main() {
             transient_hours: opts.transient.as_hours(),
             horizon_hours: opts.horizon.as_hours(),
             replications: opts.reps as usize,
+            faults: 0,
             jobs: 1,
             host_parallelism: host,
             config: vec![("processors".into(), "65536".into())],

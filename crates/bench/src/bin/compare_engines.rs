@@ -3,18 +3,15 @@
 //! configurations. The integration tests enforce agreement; this binary
 //! makes it visible.
 
-use ckpt_bench::RunOptions;
+use ckpt_bench::{experiment_spec, RunOptions};
 use ckpt_core::config::{CoordinationMode, ErrorPropagation, GenericCorrelated};
-use ckpt_core::{EngineKind, Experiment, SystemConfig};
+use ckpt_core::{EngineKind, SystemConfig};
 use ckpt_des::SimTime;
 
 fn fraction(cfg: &SystemConfig, engine: EngineKind, opts: &RunOptions) -> (f64, f64) {
-    let ci = Experiment::new(cfg.clone())
-        .engine(engine)
-        .transient(opts.transient)
-        .horizon(opts.horizon)
-        .replications(opts.reps)
-        .seed(opts.seed)
+    let ci = experiment_spec(cfg.clone(), engine, opts)
+        .expect("both engines support these configs")
+        .to_experiment()
         .run()
         .expect("both engines support these configs")
         .useful_work_fraction();

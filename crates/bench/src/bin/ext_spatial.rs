@@ -8,22 +8,26 @@
 //! when the rollback needs it, forcing a stage-1 read of the older
 //! file-system copy.
 
-use ckpt_bench::sweep::{run_sweep, Cell, Metric};
-use ckpt_bench::table;
+use ckpt_bench::figures::FigureSpec;
+use ckpt_bench::sweep::{Cell, Metric};
 use ckpt_core::SystemConfig;
 use ckpt_des::SimTime;
 
 fn main() {
     let opts = ckpt_bench::RunOptions::from_env();
-
-    let spec = spec();
-    let series = run_sweep(&spec.0, spec.1, Metric::UsefulWorkFraction, &opts);
-    table::emit(
-        "Extension: spatially correlated compute/I-O co-failures \
-         (interval 30 min, MTTR 10 min)",
-        "p_spatial",
-        &series,
-        opts.csv,
+    let (labels, cells) = spec();
+    ckpt_bench::figure_main(
+        "ext_spatial",
+        FigureSpec {
+            title: "Extension: spatially correlated compute/I-O co-failures \
+                    (interval 30 min, MTTR 10 min)"
+                .into(),
+            x_name: "p_spatial".into(),
+            metric: Metric::UsefulWorkFraction,
+            labels,
+            cells,
+        },
+        &opts,
     );
 }
 

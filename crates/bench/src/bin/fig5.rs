@@ -2,7 +2,5 @@
 
 fn main() {
     let opts = ckpt_bench::RunOptions::from_env();
-    let spec = ckpt_bench::figures::fig5();
-    let series = ckpt_bench::run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
-    ckpt_bench::table::emit(&spec.title, &spec.x_name, &series, opts.csv);
+    ckpt_bench::figure_main("fig5", ckpt_bench::figures::fig5(), &opts);
 }

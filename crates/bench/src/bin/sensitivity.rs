@@ -8,9 +8,9 @@
 //! sensitivity story: MTTF dominates, MTTR and the interval matter,
 //! coordination overheads barely register at the base point.
 
-use ckpt_bench::RunOptions;
+use ckpt_bench::{experiment_spec, RunOptions};
 use ckpt_core::config::SystemConfigBuilder;
-use ckpt_core::{EngineKind, Experiment, SystemConfig};
+use ckpt_core::{EngineKind, SystemConfig};
 use ckpt_des::SimTime;
 
 struct Knob {
@@ -20,12 +20,9 @@ struct Knob {
 }
 
 fn fraction(cfg: SystemConfig, opts: &RunOptions) -> f64 {
-    Experiment::new(cfg)
-        .engine(EngineKind::Direct)
-        .transient(opts.transient)
-        .horizon(opts.horizon)
-        .replications(opts.reps)
-        .seed(opts.seed)
+    experiment_spec(cfg, EngineKind::Direct, opts)
+        .expect("valid sensitivity spec")
+        .to_experiment()
         .run()
         .expect("direct engine cannot fail")
         .useful_work_fraction()

@@ -30,9 +30,14 @@
 pub mod args;
 pub mod figures;
 pub mod paper;
+pub mod runner;
 pub mod svg;
 pub mod sweep;
 pub mod table;
 
 pub use args::RunOptions;
-pub use sweep::{run_sweep, sweep_manifest_json, Point, Series};
+pub use runner::{figure_main, run_figure};
+pub use sweep::{
+    experiment_spec, run_sweep, run_sweep_controlled, sweep_fingerprint, sweep_manifest_json,
+    Point, Series, SweepControl,
+};

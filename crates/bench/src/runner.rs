@@ -1,0 +1,206 @@
+//! Shared crash-safe driver for the figure binaries.
+//!
+//! Every `fig*` / `ext_*` binary is a three-liner over
+//! [`figure_main`]: it installs the graceful SIGINT/SIGTERM handler,
+//! opens (or resumes) the progress journal when `--snapshot` /
+//! `--resume` are given, runs the sweep through
+//! [`crate::sweep::run_sweep_controlled`], persists the journal, and
+//! renders the figure. Failures never panic: they map to a typed
+//! [`CkptError`] and its exit code (interrupts exit `128 + signal`
+//! after saving the snapshot).
+
+use crate::args::RunOptions;
+use crate::figures::FigureSpec;
+use crate::sweep::{run_sweep_controlled, sweep_fingerprint, Series, SweepControl};
+use crate::table;
+use ckpt_core::ExperimentError;
+use ckpt_harness::{signal, CkptError, SweepJournal};
+use std::path::Path;
+
+/// Opens the journal requested by `--snapshot` / `--resume`, validating
+/// a resumed snapshot against `fingerprint`.
+///
+/// `--resume FILE` keeps persisting to `FILE` unless `--snapshot`
+/// redirects it.
+///
+/// # Errors
+///
+/// Any [`ckpt_harness::SnapshotError`] from loading or validating the
+/// resumed snapshot.
+pub fn open_journal(
+    fingerprint: u64,
+    opts: &RunOptions,
+) -> Result<Option<SweepJournal>, CkptError> {
+    match (&opts.resume, &opts.snapshot) {
+        (Some(resume), snapshot) => {
+            let target = snapshot.as_deref().unwrap_or(resume.as_str());
+            SweepJournal::resume_into(
+                Path::new(resume),
+                Path::new(target),
+                fingerprint,
+                opts.snapshot_every,
+            )
+            .map(Some)
+            .map_err(CkptError::from)
+        }
+        (None, Some(snapshot)) => Ok(Some(SweepJournal::create(
+            Path::new(snapshot),
+            fingerprint,
+            opts.snapshot_every,
+        ))),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Persists `journal` (if any) and translates a cooperative interrupt
+/// into [`CkptError::Interrupted`] with the delivering signal. Shared
+/// by the figure runner and the CLI front end.
+pub fn seal_interrupted(journal: Option<&SweepJournal>, error: CkptError) -> CkptError {
+    if let Some(j) = journal {
+        match j.persist() {
+            Ok(()) => eprintln!(
+                "snapshot saved: {} ({} replication(s) recorded); resume with --resume",
+                j.path().display(),
+                j.completed()
+            ),
+            Err(e) => eprintln!("warning: could not save snapshot: {e}"),
+        }
+    }
+    if matches!(
+        error,
+        CkptError::Experiment(ExperimentError::Interrupted { .. })
+    ) {
+        CkptError::Interrupted {
+            signal: signal::signal_number().unwrap_or(signal::SIGTERM),
+        }
+    } else {
+        error
+    }
+}
+
+/// Runs one figure end to end: signal handling, journal, sweep,
+/// manifest, table. Returns the evaluated series.
+///
+/// # Errors
+///
+/// Everything [`run_sweep_controlled`] can return, plus journal I/O;
+/// an interrupt surfaces as [`CkptError::Interrupted`] *after* the
+/// snapshot is persisted.
+pub fn run_figure(id: &str, spec: FigureSpec, opts: &RunOptions) -> Result<Vec<Series>, CkptError> {
+    signal::install();
+    let fingerprint = sweep_fingerprint(id, &spec.cells, opts)?;
+    let journal = open_journal(fingerprint, opts)?;
+    let control = SweepControl {
+        journal: journal.as_ref(),
+        interrupt: Some(signal::interrupt_flag()),
+    };
+    let cell_count = spec.cells.len();
+    let started = std::time::Instant::now();
+    match run_sweep_controlled(&spec.labels, spec.cells, spec.metric, opts, control) {
+        Ok(series) => {
+            if let Some(j) = &journal {
+                j.persist()?;
+            }
+            let wall_secs = started.elapsed().as_secs_f64();
+            if !opts.csv && !opts.quiet {
+                eprintln!(
+                    "sweep: {cell_count} cells on {} worker(s) in {wall_secs:.2} s",
+                    opts.jobs
+                );
+            }
+            if let Some(path) = &opts.manifest {
+                let manifest = crate::sweep_manifest_json(id, cell_count, opts, wall_secs);
+                std::fs::write(path, &manifest).map_err(|e| CkptError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                })?;
+            }
+            table::emit(&spec.title, &spec.x_name, &series, opts.csv);
+            Ok(series)
+        }
+        Err(e) => Err(seal_interrupted(journal.as_ref(), e)),
+    }
+}
+
+/// [`run_figure`] plus error reporting and process exit — the entry
+/// point the figure binaries call from `main`.
+pub fn figure_main(id: &str, spec: FigureSpec, opts: &RunOptions) {
+    if let Err(e) = run_figure(id, spec, opts) {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use ckpt_des::SimTime;
+
+    fn quick_opts() -> RunOptions {
+        RunOptions {
+            reps: 1,
+            horizon: SimTime::from_hours(100.0),
+            transient: SimTime::from_hours(10.0),
+            quiet: true,
+            csv: true,
+            ..RunOptions::default()
+        }
+    }
+
+    #[test]
+    fn run_figure_without_journal_matches_plain_sweep() {
+        let spec = figures::fig4gh(16);
+        let opts = quick_opts();
+        let series = run_figure("fig4h", spec, &opts).unwrap();
+        assert_eq!(series.len(), 2);
+        assert!(series.iter().all(|s| !s.points.is_empty()));
+    }
+
+    #[test]
+    fn snapshot_then_resume_round_trips_through_the_runner() {
+        let dir = std::env::temp_dir().join("ckpt_bench_runner_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("runner.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut opts = quick_opts();
+        opts.snapshot = Some(path.display().to_string());
+        let first = run_figure("fig4h", figures::fig4gh(16), &opts).unwrap();
+        assert!(path.exists());
+
+        let mut resume_opts = quick_opts();
+        resume_opts.resume = Some(path.display().to_string());
+        let resumed = run_figure("fig4h", figures::fig4gh(16), &resume_opts).unwrap();
+        for (a, b) in first.iter().zip(&resumed) {
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.y.to_bits(), pb.y.to_bits());
+                assert_eq!(pa.half_width.to_bits(), pb.half_width.to_bits());
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resuming_under_different_run_options_is_refused() {
+        let dir = std::env::temp_dir().join("ckpt_bench_runner_fp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fp.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut opts = quick_opts();
+        opts.snapshot = Some(path.display().to_string());
+        run_figure("fig4h", figures::fig4gh(16), &opts).unwrap();
+
+        let mut other = quick_opts();
+        other.resume = Some(path.display().to_string());
+        other.seed = 1234; // different sampling → different fingerprint
+        let err = run_figure("fig4h", figures::fig4gh(16), &other).unwrap_err();
+        assert!(matches!(
+            err,
+            CkptError::Snapshot(ckpt_harness::SnapshotError::FingerprintMismatch { .. })
+        ));
+        assert_eq!(err.exit_code(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

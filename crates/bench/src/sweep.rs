@@ -1,8 +1,24 @@
 //! Parallel parameter-sweep driver.
+//!
+//! Each cell of a sweep is described by a validated
+//! [`ExperimentSpec`] (built from the cell's configuration and the
+//! shared run options), so an invalid sweep definition surfaces as a
+//! typed [`CkptError`] before any simulation starts — the driver has no
+//! panicking paths.
+//!
+//! Crash safety: [`run_sweep_controlled`] threads a
+//! [`SweepControl`] through to the experiment layer — an optional
+//! [`SweepJournal`] that caches completed replications (keyed by cell
+//! index) and an optional cooperative-interrupt flag. An interrupted
+//! sweep returns [`ckpt_core::ExperimentError::Interrupted`]; resuming
+//! with the same journal re-runs only the missing replications and
+//! produces bit-identical series at any worker count.
 
 use crate::args::RunOptions;
-use ckpt_core::{Estimate, Experiment, SystemConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use ckpt_core::{Estimate, ExperimentError, ReplicationStore, RunControl, SystemConfig};
+use ckpt_harness::spec::ExperimentSpec;
+use ckpt_harness::{CkptError, SweepJournal};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One evaluated point of a figure: the x value, the estimated metric
@@ -56,6 +72,99 @@ pub struct Cell {
     pub config: SystemConfig,
 }
 
+/// Crash-safety hooks for a sweep: an optional journal of completed
+/// replications (cells are keyed by their index in the `cells` vector)
+/// and an optional cooperative-interrupt flag.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepControl<'a> {
+    /// Journal that caches completed replications across runs.
+    pub journal: Option<&'a SweepJournal>,
+    /// Flag polled before starting each cell and each replication.
+    pub interrupt: Option<&'a AtomicBool>,
+}
+
+/// Builds a validated [`ExperimentSpec`] from a configuration, an
+/// engine override and the shared run options — the single construction
+/// path every bench binary goes through.
+///
+/// # Errors
+///
+/// [`CkptError::Spec`] if the combination fails validation (e.g. a SAN
+/// run with an unsupported ablation switch).
+pub fn experiment_spec(
+    config: SystemConfig,
+    engine: ckpt_core::EngineKind,
+    opts: &RunOptions,
+) -> Result<ExperimentSpec, CkptError> {
+    ExperimentSpec::builder(config)
+        .engine(engine)
+        .transient(opts.transient)
+        .horizon(opts.horizon)
+        .replications(opts.reps)
+        .seed(opts.seed)
+        .jobs(opts.jobs)
+        .build()
+        .map_err(CkptError::from)
+}
+
+/// Builds the validated per-cell experiment spec shared by the sweep
+/// driver and the resume fingerprint.
+fn cell_spec(cell: &Cell, opts: &RunOptions, jobs: usize) -> Result<ExperimentSpec, CkptError> {
+    ExperimentSpec::builder(cell.config.clone())
+        .engine(opts.engine)
+        .transient(opts.transient)
+        .horizon(opts.horizon)
+        .replications(opts.reps)
+        .seed(opts.seed)
+        .jobs(jobs)
+        .build()
+        .map_err(CkptError::from)
+}
+
+/// The resume fingerprint of a whole sweep: FNV-1a 64 over the sweep id
+/// and every cell's spec fingerprint, in cell order. Worker count is
+/// excluded (the per-cell fingerprints already exclude `jobs`), so a
+/// snapshot taken at one `--jobs` resumes at any other.
+///
+/// # Errors
+///
+/// [`CkptError::Spec`] if any cell's spec fails validation.
+pub fn sweep_fingerprint(id: &str, cells: &[Cell], opts: &RunOptions) -> Result<u64, CkptError> {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    };
+    for byte in id.bytes() {
+        eat(byte);
+    }
+    eat(0);
+    for cell in cells {
+        for byte in cell_spec(cell, opts, 1)?.fingerprint().to_le_bytes() {
+            eat(byte);
+        }
+    }
+    Ok(hash)
+}
+
+/// Evaluates every cell in parallel (up to `opts.jobs` OS threads) and
+/// assembles the labeled series — [`run_sweep_controlled`] with no
+/// journal and no interrupt flag.
+///
+/// # Errors
+///
+/// See [`run_sweep_controlled`].
+pub fn run_sweep(
+    labels: &[String],
+    cells: Vec<Cell>,
+    metric: Metric,
+    opts: &RunOptions,
+) -> Result<Vec<Series>, CkptError> {
+    run_sweep_controlled(labels, cells, metric, opts, SweepControl::default())
+}
+
 /// Evaluates every cell in parallel (up to `opts.jobs` OS threads) and
 /// assembles the labeled series. Cells of a series are returned in the
 /// order they were supplied, and every cell's result is independent of
@@ -71,48 +180,73 @@ pub struct Cell {
 /// is visibly alive. The heartbeat is purely cosmetic: completion
 /// *order* depends on scheduling, but every cell's result does not.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a cell's experiment fails (SAN build error), which
-/// indicates an invalid sweep definition.
-#[must_use]
-pub fn run_sweep(
+/// * [`CkptError::Spec`] if any cell's configuration is invalid for the
+///   selected engine (checked up front, before any cell runs);
+/// * [`CkptError::Experiment`] if a cell fails mid-run — the first
+///   failing cell in *index* order, so the reported error is
+///   deterministic. A cooperative interrupt surfaces as
+///   [`ExperimentError::Interrupted`] carrying the number of fully
+///   evaluated cells.
+pub fn run_sweep_controlled(
     labels: &[String],
     cells: Vec<Cell>,
     metric: Metric,
     opts: &RunOptions,
-) -> Vec<Series> {
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<(usize, Point)>>> = Mutex::new(vec![None; cells.len()]);
+    control: SweepControl<'_>,
+) -> Result<Vec<Series>, CkptError> {
     let workers = opts.jobs.max(1).min(cells.len().max(1));
     let inner_jobs = (opts.jobs.max(1) / workers).max(1);
+    // Validate the whole sweep before running any of it.
+    let specs = cells
+        .iter()
+        .map(|c| cell_spec(c, opts, inner_jobs))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    type Slot = Option<Result<(usize, Point), ExperimentError>>;
+    let results: Mutex<Vec<Slot>> = Mutex::new((0..cells.len()).map(|_| None).collect());
     let heartbeat = !opts.csv && !opts.quiet;
+    let stop = |flag: Option<&AtomicBool>| flag.is_some_and(|f| f.load(Ordering::SeqCst));
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if stop(control.interrupt) {
+                    return;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= cells.len() {
                     return;
                 }
                 let cell = &cells[i];
-                let est = Experiment::new(cell.config.clone())
-                    .engine(opts.engine)
-                    .transient(opts.transient)
-                    .horizon(opts.horizon)
-                    .replications(opts.reps)
-                    .seed(opts.seed)
-                    .jobs(inner_jobs)
-                    .run()
-                    .expect("sweep cell failed to run");
-                let (y, half_width) = metric.extract(&est);
-                let point = Point {
-                    x: cell.x,
-                    y,
-                    half_width,
-                };
-                results.lock().expect("sweep mutex poisoned")[i] = Some((cell.series, point));
+                let store = control
+                    .journal
+                    .map(|j| j.cell_store(u32::try_from(i).unwrap_or(u32::MAX)));
+                let outcome = specs[i]
+                    .to_experiment()
+                    .run_controlled(RunControl {
+                        store: store.as_ref().map(|s| s as &dyn ReplicationStore),
+                        interrupt: control.interrupt,
+                    })
+                    .map(|est| {
+                        let (y, half_width) = metric.extract(&est);
+                        (
+                            cell.series,
+                            Point {
+                                x: cell.x,
+                                y,
+                                half_width,
+                            },
+                        )
+                    });
+                let ok = outcome.is_ok();
+                results.lock().expect("sweep mutex poisoned")[i] = Some(outcome);
+                if !ok {
+                    return;
+                }
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if heartbeat {
                     eprintln!(
@@ -133,11 +267,30 @@ pub fn run_sweep(
             points: Vec::new(),
         })
         .collect();
+    let mut interrupted = false;
+    let mut completed = 0usize;
+    let mut first_error: Option<ExperimentError> = None;
     for slot in results.into_inner().expect("sweep mutex poisoned") {
-        let (s, p) = slot.expect("sweep cell not evaluated");
-        series[s].points.push(p);
+        match slot {
+            Some(Ok((s, p))) => {
+                completed += 1;
+                series[s].points.push(p);
+            }
+            Some(Err(ExperimentError::Interrupted { .. })) | None => interrupted = true,
+            Some(Err(e)) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
     }
-    series
+    if let Some(e) = first_error {
+        return Err(e.into());
+    }
+    if interrupted {
+        return Err(ExperimentError::Interrupted { completed }.into());
+    }
+    Ok(series)
 }
 
 /// Provenance manifest for one figure sweep: which figure ran, with
@@ -171,10 +324,9 @@ pub fn sweep_manifest_json(id: &str, cells: usize, opts: &RunOptions, wall_secs:
 mod tests {
     use super::*;
     use ckpt_des::SimTime;
+    use std::sync::atomic::AtomicBool;
 
-    #[test]
-    fn sweep_preserves_order_and_labels() {
-        let labels = vec!["a".to_string(), "b".to_string()];
+    fn small_cells(labels: &[String]) -> Vec<Cell> {
         let mut cells = Vec::new();
         for (s, _) in labels.iter().enumerate() {
             for procs in [8_192u64, 16_384] {
@@ -189,13 +341,20 @@ mod tests {
                 });
             }
         }
+        cells
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_labels() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let cells = small_cells(&labels);
         let opts = RunOptions {
             reps: 2,
             horizon: SimTime::from_hours(200.0),
             transient: SimTime::from_hours(20.0),
             ..RunOptions::default()
         };
-        let series = run_sweep(&labels, cells, Metric::UsefulWorkFraction, &opts);
+        let series = run_sweep(&labels, cells, Metric::UsefulWorkFraction, &opts).unwrap();
         assert_eq!(series.len(), 2);
         for s in &series {
             assert_eq!(s.points.len(), 2);
@@ -238,10 +397,145 @@ mod tests {
             transient: SimTime::from_hours(10.0),
             ..RunOptions::default()
         };
-        let frac = run_sweep(&labels, cells.clone(), Metric::UsefulWorkFraction, &opts);
-        let total = run_sweep(&labels, cells, Metric::TotalUsefulWork, &opts);
+        let frac = run_sweep(&labels, cells.clone(), Metric::UsefulWorkFraction, &opts).unwrap();
+        let total = run_sweep(&labels, cells, Metric::TotalUsefulWork, &opts).unwrap();
         let f = frac[0].points[0].y;
         let t = total[0].points[0].y;
         assert!((t - f * 8_192.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_sweep_definition_is_a_typed_error_not_a_panic() {
+        // SAN engine + an ablation switch it refuses: caught up front.
+        let labels = vec!["bad".to_string()];
+        let cells = vec![Cell {
+            series: 0,
+            x: 1.0,
+            config: SystemConfig::builder()
+                .processors(8_192)
+                .buffered_recovery(false)
+                .build()
+                .unwrap(),
+        }];
+        let opts = RunOptions {
+            engine: ckpt_core::EngineKind::San,
+            ..RunOptions::default()
+        };
+        let err = run_sweep(&labels, cells, Metric::UsefulWorkFraction, &opts).unwrap_err();
+        assert!(matches!(err, CkptError::Spec(_)), "got {err:?}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn preset_interrupt_flag_stops_the_sweep() {
+        let labels = vec!["a".to_string()];
+        let cells = small_cells(&labels);
+        let opts = RunOptions {
+            reps: 1,
+            horizon: SimTime::from_hours(100.0),
+            transient: SimTime::from_hours(10.0),
+            ..RunOptions::default()
+        };
+        let flag = AtomicBool::new(true);
+        let err = run_sweep_controlled(
+            &labels,
+            cells,
+            Metric::UsefulWorkFraction,
+            &opts,
+            SweepControl {
+                journal: None,
+                interrupt: Some(&flag),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CkptError::Experiment(ExperimentError::Interrupted { completed: 0 })
+        ));
+    }
+
+    #[test]
+    fn journal_resume_reproduces_an_uninterrupted_sweep_bitwise() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let cells = small_cells(&labels);
+        let opts = RunOptions {
+            reps: 2,
+            jobs: 2,
+            horizon: SimTime::from_hours(200.0),
+            transient: SimTime::from_hours(20.0),
+            ..RunOptions::default()
+        };
+        let clean = run_sweep(&labels, cells.clone(), Metric::UsefulWorkFraction, &opts).unwrap();
+
+        let dir = std::env::temp_dir().join("ckpt_bench_sweep_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let fp = sweep_fingerprint("test", &cells, &opts).unwrap();
+
+        // "Interrupted" run: journal only the first cell's replications
+        // by running a truncated sweep, then persist.
+        let journal = SweepJournal::create(&path, fp, 0);
+        let partial: Vec<Cell> = cells[..1].to_vec();
+        run_sweep_controlled(
+            &labels,
+            partial,
+            Metric::UsefulWorkFraction,
+            &opts,
+            SweepControl {
+                journal: Some(&journal),
+                interrupt: None,
+            },
+        )
+        .unwrap();
+        journal.persist().unwrap();
+        assert_eq!(journal.completed(), 2);
+
+        // Resume the full sweep at both jobs=1 and jobs=4.
+        for jobs in [1usize, 4] {
+            let resumed_journal = SweepJournal::resume(&path, fp, 0).unwrap();
+            let resumed_opts = RunOptions {
+                jobs,
+                ..opts.clone()
+            };
+            let resumed = run_sweep_controlled(
+                &labels,
+                cells.clone(),
+                Metric::UsefulWorkFraction,
+                &resumed_opts,
+                SweepControl {
+                    journal: Some(&resumed_journal),
+                    interrupt: None,
+                },
+            )
+            .unwrap();
+            for (cs, rs) in clean.iter().zip(&resumed) {
+                assert_eq!(cs.label, rs.label);
+                for (cp, rp) in cs.points.iter().zip(&rs.points) {
+                    assert_eq!(cp.x, rp.x);
+                    assert_eq!(cp.y.to_bits(), rp.y.to_bits(), "jobs={jobs}");
+                    assert_eq!(cp.half_width.to_bits(), rp.half_width.to_bits());
+                }
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_tracks_run_parameters_but_not_jobs() {
+        let labels = vec!["a".to_string()];
+        let cells = small_cells(&labels);
+        let opts = RunOptions::default();
+        let base = sweep_fingerprint("fig", &cells, &opts).unwrap();
+        let other_jobs = RunOptions {
+            jobs: opts.jobs + 3,
+            ..opts.clone()
+        };
+        assert_eq!(base, sweep_fingerprint("fig", &cells, &other_jobs).unwrap());
+        let reseeded = RunOptions { seed: 1, ..opts };
+        assert_ne!(base, sweep_fingerprint("fig", &cells, &reseeded).unwrap());
+        assert_ne!(
+            base,
+            sweep_fingerprint("gif", &cells, &RunOptions::default()).unwrap()
+        );
     }
 }

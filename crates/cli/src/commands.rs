@@ -1,10 +1,10 @@
 //! Subcommand implementations.
 
 use crate::config_flags::parse_config;
-use crate::CliError;
 use ckpt_analytic::{availability, coordination, daly, vaidya, young};
-use ckpt_bench::{figures, run_sweep, table, RunOptions};
-use ckpt_core::{Estimate, Experiment, ObserveSpec, PhaseKind, SystemConfig};
+use ckpt_bench::{experiment_spec, figures, runner, RunOptions};
+use ckpt_core::{Estimate, ObserveSpec, PhaseKind, ReplicationStore, RunControl, SystemConfig};
+use ckpt_harness::{signal, CkptError};
 use ckpt_obs::Recorder;
 
 /// Ring-buffer capacity behind `--trace`: large enough to keep every
@@ -12,12 +12,15 @@ use ckpt_obs::Recorder;
 /// overflows it, the JSONL notes the dropped count per replication.
 const TRACE_CAPACITY: usize = 1 << 20;
 
-fn run_options(rest: Vec<String>) -> Result<RunOptions, CliError> {
-    RunOptions::parse(rest).map_err(|e| CliError::new(e.to_string()))
+fn run_options(rest: Vec<String>) -> Result<RunOptions, CkptError> {
+    RunOptions::parse(rest).map_err(|e| CkptError::Usage(e.to_string()))
 }
 
-fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
-    std::fs::write(path, contents).map_err(|e| CliError::new(format!("writing {path}: {e}")))
+fn write_file(path: &str, contents: &str) -> Result<(), CkptError> {
+    std::fs::write(path, contents).map_err(|e| CkptError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
 }
 
 /// Renders the per-replication trace buffers as JSON Lines, one model
@@ -78,24 +81,44 @@ fn metrics_json(est: &Estimate) -> String {
 }
 
 /// `ckptsim run`: simulate one configuration and print its metrics.
-pub fn run_single(args: Vec<String>) -> Result<(), CliError> {
+///
+/// Crash safety: with `--snapshot` every completed replication is
+/// journaled (keyed by replication index under cell 0), SIGINT/SIGTERM
+/// persist the journal before exiting `128 + signal`, and `--resume`
+/// re-runs only the missing replications — bit-identical to an
+/// uninterrupted run at any `--jobs`.
+pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
     let (cfg, rest) = parse_config(args)?;
     let opts = run_options(rest)?;
     let observing = opts.trace.is_some() || opts.metrics.is_some();
-    let mut exp = Experiment::new(cfg.clone())
-        .engine(opts.engine)
-        .transient(opts.transient)
-        .horizon(opts.horizon)
-        .replications(opts.reps)
-        .seed(opts.seed)
-        .jobs(opts.jobs);
+    if observing && (opts.snapshot.is_some() || opts.resume.is_some()) {
+        return Err(CkptError::Usage(
+            "--snapshot/--resume cannot be combined with --trace/--metrics: \
+             observation re-executes every replication, so cached results \
+             would be ignored"
+                .into(),
+        ));
+    }
+    let spec = experiment_spec(cfg.clone(), opts.engine, &opts)?;
+    signal::install();
+    let journal = runner::open_journal(spec.fingerprint(), &opts)?;
+    let store = journal.as_ref().map(|j| j.cell_store(0));
+    let mut exp = spec.to_experiment();
     if observing {
         exp = exp.observe(ObserveSpec {
             trace_capacity: opts.trace.as_ref().map(|_| TRACE_CAPACITY),
             registry: true,
         });
     }
-    let est = exp.run().map_err(|e| CliError::new(e.to_string()))?;
+    let est = exp
+        .run_controlled(RunControl {
+            store: store.as_ref().map(|s| s as &dyn ReplicationStore),
+            interrupt: Some(signal::interrupt_flag()),
+        })
+        .map_err(|e| runner::seal_interrupted(journal.as_ref(), CkptError::from(e)))?;
+    if let Some(j) = &journal {
+        j.persist()?;
+    }
 
     if let Some(path) = &opts.trace {
         write_file(path, &trace_jsonl(est.recordings()))?;
@@ -203,40 +226,27 @@ fn phase_rows() -> [(&'static str, PhaseKind); 5] {
     ]
 }
 
-/// `ckptsim figure <id>`: regenerate one of the paper's figures.
-pub fn run_figure(mut args: Vec<String>) -> Result<(), CliError> {
+/// `ckptsim figure <id>`: regenerate one of the paper's figures via the
+/// crash-safe runner ([`runner::run_figure`]), which handles signals,
+/// `--snapshot`/`--resume` journaling, the sweep manifest, and output.
+pub fn run_figure(mut args: Vec<String>) -> Result<(), CkptError> {
     if args.is_empty() {
-        return Err(CliError::new("figure expects an id (see 'ckptsim list')"));
+        return Err(CkptError::Usage(
+            "figure expects an id (see 'ckptsim list')".into(),
+        ));
     }
     let id = args.remove(0);
     let spec = figures::all_figures()
         .into_iter()
         .find(|(fid, _)| *fid == id)
         .map(|(_, spec)| spec)
-        .ok_or_else(|| CliError::new(format!("unknown figure '{id}' (see 'ckptsim list')")))?;
+        .ok_or_else(|| CkptError::Usage(format!("unknown figure '{id}' (see 'ckptsim list')")))?;
     let opts = run_options(args)?;
-    let cell_count = spec.cells.len();
-    let start = std::time::Instant::now();
-    let series = run_sweep(&spec.labels, spec.cells, spec.metric, &opts);
-    let wall_secs = start.elapsed().as_secs_f64();
-    if !opts.csv && !opts.quiet {
-        eprintln!(
-            "sweep: {cell_count} cells on {} worker(s) in {wall_secs:.2} s",
-            opts.jobs
-        );
-    }
-    if let Some(path) = &opts.manifest {
-        write_file(
-            path,
-            &ckpt_bench::sweep_manifest_json(&id, cell_count, &opts, wall_secs),
-        )?;
-    }
-    table::emit(&spec.title, &spec.x_name, &series, opts.csv);
-    Ok(())
+    runner::run_figure(&id, spec, &opts).map(|_| ())
 }
 
 /// `ckptsim list`: list the available figure ids.
-pub fn list_figures() -> Result<(), CliError> {
+pub fn list_figures() -> Result<(), CkptError> {
     for (id, spec) in figures::all_figures() {
         let title = spec.title.split(':').nth(1).unwrap_or(&spec.title);
         println!("{id:<14} {}", title.trim());
@@ -245,10 +255,8 @@ pub fn list_figures() -> Result<(), CliError> {
 }
 
 /// `ckptsim table3`: print the model parameters.
-pub fn table3() -> Result<(), CliError> {
-    let c = SystemConfig::builder()
-        .build()
-        .map_err(|e| CliError::new(e.to_string()))?;
+pub fn table3() -> Result<(), CkptError> {
+    let c = SystemConfig::builder().build().map_err(CkptError::from)?;
     println!("Model parameters (paper's Table 3 defaults)");
     println!(
         "  checkpoint interval     {} min",
@@ -283,22 +291,22 @@ pub fn table3() -> Result<(), CliError> {
 
 /// `ckptsim dot`: the checkpoint model's SAN structure as Graphviz DOT
 /// (pipe through `dot -Tsvg`).
-pub fn dot(args: Vec<String>) -> Result<(), CliError> {
+pub fn dot(args: Vec<String>) -> Result<(), CkptError> {
     let (cfg, rest) = parse_config(args)?;
     if !rest.is_empty() {
-        return Err(CliError::new(format!("unknown flags: {rest:?}")));
+        return Err(CkptError::Usage(format!("unknown flags: {rest:?}")));
     }
     let model = ckpt_core::san_model::CheckpointSan::build(&cfg)
-        .map_err(|e| CliError::new(e.to_string()))?;
+        .map_err(|e| CkptError::Experiment(e.into()))?;
     print!("{}", ckpt_san::dot::to_dot(model.san()));
     Ok(())
 }
 
 /// `ckptsim analytic`: closed-form baselines for a configuration.
-pub fn analytic(args: Vec<String>) -> Result<(), CliError> {
+pub fn analytic(args: Vec<String>) -> Result<(), CkptError> {
     let (cfg, rest) = parse_config(args)?;
     if !rest.is_empty() {
-        return Err(CliError::new(format!("unknown flags: {rest:?}")));
+        return Err(CkptError::Usage(format!("unknown flags: {rest:?}")));
     }
     let mtbf = 1.0 / cfg.compute_failure_rate();
     let overhead = cfg.quiesce_broadcast_latency().as_secs()

@@ -1,17 +1,17 @@
 //! Shared configuration-flag parsing for `run` and `analytic`.
 
-use crate::CliError;
 use ckpt_core::config::{CoordinationMode, ErrorPropagation, GenericCorrelated, SystemConfig};
 use ckpt_des::SimTime;
+use ckpt_harness::CkptError;
 
 /// Splits `args` into configuration flags (consumed here) and the rest
 /// (returned for the run-option parser), and builds the [`SystemConfig`].
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] on malformed values or an invalid resulting
-/// configuration. Unrecognized flags are passed through untouched.
-pub fn parse_config(args: Vec<String>) -> Result<(SystemConfig, Vec<String>), CliError> {
+/// Returns [`CkptError::Usage`] on malformed values and
+/// [`CkptError::Config`] on an invalid resulting configuration. Unrecognized flags are passed through untouched.
+pub fn parse_config(args: Vec<String>) -> Result<(SystemConfig, Vec<String>), CkptError> {
     let mut b = SystemConfig::builder();
     let mut rest = Vec::new();
     let mut it = args.into_iter().peekable();
@@ -19,16 +19,17 @@ pub fn parse_config(args: Vec<String>) -> Result<(SystemConfig, Vec<String>), Cl
     fn value(
         it: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
         flag: &str,
-    ) -> Result<String, CliError> {
+    ) -> Result<String, CkptError> {
         it.next()
-            .ok_or_else(|| CliError::new(format!("{flag} expects a value")))
+            .ok_or_else(|| CkptError::Usage(format!("{flag} expects a value")))
     }
 
-    fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, CliError>
+    fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, CkptError>
     where
         T::Err: std::fmt::Display,
     {
-        v.parse().map_err(|e| CliError::new(format!("{flag}: {e}")))
+        v.parse()
+            .map_err(|e| CkptError::Usage(format!("{flag}: {e}")))
     }
 
     while let Some(arg) = it.next() {
@@ -68,7 +69,7 @@ pub fn parse_config(args: Vec<String>) -> Result<(SystemConfig, Vec<String>), Cl
                     "exp" => CoordinationMode::SystemExponential,
                     "maxofn" => CoordinationMode::MaxOfN,
                     other => {
-                        return Err(CliError::new(format!(
+                        return Err(CkptError::Usage(format!(
                             "--coordination: unknown mode '{other}' (fixed|exp|maxofn)"
                         )))
                     }
@@ -83,8 +84,8 @@ pub fn parse_config(args: Vec<String>) -> Result<(SystemConfig, Vec<String>), Cl
                 let v = value(&mut it, "--error-propagation")?;
                 let parts: Vec<&str> = v.split(',').collect();
                 if parts.len() != 2 {
-                    return Err(CliError::new(
-                        "--error-propagation expects 'probability,factor'",
+                    return Err(CkptError::Usage(
+                        "--error-propagation expects 'probability,factor'".into(),
                     ));
                 }
                 b = b.error_propagation(Some(ErrorPropagation {
@@ -97,7 +98,9 @@ pub fn parse_config(args: Vec<String>) -> Result<(SystemConfig, Vec<String>), Cl
                 let v = value(&mut it, "--generic-correlated")?;
                 let parts: Vec<&str> = v.split(',').collect();
                 if parts.len() != 2 {
-                    return Err(CliError::new("--generic-correlated expects 'alpha,factor'"));
+                    return Err(CkptError::Usage(
+                        "--generic-correlated expects 'alpha,factor'".into(),
+                    ));
                 }
                 b = b.generic_correlated(Some(GenericCorrelated {
                     coefficient: parse_num(parts[0], "--generic-correlated alpha")?,
@@ -112,7 +115,7 @@ pub fn parse_config(args: Vec<String>) -> Result<(SystemConfig, Vec<String>), Cl
                 let v = value(&mut it, "--jitter")?;
                 let parts: Vec<&str> = v.split(',').collect();
                 if parts.len() != 2 {
-                    return Err(CliError::new("--jitter expects 'lo,hi'"));
+                    return Err(CkptError::Usage("--jitter expects 'lo,hi'".into()));
                 }
                 b = b.compute_fraction_jitter(Some((
                     parse_num(parts[0], "--jitter lo")?,
@@ -126,7 +129,7 @@ pub fn parse_config(args: Vec<String>) -> Result<(SystemConfig, Vec<String>), Cl
         }
     }
 
-    let cfg = b.build().map_err(|e| CliError::new(e.to_string()))?;
+    let cfg = b.build().map_err(CkptError::from)?;
     Ok((cfg, rest))
 }
 

@@ -17,31 +17,7 @@
 pub mod commands;
 pub mod config_flags;
 
-use std::fmt;
-
-/// Top-level CLI error: a message plus the exit code to use.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError {
-    message: String,
-}
-
-impl CliError {
-    /// Creates an error carrying `message`.
-    #[must_use]
-    pub fn new(message: impl Into<String>) -> CliError {
-        CliError {
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
-    }
-}
-
-impl std::error::Error for CliError {}
+pub use ckpt_harness::CkptError;
 
 /// Usage text printed by `--help` and on argument errors.
 pub const USAGE: &str = "\
@@ -82,11 +58,20 @@ RUN FLAGS:
     --trace FILE             write the model-event trace as JSON Lines
     --metrics FILE           write metrics report (manifest + registries) as JSON
     --manifest FILE          write just the run manifest as JSON
+    --snapshot FILE          journal completed replications to FILE (crash safety)
+    --snapshot-every N       persist the journal every N replications   [1]
+    --resume FILE            resume from a snapshot; re-runs only missing work
     --quiet                  suppress per-rep profiles and progress heartbeats
 
 Results are independent of --jobs: replication k always draws from
 seed S + k, so parallelism changes scheduling, never sampling —
 observers included (traces and registries merge in replication order).
+A resumed run is bit-identical to an uninterrupted one at any --jobs.
+
+EXIT CODES:
+    0  success          1  simulation failure      2  bad flags/config
+    3  snapshot or file I/O failure               130/143  interrupted
+       (SIGINT/SIGTERM; progress saved when --snapshot is active)
 ";
 
 /// Entry point used by `main`; returns the process exit code.
@@ -96,15 +81,17 @@ pub fn run(args: Vec<String>) -> i32 {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("\n{USAGE}");
-            2
+            if e.is_usage() {
+                eprintln!("\n{USAGE}");
+            }
+            e.exit_code()
         }
     }
 }
 
-fn dispatch(mut args: Vec<String>) -> Result<(), CliError> {
+fn dispatch(mut args: Vec<String>) -> Result<(), CkptError> {
     if args.is_empty() {
-        return Err(CliError::new("missing subcommand"));
+        return Err(CkptError::Usage("missing subcommand".into()));
     }
     let sub = args.remove(0);
     match sub.as_str() {
@@ -118,7 +105,7 @@ fn dispatch(mut args: Vec<String>) -> Result<(), CliError> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(CliError::new(format!("unknown subcommand '{other}'"))),
+        other => Err(CkptError::Usage(format!("unknown subcommand '{other}'"))),
     }
 }
 
@@ -259,5 +246,96 @@ mod tests {
     fn figure_requires_known_id() {
         assert_eq!(run(argv(&["figure", "fig99"])), 2);
         assert_eq!(run(argv(&["figure"])), 2);
+    }
+
+    #[test]
+    fn run_snapshot_then_resume_succeeds() {
+        let snap = std::env::temp_dir().join("ckptsim_cli_test_snapshot.json");
+        let _ = std::fs::remove_file(&snap);
+        let base = [
+            "run",
+            "--processors",
+            "8192",
+            "--reps",
+            "2",
+            "--hours",
+            "200",
+            "--transient",
+            "20",
+            "--quiet",
+            "--csv",
+        ];
+        let mut first = argv(&base);
+        first.extend(argv(&["--snapshot", snap.to_str().unwrap()]));
+        assert_eq!(run(first), 0);
+        let saved = std::fs::read_to_string(&snap).unwrap();
+        assert!(saved.contains("\"kind\":\"run_snapshot\""));
+
+        let mut second = argv(&base);
+        second.extend(argv(&["--resume", snap.to_str().unwrap()]));
+        assert_eq!(run(second), 0);
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn run_rejects_snapshot_with_observers() {
+        assert_eq!(
+            run(argv(&[
+                "run",
+                "--quick",
+                "--trace",
+                "t.jsonl",
+                "--snapshot",
+                "s.json"
+            ])),
+            2
+        );
+    }
+
+    #[test]
+    fn run_refuses_resume_under_different_parameters() {
+        let snap = std::env::temp_dir().join("ckptsim_cli_test_fp_mismatch.json");
+        let _ = std::fs::remove_file(&snap);
+        assert_eq!(
+            run(argv(&[
+                "run",
+                "--processors",
+                "8192",
+                "--reps",
+                "1",
+                "--hours",
+                "200",
+                "--transient",
+                "20",
+                "--quiet",
+                "--csv",
+                "--snapshot",
+                snap.to_str().unwrap(),
+            ])),
+            0
+        );
+        // A different seed changes the sampling, so the fingerprint no
+        // longer matches and the resume must be refused (exit 3).
+        assert_eq!(
+            run(argv(&[
+                "run",
+                "--processors",
+                "8192",
+                "--reps",
+                "1",
+                "--hours",
+                "200",
+                "--transient",
+                "20",
+                "--seed",
+                "99",
+                "--quiet",
+                "--csv",
+                "--resume",
+                snap.to_str().unwrap(),
+            ])),
+            3
+        );
+        let _ = std::fs::remove_file(&snap);
     }
 }

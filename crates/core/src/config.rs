@@ -210,6 +210,12 @@ impl SystemConfig {
         self.processors / u64::from(self.procs_per_node)
     }
 
+    /// Compute nodes sharing one I/O node.
+    #[must_use]
+    pub fn compute_nodes_per_io_node(&self) -> u32 {
+        self.compute_nodes_per_io_node
+    }
+
     /// Number of I/O nodes (one per `compute_nodes_per_io_node` compute
     /// nodes, rounded up).
     #[must_use]
@@ -230,6 +236,18 @@ impl SystemConfig {
     #[must_use]
     pub fn mttq(&self) -> SimTime {
         SimTime::from_secs(self.mttq)
+    }
+
+    /// Hardware broadcast overhead of the quiesce message.
+    #[must_use]
+    pub fn broadcast_overhead(&self) -> SimTime {
+        SimTime::from_secs(self.broadcast_overhead)
+    }
+
+    /// Software message-transmission overhead of the quiesce message.
+    #[must_use]
+    pub fn software_overhead(&self) -> SimTime {
+        SimTime::from_secs(self.software_overhead)
     }
 
     /// Combined broadcast + software message overhead applied to the
@@ -372,6 +390,33 @@ impl SystemConfig {
     #[must_use]
     pub fn compute_fraction_jitter(&self) -> Option<(f64, f64)> {
         self.compute_fraction_jitter
+    }
+
+    // --- I/O sizing accessors ----------------------------------------------
+
+    /// Aggregate bandwidth from one group of compute nodes to its I/O
+    /// node, MB/s.
+    #[must_use]
+    pub fn compute_io_bandwidth_mbps(&self) -> f64 {
+        self.compute_io_bandwidth_mbps
+    }
+
+    /// File-system bandwidth per I/O node, MB/s.
+    #[must_use]
+    pub fn fs_bandwidth_per_io_mbps(&self) -> f64 {
+        self.fs_bandwidth_per_io_mbps
+    }
+
+    /// Checkpoint size per compute node, MB.
+    #[must_use]
+    pub fn checkpoint_size_per_node_mb(&self) -> f64 {
+        self.checkpoint_size_per_node_mb
+    }
+
+    /// Application data produced per node per cycle, MB.
+    #[must_use]
+    pub fn app_io_data_per_node_mb(&self) -> f64 {
+        self.app_io_data_per_node_mb
     }
 
     // --- derived quantities -------------------------------------------------

@@ -18,12 +18,151 @@
 use crate::config::SystemConfig;
 use crate::direct::DirectSimulator;
 use crate::metrics::Metrics;
-use crate::san_model::{CheckpointSan, ModelError};
+use crate::san_model::{CheckpointSan, ModelError, RunOptions as SanRunOptions};
 use ckpt_des::SimTime;
-use ckpt_obs::{MetricsRegistry, Observer, Recorder, RunManifest, RunProfile};
+use ckpt_obs::{
+    MetricsRegistry, ModelEvent, ObsEvent, Observer, Recorder, RunManifest, RunProfile,
+};
 use ckpt_stats::{ConfidenceInterval, Replications};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Why an experiment did not produce an estimate.
+///
+/// This is the typed error surface of the experiment layer: model
+/// construction problems ([`ModelError`]), worker panics that survived
+/// the supervisor's retry, and cooperative interruption. Callers that
+/// only care about the message can rely on [`fmt::Display`]; the CLI
+/// maps each variant to a distinct exit code.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The underlying simulation model failed to build or execute.
+    Model(ModelError),
+    /// A replication panicked, was retried once with the same seed, and
+    /// panicked again — a deterministic fault the supervisor cannot
+    /// absorb.
+    ReplicationPanicked {
+        /// The replication index (seed `base_seed + rep`).
+        rep: u32,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A cooperative interrupt (see [`RunControl::interrupt`]) stopped
+    /// the run before every replication completed. Finished
+    /// replications were already handed to the [`ReplicationStore`], so
+    /// a resumed run picks up where this one stopped.
+    Interrupted {
+        /// Replications that completed before the stop.
+        completed: usize,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Model(e) => write!(f, "{e}"),
+            ExperimentError::ReplicationPanicked { rep, message } => {
+                write!(f, "replication {rep} panicked twice (same seed): {message}")
+            }
+            ExperimentError::Interrupted { completed } => {
+                write!(f, "interrupted after {completed} completed replication(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ExperimentError {
+    fn from(e: ModelError) -> ExperimentError {
+        ExperimentError::Model(e)
+    }
+}
+
+/// A supervised worker fault: one replication panicked and the
+/// supervisor's single same-seed retry recovered it. Surfaced through
+/// [`Estimate::faults`] and counted in the run manifest; the retry's
+/// recording (if any) also carries a [`ModelEvent::WorkerFault`] entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// The replication index that faulted.
+    pub rep: u32,
+    /// The panic payload, when it was a string.
+    pub message: String,
+    /// Always `true` for faults attached to a successful estimate — a
+    /// failed retry aborts the run with
+    /// [`ExperimentError::ReplicationPanicked`] instead.
+    pub retried: bool,
+}
+
+/// A completed replication as persisted by a [`ReplicationStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedReplication {
+    /// The replication's measurement-window metrics.
+    pub metrics: Metrics,
+    /// Simulation events the replication processed.
+    pub events: u64,
+}
+
+/// Durable storage for completed replications — the hook the
+/// crash-safe harness plugs into.
+///
+/// The runner calls [`record`](ReplicationStore::record) from worker
+/// threads as soon as each replication finishes (hence `Sync`), and
+/// consults [`lookup`](ReplicationStore::lookup) before running a
+/// replication so a resumed experiment replays cached results instead
+/// of re-simulating. Lookups are skipped when observation is enabled:
+/// a cached result has no recording, and replaying part of a run would
+/// leave the recordings misaligned with the replicates.
+pub trait ReplicationStore: Sync {
+    /// Returns the cached result for replication `rep`, if present.
+    fn lookup(&self, rep: u32) -> Option<CachedReplication>;
+    /// Persists the result of replication `rep`.
+    fn record(&self, rep: u32, metrics: &Metrics, events: u64);
+}
+
+/// External control handles for [`Experiment::run_controlled`]: a
+/// replication cache for resume and an interrupt flag for graceful
+/// shutdown. The default has neither, which is exactly
+/// [`Experiment::run`].
+#[derive(Clone, Copy, Default)]
+pub struct RunControl<'a> {
+    /// Cache of completed replications (see [`ReplicationStore`]).
+    pub store: Option<&'a dyn ReplicationStore>,
+    /// When set, workers stop claiming new replications as soon as the
+    /// flag reads `true`; in-flight replications finish (and are
+    /// recorded) and the run returns [`ExperimentError::Interrupted`].
+    pub interrupt: Option<&'a AtomicBool>,
+}
+
+impl fmt::Debug for RunControl<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunControl")
+            .field("store", &self.store.map(|_| "dyn ReplicationStore"))
+            .field("interrupt", &self.interrupt)
+            .finish()
+    }
+}
+
+/// Renders a panic payload for fault reports.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Default worker count: every core the OS grants us when threading is
 /// compiled in, otherwise the sequential path.
@@ -40,20 +179,29 @@ fn default_jobs() -> usize {
 }
 
 /// Runs `count` indexed tasks across up to `jobs` worker threads and
-/// returns the results in index order.
+/// returns the results in index order; slot `i` is `None` only when an
+/// interrupt stopped the run before task `i` was claimed.
 ///
 /// Workers pull indices from a shared counter, so thread scheduling
 /// decides only *when* each task runs — task `i` computes the same
-/// value regardless. With `jobs <= 1`, `count <= 1`, or the `parallel`
-/// feature disabled this degenerates to a plain sequential loop.
-fn run_indexed<T, F>(count: usize, jobs: usize, task: F) -> Vec<T>
+/// value regardless. Because the counter hands out indices in order
+/// and every claimed task runs to completion, the completed slots
+/// always form a prefix of `0..count`. With `jobs <= 1`, `count <= 1`,
+/// or the `parallel` feature disabled this degenerates to a plain
+/// sequential loop.
+fn run_indexed<T, F>(
+    count: usize,
+    jobs: usize,
+    interrupt: Option<&AtomicBool>,
+    task: F,
+) -> Vec<Option<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     #[cfg(feature = "parallel")]
     {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::atomic::AtomicUsize;
         use std::sync::Mutex;
 
         let workers = jobs.min(count);
@@ -63,6 +211,9 @@ where
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
+                        if interrupt.is_some_and(|f| f.load(Ordering::SeqCst)) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             break;
@@ -72,16 +223,19 @@ where
                     });
                 }
             });
-            return slots
-                .into_inner()
-                .expect("workers joined cleanly")
-                .into_iter()
-                .map(|slot| slot.expect("every index was claimed exactly once"))
-                .collect();
+            return slots.into_inner().expect("workers joined cleanly");
         }
     }
     let _ = jobs;
-    (0..count).map(task).collect()
+    let mut out: Vec<Option<T>> = Vec::with_capacity(count);
+    for i in 0..count {
+        if interrupt.is_some_and(|f| f.load(Ordering::SeqCst)) {
+            break;
+        }
+        out.push(Some(task(i)));
+    }
+    out.resize_with(count, || None);
+    out
 }
 
 /// Wall-clock cost of one replication: how long it took and how many
@@ -197,6 +351,7 @@ pub struct Estimate {
     replicates: Vec<Metrics>,
     profiles: Vec<ReplicationProfile>,
     recordings: Vec<Recorder>,
+    faults: Vec<WorkerFault>,
     level: f64,
 }
 
@@ -238,6 +393,15 @@ impl Estimate {
         &self.recordings
     }
 
+    /// Worker faults the supervisor recovered during this run, in
+    /// replication order. Empty for a clean run; each entry is a
+    /// replication that panicked once and succeeded on its same-seed
+    /// retry.
+    #[must_use]
+    pub fn faults(&self) -> &[WorkerFault] {
+        &self.faults
+    }
+
     /// Merges every replication's [`MetricsRegistry`] into one
     /// aggregate (index order, so the result is deterministic at any
     /// `jobs` value). `None` when no registry was recorded.
@@ -269,6 +433,7 @@ impl Estimate {
             transient_hours: self.transient.as_hours(),
             horizon_hours: self.horizon.as_hours(),
             replications: self.replicates.len(),
+            faults: self.faults.len(),
             jobs: self.jobs,
             host_parallelism: std::thread::available_parallelism()
                 .map_or(1, std::num::NonZeroUsize::get),
@@ -496,12 +661,34 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError`] if the SAN engine was selected and the
-    /// model cannot be built or executed (the direct engine is
-    /// infallible once the config validated).
-    pub fn run(self) -> Result<Estimate, ModelError> {
-        let (replicates, profiles, recordings) = match self.estimation {
-            Estimation::Replications => self.run_replications()?,
+    /// Returns [`ExperimentError::Model`] if the SAN engine was
+    /// selected and the model cannot be built or executed (the direct
+    /// engine is infallible once the config validated), or
+    /// [`ExperimentError::ReplicationPanicked`] if a replication
+    /// panicked twice on the same seed.
+    pub fn run(self) -> Result<Estimate, ExperimentError> {
+        self.run_controlled(RunControl::default())
+    }
+
+    /// Like [`Experiment::run`], but with external [`RunControl`]
+    /// handles: a [`ReplicationStore`] that caches finished
+    /// replications (and pre-seeds resumed runs) and an interrupt flag
+    /// for graceful shutdown. Neither handle ever changes *sampling* —
+    /// replication `k` still draws from seed `base_seed + k` — so a
+    /// resumed run is bit-identical to an uninterrupted one.
+    ///
+    /// Only [`Estimation::Replications`] consults the control handles;
+    /// batch means is one continuous sample path with nothing to cache
+    /// or partially complete.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Experiment::run`] returns, plus
+    /// [`ExperimentError::Interrupted`] when the interrupt flag stopped
+    /// the run early.
+    pub fn run_controlled(self, control: RunControl<'_>) -> Result<Estimate, ExperimentError> {
+        let (replicates, profiles, recordings, faults) = match self.estimation {
+            Estimation::Replications => self.run_replications(control)?,
             Estimation::BatchMeans { batches } => self.run_batch_means(batches.max(2))?,
         };
         Ok(Estimate {
@@ -515,6 +702,7 @@ impl Experiment {
             replicates,
             profiles,
             recordings,
+            faults,
             level: self.level,
         })
     }
@@ -551,12 +739,19 @@ impl Experiment {
                 }
                 out
             }
-            Some(model) => match recorder.as_mut() {
-                None => model.run_steady_state_profiled(seed, self.transient, self.horizon)?,
-                Some(rec) => {
-                    model.run_steady_state_observed(seed, self.transient, self.horizon, rec)?
-                }
-            },
+            Some(model) => {
+                let opts = SanRunOptions {
+                    seed,
+                    transient: self.transient,
+                    horizon: self.horizon,
+                    ..SanRunOptions::default()
+                };
+                let outcome = match recorder.as_mut() {
+                    None => model.run(&opts)?,
+                    Some(rec) => model.run_observed(&opts, rec)?,
+                };
+                (outcome.metrics, outcome.events)
+            }
         };
         let profile = ReplicationProfile {
             wall_secs: start.elapsed().as_secs_f64(),
@@ -565,10 +760,92 @@ impl Experiment {
         Ok((metrics, profile, recorder))
     }
 
+    /// Supervised replication: consults the [`ReplicationStore`] cache
+    /// first (unless observing — a cached result has no recording),
+    /// catches a panicking worker, retries it once with the same seed,
+    /// and records the completion back into the store. A recovered
+    /// fault leaves a [`ModelEvent::WorkerFault`] in the retry's
+    /// recording and a [`WorkerFault`] report in the estimate.
+    #[allow(clippy::type_complexity)]
+    fn run_one_supervised(
+        &self,
+        san_model: Option<&CheckpointSan>,
+        k: u32,
+        store: Option<&dyn ReplicationStore>,
+    ) -> Result<
+        (
+            Metrics,
+            ReplicationProfile,
+            Option<Recorder>,
+            Option<WorkerFault>,
+        ),
+        ExperimentError,
+    > {
+        if self.observe.is_none() {
+            if let Some(cached) = store.and_then(|s| s.lookup(k)) {
+                let profile = ReplicationProfile {
+                    wall_secs: 0.0,
+                    events: cached.events,
+                };
+                return Ok((cached.metrics, profile, None, None));
+            }
+        }
+        let attempt = |fault: Option<&WorkerFault>| -> Result<
+            (Metrics, ReplicationProfile, Option<Recorder>),
+            ModelError,
+        > {
+            let (metrics, profile, mut recorder) = self.run_one(san_model, k)?;
+            if let (Some(f), Some(rec)) = (fault, recorder.as_mut()) {
+                // Stamp the audit event at the end of the replication's
+                // window so the trace stays monotone in time.
+                rec.on_event(
+                    self.transient + self.horizon,
+                    ObsEvent::Model(ModelEvent::WorkerFault { retried: f.retried }),
+                );
+            }
+            if let Some(s) = store {
+                s.record(k, &metrics, profile.events);
+            }
+            Ok((metrics, profile, recorder))
+        };
+        match catch_unwind(AssertUnwindSafe(|| attempt(None))) {
+            Ok(result) => {
+                let (metrics, profile, recorder) = result?;
+                Ok((metrics, profile, recorder, None))
+            }
+            Err(payload) => {
+                let fault = WorkerFault {
+                    rep: k,
+                    message: panic_message(payload.as_ref()),
+                    retried: true,
+                };
+                match catch_unwind(AssertUnwindSafe(|| attempt(Some(&fault)))) {
+                    Ok(result) => {
+                        let (metrics, profile, recorder) = result?;
+                        Ok((metrics, profile, recorder, Some(fault)))
+                    }
+                    Err(second) => Err(ExperimentError::ReplicationPanicked {
+                        rep: k,
+                        message: panic_message(second.as_ref()),
+                    }),
+                }
+            }
+        }
+    }
+
     #[allow(clippy::type_complexity)]
     fn run_replications(
         &self,
-    ) -> Result<(Vec<Metrics>, Vec<ReplicationProfile>, Vec<Recorder>), ModelError> {
+        control: RunControl<'_>,
+    ) -> Result<
+        (
+            Vec<Metrics>,
+            Vec<ReplicationProfile>,
+            Vec<Recorder>,
+            Vec<WorkerFault>,
+        ),
+        ExperimentError,
+    > {
         let san_model = match self.engine {
             EngineKind::San => Some(CheckpointSan::build(&self.config)?),
             EngineKind::Direct => None,
@@ -576,6 +853,7 @@ impl Experiment {
         let mut replicates = Vec::with_capacity(self.replications as usize);
         let mut profiles = Vec::with_capacity(self.replications as usize);
         let mut recordings = Vec::new();
+        let mut faults = Vec::new();
         // Incremental accumulator for the stopping rule: pushing each
         // new replication is O(1), where rebuilding from the replicate
         // list every round made the stopping loop quadratic.
@@ -585,23 +863,39 @@ impl Experiment {
                       replicates: &mut Vec<Metrics>,
                       profiles: &mut Vec<ReplicationProfile>,
                       recordings: &mut Vec<Recorder>,
+                      faults: &mut Vec<WorkerFault>,
                       accum: &mut Replications|
-         -> Result<(), ModelError> {
-            let chunk = run_indexed(count as usize, self.jobs, |i| {
-                self.run_one(san_model.as_ref(), from + i as u32)
+         -> Result<(), ExperimentError> {
+            let chunk = run_indexed(count as usize, self.jobs, control.interrupt, |i| {
+                self.run_one_supervised(san_model.as_ref(), from + i as u32, control.store)
             });
             // Index order is preserved, so replication k lands at slot
             // k (metrics, profile, and recording alike) and errors
             // surface in the same order as a sequential run would
-            // report them.
-            for result in chunk {
-                let (metrics, profile, recorder) = result?;
+            // report them. Empty slots mean the interrupt flag stopped
+            // the run before those replications were claimed; the
+            // claimed ones always form a prefix.
+            let mut interrupted = false;
+            for slot in chunk {
+                let Some(result) = slot else {
+                    interrupted = true;
+                    continue;
+                };
+                let (metrics, profile, recorder, fault) = result?;
                 accum.push(metrics.useful_work_fraction());
                 replicates.push(metrics);
                 profiles.push(profile);
                 if let Some(r) = recorder {
                     recordings.push(r);
                 }
+                if let Some(f) = fault {
+                    faults.push(f);
+                }
+            }
+            if interrupted {
+                return Err(ExperimentError::Interrupted {
+                    completed: replicates.len(),
+                });
             }
             Ok(())
         };
@@ -611,6 +905,7 @@ impl Experiment {
             &mut replicates,
             &mut profiles,
             &mut recordings,
+            &mut faults,
             &mut accum,
         )?;
         if let Some((target, max_reps)) = self.target_precision {
@@ -627,12 +922,13 @@ impl Experiment {
                     &mut replicates,
                     &mut profiles,
                     &mut recordings,
+                    &mut faults,
                     &mut accum,
                 )?;
                 k += round;
             }
         }
-        Ok((replicates, profiles, recordings))
+        Ok((replicates, profiles, recordings, faults))
     }
 
     /// One long run, one transient, `batches` measurement slices.
@@ -645,7 +941,15 @@ impl Experiment {
     fn run_batch_means(
         &self,
         batches: u32,
-    ) -> Result<(Vec<Metrics>, Vec<ReplicationProfile>, Vec<Recorder>), ModelError> {
+    ) -> Result<
+        (
+            Vec<Metrics>,
+            Vec<ReplicationProfile>,
+            Vec<Recorder>,
+            Vec<WorkerFault>,
+        ),
+        ExperimentError,
+    > {
         let slice = self.horizon / f64::from(batches);
         let mut replicates = Vec::with_capacity(batches as usize);
         let start = Instant::now();
@@ -677,7 +981,7 @@ impl Experiment {
             wall_secs: start.elapsed().as_secs_f64(),
             events,
         }];
-        Ok((replicates, profiles, Vec::new()))
+        Ok((replicates, profiles, Vec::new(), Vec::new()))
     }
 }
 
@@ -725,12 +1029,15 @@ impl Experiment {
     /// [`EngineKind`] (job runs are a direct-simulator feature).
     #[must_use]
     pub fn job_completion(&self, solve: SimTime, deadline: SimTime) -> CompletionEstimate {
-        let outcomes = run_indexed(self.replications as usize, self.jobs, |i| {
+        let outcomes = run_indexed(self.replications as usize, self.jobs, None, |i| {
             let seed = self.base_seed + i as u64;
             let mut sim = DirectSimulator::new(&self.config, seed);
             sim.run_until_useful_work(solve.as_secs(), deadline)
                 .map(SimTime::as_secs)
-        });
+        })
+        .into_iter()
+        .map(|slot| slot.expect("no interrupt flag was installed"))
+        .collect::<Vec<_>>();
         let mut times = Vec::new();
         let mut timed_out = 0;
         // `outcomes` is in replication order, so `times_secs` matches
@@ -972,6 +1279,209 @@ mod tests {
         assert!(json.contains("schema_version"));
         assert!(json.contains("\"processors\""));
         assert!(json.contains("\"host_parallelism\""));
+    }
+
+    use std::collections::HashMap;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Mutex;
+
+    /// In-memory [`ReplicationStore`] that can also inject panics: it
+    /// panics on the first `panic_on_record` calls to [`record`] for
+    /// the matching replication, then behaves normally — exercising the
+    /// supervisor's same-seed retry without touching engine internals.
+    #[derive(Default)]
+    struct TestStore {
+        cached: Mutex<HashMap<u32, CachedReplication>>,
+        panic_rep: Option<u32>,
+        panics_left: AtomicU32,
+    }
+
+    impl TestStore {
+        fn panicking(rep: u32, times: u32) -> TestStore {
+            TestStore {
+                cached: Mutex::new(HashMap::new()),
+                panic_rep: Some(rep),
+                panics_left: AtomicU32::new(times),
+            }
+        }
+
+        fn preloaded(entries: impl IntoIterator<Item = (u32, CachedReplication)>) -> TestStore {
+            TestStore {
+                cached: Mutex::new(entries.into_iter().collect()),
+                panic_rep: None,
+                panics_left: AtomicU32::new(0),
+            }
+        }
+    }
+
+    impl ReplicationStore for TestStore {
+        fn lookup(&self, rep: u32) -> Option<CachedReplication> {
+            self.cached.lock().unwrap().get(&rep).copied()
+        }
+
+        fn record(&self, rep: u32, metrics: &Metrics, events: u64) {
+            if self.panic_rep == Some(rep) {
+                let left = self.panics_left.load(Ordering::SeqCst);
+                if left > 0 {
+                    self.panics_left.store(left - 1, Ordering::SeqCst);
+                    panic!("injected fault in replication {rep}");
+                }
+            }
+            self.cached.lock().unwrap().insert(
+                rep,
+                CachedReplication {
+                    metrics: *metrics,
+                    events,
+                },
+            );
+        }
+    }
+
+    fn controlled(
+        cfg: SystemConfig,
+        jobs: usize,
+        control: RunControl<'_>,
+    ) -> Result<Estimate, ExperimentError> {
+        Experiment::new(cfg)
+            .transient(SimTime::from_hours(100.0))
+            .horizon(SimTime::from_hours(1_000.0))
+            .replications(3)
+            .jobs(jobs)
+            .run_controlled(control)
+    }
+
+    #[test]
+    fn supervisor_retries_a_panicking_replication_once() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        let clean = quick(cfg.clone(), EngineKind::Direct);
+        let store = TestStore::panicking(1, 1);
+        let est = controlled(
+            cfg,
+            1,
+            RunControl {
+                store: Some(&store),
+                interrupt: None,
+            },
+        )
+        .unwrap();
+        // The fault is reported, and the retry (same seed) reproduces
+        // the clean run bit for bit.
+        assert_eq!(est.faults().len(), 1);
+        assert_eq!(est.faults()[0].rep, 1);
+        assert!(est.faults()[0].retried);
+        assert!(est.faults()[0].message.contains("injected fault"));
+        assert_eq!(est.manifest().faults, 1);
+        for (a, b) in clean.replicates().iter().zip(est.replicates()) {
+            assert_eq!(a, b);
+        }
+        // The store holds all three completions despite the fault.
+        assert_eq!(store.cached.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn replication_panicking_twice_is_a_structured_failure() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        let store = TestStore::panicking(2, 2);
+        let err = controlled(
+            cfg,
+            1,
+            RunControl {
+                store: Some(&store),
+                interrupt: None,
+            },
+        )
+        .unwrap_err();
+        match err {
+            ExperimentError::ReplicationPanicked { rep, ref message } => {
+                assert_eq!(rep, 2);
+                assert!(message.contains("injected fault"));
+            }
+            other => panic!("expected ReplicationPanicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cached_replications_short_circuit_resumed_runs() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        let store = TestStore::default();
+        let full = controlled(
+            cfg.clone(),
+            1,
+            RunControl {
+                store: Some(&store),
+                interrupt: None,
+            },
+        )
+        .unwrap();
+        // Drop one entry to simulate a partially-complete run, resume.
+        let partial: Vec<(u32, CachedReplication)> = store
+            .cached
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(k, _)| **k != 2)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        let resumed_store = TestStore::preloaded(partial);
+        for jobs in [1, 8] {
+            let resumed = controlled(
+                cfg.clone(),
+                jobs,
+                RunControl {
+                    store: Some(&resumed_store),
+                    interrupt: None,
+                },
+            )
+            .unwrap();
+            for (a, b) in full.replicates().iter().zip(resumed.replicates()) {
+                assert_eq!(a, b, "resume at jobs={jobs} must be bit-identical");
+            }
+            // Cached replications replay instantly.
+            assert_eq!(resumed.profiles()[0].wall_secs, 0.0);
+            assert!(resumed.profiles()[2].wall_secs > 0.0 || resumed.profiles()[2].events > 0);
+        }
+    }
+
+    #[test]
+    fn interrupt_flag_stops_the_run_cooperatively() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        let flag = AtomicBool::new(true);
+        let err = controlled(
+            cfg,
+            1,
+            RunControl {
+                store: None,
+                interrupt: Some(&flag),
+            },
+        )
+        .unwrap_err();
+        match err {
+            ExperimentError::Interrupted { completed } => assert_eq!(completed, 0),
+            other => panic!("expected Interrupted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn observation_bypasses_the_replication_cache() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        let store = TestStore::default();
+        let control = RunControl {
+            store: Some(&store),
+            interrupt: None,
+        };
+        controlled(cfg.clone(), 1, control).unwrap();
+        let observed = Experiment::new(cfg)
+            .transient(SimTime::from_hours(100.0))
+            .horizon(SimTime::from_hours(1_000.0))
+            .replications(3)
+            .jobs(1)
+            .observe(ObserveSpec::full(64))
+            .run_controlled(control)
+            .unwrap();
+        // Every replication re-ran (no zero-cost cache hits), so each
+        // has a recording.
+        assert_eq!(observed.recordings().len(), 3);
+        assert!(observed.profiles().iter().all(|p| p.events > 0));
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod trace;
 
 pub use config::{ConfigError, CoordinationMode, SystemConfig};
 pub use experiment::{
-    EngineKind, Estimate, Estimation, Experiment, ObserveSpec, ReplicationProfile,
+    CachedReplication, EngineKind, Estimate, Estimation, Experiment, ExperimentError, ObserveSpec,
+    ReplicationProfile, ReplicationStore, RunControl, WorkerFault,
 };
 pub use metrics::{Counters, Metrics, PhaseKind};

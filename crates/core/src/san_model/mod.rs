@@ -22,12 +22,13 @@
 //!
 //! let cfg = SystemConfig::builder().build()?;
 //! let model = CheckpointSan::build(&cfg)?;
-//! let metrics = model.run_steady_state(
-//!     7,
-//!     SimTime::from_hours(100.0),
-//!     SimTime::from_hours(1_000.0),
-//! )?;
-//! assert!(metrics.useful_work_fraction() > 0.0);
+//! let outcome = model.run(&ckpt_core::san_model::RunOptions {
+//!     seed: 7,
+//!     transient: SimTime::from_hours(100.0),
+//!     horizon: SimTime::from_hours(1_000.0),
+//!     ..Default::default()
+//! })?;
+//! assert!(outcome.metrics.useful_work_fraction() > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -88,6 +89,61 @@ impl From<SanError> for ModelError {
     fn from(e: SanError) -> ModelError {
         ModelError::San(e)
     }
+}
+
+/// Options for one steady-state SAN replication — the single
+/// configuration point of [`CheckpointSan::run`] /
+/// [`CheckpointSan::run_observed`], replacing the former
+/// `run_steady_state*` method family.
+///
+/// `Default` mirrors the experiment layer's defaults (seed `0x5eed`,
+/// 1000-hour transient, 20000-hour horizon, default scheduling), so
+/// call sites override only what they care about:
+///
+/// ```
+/// use ckpt_core::san_model::RunOptions;
+/// use ckpt_des::SimTime;
+///
+/// let opts = RunOptions {
+///     seed: 42,
+///     horizon: SimTime::from_hours(2_000.0),
+///     ..Default::default()
+/// };
+/// assert_eq!(opts.transient, SimTime::from_hours(1_000.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// RNG seed of the replication.
+    pub seed: u64,
+    /// Warm-up period discarded before measuring.
+    pub transient: SimTime,
+    /// Measurement window after the transient.
+    pub horizon: SimTime,
+    /// Event-scheduling strategy; both choices are bit-identical on the
+    /// same seed (the full scan is kept as an equivalence oracle).
+    pub scheduling: Scheduling,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            seed: 0x5eed,
+            transient: SimTime::from_hours(1_000.0),
+            horizon: SimTime::from_hours(20_000.0),
+            scheduling: Scheduling::default(),
+        }
+    }
+}
+
+/// Result of one steady-state SAN replication: the window's metrics
+/// plus the total activity firings processed (transient included) for
+/// throughput accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Measures accumulated over the measurement window.
+    pub metrics: Metrics,
+    /// Activity firings processed across transient + window.
+    pub events: u64,
 }
 
 /// Handles to the activities whose firing counts become [`Counters`].
@@ -192,47 +248,105 @@ impl CheckpointSan {
         &self.ids
     }
 
-    /// Runs one steady-state replication: `transient` warm-up is
-    /// discarded, then measures accumulate for `horizon`.
+    /// Runs one steady-state replication: `opts.transient` warm-up is
+    /// discarded, then measures accumulate for `opts.horizon` under
+    /// `opts.scheduling`. This is the single steady-state entry point;
+    /// attach an observer with [`CheckpointSan::run_observed`].
     ///
     /// # Errors
     ///
     /// Propagates SAN execution errors.
+    pub fn run(&self, opts: &RunOptions) -> Result<RunOutcome, ModelError> {
+        self.run_steady_state_inner(
+            opts.seed,
+            opts.transient,
+            opts.horizon,
+            None,
+            opts.scheduling,
+        )
+        .map(|(metrics, events)| RunOutcome { metrics, events })
+    }
+
+    /// Like [`CheckpointSan::run`], but streams the measurement window
+    /// to `observer`: every activity firing and impulse-reward update,
+    /// plus the derived model events and phase transitions of the
+    /// shared vocabulary (see [`ckpt_obs`]). The observer's window
+    /// opens after the transient discard, aligned with the reward
+    /// reset, and closes at the horizon. Observation never affects
+    /// results: metrics are bit-identical to an unobserved run on the
+    /// same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SAN execution errors.
+    pub fn run_observed(
+        &self,
+        opts: &RunOptions,
+        observer: &mut dyn Observer,
+    ) -> Result<RunOutcome, ModelError> {
+        self.run_steady_state_inner(
+            opts.seed,
+            opts.transient,
+            opts.horizon,
+            Some(observer),
+            opts.scheduling,
+        )
+        .map(|(metrics, events)| RunOutcome { metrics, events })
+    }
+
+    /// Runs one steady-state replication and returns just its metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SAN execution errors.
+    #[deprecated(since = "0.1.0", note = "use `run(&RunOptions)` instead")]
     pub fn run_steady_state(
         &self,
         seed: u64,
         transient: SimTime,
         horizon: SimTime,
     ) -> Result<Metrics, ModelError> {
-        self.run_steady_state_profiled(seed, transient, horizon)
-            .map(|(metrics, _)| metrics)
+        self.run(&RunOptions {
+            seed,
+            transient,
+            horizon,
+            ..RunOptions::default()
+        })
+        .map(|o| o.metrics)
     }
 
-    /// Like [`CheckpointSan::run_steady_state`], but also reports the
-    /// total number of activity firings the replication processed
-    /// (transient included) for throughput accounting.
+    /// Runs one steady-state replication, also reporting its event
+    /// count.
     ///
     /// # Errors
     ///
     /// Propagates SAN execution errors.
+    #[deprecated(since = "0.1.0", note = "use `run(&RunOptions)` instead")]
     pub fn run_steady_state_profiled(
         &self,
         seed: u64,
         transient: SimTime,
         horizon: SimTime,
     ) -> Result<(Metrics, u64), ModelError> {
-        self.run_steady_state_inner(seed, transient, horizon, None, Scheduling::default())
+        self.run(&RunOptions {
+            seed,
+            transient,
+            horizon,
+            ..RunOptions::default()
+        })
+        .map(|o| (o.metrics, o.events))
     }
 
-    /// Like [`CheckpointSan::run_steady_state_profiled`], but with an
-    /// explicit [`Scheduling`] strategy. Both strategies produce
-    /// bit-identical metrics on the same seed; the engine benchmark uses
-    /// this to compare their throughput, and tests use the full scan as
-    /// an equivalence oracle for the incremental scheduler.
+    /// Runs one steady-state replication under an explicit
+    /// [`Scheduling`] strategy.
     ///
     /// # Errors
     ///
     /// Propagates SAN execution errors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run(&RunOptions)` with the `scheduling` field instead"
+    )]
     pub fn run_steady_state_profiled_with(
         &self,
         seed: u64,
@@ -240,21 +354,24 @@ impl CheckpointSan {
         horizon: SimTime,
         scheduling: Scheduling,
     ) -> Result<(Metrics, u64), ModelError> {
-        self.run_steady_state_inner(seed, transient, horizon, None, scheduling)
+        self.run(&RunOptions {
+            seed,
+            transient,
+            horizon,
+            scheduling,
+        })
+        .map(|o| (o.metrics, o.events))
     }
 
-    /// Like [`CheckpointSan::run_steady_state_profiled`], but streams
-    /// the measurement window to `observer`: every activity firing and
-    /// impulse-reward update, plus the derived model events and phase
-    /// transitions of the shared vocabulary (see [`ckpt_obs`]). The
-    /// observer's window opens after the transient discard, aligned
-    /// with the reward reset, and closes at the horizon. Observation
-    /// never affects results: metrics are bit-identical to an
-    /// unobserved run on the same seed.
+    /// Runs one observed steady-state replication.
     ///
     /// # Errors
     ///
     /// Propagates SAN execution errors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_observed(&RunOptions, observer)` instead"
+    )]
     pub fn run_steady_state_observed(
         &self,
         seed: u64,
@@ -262,13 +379,16 @@ impl CheckpointSan {
         horizon: SimTime,
         observer: &mut dyn Observer,
     ) -> Result<(Metrics, u64), ModelError> {
-        self.run_steady_state_inner(
-            seed,
-            transient,
-            horizon,
-            Some(observer),
-            Scheduling::default(),
+        self.run_observed(
+            &RunOptions {
+                seed,
+                transient,
+                horizon,
+                ..RunOptions::default()
+            },
+            observer,
         )
+        .map(|o| (o.metrics, o.events))
     }
 
     /// Runs one replication from time zero (no transient) with a

@@ -11,8 +11,14 @@ fn base_config() -> SystemConfig {
 fn run_san(cfg: &SystemConfig, seed: u64, hours: f64) -> Metrics {
     let model = CheckpointSan::build(cfg).unwrap();
     model
-        .run_steady_state(seed, SimTime::from_hours(500.0), SimTime::from_hours(hours))
+        .run(&RunOptions {
+            seed,
+            transient: SimTime::from_hours(500.0),
+            horizon: SimTime::from_hours(hours),
+            ..RunOptions::default()
+        })
         .unwrap()
+        .metrics
 }
 
 fn run_direct(cfg: &SystemConfig, seed: u64, hours: f64) -> Metrics {

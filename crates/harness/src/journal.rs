@@ -1,0 +1,499 @@
+//! The resumable replication journal: a versioned, atomically written
+//! snapshot of sweep progress.
+//!
+//! A [`SweepJournal`] records every completed replication — keyed by
+//! `(cell, replication)` where a *cell* is one point of a sweep (a
+//! single run is cell 0) — together with the experiment fingerprint it
+//! belongs to. It persists itself every `snapshot_every` completions
+//! (and on demand, e.g. from a signal handler's cooperative-interrupt
+//! path) using [`crate::snapshot::atomic_write`].
+//!
+//! Resume is **provably deterministic**: replication `k` of a cell is
+//! always driven by seed `base_seed + k` regardless of worker count, so
+//! replaying the journal through the experiment layer's
+//! [`ReplicationStore`] cache short-circuits exactly the replications
+//! that already ran and re-executes the rest — the final estimate is
+//! bit-identical to an uninterrupted run at any `--jobs`.
+//!
+//! As a corruption guard, each snapshot also embeds the per-cell
+//! Welford accumulator state over the recorded useful-work fractions;
+//! [`SweepJournal::resume`] replays the stored replications and
+//! requires a bitwise match.
+
+use crate::json::JsonValue;
+use crate::snapshot::{atomic_write, metrics_from_json, metrics_to_json, SnapshotError};
+use ckpt_core::{CachedReplication, Metrics, ReplicationStore};
+use ckpt_stats::OnlineStats;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The snapshot `schema_version` this build writes and reads.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
+#[derive(Debug, Default)]
+struct JournalState {
+    completed: BTreeMap<(u32, u32), CachedReplication>,
+    since_persist: u32,
+}
+
+/// A crash-safe journal of completed replications for one experiment
+/// (identified by its spec fingerprint). Shared across worker threads:
+/// all methods take `&self`.
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    fingerprint: u64,
+    every: u32,
+    state: Mutex<JournalState>,
+    write_error: Mutex<Option<SnapshotError>>,
+}
+
+impl SweepJournal {
+    /// Starts an empty journal that will persist to `path` after every
+    /// `every` recorded completions (`0` disables automatic persistence;
+    /// [`SweepJournal::persist`] still works). Nothing is written until
+    /// the first persist.
+    #[must_use]
+    pub fn create(path: &Path, fingerprint: u64, every: u32) -> SweepJournal {
+        SweepJournal {
+            path: path.to_path_buf(),
+            fingerprint,
+            every,
+            state: Mutex::new(JournalState::default()),
+            write_error: Mutex::new(None),
+        }
+    }
+
+    /// Loads a snapshot written by a previous (interrupted) run and
+    /// validates it: schema, kind, fingerprint, and the bitwise replay
+    /// of each cell's Welford state over its recorded replications.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] / [`SnapshotError::Parse`] /
+    /// [`SnapshotError::SchemaMismatch`] for unreadable files,
+    /// [`SnapshotError::FingerprintMismatch`] when the snapshot belongs
+    /// to a different spec, [`SnapshotError::StatsMismatch`] when its
+    /// internal cross-check fails.
+    pub fn resume(
+        path: &Path,
+        fingerprint: u64,
+        every: u32,
+    ) -> Result<SweepJournal, SnapshotError> {
+        SweepJournal::resume_into(path, path, fingerprint, every)
+    }
+
+    /// Like [`SweepJournal::resume`], but subsequent persists go to
+    /// `target` instead of the loaded file (`--resume old --snapshot
+    /// new`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SweepJournal::resume`].
+    pub fn resume_into(
+        path: &Path,
+        target: &Path,
+        fingerprint: u64,
+        every: u32,
+    ) -> Result<SweepJournal, SnapshotError> {
+        let text = std::fs::read_to_string(path).map_err(|e| SnapshotError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let parse_err = |message: String| SnapshotError::Parse {
+            path: path.display().to_string(),
+            message,
+        };
+        let doc = crate::json::parse(&text).map_err(|e| parse_err(e.to_string()))?;
+        let kind = doc.get("kind").and_then(JsonValue::as_str);
+        let version = doc.get("schema_version").and_then(JsonValue::as_u64);
+        if kind != Some("run_snapshot") || version != Some(SNAPSHOT_SCHEMA_VERSION) {
+            return Err(SnapshotError::SchemaMismatch {
+                path: path.display().to_string(),
+                found: format!("kind {kind:?}, schema_version {version:?}"),
+            });
+        }
+        let found = doc
+            .get("fingerprint")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| parse_err("missing fingerprint".into()))?;
+        if found != fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                path: path.display().to_string(),
+                expected: fingerprint,
+                found,
+            });
+        }
+        let mut completed = BTreeMap::new();
+        let entries = doc
+            .get("completed")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| parse_err("missing 'completed' array".into()))?;
+        for entry in entries {
+            let cell = entry
+                .get("cell")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| parse_err("completed entry missing 'cell'".into()))?;
+            let rep = entry
+                .get("rep")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| parse_err("completed entry missing 'rep'".into()))?;
+            let events = entry
+                .get("events")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| parse_err("completed entry missing 'events'".into()))?;
+            let metrics = metrics_from_json(
+                entry
+                    .get("metrics")
+                    .ok_or_else(|| parse_err("completed entry missing 'metrics'".into()))?,
+            )
+            .map_err(parse_err)?;
+            let key = (
+                u32::try_from(cell).map_err(|_| parse_err("cell out of range".into()))?,
+                u32::try_from(rep).map_err(|_| parse_err("rep out of range".into()))?,
+            );
+            completed.insert(key, CachedReplication { metrics, events });
+        }
+        // Cross-check: the stored Welford states must equal a replay of
+        // the stored replications, in replication order, bit for bit.
+        let replayed = per_cell_stats(&completed);
+        let stats = doc
+            .get("stats")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| parse_err("missing 'stats' array".into()))?;
+        if stats.len() != replayed.len() {
+            let cell = stats
+                .first()
+                .and_then(|s| s.get("cell"))
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
+            return Err(SnapshotError::StatsMismatch { cell: cell as u32 });
+        }
+        for entry in stats {
+            let cell = entry
+                .get("cell")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| parse_err("stats entry missing 'cell'".into()))?
+                as u32;
+            let stored = (
+                entry
+                    .get("count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| parse_err("stats entry missing 'count'".into()))?,
+                entry
+                    .get("mean")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| parse_err("stats entry missing 'mean'".into()))?,
+                entry
+                    .get("m2")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| parse_err("stats entry missing 'm2'".into()))?,
+                entry
+                    .get("min")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| parse_err("stats entry missing 'min'".into()))?,
+                entry
+                    .get("max")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| parse_err("stats entry missing 'max'".into()))?,
+            );
+            let matches = replayed.get(&cell).is_some_and(|s| {
+                let (count, mean, m2, min, max) = s.state();
+                count == stored.0
+                    && mean.to_bits() == stored.1.to_bits()
+                    && m2.to_bits() == stored.2.to_bits()
+                    && min.to_bits() == stored.3.to_bits()
+                    && max.to_bits() == stored.4.to_bits()
+            });
+            if !matches {
+                return Err(SnapshotError::StatsMismatch { cell });
+            }
+        }
+        Ok(SweepJournal {
+            path: target.to_path_buf(),
+            fingerprint,
+            every,
+            state: Mutex::new(JournalState {
+                completed,
+                since_persist: 0,
+            }),
+            write_error: Mutex::new(None),
+        })
+    }
+
+    /// The file this journal persists to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of completed replications currently recorded (all cells).
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.state.lock().unwrap().completed.len()
+    }
+
+    /// Records one completed replication. Persists automatically when
+    /// `every` completions have accumulated since the last persist; an
+    /// I/O failure during that background persist is stashed and
+    /// returned by the next [`SweepJournal::persist`] call (recording
+    /// itself never fails — the in-memory journal stays authoritative).
+    pub fn record(&self, cell: u32, rep: u32, metrics: &Metrics, events: u64) {
+        let should_persist = {
+            let mut state = self.state.lock().unwrap();
+            state.completed.insert(
+                (cell, rep),
+                CachedReplication {
+                    metrics: *metrics,
+                    events,
+                },
+            );
+            state.since_persist += 1;
+            if self.every > 0 && state.since_persist >= self.every {
+                state.since_persist = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if should_persist {
+            if let Err(e) = self.write_snapshot() {
+                *self.write_error.lock().unwrap() = Some(e);
+            }
+        }
+    }
+
+    /// Persists the journal now (also surfacing any error stashed by an
+    /// automatic persist).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the snapshot cannot be written.
+    pub fn persist(&self) -> Result<(), SnapshotError> {
+        if let Some(e) = self.write_error.lock().unwrap().take() {
+            return Err(e);
+        }
+        self.state.lock().unwrap().since_persist = 0;
+        self.write_snapshot()
+    }
+
+    /// A [`ReplicationStore`] view of one cell, to plug into
+    /// [`ckpt_core::RunControl`]. Lookups come from the journal;
+    /// records flow back into it (and trigger automatic persistence).
+    #[must_use]
+    pub fn cell_store(&self, cell: u32) -> CellStore<'_> {
+        CellStore {
+            journal: self,
+            cell,
+        }
+    }
+
+    /// Renders the snapshot document (deterministic: `BTreeMap`
+    /// iteration order, canonical number formatting).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let state = self.state.lock().unwrap();
+        let stats = per_cell_stats(&state.completed)
+            .into_iter()
+            .map(|(cell, s)| {
+                let (count, mean, m2, min, max) = s.state();
+                JsonValue::Object(vec![
+                    ("cell".to_string(), JsonValue::from_u64(u64::from(cell))),
+                    ("count".to_string(), JsonValue::from_u64(count)),
+                    ("mean".to_string(), JsonValue::from_f64(mean)),
+                    ("m2".to_string(), JsonValue::from_f64(m2)),
+                    ("min".to_string(), JsonValue::from_f64(min)),
+                    ("max".to_string(), JsonValue::from_f64(max)),
+                ])
+            })
+            .collect();
+        let completed = state
+            .completed
+            .iter()
+            .map(|(&(cell, rep), cached)| {
+                JsonValue::Object(vec![
+                    ("cell".to_string(), JsonValue::from_u64(u64::from(cell))),
+                    ("rep".to_string(), JsonValue::from_u64(u64::from(rep))),
+                    ("events".to_string(), JsonValue::from_u64(cached.events)),
+                    ("metrics".to_string(), metrics_to_json(&cached.metrics)),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "schema_version".to_string(),
+                JsonValue::from_u64(SNAPSHOT_SCHEMA_VERSION),
+            ),
+            ("tool".to_string(), JsonValue::from_text("ckptsim")),
+            ("kind".to_string(), JsonValue::from_text("run_snapshot")),
+            (
+                "fingerprint".to_string(),
+                JsonValue::from_u64(self.fingerprint),
+            ),
+            ("stats".to_string(), JsonValue::Array(stats)),
+            ("completed".to_string(), JsonValue::Array(completed)),
+        ])
+        .to_json()
+    }
+
+    fn write_snapshot(&self) -> Result<(), SnapshotError> {
+        let mut doc = self.to_json();
+        doc.push('\n');
+        atomic_write(&self.path, &doc)
+    }
+}
+
+/// Replays the per-cell useful-work-fraction accumulators from recorded
+/// replications, in replication order (the same order the experiment
+/// layer aggregates in).
+fn per_cell_stats(
+    completed: &BTreeMap<(u32, u32), CachedReplication>,
+) -> BTreeMap<u32, OnlineStats> {
+    let mut out: BTreeMap<u32, OnlineStats> = BTreeMap::new();
+    for (&(cell, _), cached) in completed {
+        out.entry(cell)
+            .or_default()
+            .push(cached.metrics.useful_work_fraction());
+    }
+    out
+}
+
+/// One cell's [`ReplicationStore`] view of a [`SweepJournal`].
+#[derive(Debug, Clone, Copy)]
+pub struct CellStore<'a> {
+    journal: &'a SweepJournal,
+    cell: u32,
+}
+
+impl ReplicationStore for CellStore<'_> {
+    fn lookup(&self, rep: u32) -> Option<CachedReplication> {
+        self.journal
+            .state
+            .lock()
+            .unwrap()
+            .completed
+            .get(&(self.cell, rep))
+            .copied()
+    }
+
+    fn record(&self, rep: u32, metrics: &Metrics, events: u64) {
+        self.journal.record(self.cell, rep, metrics, events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_core::PhaseKind;
+
+    fn metrics(seed: u64) -> Metrics {
+        let x = (seed as f64) * 0.1 + 1.0 / 3.0;
+        let mut m = Metrics {
+            window_secs: 1_000.0 + x,
+            useful_work_secs: 900.0 - x,
+            work_lost_secs: x,
+            ..Metrics::default()
+        };
+        m.counters.recoveries = seed;
+        m.phase_times.add(PhaseKind::Executing, x * 7.0);
+        m
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ckpt_harness_journal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn persist_and_resume_round_trip_bitwise() {
+        let path = temp_path("round_trip.json");
+        let journal = SweepJournal::create(&path, 0xfeed, 0);
+        for rep in 0..3 {
+            journal.record(0, rep, &metrics(u64::from(rep)), 100 + u64::from(rep));
+        }
+        journal.record(2, 0, &metrics(17), 555);
+        journal.persist().unwrap();
+
+        let resumed = SweepJournal::resume(&path, 0xfeed, 0).unwrap();
+        assert_eq!(resumed.completed(), 4);
+        assert_eq!(journal.to_json(), resumed.to_json());
+        let store = resumed.cell_store(0);
+        assert_eq!(
+            store.lookup(1),
+            Some(CachedReplication {
+                metrics: metrics(1),
+                events: 101
+            })
+        );
+        assert_eq!(store.lookup(3), None);
+        assert_eq!(resumed.cell_store(1).lookup(0), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_fingerprint() {
+        let path = temp_path("fingerprint.json");
+        let journal = SweepJournal::create(&path, 1, 0);
+        journal.record(0, 0, &metrics(0), 1);
+        journal.persist().unwrap();
+        let err = SweepJournal::resume(&path, 2, 0).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::FingerprintMismatch {
+                path: path.display().to_string(),
+                expected: 2,
+                found: 1
+            }
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_tampered_statistics() {
+        let path = temp_path("tampered.json");
+        let journal = SweepJournal::create(&path, 3, 0);
+        journal.record(0, 0, &metrics(0), 1);
+        journal.persist().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Corrupt the recorded metrics without touching the stats block
+        // (useful_work_secs for seed 0 is 900 − 1/3 = 899.666…).
+        let tampered = text.replace("899.6", "899.7");
+        assert_ne!(text, tampered);
+        std::fs::write(&path, tampered).unwrap();
+        let err = SweepJournal::resume(&path, 3, 0).unwrap_err();
+        assert_eq!(err, SnapshotError::StatsMismatch { cell: 0 });
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_non_snapshot_documents() {
+        let path = temp_path("foreign.json");
+        std::fs::write(&path, "{\"kind\":\"something_else\",\"schema_version\":1}").unwrap();
+        assert!(matches!(
+            SweepJournal::resume(&path, 0, 0),
+            Err(SnapshotError::SchemaMismatch { .. })
+        ));
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(matches!(
+            SweepJournal::resume(&path, 0, 0),
+            Err(SnapshotError::Parse { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn automatic_persistence_honors_every() {
+        let path = temp_path("every.json");
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::create(&path, 9, 2);
+        journal.record(0, 0, &metrics(0), 1);
+        assert!(!path.exists(), "first record must not persist yet");
+        journal.record(0, 1, &metrics(1), 2);
+        assert!(path.exists(), "second record hits the persist threshold");
+        let resumed = SweepJournal::resume(&path, 9, 2).unwrap();
+        assert_eq!(resumed.completed(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

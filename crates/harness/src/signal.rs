@@ -1,0 +1,113 @@
+//! Minimal async-signal-safe SIGINT/SIGTERM handling.
+//!
+//! The handler does the only thing that is safe in a signal context:
+//! set two atomics. The experiment layer polls
+//! [`interrupt_flag`] cooperatively (workers check it before claiming
+//! the next replication), finishes in-flight replications, persists the
+//! journal, and exits with code `128 + signal`.
+//!
+//! A **second** delivery of the same signal restores the default
+//! disposition first, so a stuck run can still be killed the
+//! traditional way: the first Ctrl-C is graceful, the second is
+//! immediate.
+//!
+//! On non-Unix targets everything compiles to a no-op (the flag simply
+//! never trips).
+
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+/// POSIX SIGINT (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// POSIX SIGTERM.
+pub const SIGTERM: i32 = 15;
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+static SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+/// The process-wide interrupt flag, set once a handled signal arrives.
+/// Hand this to [`ckpt_core::RunControl`] (or poll it between sweep
+/// cells).
+#[must_use]
+pub fn interrupt_flag() -> &'static AtomicBool {
+    &INTERRUPTED
+}
+
+/// Which signal tripped the flag, if any.
+#[must_use]
+pub fn signal_number() -> Option<i32> {
+    match SIGNAL.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Clears the flag (tests and repeated in-process runs).
+pub fn reset() {
+    SIGNAL.store(0, Ordering::SeqCst);
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, INTERRUPTED, SIGINT, SIGNAL, SIGTERM};
+
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        // Async-signal-safe: two atomic stores plus re-arming the
+        // default disposition so a repeated signal kills the process.
+        SIGNAL.store(signum, Ordering::SeqCst);
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        unsafe {
+            signal(signum, SIG_DFL);
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the graceful handler for SIGINT and SIGTERM. Idempotent;
+/// call once at front-end startup, before launching workers.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(sig: i32) -> i32;
+    }
+
+    #[test]
+    fn a_raised_sigint_trips_the_flag() {
+        reset();
+        install();
+        assert!(!interrupt_flag().load(Ordering::SeqCst));
+        assert_eq!(signal_number(), None);
+        unsafe {
+            raise(SIGINT);
+        }
+        assert!(interrupt_flag().load(Ordering::SeqCst));
+        assert_eq!(signal_number(), Some(SIGINT));
+        // The handler re-armed SIG_DFL; re-install for any later test
+        // and clear the flag.
+        install();
+        reset();
+    }
+}

@@ -1,0 +1,865 @@
+//! The validated experiment specification: one serializable value that
+//! fully determines a run.
+//!
+//! [`ExperimentSpec`] replaces the free-function config plumbing the
+//! CLI, sweep engine, and bench binaries used to share: each front end
+//! builds a spec (validated at build time, so nonsensical combinations
+//! like a transient cutoff beyond the horizon are rejected before any
+//! simulation starts), serializes it into snapshots and manifests, and
+//! turns it into a runnable [`Experiment`] with
+//! [`ExperimentSpec::to_experiment`].
+//!
+//! The spec also defines the **fingerprint** that guards snapshot
+//! resume: an FNV-1a 64 hash of the spec's canonical JSON *excluding
+//! `jobs`* — worker count never changes sampling (replication `k`
+//! always draws from seed `base_seed + k`), so a snapshot taken at
+//! `--jobs 8` must remain valid for a resume at `--jobs 1`.
+
+use crate::json::{parse, JsonValue};
+use ckpt_core::config::{
+    CoordinationMode, ErrorPropagation, GenericCorrelated, RecoveryTimeModel, SystemConfig,
+};
+use ckpt_core::{ConfigError, EngineKind, Estimation, Experiment};
+use ckpt_des::SimTime;
+use std::fmt;
+
+/// Why a spec failed to validate or deserialize.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The embedded system configuration failed its own validation.
+    Config(ConfigError),
+    /// The transient cutoff is not strictly before the horizon, so the
+    /// measurement window would be empty (or negative).
+    TransientExceedsHorizon {
+        /// Requested transient, hours.
+        transient_hours: f64,
+        /// Requested horizon, hours.
+        horizon_hours: f64,
+    },
+    /// Zero replications requested.
+    NoReplications,
+    /// Confidence level outside (0, 1).
+    BadConfidence {
+        /// The rejected level.
+        level: f64,
+    },
+    /// Batch-means estimation with fewer than 2 batches.
+    TooFewBatches {
+        /// The rejected batch count.
+        batches: u32,
+    },
+    /// The SAN engine was selected together with an ablation switch it
+    /// does not implement (the direct simulator carries the ablations).
+    UnsupportedAblation {
+        /// The offending switch.
+        switch: &'static str,
+    },
+    /// The spec JSON was malformed or missing fields.
+    Parse(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Config(e) => write!(f, "{e}"),
+            SpecError::TransientExceedsHorizon {
+                transient_hours,
+                horizon_hours,
+            } => write!(
+                f,
+                "transient cutoff ({transient_hours} h) must be strictly less than the horizon ({horizon_hours} h)"
+            ),
+            SpecError::NoReplications => write!(f, "at least one replication is required"),
+            SpecError::BadConfidence { level } => {
+                write!(f, "confidence level must be in (0, 1), got {level}")
+            }
+            SpecError::TooFewBatches { batches } => {
+                write!(f, "batch means needs at least 2 batches, got {batches}")
+            }
+            SpecError::UnsupportedAblation { switch } => write!(
+                f,
+                "the SAN engine implements the paper's semantics only; '{switch}' is an ablation handled by the direct simulator"
+            ),
+            SpecError::Parse(msg) => write!(f, "invalid experiment spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ConfigError> for SpecError {
+    fn from(e: ConfigError) -> SpecError {
+        SpecError::Config(e)
+    }
+}
+
+/// A validated, serializable experiment definition. Construct with
+/// [`ExperimentSpec::builder`] or deserialize with
+/// [`ExperimentSpec::from_json`]; both paths run the same validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    config: SystemConfig,
+    engine: EngineKind,
+    estimation: Estimation,
+    transient: SimTime,
+    horizon: SimTime,
+    replications: u32,
+    seed: u64,
+    level: f64,
+    jobs: Option<usize>,
+}
+
+/// Builder for [`ExperimentSpec`] — defaults mirror
+/// [`Experiment::new`]: direct engine, independent replications,
+/// 1000-hour transient, 20000-hour horizon, 5 replications, seed
+/// `0x5eed`, 95 % confidence.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpecBuilder {
+    spec: ExperimentSpec,
+}
+
+impl ExperimentSpec {
+    /// Starts a builder with the paper's defaults over `config`.
+    #[must_use]
+    pub fn builder(config: SystemConfig) -> ExperimentSpecBuilder {
+        ExperimentSpecBuilder {
+            spec: ExperimentSpec {
+                config,
+                engine: EngineKind::Direct,
+                estimation: Estimation::Replications,
+                transient: SimTime::from_hours(1_000.0),
+                horizon: SimTime::from_hours(20_000.0),
+                replications: 5,
+                seed: 0x5eed,
+                level: 0.95,
+                jobs: None,
+            },
+        }
+    }
+
+    /// The system configuration under test.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The selected engine.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// The estimation procedure.
+    #[must_use]
+    pub fn estimation(&self) -> Estimation {
+        self.estimation
+    }
+
+    /// Transient (warm-up) period discarded before measuring.
+    #[must_use]
+    pub fn transient(&self) -> SimTime {
+        self.transient
+    }
+
+    /// Measurement horizon per replication.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Number of independent replications.
+    #[must_use]
+    pub fn replications(&self) -> u32 {
+        self.replications
+    }
+
+    /// Base RNG seed; replication `k` draws from `seed + k`.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Confidence level of the aggregate intervals.
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Worker threads, when pinned (`None` leaves the experiment's
+    /// host-dependent default). Excluded from the fingerprint: jobs
+    /// never change sampling.
+    #[must_use]
+    pub fn jobs(&self) -> Option<usize> {
+        self.jobs
+    }
+
+    /// Converts the spec into a runnable [`Experiment`]. Chain
+    /// runtime-only options (observation, target precision) on the
+    /// returned builder.
+    #[must_use]
+    pub fn to_experiment(&self) -> Experiment {
+        let mut exp = Experiment::new(self.config.clone())
+            .engine(self.engine)
+            .estimation(self.estimation)
+            .transient(self.transient)
+            .horizon(self.horizon)
+            .replications(self.replications)
+            .seed(self.seed)
+            .confidence(self.level);
+        if let Some(jobs) = self.jobs {
+            exp = exp.jobs(jobs);
+        }
+        exp
+    }
+
+    /// Serializes the spec as one compact JSON object. Deterministic:
+    /// the same spec always renders the same bytes, and
+    /// [`ExperimentSpec::from_json`] restores an equal spec (f64 fields
+    /// round-trip bit-identically — see [`crate::json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.render(true).to_json()
+    }
+
+    /// The resume fingerprint: FNV-1a 64 over the canonical JSON with
+    /// `jobs` excluded, so a snapshot written at one `--jobs` value
+    /// resumes at any other.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.render(false).to_json().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
+    fn render(&self, with_jobs: bool) -> JsonValue {
+        let mut fields = vec![
+            ("schema_version".to_string(), JsonValue::from_u64(1)),
+            ("kind".to_string(), JsonValue::from_text("experiment_spec")),
+            (
+                "engine".to_string(),
+                JsonValue::from_text(self.engine.name()),
+            ),
+            (
+                "estimation".to_string(),
+                match self.estimation {
+                    Estimation::Replications => JsonValue::from_text("replications"),
+                    Estimation::BatchMeans { batches } => JsonValue::Object(vec![(
+                        "batch_means".to_string(),
+                        JsonValue::from_u64(u64::from(batches)),
+                    )]),
+                },
+            ),
+            (
+                "transient_secs".to_string(),
+                JsonValue::from_f64(self.transient.as_secs()),
+            ),
+            (
+                "horizon_secs".to_string(),
+                JsonValue::from_f64(self.horizon.as_secs()),
+            ),
+            (
+                "replications".to_string(),
+                JsonValue::from_u64(u64::from(self.replications)),
+            ),
+            ("seed".to_string(), JsonValue::from_u64(self.seed)),
+            ("level".to_string(), JsonValue::from_f64(self.level)),
+        ];
+        if with_jobs {
+            fields.push((
+                "jobs".to_string(),
+                match self.jobs {
+                    Some(j) => JsonValue::from_u64(j as u64),
+                    None => JsonValue::Null,
+                },
+            ));
+        }
+        fields.push(("config".to_string(), config_to_json(&self.config)));
+        JsonValue::Object(fields)
+    }
+
+    /// Deserializes and re-validates a spec produced by
+    /// [`ExperimentSpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] for malformed JSON or missing fields, plus
+    /// every validation error [`ExperimentSpecBuilder::build`] can
+    /// return.
+    pub fn from_json(input: &str) -> Result<ExperimentSpec, SpecError> {
+        let doc = parse(input).map_err(|e| SpecError::Parse(e.to_string()))?;
+        if doc.get("kind").and_then(JsonValue::as_str) != Some("experiment_spec") {
+            return Err(SpecError::Parse("not an experiment_spec document".into()));
+        }
+        if doc.get("schema_version").and_then(JsonValue::as_u64) != Some(1) {
+            return Err(SpecError::Parse("unsupported schema_version".into()));
+        }
+        let config = config_from_json(
+            doc.get("config")
+                .ok_or_else(|| SpecError::Parse("missing config".into()))?,
+        )?;
+        let engine = match doc.get("engine").and_then(JsonValue::as_str) {
+            Some("direct") => EngineKind::Direct,
+            Some("san") => EngineKind::San,
+            other => return Err(SpecError::Parse(format!("unknown engine {other:?}"))),
+        };
+        let estimation = match doc
+            .get("estimation")
+            .ok_or_else(|| SpecError::Parse("missing estimation".into()))?
+        {
+            JsonValue::String(s) if s == "replications" => Estimation::Replications,
+            obj => match obj.get("batch_means").and_then(JsonValue::as_u64) {
+                Some(batches) => Estimation::BatchMeans {
+                    batches: u32::try_from(batches)
+                        .map_err(|_| SpecError::Parse("batch count out of range".into()))?,
+                },
+                None => return Err(SpecError::Parse("unknown estimation".into())),
+            },
+        };
+        let mut b = ExperimentSpec::builder(config)
+            .engine(engine)
+            .estimation(estimation)
+            .transient(SimTime::from_secs(req_f64(&doc, "transient_secs")?))
+            .horizon(SimTime::from_secs(req_f64(&doc, "horizon_secs")?))
+            .replications(
+                u32::try_from(req_u64(&doc, "replications")?)
+                    .map_err(|_| SpecError::Parse("replications out of range".into()))?,
+            )
+            .seed(req_u64(&doc, "seed")?)
+            .confidence(req_f64(&doc, "level")?);
+        if let Some(jobs) = doc.get("jobs").and_then(JsonValue::as_u64) {
+            b = b.jobs(jobs as usize);
+        }
+        b.build()
+    }
+}
+
+impl ExperimentSpecBuilder {
+    /// Selects the simulation engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> ExperimentSpecBuilder {
+        self.spec.engine = engine;
+        self
+    }
+
+    /// Selects the estimation procedure.
+    #[must_use]
+    pub fn estimation(mut self, estimation: Estimation) -> ExperimentSpecBuilder {
+        self.spec.estimation = estimation;
+        self
+    }
+
+    /// Transient (warm-up) period discarded before measuring.
+    #[must_use]
+    pub fn transient(mut self, t: SimTime) -> ExperimentSpecBuilder {
+        self.spec.transient = t;
+        self
+    }
+
+    /// Measurement horizon per replication.
+    #[must_use]
+    pub fn horizon(mut self, t: SimTime) -> ExperimentSpecBuilder {
+        self.spec.horizon = t;
+        self
+    }
+
+    /// Number of independent replications.
+    #[must_use]
+    pub fn replications(mut self, n: u32) -> ExperimentSpecBuilder {
+        self.spec.replications = n;
+        self
+    }
+
+    /// Base RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> ExperimentSpecBuilder {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Confidence level for the aggregate intervals.
+    #[must_use]
+    pub fn confidence(mut self, level: f64) -> ExperimentSpecBuilder {
+        self.spec.level = level;
+        self
+    }
+
+    /// Pins the worker-thread count (otherwise the experiment uses its
+    /// host-dependent default).
+    #[must_use]
+    pub fn jobs(mut self, n: usize) -> ExperimentSpecBuilder {
+        self.spec.jobs = Some(n);
+        self
+    }
+
+    /// Validates and returns the spec.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty measurement window
+    /// ([`SpecError::TransientExceedsHorizon`]), zero replications, a
+    /// confidence level outside (0, 1), batch means with fewer than 2
+    /// batches, and SAN + ablation-switch combinations the SAN engine
+    /// would refuse at run time.
+    pub fn build(self) -> Result<ExperimentSpec, SpecError> {
+        let s = &self.spec;
+        if s.transient.as_secs() >= s.horizon.as_secs() || s.horizon.is_zero() {
+            return Err(SpecError::TransientExceedsHorizon {
+                transient_hours: s.transient.as_hours(),
+                horizon_hours: s.horizon.as_hours(),
+            });
+        }
+        if s.replications == 0 {
+            return Err(SpecError::NoReplications);
+        }
+        if !(s.level > 0.0 && s.level < 1.0) {
+            return Err(SpecError::BadConfidence { level: s.level });
+        }
+        if let Estimation::BatchMeans { batches } = s.estimation {
+            if batches < 2 {
+                return Err(SpecError::TooFewBatches { batches });
+            }
+        }
+        if s.engine == EngineKind::San {
+            // Mirror CheckpointSan::build's ablation gate so front ends
+            // learn about the combination before any simulation runs.
+            let cfg = &s.config;
+            let switch = if !cfg.background_checkpoint_write() {
+                Some("background_checkpoint_write")
+            } else if !cfg.buffered_recovery() {
+                Some("buffered_recovery")
+            } else if cfg.spatial_correlation().is_some() {
+                Some("spatial_correlation")
+            } else if cfg.compute_fraction_jitter().is_some() {
+                Some("compute_fraction_jitter")
+            } else {
+                None
+            };
+            if let Some(switch) = switch {
+                return Err(SpecError::UnsupportedAblation { switch });
+            }
+        }
+        Ok(self.spec)
+    }
+}
+
+fn opt_f64(v: Option<&JsonValue>) -> Option<f64> {
+    v.and_then(JsonValue::as_f64)
+}
+
+fn req_f64(doc: &JsonValue, key: &str) -> Result<f64, SpecError> {
+    opt_f64(doc.get(key)).ok_or_else(|| SpecError::Parse(format!("missing number '{key}'")))
+}
+
+fn req_u64(doc: &JsonValue, key: &str) -> Result<u64, SpecError> {
+    doc.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| SpecError::Parse(format!("missing integer '{key}'")))
+}
+
+fn req_bool(doc: &JsonValue, key: &str) -> Result<bool, SpecError> {
+    doc.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| SpecError::Parse(format!("missing boolean '{key}'")))
+}
+
+/// Serializes a [`SystemConfig`] as a typed JSON object (every Table-3
+/// field plus the feature switches, durations in seconds).
+#[must_use]
+pub fn config_to_json(cfg: &SystemConfig) -> JsonValue {
+    fn num(v: f64) -> JsonValue {
+        JsonValue::from_f64(v)
+    }
+    fn opt_num(v: Option<f64>) -> JsonValue {
+        v.map_or(JsonValue::Null, JsonValue::from_f64)
+    }
+    let coordination = match cfg.coordination() {
+        CoordinationMode::FixedQuiesce => "fixed_quiesce",
+        CoordinationMode::SystemExponential => "system_exponential",
+        CoordinationMode::MaxOfN => "max_of_n",
+    };
+    let recovery = match cfg.recovery_time_model() {
+        RecoveryTimeModel::Exponential => JsonValue::from_text("exponential"),
+        RecoveryTimeModel::Deterministic => JsonValue::from_text("deterministic"),
+        RecoveryTimeModel::LogNormal { cv } => {
+            JsonValue::Object(vec![("log_normal_cv".to_string(), num(cv))])
+        }
+    };
+    let error_propagation = cfg.error_propagation().map_or(JsonValue::Null, |e| {
+        JsonValue::Object(vec![
+            ("probability".to_string(), num(e.probability)),
+            ("factor".to_string(), num(e.factor)),
+            ("window_secs".to_string(), num(e.window)),
+        ])
+    });
+    let generic_correlated = cfg.generic_correlated().map_or(JsonValue::Null, |g| {
+        JsonValue::Object(vec![
+            ("coefficient".to_string(), num(g.coefficient)),
+            ("factor".to_string(), num(g.factor)),
+        ])
+    });
+    let jitter = cfg
+        .compute_fraction_jitter()
+        .map_or(JsonValue::Null, |(lo, hi)| {
+            JsonValue::Array(vec![num(lo), num(hi)])
+        });
+    JsonValue::Object(vec![
+        (
+            "processors".to_string(),
+            JsonValue::from_u64(cfg.processors()),
+        ),
+        (
+            "procs_per_node".to_string(),
+            JsonValue::from_u64(u64::from(cfg.procs_per_node())),
+        ),
+        (
+            "compute_nodes_per_io_node".to_string(),
+            JsonValue::from_u64(u64::from(cfg.compute_nodes_per_io_node())),
+        ),
+        (
+            "checkpoint_interval_secs".to_string(),
+            num(cfg.checkpoint_interval().as_secs()),
+        ),
+        ("mttq_secs".to_string(), num(cfg.mttq().as_secs())),
+        (
+            "broadcast_overhead_secs".to_string(),
+            num(cfg.broadcast_overhead().as_secs()),
+        ),
+        (
+            "software_overhead_secs".to_string(),
+            num(cfg.software_overhead().as_secs()),
+        ),
+        (
+            "coordination".to_string(),
+            JsonValue::from_text(coordination),
+        ),
+        (
+            "timeout_secs".to_string(),
+            opt_num(cfg.timeout().map(SimTime::as_secs)),
+        ),
+        (
+            "background_checkpoint_write".to_string(),
+            JsonValue::Bool(cfg.background_checkpoint_write()),
+        ),
+        (
+            "buffered_recovery".to_string(),
+            JsonValue::Bool(cfg.buffered_recovery()),
+        ),
+        (
+            "mttf_per_node_secs".to_string(),
+            num(cfg.mttf_per_node().as_secs()),
+        ),
+        (
+            "mttr_system_secs".to_string(),
+            num(cfg.mttr_system().as_secs()),
+        ),
+        ("mttr_io_secs".to_string(), num(cfg.mttr_io().as_secs())),
+        ("recovery_time_model".to_string(), recovery),
+        (
+            "severe_failure_threshold".to_string(),
+            JsonValue::from_u64(u64::from(cfg.severe_failure_threshold())),
+        ),
+        (
+            "reboot_time_secs".to_string(),
+            num(cfg.reboot_time().as_secs()),
+        ),
+        (
+            "model_master_failures".to_string(),
+            JsonValue::Bool(cfg.model_master_failures()),
+        ),
+        (
+            "model_io_failures".to_string(),
+            JsonValue::Bool(cfg.model_io_failures()),
+        ),
+        (
+            "failures_enabled".to_string(),
+            JsonValue::Bool(cfg.failures_enabled()),
+        ),
+        ("error_propagation".to_string(), error_propagation),
+        ("generic_correlated".to_string(), generic_correlated),
+        (
+            "spatial_correlation".to_string(),
+            opt_num(cfg.spatial_correlation()),
+        ),
+        (
+            "app_cycle_period_secs".to_string(),
+            num(cfg.app_cycle_period().as_secs()),
+        ),
+        ("compute_fraction".to_string(), num(cfg.compute_fraction())),
+        ("compute_fraction_jitter".to_string(), jitter),
+        (
+            "compute_io_bandwidth_mbps".to_string(),
+            num(cfg.compute_io_bandwidth_mbps()),
+        ),
+        (
+            "fs_bandwidth_per_io_mbps".to_string(),
+            num(cfg.fs_bandwidth_per_io_mbps()),
+        ),
+        (
+            "checkpoint_size_per_node_mb".to_string(),
+            num(cfg.checkpoint_size_per_node_mb()),
+        ),
+        (
+            "app_io_data_per_node_mb".to_string(),
+            num(cfg.app_io_data_per_node_mb()),
+        ),
+    ])
+}
+
+/// Reconstructs a [`SystemConfig`] from [`config_to_json`] output,
+/// re-running the builder's validation.
+///
+/// # Errors
+///
+/// [`SpecError::Parse`] for missing/malformed fields,
+/// [`SpecError::Config`] when the values fail config validation.
+pub fn config_from_json(doc: &JsonValue) -> Result<SystemConfig, SpecError> {
+    let secs =
+        |key: &str| -> Result<SimTime, SpecError> { req_f64(doc, key).map(SimTime::from_secs) };
+    let coordination = match doc.get("coordination").and_then(JsonValue::as_str) {
+        Some("fixed_quiesce") => CoordinationMode::FixedQuiesce,
+        Some("system_exponential") => CoordinationMode::SystemExponential,
+        Some("max_of_n") => CoordinationMode::MaxOfN,
+        other => return Err(SpecError::Parse(format!("unknown coordination {other:?}"))),
+    };
+    let recovery = match doc
+        .get("recovery_time_model")
+        .ok_or_else(|| SpecError::Parse("missing recovery_time_model".into()))?
+    {
+        JsonValue::String(s) if s == "exponential" => RecoveryTimeModel::Exponential,
+        JsonValue::String(s) if s == "deterministic" => RecoveryTimeModel::Deterministic,
+        obj => match obj.get("log_normal_cv").and_then(JsonValue::as_f64) {
+            Some(cv) => RecoveryTimeModel::LogNormal { cv },
+            None => return Err(SpecError::Parse("unknown recovery_time_model".into())),
+        },
+    };
+    let error_propagation = match doc.get("error_propagation") {
+        None | Some(JsonValue::Null) => None,
+        Some(e) => Some(ErrorPropagation {
+            probability: req_f64(e, "probability")?,
+            factor: req_f64(e, "factor")?,
+            window: req_f64(e, "window_secs")?,
+        }),
+    };
+    let generic_correlated = match doc.get("generic_correlated") {
+        None | Some(JsonValue::Null) => None,
+        Some(g) => Some(GenericCorrelated {
+            coefficient: req_f64(g, "coefficient")?,
+            factor: req_f64(g, "factor")?,
+        }),
+    };
+    let jitter = match doc.get("compute_fraction_jitter") {
+        None | Some(JsonValue::Null) => None,
+        Some(JsonValue::Array(pair)) if pair.len() == 2 => {
+            match (pair[0].as_f64(), pair[1].as_f64()) {
+                (Some(lo), Some(hi)) => Some((lo, hi)),
+                _ => return Err(SpecError::Parse("malformed compute_fraction_jitter".into())),
+            }
+        }
+        Some(_) => return Err(SpecError::Parse("malformed compute_fraction_jitter".into())),
+    };
+    let mut b = SystemConfig::builder()
+        .processors(req_u64(doc, "processors")?)
+        .procs_per_node(
+            u32::try_from(req_u64(doc, "procs_per_node")?)
+                .map_err(|_| SpecError::Parse("procs_per_node out of range".into()))?,
+        )
+        .compute_nodes_per_io_node(
+            u32::try_from(req_u64(doc, "compute_nodes_per_io_node")?)
+                .map_err(|_| SpecError::Parse("compute_nodes_per_io_node out of range".into()))?,
+        )
+        .checkpoint_interval(secs("checkpoint_interval_secs")?)
+        .mttq(secs("mttq_secs")?)
+        .broadcast_overhead(secs("broadcast_overhead_secs")?)
+        .software_overhead(secs("software_overhead_secs")?)
+        .coordination(coordination)
+        .timeout(opt_f64(doc.get("timeout_secs")).map(SimTime::from_secs))
+        .background_checkpoint_write(req_bool(doc, "background_checkpoint_write")?)
+        .buffered_recovery(req_bool(doc, "buffered_recovery")?)
+        .mttf_per_node(secs("mttf_per_node_secs")?)
+        .mttr_system(secs("mttr_system_secs")?)
+        .mttr_io(secs("mttr_io_secs")?)
+        .recovery_time_model(recovery)
+        .severe_failure_threshold(
+            u32::try_from(req_u64(doc, "severe_failure_threshold")?)
+                .map_err(|_| SpecError::Parse("severe_failure_threshold out of range".into()))?,
+        )
+        .reboot_time(secs("reboot_time_secs")?)
+        .model_master_failures(req_bool(doc, "model_master_failures")?)
+        .model_io_failures(req_bool(doc, "model_io_failures")?)
+        .failures_enabled(req_bool(doc, "failures_enabled")?)
+        .error_propagation(error_propagation)
+        .generic_correlated(generic_correlated)
+        .app_cycle_period(secs("app_cycle_period_secs")?)
+        .compute_fraction(req_f64(doc, "compute_fraction")?)
+        .compute_fraction_jitter(jitter)
+        .compute_io_bandwidth_mbps(req_f64(doc, "compute_io_bandwidth_mbps")?)
+        .fs_bandwidth_per_io_mbps(req_f64(doc, "fs_bandwidth_per_io_mbps")?)
+        .checkpoint_size_per_node_mb(req_f64(doc, "checkpoint_size_per_node_mb")?)
+        .app_io_data_per_node_mb(req_f64(doc, "app_io_data_per_node_mb")?);
+    if let Some(p) = opt_f64(doc.get("spatial_correlation")) {
+        b = b.spatial_correlation(Some(p));
+    }
+    b.build().map_err(SpecError::Config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_spec() -> ExperimentSpec {
+        let cfg = SystemConfig::builder()
+            .processors(131_072)
+            .coordination(CoordinationMode::MaxOfN)
+            .timeout(Some(SimTime::from_secs(600.0)))
+            .error_propagation(Some(ErrorPropagation {
+                probability: 0.2,
+                factor: 800.0,
+                window: 180.0,
+            }))
+            .generic_correlated(Some(GenericCorrelated {
+                coefficient: 0.0025,
+                factor: 400.0,
+            }))
+            .recovery_time_model(RecoveryTimeModel::LogNormal { cv: 1.5 })
+            .compute_fraction(0.91)
+            .build()
+            .unwrap();
+        ExperimentSpec::builder(cfg)
+            .engine(EngineKind::San)
+            .transient(SimTime::from_hours(123.456))
+            .horizon(SimTime::from_hours(7_890.12))
+            .replications(7)
+            .seed(u64::MAX - 3)
+            .confidence(0.99)
+            .jobs(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let spec = full_spec();
+        let j = spec.to_json();
+        let back = ExperimentSpec::from_json(&j).unwrap();
+        assert_eq!(spec, back);
+        // And a second serialization is byte-identical (determinism).
+        assert_eq!(j, back.to_json());
+    }
+
+    #[test]
+    fn round_trip_preserves_default_config_too() {
+        let spec = ExperimentSpec::builder(SystemConfig::builder().build().unwrap())
+            .build()
+            .unwrap();
+        let back = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(back.jobs(), None);
+    }
+
+    #[test]
+    fn fingerprint_ignores_jobs_but_nothing_else() {
+        let base = full_spec();
+        let mut other = base.clone();
+        other.jobs = Some(1);
+        assert_eq!(base.fingerprint(), other.fingerprint());
+        let mut reseeded = base.clone();
+        reseeded.seed = 1;
+        assert_ne!(base.fingerprint(), reseeded.fingerprint());
+        let mut longer = base.clone();
+        longer.horizon = SimTime::from_hours(8_000.0);
+        assert_ne!(base.fingerprint(), longer.fingerprint());
+    }
+
+    #[test]
+    fn rejects_transient_at_or_beyond_horizon() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        let err = ExperimentSpec::builder(cfg.clone())
+            .transient(SimTime::from_hours(500.0))
+            .horizon(SimTime::from_hours(400.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::TransientExceedsHorizon { .. }));
+        assert!(err.to_string().contains("strictly less"));
+        let eq = ExperimentSpec::builder(cfg)
+            .transient(SimTime::from_hours(400.0))
+            .horizon(SimTime::from_hours(400.0))
+            .build();
+        assert!(eq.is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_estimation_parameters() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        assert!(matches!(
+            ExperimentSpec::builder(cfg.clone()).replications(0).build(),
+            Err(SpecError::NoReplications)
+        ));
+        assert!(matches!(
+            ExperimentSpec::builder(cfg.clone()).confidence(1.0).build(),
+            Err(SpecError::BadConfidence { .. })
+        ));
+        assert!(matches!(
+            ExperimentSpec::builder(cfg)
+                .estimation(Estimation::BatchMeans { batches: 1 })
+                .build(),
+            Err(SpecError::TooFewBatches { batches: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_san_with_ablation_switches() {
+        let cfg = SystemConfig::builder()
+            .buffered_recovery(false)
+            .build()
+            .unwrap();
+        let err = ExperimentSpec::builder(cfg)
+            .engine(EngineKind::San)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::UnsupportedAblation {
+                switch: "buffered_recovery"
+            }
+        );
+        // The direct engine accepts the same ablation.
+        let cfg = SystemConfig::builder()
+            .buffered_recovery(false)
+            .build()
+            .unwrap();
+        assert!(ExperimentSpec::builder(cfg).build().is_ok());
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_documents() {
+        assert!(ExperimentSpec::from_json("{}").is_err());
+        assert!(ExperimentSpec::from_json("not json").is_err());
+        let spec = full_spec();
+        let j = spec.to_json().replace("experiment_spec", "other_doc");
+        assert!(matches!(
+            ExperimentSpec::from_json(&j),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn to_experiment_carries_every_field() {
+        // Smoke: the produced experiment runs and reflects the spec's
+        // replication count.
+        let cfg = SystemConfig::builder().build().unwrap();
+        let spec = ExperimentSpec::builder(cfg)
+            .transient(SimTime::from_hours(50.0))
+            .horizon(SimTime::from_hours(300.0))
+            .replications(2)
+            .jobs(1)
+            .build()
+            .unwrap();
+        let est = spec.to_experiment().run().unwrap();
+        assert_eq!(est.replicates().len(), 2);
+    }
+}

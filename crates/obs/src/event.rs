@@ -39,6 +39,16 @@ pub enum ModelEvent {
     WindowOpened,
     /// The correlated-failure window closed.
     WindowClosed,
+    /// A *harness*-level fault: the worker executing this replication
+    /// panicked and the supervisor intervened. Unlike every other
+    /// variant this is not emitted by a simulation engine — the
+    /// experiment runner injects it into the replication's recording so
+    /// supervised retries leave an audit trail in traces and metrics.
+    WorkerFault {
+        /// Whether the supervisor's single same-seed retry succeeded
+        /// (`true`) or the fault was reported as fatal (`false`).
+        retried: bool,
+    },
 }
 
 impl ModelEvent {
@@ -59,6 +69,7 @@ impl ModelEvent {
             ModelEvent::RebootComplete => "reboot_complete",
             ModelEvent::WindowOpened => "window_opened",
             ModelEvent::WindowClosed => "window_closed",
+            ModelEvent::WorkerFault { .. } => "worker_fault",
         }
     }
 
@@ -77,6 +88,8 @@ impl ModelEvent {
             },
             ModelEvent::Rollback { from_buffer: true } => "rollback_from_buffer",
             ModelEvent::Rollback { from_buffer: false } => "rollback_from_fs",
+            ModelEvent::WorkerFault { retried: true } => "worker_fault_retried",
+            ModelEvent::WorkerFault { retried: false } => "worker_fault_fatal",
             other => other.key(),
         }
     }
@@ -134,6 +147,17 @@ impl fmt::Display for ModelEvent {
             ModelEvent::RebootComplete => write!(f, "system reboot complete"),
             ModelEvent::WindowOpened => write!(f, "correlated window opened"),
             ModelEvent::WindowClosed => write!(f, "correlated window closed"),
+            ModelEvent::WorkerFault { retried } => {
+                write!(
+                    f,
+                    "worker fault ({})",
+                    if *retried {
+                        "recovered by retry"
+                    } else {
+                        "fatal"
+                    }
+                )
+            }
         }
     }
 }
@@ -256,6 +280,14 @@ mod tests {
             "rollback_from_buffer"
         );
         assert_eq!(ModelEvent::CheckpointOnFs.counter_key(), "checkpoint_on_fs");
+        assert_eq!(
+            ModelEvent::WorkerFault { retried: true }.counter_key(),
+            "worker_fault_retried"
+        );
+        assert_eq!(
+            ModelEvent::WorkerFault { retried: false }.counter_key(),
+            "worker_fault_fatal"
+        );
     }
 
     #[test]
@@ -275,6 +307,8 @@ mod tests {
             ModelEvent::RebootComplete,
             ModelEvent::WindowOpened,
             ModelEvent::WindowClosed,
+            ModelEvent::WorkerFault { retried: true },
+            ModelEvent::WorkerFault { retried: false },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

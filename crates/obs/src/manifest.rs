@@ -50,6 +50,9 @@ pub struct RunManifest {
     pub horizon_hours: f64,
     /// Number of replications run.
     pub replications: usize,
+    /// Worker faults the supervisor intervened on (panicked
+    /// replications that were retried); 0 for a clean run.
+    pub faults: usize,
     /// Worker threads requested (`--jobs`).
     pub jobs: usize,
     /// `std::thread::available_parallelism` on the producing host.
@@ -88,6 +91,7 @@ impl RunManifest {
             self.horizon_hours
         ));
         s.push_str(&format!("  \"replications\": {},\n", self.replications));
+        s.push_str(&format!("  \"faults\": {},\n", self.faults));
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         s.push_str(&format!(
             "  \"host_parallelism\": {},\n",
@@ -148,6 +152,7 @@ mod tests {
             transient_hours: 1000.0,
             horizon_hours: 20000.0,
             replications: 2,
+            faults: 0,
             jobs: 4,
             host_parallelism: 8,
             config: vec![("processors".into(), "65536".into())],
@@ -182,6 +187,7 @@ mod tests {
             transient_hours: 0.0,
             horizon_hours: 1.0,
             replications: 0,
+            faults: 1,
             jobs: 1,
             host_parallelism: 1,
             config: vec![],
@@ -190,5 +196,6 @@ mod tests {
         let j = m.to_json();
         assert!(j.contains("\"config\": {},"));
         assert!(j.contains("\"profiles\": []"));
+        assert!(j.contains("\"faults\": 1"));
     }
 }

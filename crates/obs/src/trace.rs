@@ -41,6 +41,9 @@ impl TraceEntry {
             ModelEvent::Rollback { from_buffer } => {
                 s.push_str(&format!(",\"from_buffer\":{from_buffer}"));
             }
+            ModelEvent::WorkerFault { retried } => {
+                s.push_str(&format!(",\"retried\":{retried}"));
+            }
             _ => {}
         }
         s.push('}');
@@ -221,6 +224,12 @@ mod tests {
             event: ModelEvent::Rollback { from_buffer: true },
         };
         assert!(r.to_json().contains("\"from_buffer\":true"));
+        let w = TraceEntry {
+            at: SimTime::ZERO,
+            event: ModelEvent::WorkerFault { retried: true },
+        };
+        assert!(w.to_json().contains("\"event\":\"worker_fault\""));
+        assert!(w.to_json().contains("\"retried\":true"));
     }
 
     #[test]

@@ -125,6 +125,30 @@ impl OnlineStats {
         }
     }
 
+    /// Raw accumulator state `(count, mean, M2, min, max)` — the exact
+    /// Welford internals, exposed so a checkpointing harness can
+    /// persist an in-flight estimate and later restore it
+    /// bit-identically with [`OnlineStats::from_state`].
+    #[must_use]
+    pub fn state(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from state captured by
+    /// [`OnlineStats::state`]. The restored accumulator continues the
+    /// original Welford recurrence exactly: pushing the same subsequent
+    /// observations yields bit-identical moments.
+    #[must_use]
+    pub fn from_state(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> OnlineStats {
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -563,6 +587,22 @@ mod tests {
         let mut e = OnlineStats::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let mut s = OnlineStats::new();
+        for i in 0..17 {
+            s.push((f64::from(i)).cos() * 3.5);
+        }
+        let (count, mean, m2, min, max) = s.state();
+        let mut restored = OnlineStats::from_state(count, mean, m2, min, max);
+        assert_eq!(restored, s);
+        // The recurrence continues exactly from the restored state.
+        s.push(0.25);
+        restored.push(0.25);
+        assert_eq!(restored.state(), s.state());
+        assert_eq!(restored.mean().to_bits(), s.mean().to_bits());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`model`] | `ckpt-core` | the paper's 12-submodel checkpoint system, a direct event simulator, configuration and metrics |
 //! | [`analytic`] | `ckpt-analytic` | Young / Daly / Vaidya baselines and coordination expectations |
 //! | [`obs`] | `ckpt-obs` | engine-agnostic observability: tracing, phase-time metrics, run manifests |
+//! | [`harness`] | `ckpt-harness` | crash-safe execution: experiment specs, snapshot journals, typed errors, signal handling |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 pub use ckpt_analytic as analytic;
 pub use ckpt_core as model;
 pub use ckpt_des as des;
+pub use ckpt_harness as harness;
 pub use ckpt_obs as obs;
 pub use ckpt_san as san;
 pub use ckpt_stats as stats;

@@ -1,0 +1,93 @@
+//! Compatibility contract for the deprecated `run_steady_state*`
+//! wrappers: they must keep compiling (warning-only) for one release
+//! and return exactly what the unified `run(&RunOptions)` entry point
+//! returns on the same seed. This is the only place in the workspace
+//! allowed to call them.
+
+#![allow(deprecated)]
+
+use ckpt_san::Scheduling;
+use ckptsim::des::SimTime;
+use ckptsim::model::san_model::{CheckpointSan, RunOptions};
+use ckptsim::model::{Metrics, SystemConfig};
+use ckptsim::obs::TraceBuffer;
+
+fn model() -> CheckpointSan {
+    let cfg = SystemConfig::builder()
+        .processors(1024)
+        .mttf_per_node(SimTime::from_years(0.25))
+        .build()
+        .expect("valid test config");
+    CheckpointSan::build(&cfg).expect("model builds")
+}
+
+fn opts() -> RunOptions {
+    RunOptions {
+        seed: 77,
+        transient: SimTime::from_hours(10.0),
+        horizon: SimTime::from_hours(120.0),
+        scheduling: Scheduling::default(),
+    }
+}
+
+fn assert_same_metrics(a: &Metrics, b: &Metrics) {
+    assert_eq!(a.window_secs.to_bits(), b.window_secs.to_bits());
+    assert_eq!(a.useful_work_secs.to_bits(), b.useful_work_secs.to_bits());
+    assert_eq!(a.work_lost_secs.to_bits(), b.work_lost_secs.to_bits());
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn run_steady_state_matches_run() {
+    let m = model();
+    let o = opts();
+    let new = m.run(&o).expect("run succeeds");
+    let old = m
+        .run_steady_state(o.seed, o.transient, o.horizon)
+        .expect("wrapper succeeds");
+    assert_same_metrics(&old, &new.metrics);
+}
+
+#[test]
+fn run_steady_state_profiled_matches_run() {
+    let m = model();
+    let o = opts();
+    let new = m.run(&o).expect("run succeeds");
+    let (old, events) = m
+        .run_steady_state_profiled(o.seed, o.transient, o.horizon)
+        .expect("wrapper succeeds");
+    assert_same_metrics(&old, &new.metrics);
+    assert_eq!(events, new.events);
+}
+
+#[test]
+fn run_steady_state_profiled_with_matches_run() {
+    let m = model();
+    for scheduling in [Scheduling::Incremental, Scheduling::FullScan] {
+        let o = RunOptions {
+            scheduling,
+            ..opts()
+        };
+        let new = m.run(&o).expect("run succeeds");
+        let (old, events) = m
+            .run_steady_state_profiled_with(o.seed, o.transient, o.horizon, scheduling)
+            .expect("wrapper succeeds");
+        assert_same_metrics(&old, &new.metrics);
+        assert_eq!(events, new.events);
+    }
+}
+
+#[test]
+fn run_steady_state_observed_matches_run_observed() {
+    let m = model();
+    let o = opts();
+    let mut new_buf = TraceBuffer::new(4096);
+    let new = m.run_observed(&o, &mut new_buf).expect("run succeeds");
+    let mut old_buf = TraceBuffer::new(4096);
+    let (old, events) = m
+        .run_steady_state_observed(o.seed, o.transient, o.horizon, &mut old_buf)
+        .expect("wrapper succeeds");
+    assert_same_metrics(&old, &new.metrics);
+    assert_eq!(events, new.events);
+    assert_eq!(old_buf.len(), new_buf.len());
+}

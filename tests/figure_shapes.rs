@@ -20,7 +20,7 @@ fn quick_opts() -> RunOptions {
 }
 
 fn run(spec: figures::FigureSpec) -> Vec<Series> {
-    run_sweep(&spec.labels, spec.cells, spec.metric, &quick_opts())
+    run_sweep(&spec.labels, spec.cells, spec.metric, &quick_opts()).expect("valid figure sweep")
 }
 
 fn series<'a>(all: &'a [Series], label: &str) -> &'a Series {

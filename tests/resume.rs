@@ -1,0 +1,198 @@
+//! Crash/resume property: killing a run after `k` of `n` replications
+//! and resuming from its snapshot yields results bit-identical to an
+//! uninterrupted run — at any worker count, because replication `k`
+//! always draws from seed `base + k` regardless of scheduling.
+
+use ckpt_harness::snapshot::metrics_to_json;
+use ckpt_harness::{ExperimentSpec, SweepJournal};
+use ckptsim::des::SimTime;
+use ckptsim::model::{
+    CachedReplication, Estimate, ExperimentError, Metrics, ReplicationStore, RunControl,
+    SystemConfig,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+fn small_config(procs: u64) -> SystemConfig {
+    SystemConfig::builder()
+        .processors(procs)
+        .mttf_per_node(SimTime::from_years(0.25))
+        .build()
+        .expect("valid test config")
+}
+
+fn spec(cfg: &SystemConfig, reps: u32, seed: u64, jobs: usize) -> ExperimentSpec {
+    ExperimentSpec::builder(cfg.clone())
+        .transient(SimTime::from_hours(10.0))
+        .horizon(SimTime::from_hours(120.0))
+        .replications(reps)
+        .seed(seed)
+        .jobs(jobs)
+        .build()
+        .expect("valid test spec")
+}
+
+/// A [`ReplicationStore`] that forwards to the journal and trips the
+/// interrupt flag once `k` replications have been recorded — the
+/// in-process equivalent of SIGTERM arriving mid-run.
+struct KillAfter<'a, S: ReplicationStore> {
+    inner: S,
+    recorded: AtomicU32,
+    k: u32,
+    flag: &'a AtomicBool,
+}
+
+impl<S: ReplicationStore> ReplicationStore for KillAfter<'_, S> {
+    fn lookup(&self, rep: u32) -> Option<CachedReplication> {
+        self.inner.lookup(rep)
+    }
+
+    fn record(&self, rep: u32, metrics: &Metrics, events: u64) {
+        self.inner.record(rep, metrics, events);
+        if self.recorded.fetch_add(1, Ordering::SeqCst) + 1 >= self.k {
+            self.flag.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn assert_bit_identical(a: &Estimate, b: &Estimate) {
+    let fa = a.useful_work_fraction();
+    let fb = b.useful_work_fraction();
+    assert_eq!(fa.mean.to_bits(), fb.mean.to_bits());
+    assert_eq!(fa.half_width.to_bits(), fb.half_width.to_bits());
+    let ta = a.total_useful_work();
+    let tb = b.total_useful_work();
+    assert_eq!(ta.mean.to_bits(), tb.mean.to_bits());
+    assert_eq!(ta.half_width.to_bits(), tb.half_width.to_bits());
+    assert_eq!(a.replicates().len(), b.replicates().len());
+    for (ma, mb) in a.replicates().iter().zip(b.replicates()) {
+        // The canonical JSON rendering round-trips every f64 bitwise,
+        // so string equality here is full bit equality of the metrics.
+        assert_eq!(metrics_to_json(ma).to_json(), metrics_to_json(mb).to_json());
+    }
+}
+
+fn snapshot_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ckptsim_resume_tests");
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    dir.join(format!("{tag}.json"))
+}
+
+/// Runs the full interrupt-then-resume cycle for one parameter point
+/// and checks bit-identity against `baseline` at the given worker count.
+fn kill_resume_check(
+    cfg: &SystemConfig,
+    reps: u32,
+    kill_after: u32,
+    seed: u64,
+    baseline: &Estimate,
+    tag: &str,
+) {
+    let path = snapshot_path(tag);
+    let _ = std::fs::remove_file(&path);
+    let fingerprint = spec(cfg, reps, seed, 1).fingerprint();
+
+    // Phase 1: run sequentially, "killed" after `kill_after` records.
+    let journal = SweepJournal::create(&path, fingerprint, 1);
+    let flag = AtomicBool::new(false);
+    let store = KillAfter {
+        inner: journal.cell_store(0),
+        recorded: AtomicU32::new(0),
+        k: kill_after,
+        flag: &flag,
+    };
+    let err = spec(cfg, reps, seed, 1)
+        .to_experiment()
+        .run_controlled(RunControl {
+            store: Some(&store),
+            interrupt: Some(&flag),
+        })
+        .expect_err("run must report the interrupt");
+    match err {
+        ExperimentError::Interrupted { completed } => {
+            assert_eq!(completed, kill_after as usize);
+        }
+        other => panic!("expected Interrupted, got {other}"),
+    }
+    journal.persist().expect("persist snapshot");
+    assert_eq!(journal.completed(), kill_after as usize);
+    drop(journal);
+
+    // Phase 2: resume from disk and finish, sequentially and on eight
+    // workers. Both must be bit-identical to the uninterrupted run.
+    // Each resume persists to its own target so the interrupted
+    // snapshot is loaded fresh both times.
+    for jobs in [1usize, 8] {
+        let target = snapshot_path(&format!("{tag}_resumed_j{jobs}"));
+        let _ = std::fs::remove_file(&target);
+        let resumed =
+            SweepJournal::resume_into(&path, &target, fingerprint, 1).expect("snapshot loads");
+        assert_eq!(resumed.completed(), kill_after as usize);
+        let store = resumed.cell_store(0);
+        let est = spec(cfg, reps, seed, jobs)
+            .to_experiment()
+            .run_controlled(RunControl {
+                store: Some(&store),
+                interrupt: None,
+            })
+            .expect("resumed run completes");
+        assert_bit_identical(baseline, &est);
+        let _ = std::fs::remove_file(&target);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_after_interrupt_is_bit_identical() {
+    let cfg = small_config(1024);
+    let reps = 4;
+    let seed = 0x5eed;
+    let baseline = spec(&cfg, reps, seed, 1)
+        .to_experiment()
+        .run()
+        .expect("baseline runs");
+    for kill_after in 1..reps {
+        kill_resume_check(
+            &cfg,
+            reps,
+            kill_after,
+            seed,
+            &baseline,
+            &format!("fixed_k{kill_after}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// For any replication count, kill point, and seed: interrupt after
+    /// `k` of `n`, resume, and land bitwise on the uninterrupted result
+    /// at one worker and at eight.
+    #[test]
+    fn killed_then_resumed_runs_match_exactly(
+        reps in 2u32..5,
+        kill_frac in 0.0f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let kill_after = 1 + (kill_frac * f64::from(reps - 1)) as u32;
+        let kill_after = kill_after.min(reps - 1);
+        let cfg = small_config(512);
+        let baseline = spec(&cfg, reps, seed, 1)
+            .to_experiment()
+            .run()
+            .expect("baseline runs");
+        kill_resume_check(
+            &cfg,
+            reps,
+            kill_after,
+            seed,
+            &baseline,
+            &format!("prop_n{reps}_k{kill_after}_s{seed}"),
+        );
+    }
+}

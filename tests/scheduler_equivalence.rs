@@ -6,7 +6,7 @@
 
 use ckptsim::des::SimTime;
 use ckptsim::model::config::{ErrorPropagation, GenericCorrelated};
-use ckptsim::model::san_model::CheckpointSan;
+use ckptsim::model::san_model::{CheckpointSan, RunOptions};
 use ckptsim::model::{CoordinationMode, SystemConfig};
 use ckptsim::san::Scheduling;
 
@@ -14,14 +14,15 @@ fn assert_bit_identical(cfg: SystemConfig, what: &str) {
     let model = CheckpointSan::build(&cfg).expect("model builds");
     for seed in [1, 42] {
         let run = |scheduling| {
-            model
-                .run_steady_state_profiled_with(
+            let outcome = model
+                .run(&RunOptions {
                     seed,
-                    SimTime::from_hours(50.0),
-                    SimTime::from_hours(500.0),
+                    transient: SimTime::from_hours(50.0),
+                    horizon: SimTime::from_hours(500.0),
                     scheduling,
-                )
-                .expect("replication runs")
+                })
+                .expect("replication runs");
+            (outcome.metrics, outcome.events)
         };
         let (m_inc, ev_inc) = run(Scheduling::Incremental);
         let (m_full, ev_full) = run(Scheduling::FullScan);
