@@ -24,6 +24,9 @@ pub struct RunOptions {
     /// Worker threads for sweep cells and replications (default: all
     /// available cores; 1 forces the sequential path).
     pub jobs: usize,
+    /// Warm-up replications run and discarded before the measured ones
+    /// (recorded in manifests; never changes sampling).
+    pub warmup: u32,
     /// Write the merged model-event trace as JSON Lines to this path.
     pub trace: Option<String>,
     /// Write the metrics report (manifest + merged registry +
@@ -54,6 +57,7 @@ impl Default for RunOptions {
             csv: false,
             quick: false,
             jobs: default_jobs(),
+            warmup: 0,
             trace: None,
             metrics: None,
             manifest: None,
@@ -139,6 +143,11 @@ impl RunOptions {
                         .map_err(|e| ParseError(format!("--jobs: {e}")))?;
                     opts.jobs = n.max(1);
                 }
+                "--warmup" => {
+                    opts.warmup = value_for("--warmup")?
+                        .parse()
+                        .map_err(|e| ParseError(format!("--warmup: {e}")))?;
+                }
                 "--trace" => opts.trace = Some(value_for("--trace")?),
                 "--metrics" => opts.metrics = Some(value_for("--metrics")?),
                 "--manifest" => opts.manifest = Some(value_for("--manifest")?),
@@ -160,9 +169,9 @@ impl RunOptions {
                 "--help" | "-h" => {
                     return Err(ParseError(
                         "usage: [--engine direct|san] [--reps N] [--hours H] \
-                         [--transient H] [--seed S] [--jobs N] [--csv] [--quick] \
-                         [--trace FILE] [--metrics FILE] [--manifest FILE] [--quiet] \
-                         [--snapshot FILE] [--snapshot-every N] [--resume FILE]"
+                         [--transient H] [--seed S] [--jobs N] [--warmup N] [--csv] \
+                         [--quick] [--trace FILE] [--metrics FILE] [--manifest FILE] \
+                         [--quiet] [--snapshot FILE] [--snapshot-every N] [--resume FILE]"
                             .to_string(),
                     ))
                 }
@@ -285,6 +294,14 @@ mod tests {
         let d = parse(&[]).unwrap();
         assert!(d.snapshot.is_none() && d.resume.is_none());
         assert_eq!(d.snapshot_every, 1);
+    }
+
+    #[test]
+    fn warmup_parses_and_defaults_to_zero() {
+        assert_eq!(parse(&[]).unwrap().warmup, 0);
+        assert_eq!(parse(&["--warmup", "3"]).unwrap().warmup, 3);
+        assert!(parse(&["--warmup", "some"]).is_err());
+        assert!(parse(&["--warmup"]).is_err());
     }
 
     #[test]

@@ -11,16 +11,23 @@
 //! [`RunManifest`] provenance machinery.
 //!
 //! Flags: see `ckpt_bench::args` (`--quick` shrinks the run for a smoke
-//! pass; `--seed`, `--hours`, `--transient`, `--reps` carry through).
+//! pass; `--seed`, `--hours`, `--transient`, `--reps`, `--warmup` carry
+//! through — warm-up replications run and are discarded before each
+//! engine's timed loop, so cold-start effects stay out of the numbers).
 //! Additionally `--baseline-eps <events/sec>` records a pre-PR full-scan
 //! baseline measurement (produced by `scripts/bench_baseline.sh`, which
 //! builds the parent commit in a throwaway worktree and runs the same
-//! workload) so the emitted JSON carries the before/after comparison.
+//! workload) so the emitted JSON carries the before/after comparison,
+//! and `--phases` writes the per-engine hot-phase breakdown to
+//! `BENCH_phases.json` (requires a build with `--features prof`; a
+//! profiled build inflates wall time, so use `--phases` for *where the
+//! time goes* and a plain build for the headline events/sec).
 
 use ckpt_bench::RunOptions;
 use ckpt_core::san_model::{CheckpointSan, RunOptions as SanRunOptions};
 use ckpt_core::{Metrics, SystemConfig};
-use ckpt_obs::{RunManifest, RunProfile};
+use ckpt_des::prof::PhaseProfile;
+use ckpt_obs::{phases_json, RunManifest, RunProfile};
 use ckpt_san::Scheduling;
 use std::time::Instant;
 
@@ -28,6 +35,7 @@ struct EngineRun {
     name: &'static str,
     metrics: Vec<Metrics>,
     profiles: Vec<RunProfile>,
+    phases: PhaseProfile,
     wall_secs: f64,
     events: u64,
 }
@@ -38,25 +46,35 @@ fn run_engine(
     scheduling: Scheduling,
     name: &'static str,
 ) -> EngineRun {
+    let run_opts = |seed: u64| SanRunOptions {
+        seed,
+        transient: opts.transient,
+        horizon: opts.horizon,
+        scheduling,
+        ..SanRunOptions::default()
+    };
+    // Warm-up: same workload, results discarded, nothing timed yet.
+    for w in 0..u64::from(opts.warmup) {
+        model
+            .run(&run_opts(opts.seed + w))
+            .expect("warm-up replication failed");
+    }
     let mut metrics = Vec::with_capacity(opts.reps as usize);
     let mut profiles = Vec::with_capacity(opts.reps as usize);
+    let mut phases = PhaseProfile::default();
     let mut events = 0u64;
     let start = Instant::now();
     for k in 0..u64::from(opts.reps) {
         let rep_start = Instant::now();
         let outcome = model
-            .run(&SanRunOptions {
-                seed: opts.seed + k,
-                transient: opts.transient,
-                horizon: opts.horizon,
-                scheduling,
-            })
+            .run(&run_opts(opts.seed + k))
             .expect("benchmark replication failed");
         let (m, ev) = (outcome.metrics, outcome.events);
         profiles.push(RunProfile {
             wall_secs: rep_start.elapsed().as_secs_f64(),
             events: ev,
         });
+        phases.merge(&outcome.phases);
         metrics.push(m);
         events += ev;
     }
@@ -64,6 +82,7 @@ fn run_engine(
         name,
         metrics,
         profiles,
+        phases,
         wall_secs: start.elapsed().as_secs_f64(),
         events,
     }
@@ -73,6 +92,7 @@ fn main() {
     // Peel off the flag specific to this binary before handing the rest
     // to the shared option parser (which rejects unknown flags).
     let mut baseline_eps: Option<f64> = None;
+    let mut emit_phases = false;
     let mut rest = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,9 +102,18 @@ fn main() {
                 std::process::exit(2);
             });
             baseline_eps = Some(v);
+        } else if arg == "--phases" {
+            emit_phases = true;
         } else {
             rest.push(arg);
         }
+    }
+    if emit_phases && !ckpt_des::prof::ENABLED {
+        eprintln!(
+            "--phases needs the hot-phase profiler compiled in; rebuild with\n  \
+             cargo run -p ckpt-bench --release --features prof --bin bench_engines -- --phases"
+        );
+        std::process::exit(2);
     }
     let opts = match RunOptions::parse(rest) {
         Ok(o) => o,
@@ -134,6 +163,7 @@ fn main() {
             faults: 0,
             jobs: 1,
             host_parallelism: host,
+            warmup: opts.warmup,
             config: vec![("processors".into(), "65536".into())],
             profiles: r.profiles.clone(),
         };
@@ -188,4 +218,18 @@ fn main() {
     );
     std::fs::write("BENCH_engines.json", &json).expect("write BENCH_engines.json");
     println!("{json}");
+
+    if emit_phases {
+        let mut out = String::from("[\n");
+        for (i, r) in [&full, &inc].into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let label = format!("fig4-65536-{}", r.name);
+            out.push_str(phases_json(&label, &r.phases, r.wall_secs, r.events).trim_end());
+        }
+        out.push_str("\n]\n");
+        std::fs::write("BENCH_phases.json", &out).expect("write BENCH_phases.json");
+        eprintln!("phase breakdown written to BENCH_phases.json");
+    }
 }

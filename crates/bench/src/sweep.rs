@@ -225,8 +225,12 @@ pub fn run_sweep_controlled(
                 let store = control
                     .journal
                     .map(|j| j.cell_store(u32::try_from(i).unwrap_or(u32::MAX)));
+                // Warm-up is a runtime-only option (it never changes
+                // sampling), so it rides on the experiment rather than
+                // the spec — the resume fingerprint stays warmup-blind.
                 let outcome = specs[i]
                     .to_experiment()
+                    .warmup(opts.warmup)
                     .run_controlled(RunControl {
                         store: store.as_ref().map(|s| s as &dyn ReplicationStore),
                         interrupt: control.interrupt,
@@ -305,6 +309,7 @@ pub fn sweep_manifest_json(id: &str, cells: usize, opts: &RunOptions, wall_secs:
          \"version\": \"{}\",\n  \"figure\": \"{}\",\n  \"engine\": \"{}\",\n  \
          \"base_seed\": {},\n  \"transient_hours\": {:.6},\n  \
          \"horizon_hours\": {:.6},\n  \"replications\": {},\n  \"jobs\": {},\n  \
+         \"warmup\": {},\n  \
          \"host_parallelism\": {},\n  \"cells\": {},\n  \"wall_secs\": {:.6}\n}}\n",
         env!("CARGO_PKG_VERSION"),
         ckpt_obs::json_escape(id),
@@ -314,6 +319,7 @@ pub fn sweep_manifest_json(id: &str, cells: usize, opts: &RunOptions, wall_secs:
         opts.horizon.as_hours(),
         opts.reps,
         opts.jobs,
+        opts.warmup,
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         cells,
         wall_secs,
@@ -376,6 +382,7 @@ mod tests {
         assert!(j.contains("\"cells\": 12"));
         assert!(j.contains("\"engine\": \"direct\""));
         assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"warmup\": 0"));
         assert!(j.ends_with("}\n"));
     }
 

@@ -3,9 +3,14 @@
 use crate::config_flags::parse_config;
 use ckpt_analytic::{availability, coordination, daly, vaidya, young};
 use ckpt_bench::{experiment_spec, figures, runner, RunOptions};
-use ckpt_core::{Estimate, ObserveSpec, PhaseKind, ReplicationStore, RunControl, SystemConfig};
+use ckpt_core::san_model::{CheckpointSan, RunOptions as SanRunOptions};
+use ckpt_core::{
+    EngineKind, Estimate, ObserveSpec, PhaseKind, ReplicationStore, RunControl, SystemConfig,
+};
+use ckpt_des::prof::{HotPhase, PhaseProfile};
 use ckpt_harness::{signal, CkptError};
-use ckpt_obs::Recorder;
+use ckpt_obs::{phases_json, Recorder};
+use std::fmt::Write as _;
 
 /// Ring-buffer capacity behind `--trace`: large enough to keep every
 /// model event of a default-length replication; if a longer run
@@ -88,8 +93,13 @@ fn metrics_json(est: &Estimate) -> String {
 /// re-runs only the missing replications — bit-identical to an
 /// uninterrupted run at any `--jobs`.
 pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
-    let (cfg, rest) = parse_config(args)?;
+    let (cfg, mut rest) = parse_config(args)?;
+    let profile_phases = rest.iter().any(|a| a == "--profile-phases");
+    rest.retain(|a| a != "--profile-phases");
     let opts = run_options(rest)?;
+    if profile_phases {
+        return run_profile_phases(&cfg, &opts);
+    }
     let observing = opts.trace.is_some() || opts.metrics.is_some();
     if observing && (opts.snapshot.is_some() || opts.resume.is_some()) {
         return Err(CkptError::Usage(
@@ -103,7 +113,7 @@ pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
     signal::install();
     let journal = runner::open_journal(spec.fingerprint(), &opts)?;
     let store = journal.as_ref().map(|j| j.cell_store(0));
-    let mut exp = spec.to_experiment();
+    let mut exp = spec.to_experiment().warmup(opts.warmup);
     if observing {
         exp = exp.observe(ObserveSpec {
             trace_capacity: opts.trace.as_ref().map(|_| TRACE_CAPACITY),
@@ -130,88 +140,202 @@ pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
         write_file(path, &est.manifest().to_json())?;
     }
 
+    print!("{}", render_report(&cfg, &est, &opts));
+    Ok(())
+}
+
+/// The entire stdout report of `ckptsim run`, as one string. Keeping it
+/// in a pure function makes the `--quiet` contract testable: every
+/// per-replication line comes from [`profile_section`], which is
+/// appended in exactly one place, behind exactly one `quiet` guard —
+/// regardless of which output sinks (`--csv`, `--trace`, `--metrics`)
+/// are active.
+fn render_report(cfg: &SystemConfig, est: &Estimate, opts: &RunOptions) -> String {
     let frac = est.useful_work_fraction();
     let tuw = est.total_useful_work();
+    let mut s = String::new();
     if opts.csv {
-        println!("metric,mean,ci_half_width");
-        println!(
+        let _ = writeln!(s, "metric,mean,ci_half_width");
+        let _ = writeln!(
+            s,
             "useful_work_fraction,{:.6},{:.6}",
             frac.mean, frac.half_width
         );
-        println!("total_useful_work,{:.2},{:.2}", tuw.mean, tuw.half_width);
+        let _ = writeln!(s, "total_useful_work,{:.2},{:.2}", tuw.mean, tuw.half_width);
         for (name, kind) in phase_rows() {
-            println!(
+            let _ = writeln!(
+                s,
                 "time_{name},{:.6},",
                 est.mean_of(|m| m.phase_fraction(kind))
             );
         }
-        println!("perf_wall_secs,{:.3},", est.total_wall_secs());
-        println!("perf_events_per_sec,{:.0},", est.events_per_sec());
-        if !opts.quiet {
-            // Per-replication profile section; header documented in
-            // EXPERIMENTS.md. Suppress with --quiet when scripting.
-            println!("rep,wall_secs,events,events_per_sec");
-            for (k, p) in est.profiles().iter().enumerate() {
-                println!(
-                    "{k},{:.6},{},{:.0}",
-                    p.wall_secs,
-                    p.events,
-                    p.events_per_sec()
-                );
-            }
+        let _ = writeln!(s, "perf_wall_secs,{:.3},", est.total_wall_secs());
+        let _ = writeln!(s, "perf_events_per_sec,{:.0},", est.events_per_sec());
+    } else {
+        let _ = writeln!(
+            s,
+            "{} processors ({} nodes, {} I/O nodes), MTTF {:.2} y/node, interval {} min",
+            cfg.processors(),
+            cfg.node_count(),
+            cfg.io_node_count(),
+            cfg.mttf_per_node().as_years(),
+            cfg.checkpoint_interval().as_mins()
+        );
+        let _ = writeln!(s, "useful work fraction : {frac}");
+        let _ = writeln!(
+            s,
+            "total useful work    : {:.0} ±{:.0} job units",
+            tuw.mean, tuw.half_width
+        );
+        let _ = writeln!(s, "time breakdown       :");
+        for (name, kind) in phase_rows() {
+            let _ = writeln!(
+                s,
+                "  {name:<12} {:>7.2} %",
+                100.0 * est.mean_of(|m| m.phase_fraction(kind))
+            );
         }
-        return Ok(());
-    }
-
-    println!(
-        "{} processors ({} nodes, {} I/O nodes), MTTF {:.2} y/node, interval {} min",
-        cfg.processors(),
-        cfg.node_count(),
-        cfg.io_node_count(),
-        cfg.mttf_per_node().as_years(),
-        cfg.checkpoint_interval().as_mins()
-    );
-    println!("useful work fraction : {frac}");
-    println!(
-        "total useful work    : {:.0} ±{:.0} job units",
-        tuw.mean, tuw.half_width
-    );
-    println!("time breakdown       :");
-    for (name, kind) in phase_rows() {
-        println!(
-            "  {name:<12} {:>7.2} %",
-            100.0 * est.mean_of(|m| m.phase_fraction(kind))
+        let _ = writeln!(
+            s,
+            "per 1000 h           : {:.1} failures, {:.1} checkpoints, {:.2} reboots",
+            est.mean_of(|m| {
+                (m.counters.compute_failures + m.counters.generic_failures) as f64
+                    / (m.window_secs / 3.6e6)
+            }),
+            est.mean_of(|m| m.counters.checkpoints_completed as f64 / (m.window_secs / 3.6e6)),
+            est.mean_of(|m| m.counters.reboots as f64 / (m.window_secs / 3.6e6)),
+        );
+        let _ = writeln!(
+            s,
+            "performance          : {} replications on {} worker(s), {:.2} s compute, {:.0} events/s",
+            est.replicates().len(),
+            opts.jobs,
+            est.total_wall_secs(),
+            est.events_per_sec()
         );
     }
-    println!(
-        "per 1000 h           : {:.1} failures, {:.1} checkpoints, {:.2} reboots",
-        est.mean_of(|m| {
-            (m.counters.compute_failures + m.counters.generic_failures) as f64
-                / (m.window_secs / 3.6e6)
-        }),
-        est.mean_of(|m| m.counters.checkpoints_completed as f64 / (m.window_secs / 3.6e6)),
-        est.mean_of(|m| m.counters.reboots as f64 / (m.window_secs / 3.6e6)),
-    );
-    println!(
-        "performance          : {} replications on {} worker(s), {:.2} s compute, {:.0} events/s",
-        est.replicates().len(),
-        opts.jobs,
-        est.total_wall_secs(),
-        est.events_per_sec()
-    );
     if !opts.quiet {
-        println!(
+        s.push_str(&profile_section(est, opts.csv));
+    }
+    s
+}
+
+/// The per-replication profile block (CSV header documented in
+/// EXPERIMENTS.md). Suppressed as a whole by `--quiet`.
+fn profile_section(est: &Estimate, csv: bool) -> String {
+    let mut s = String::new();
+    if csv {
+        let _ = writeln!(s, "rep,wall_secs,events,events_per_sec");
+        for (k, p) in est.profiles().iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{k},{:.6},{},{:.0}",
+                p.wall_secs,
+                p.events,
+                p.events_per_sec()
+            );
+        }
+    } else {
+        let _ = writeln!(
+            s,
             "  {:<4} {:>10} {:>14} {:>14}",
             "rep", "wall_secs", "events", "events_per_sec"
         );
         for (k, p) in est.profiles().iter().enumerate() {
-            println!(
+            let _ = writeln!(
+                s,
                 "  {k:<4} {:>10.2} {:>14} {:>14.0}",
                 p.wall_secs,
                 p.events,
                 p.events_per_sec()
             );
         }
+    }
+    s
+}
+
+/// `ckptsim run --profile-phases`: attribute hot-loop wall time to the
+/// five instrumented phases and emit the versioned JSON breakdown.
+///
+/// Needs a binary built with `--features prof` (the profiler compiles
+/// to nothing otherwise) and the SAN engine (the hot phases are SAN
+/// executor concepts). Replications run sequentially — profiling
+/// measures *where the time goes*, not how fast the run is, and
+/// parallel workers would interleave their instrumentation.
+fn run_profile_phases(cfg: &SystemConfig, opts: &RunOptions) -> Result<(), CkptError> {
+    if !ckpt_des::prof::ENABLED {
+        return Err(CkptError::Usage(
+            "--profile-phases needs the hot-phase profiler compiled in; rebuild with \
+             `cargo build -p ckpt-cli --release --features prof`"
+                .into(),
+        ));
+    }
+    if opts.engine != EngineKind::San {
+        return Err(CkptError::Usage(
+            "--profile-phases requires --engine san (the instrumented hot phases \
+             live in the SAN executor)"
+                .into(),
+        ));
+    }
+    if opts.snapshot.is_some() || opts.resume.is_some() {
+        return Err(CkptError::Usage(
+            "--profile-phases cannot be combined with --snapshot/--resume: cached \
+             replications carry no phase profile"
+                .into(),
+        ));
+    }
+    let model = CheckpointSan::build(cfg).map_err(|e| CkptError::Experiment(e.into()))?;
+    let run_opts = |seed: u64| SanRunOptions {
+        seed,
+        transient: opts.transient,
+        horizon: opts.horizon,
+        ..SanRunOptions::default()
+    };
+    for w in 0..u64::from(opts.warmup) {
+        model
+            .run(&run_opts(opts.seed + w))
+            .map_err(|e| CkptError::Experiment(e.into()))?;
+    }
+    let mut phases = PhaseProfile::default();
+    let mut events = 0u64;
+    let start = std::time::Instant::now();
+    for k in 0..u64::from(opts.reps) {
+        let outcome = model
+            .run(&run_opts(opts.seed + k))
+            .map_err(|e| CkptError::Experiment(e.into()))?;
+        phases.merge(&outcome.phases);
+        events += outcome.events;
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    if !opts.quiet {
+        let attributed = phases.total_nanos();
+        eprintln!(
+            "{} replications, {events} events, {wall_secs:.2} s wall \
+             (instrumented build — use an uninstrumented build for headline numbers)",
+            opts.reps
+        );
+        eprintln!(
+            "  {:<24} {:>12} {:>12} {:>12} {:>7}",
+            "phase", "nanos", "count", "ns/event", "share"
+        );
+        for phase in HotPhase::ALL {
+            let idx = phase as usize;
+            let nanos = phases.nanos[idx];
+            eprintln!(
+                "  {:<24} {:>12} {:>12} {:>12.2} {:>6.1}%",
+                phase.name(),
+                nanos,
+                phases.counts[idx],
+                nanos as f64 / (events.max(1)) as f64,
+                100.0 * nanos as f64 / (attributed.max(1)) as f64
+            );
+        }
+    }
+    let label = format!("{}proc-san-incremental", cfg.processors());
+    let json = phases_json(&label, &phases, wall_secs, events);
+    print!("{json}");
+    if let Some(path) = &opts.metrics {
+        write_file(path, &json)?;
     }
     Ok(())
 }
@@ -379,4 +503,75 @@ pub fn analytic(args: Vec<String>) -> Result<(), CkptError> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_core::Experiment;
+
+    fn small_estimate() -> (SystemConfig, Estimate) {
+        let cfg = SystemConfig::builder().processors(8_192).build().unwrap();
+        let est = Experiment::new(cfg.clone())
+            .transient(ckpt_des::SimTime::from_hours(20.0))
+            .horizon(ckpt_des::SimTime::from_hours(200.0))
+            .replications(2)
+            .jobs(1)
+            .run()
+            .unwrap();
+        (cfg, est)
+    }
+
+    #[test]
+    fn quiet_suppresses_every_per_rep_line_in_both_formats() {
+        let (cfg, est) = small_estimate();
+        for csv in [false, true] {
+            let loud = render_report(
+                &cfg,
+                &est,
+                &RunOptions {
+                    csv,
+                    quiet: false,
+                    ..RunOptions::default()
+                },
+            );
+            let quiet = render_report(
+                &cfg,
+                &est,
+                &RunOptions {
+                    csv,
+                    quiet: true,
+                    ..RunOptions::default()
+                },
+            );
+            // Loud output carries the per-rep section; quiet output has
+            // no trace of it — not the header, not a row per rep.
+            let header = if csv {
+                "rep,wall_secs,events,events_per_sec"
+            } else {
+                "  rep "
+            };
+            assert!(loud.contains(header), "csv={csv}");
+            assert!(!quiet.contains(header), "csv={csv}:\n{quiet}");
+            // And quiet still reports the run-level results.
+            assert!(quiet.contains(if csv {
+                "useful_work_fraction"
+            } else {
+                "useful work fraction"
+            }));
+            // The quiet report is exactly the loud one minus the
+            // profile section — nothing else may leak per-rep data.
+            assert_eq!(format!("{quiet}{}", profile_section(&est, csv)), loud);
+        }
+    }
+
+    #[test]
+    fn profile_section_lists_each_replication_once() {
+        let (_, est) = small_estimate();
+        let csv = profile_section(&est, true);
+        assert!(csv.starts_with("rep,wall_secs,events,events_per_sec\n"));
+        assert_eq!(csv.lines().count(), 1 + est.profiles().len());
+        let table = profile_section(&est, false);
+        assert_eq!(table.lines().count(), 1 + est.profiles().len());
+    }
 }

@@ -348,6 +348,7 @@ pub struct Estimate {
     transient: SimTime,
     horizon: SimTime,
     jobs: usize,
+    warmup: u32,
     replicates: Vec<Metrics>,
     profiles: Vec<ReplicationProfile>,
     recordings: Vec<Recorder>,
@@ -437,6 +438,7 @@ impl Estimate {
             jobs: self.jobs,
             host_parallelism: std::thread::available_parallelism()
                 .map_or(1, std::num::NonZeroUsize::get),
+            warmup: self.warmup,
             config: self.config.summary(),
             profiles: self
                 .profiles
@@ -549,6 +551,7 @@ pub struct Experiment {
     base_seed: u64,
     level: f64,
     jobs: usize,
+    warmup: u32,
     observe: Option<ObserveSpec>,
 }
 
@@ -568,6 +571,7 @@ impl Experiment {
             base_seed: 0x5eed,
             level: 0.95,
             jobs: default_jobs(),
+            warmup: 0,
             observe: None,
         }
     }
@@ -630,6 +634,22 @@ impl Experiment {
     #[must_use]
     pub fn jobs(mut self, n: usize) -> Experiment {
         self.jobs = n.max(1);
+        self
+    }
+
+    /// Warm-up replications run and discarded before the measured ones
+    /// (default 0). Warm-up touches the same code paths as a real
+    /// replication — model build, event loop, reward accumulation — so
+    /// first-run effects (cold instruction cache, lazy page faults,
+    /// allocator growth) land outside the recorded wall-clock profiles.
+    /// Warm-up never changes sampling: measured replication `k` still
+    /// draws from seed `base_seed + k`, so metrics are bit-identical
+    /// with any warm-up count. Only [`Estimation::Replications`] runs
+    /// warm-up; batch means is one continuous path. The count is
+    /// recorded in the manifest.
+    #[must_use]
+    pub fn warmup(mut self, n: u32) -> Experiment {
+        self.warmup = n;
         self
     }
 
@@ -699,6 +719,7 @@ impl Experiment {
             transient: self.transient,
             horizon: self.horizon,
             jobs: self.jobs,
+            warmup: self.warmup,
             replicates,
             profiles,
             recordings,
@@ -850,6 +871,13 @@ impl Experiment {
             EngineKind::San => Some(CheckpointSan::build(&self.config)?),
             EngineKind::Direct => None,
         };
+        // Warm-up: run and discard replications sequentially before
+        // anything is timed. Seeds cycle over the leading replication
+        // indices; results are dropped, so the measured run's sampling
+        // and metrics are unaffected.
+        for w in 0..self.warmup {
+            self.run_one(san_model.as_ref(), w % self.replications.max(1))?;
+        }
         let mut replicates = Vec::with_capacity(self.replications as usize);
         let mut profiles = Vec::with_capacity(self.replications as usize);
         let mut recordings = Vec::new();

@@ -43,10 +43,12 @@ pub use ids::Ids;
 use crate::config::{CoordinationMode, RecoveryTimeModel, SystemConfig};
 use crate::metrics::{Counters, Metrics, PhaseKind, PhaseTimes};
 use bridge::SanBridge;
+use ckpt_des::prof::PhaseProfile;
 use ckpt_des::SimTime;
 use ckpt_obs::{Observer, TraceBuffer};
 use ckpt_san::{
-    ActivityId, Delay, InputGate, Reactivation, San, SanBuilder, SanError, Scheduling, Simulator,
+    ActivityId, Delay, InputGate, Reactivation, Sampling, San, SanBuilder, SanError, Scheduling,
+    Simulator,
 };
 use ckpt_stats::Dist;
 use std::fmt;
@@ -122,6 +124,10 @@ pub struct RunOptions {
     /// Event-scheduling strategy; both choices are bit-identical on the
     /// same seed (the full scan is kept as an equivalence oracle).
     pub scheduling: Scheduling,
+    /// Exponential-sampler choice. [`Sampling::InverseCdf`] (the
+    /// default) is the bit-identity oracle; [`Sampling::Ziggurat`] is
+    /// faster and distribution-equivalent but draws a different stream.
+    pub sampling: Sampling,
 }
 
 impl Default for RunOptions {
@@ -131,6 +137,7 @@ impl Default for RunOptions {
             transient: SimTime::from_hours(1_000.0),
             horizon: SimTime::from_hours(20_000.0),
             scheduling: Scheduling::default(),
+            sampling: Sampling::default(),
         }
     }
 }
@@ -144,6 +151,10 @@ pub struct RunOutcome {
     pub metrics: Metrics,
     /// Activity firings processed across transient + window.
     pub events: u64,
+    /// Hot-phase wall-time attribution for the replication. All-zero
+    /// unless the build enables the `prof` feature (see
+    /// [`ckpt_des::prof`]).
+    pub phases: PhaseProfile,
 }
 
 /// Handles to the activities whose firing counts become [`Counters`].
@@ -263,8 +274,13 @@ impl CheckpointSan {
             opts.horizon,
             None,
             opts.scheduling,
+            opts.sampling,
         )
-        .map(|(metrics, events)| RunOutcome { metrics, events })
+        .map(|(metrics, events, phases)| RunOutcome {
+            metrics,
+            events,
+            phases,
+        })
     }
 
     /// Like [`CheckpointSan::run`], but streams the measurement window
@@ -290,8 +306,13 @@ impl CheckpointSan {
             opts.horizon,
             Some(observer),
             opts.scheduling,
+            opts.sampling,
         )
-        .map(|(metrics, events)| RunOutcome { metrics, events })
+        .map(|(metrics, events, phases)| RunOutcome {
+            metrics,
+            events,
+            phases,
+        })
     }
 
     /// Runs one steady-state replication and returns just its metrics.
@@ -359,6 +380,7 @@ impl CheckpointSan {
             transient,
             horizon,
             scheduling,
+            ..RunOptions::default()
         })
         .map(|o| (o.metrics, o.events))
     }
@@ -407,16 +429,18 @@ impl CheckpointSan {
         capacity: usize,
     ) -> Result<(Metrics, TraceBuffer), ModelError> {
         let mut buf = TraceBuffer::new(capacity);
-        let (metrics, _) = self.run_steady_state_inner(
+        let (metrics, _, _) = self.run_steady_state_inner(
             seed,
             SimTime::ZERO,
             horizon,
             Some(&mut buf),
             Scheduling::default(),
+            Sampling::default(),
         )?;
         Ok((metrics, buf))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_steady_state_inner(
         &self,
         seed: u64,
@@ -424,49 +448,72 @@ impl CheckpointSan {
         horizon: SimTime,
         observer: Option<&mut dyn Observer>,
         scheduling: Scheduling,
-    ) -> Result<(Metrics, u64), ModelError> {
+        sampling: Sampling,
+    ) -> Result<(Metrics, u64, PhaseProfile), ModelError> {
         let ids = self.ids;
-        let mut sim = Simulator::with_scheduling(&self.san, seed, scheduling)?;
+        let mut sim = Simulator::with_options(&self.san, seed, scheduling, sampling)?;
 
         // Phase-time rate rewards (used for the time-breakdown metric).
-        sim.add_reward(ckpt_san::RewardSpec::rate("t_exec", move |m| {
-            if m.has_token(ids.execution) {
-                1.0
-            } else {
-                0.0
-            }
-        }))?;
-        sim.add_reward(ckpt_san::RewardSpec::rate("t_coord", move |m| {
-            if m.has_token(ids.quiescing) {
-                1.0
-            } else {
-                0.0
-            }
-        }))?;
-        sim.add_reward(ckpt_san::RewardSpec::rate("t_dump", move |m| {
-            if m.has_token(ids.checkpointing) {
-                1.0
-            } else {
-                0.0
-            }
-        }))?;
-        sim.add_reward(ckpt_san::RewardSpec::rate("t_recover", move |m| {
-            if m.has_token(ids.recovering_wait_io)
-                || m.has_token(ids.recovering_stage1)
-                || m.has_token(ids.recovering_stage2)
-            {
-                1.0
-            } else {
-                0.0
-            }
-        }))?;
-        sim.add_reward(ckpt_san::RewardSpec::rate("t_reboot", move |m| {
-            if m.has_token(ids.rebooting) {
-                1.0
-            } else {
-                0.0
-            }
-        }))?;
+        // Each declares its support places via `reads`, so the executor
+        // re-evaluates it only when one of those places changes instead
+        // of on every event.
+        sim.add_reward(
+            ckpt_san::RewardSpec::rate("t_exec", move |m| {
+                if m.has_token(ids.execution) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .reads(&[ids.execution]),
+        )?;
+        sim.add_reward(
+            ckpt_san::RewardSpec::rate("t_coord", move |m| {
+                if m.has_token(ids.quiescing) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .reads(&[ids.quiescing]),
+        )?;
+        sim.add_reward(
+            ckpt_san::RewardSpec::rate("t_dump", move |m| {
+                if m.has_token(ids.checkpointing) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .reads(&[ids.checkpointing]),
+        )?;
+        sim.add_reward(
+            ckpt_san::RewardSpec::rate("t_recover", move |m| {
+                if m.has_token(ids.recovering_wait_io)
+                    || m.has_token(ids.recovering_stage1)
+                    || m.has_token(ids.recovering_stage2)
+                {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .reads(&[
+                ids.recovering_wait_io,
+                ids.recovering_stage1,
+                ids.recovering_stage2,
+            ]),
+        )?;
+        sim.add_reward(
+            ckpt_san::RewardSpec::rate("t_reboot", move |m| {
+                if m.has_token(ids.rebooting) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .reads(&[ids.rebooting]),
+        )?;
 
         sim.run_for(transient)?;
         let w0 = sim.marking().fluid(ids.work);
@@ -506,11 +553,12 @@ impl CheckpointSan {
             phase_times,
         };
         let events = sim.events_processed();
+        let phases = sim.take_phase_profile();
         let end = sim.now();
         if let Some(b) = obs_bridge.as_mut() {
             b.finish(end);
         }
-        Ok((metrics, events))
+        Ok((metrics, events, phases))
     }
 
     /// Runs one long replication cut into `batches` measurement slices
@@ -871,6 +919,14 @@ fn submodel_io_nodes(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
 /// Marking-dependent exponential delay whose rate is multiplied by the
 /// error-propagation factor while the correlated window is open.
 fn modulated_failure_delay(base_rate: f64, window_factor: f64, window: ckpt_san::PlaceId) -> Delay {
+    // Without error propagation the rate is marking-independent, so the
+    // closure would probe the window place and branch on every Resample
+    // redraw for nothing. A plain distribution delay makes the exact
+    // same single exponential draw (bit-identical stream) without the
+    // dispatch.
+    if window_factor == 1.0 {
+        return Delay::from(Dist::exponential(base_rate));
+    }
     Delay::from_fn(move |m, rng| {
         let rate = if m.has_token(window) {
             base_rate * window_factor

@@ -49,6 +49,7 @@
 
 mod engine;
 mod event;
+pub mod prof;
 mod queue;
 mod rng;
 mod time;
@@ -56,5 +57,5 @@ mod time;
 pub use engine::{Engine, EventHandler, RunOutcome};
 pub use event::{EventId, ScheduledEvent};
 pub use queue::EventQueue;
-pub use rng::{RngFactory, SimRng, StreamId};
+pub use rng::{RngFactory, Sampling, SimRng, StreamId};
 pub use time::{SimTime, TimeError};

@@ -2,25 +2,29 @@
 
 use crate::event::{EventId, ScheduledEvent};
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-/// The future-event list of a simulation: a min-heap of
-/// [`ScheduledEvent`]s keyed by time (FIFO among ties), with O(1)
-/// cancellation by tombstoning.
+/// Sentinel for "this slot has no heap position".
+const NO_POS: u32 = u32::MAX;
+
+/// The future-event list of a simulation: an **indexed** binary min-heap
+/// of [`ScheduledEvent`]s keyed by time (FIFO among ties), with true
+/// O(log n) cancellation.
 ///
 /// Bookkeeping is a slab of per-event slots indexed directly by the
 /// [`EventId`] (generation-counted so recycled slots never confuse a
 /// stale handle with a live event) — the hot schedule/cancel/pop path
 /// does no hashing and no per-event allocation once the slab has grown
-/// to the working-set size.
+/// to the working-set size. Each slot tracks its entry's current heap
+/// position, so [`EventQueue::cancel`] removes the entry outright
+/// instead of tombstoning it.
 ///
-/// Cancelled entries remain in the heap until they surface at the top and
-/// are silently skipped, so memory is reclaimed lazily; an explicit
-/// in-place (allocation-free) compaction pass runs automatically once
-/// tombstones outnumber live entries, which keeps the heap — and every
-/// sift — near the live working-set size even when far-future events are
-/// cancelled faster than they surface.
+/// That eager removal is what keeps the heap at exactly the *live* event
+/// count: `Resample`-style workloads cancel and reschedule several
+/// timers per step, and with lazy deletion those tombstones pile up
+/// between the root and the live entries, deepening every sift and
+/// forcing periodic compaction passes. Here every operation works on a
+/// heap of only live events — for the checkpoint model's ~10 in-flight
+/// timers, each sift touches three or four cache-hot entries.
 ///
 /// # Example
 ///
@@ -38,14 +42,14 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<ScheduledEvent<E>>>,
+    /// Binary min-heap ordered by `(time, seq)`; `slots[entry-slot].pos`
+    /// always names each entry's current index.
+    heap: Vec<ScheduledEvent<E>>,
     /// One slot per in-flight event, indexed by the low half of the
     /// [`EventId`]; the high half must match the slot's generation.
     slots: Vec<Slot>,
     /// Indices of slots available for reuse.
     free: Vec<u32>,
-    pending: usize,
-    cancelled: usize,
     /// Monotone insertion sequence, the FIFO tie-breaker among events
     /// scheduled at the same time (slot ids recycle, so they cannot
     /// order insertions).
@@ -55,23 +59,14 @@ pub struct EventQueue<E> {
     watermark: SimTime,
 }
 
-/// Lifecycle of one slab slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlotState {
-    /// No event currently uses this slot.
-    Free,
-    /// Scheduled, neither fired nor cancelled.
-    Pending,
-    /// Cancelled; its heap entry is a tombstone awaiting reclamation.
-    Cancelled,
-}
-
 #[derive(Debug)]
 struct Slot {
     /// Bumped on every release; a handle whose generation mismatches is
     /// stale (already fired or cancelled).
     gen: u32,
-    state: SlotState,
+    /// Current index of this slot's entry in `heap`, or [`NO_POS`] when
+    /// the slot is free.
+    pos: u32,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -85,11 +80,9 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             slots: Vec::new(),
             free: Vec::new(),
-            pending: 0,
-            cancelled: 0,
             next_seq: 0,
             watermark: SimTime::ZERO,
         }
@@ -115,27 +108,29 @@ impl<E> EventQueue<E> {
                 let s = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight events");
                 self.slots.push(Slot {
                     gen: 0,
-                    state: SlotState::Free,
+                    pos: NO_POS,
                 });
                 s
             }
         };
-        debug_assert_eq!(self.slots[slot as usize].state, SlotState::Free);
-        self.slots[slot as usize].state = SlotState::Pending;
-        self.pending += 1;
+        debug_assert_eq!(self.slots[slot as usize].pos, NO_POS);
         let id = EventId(u64::from(self.slots[slot as usize].gen) << 32 | u64::from(slot));
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(ScheduledEvent {
+        let pos = self.heap.len();
+        self.slots[slot as usize].pos = pos as u32;
+        self.heap.push(ScheduledEvent {
             time,
             id,
             seq,
             payload,
-        }));
+        });
+        self.sift_up(pos);
         id
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event, removing it from the heap
+    /// immediately (O(log n), no tombstone).
     ///
     /// Returns `true` if the event was still pending, `false` if it had
     /// already fired, been cancelled, or never existed.
@@ -143,58 +138,83 @@ impl<E> EventQueue<E> {
         let Some(slot) = self.resolve(id) else {
             return false;
         };
-        if self.slots[slot].state != SlotState::Pending {
+        let pos = self.slots[slot].pos;
+        debug_assert_ne!(pos, NO_POS, "live generation with no heap entry");
+        self.remove_at(pos as usize);
+        self.release(slot);
+        true
+    }
+
+    /// Moves a pending event to a new firing time under a fresh FIFO
+    /// sequence — behaviourally `cancel(id)` followed by re-scheduling
+    /// the same payload at `time`, but in one sift pass with no slot
+    /// churn. The handle stays valid (same slot, same generation).
+    ///
+    /// This is the `Resample` hot path: reactivation redraws a timer's
+    /// delay on every marking change, and moving the existing entry
+    /// halves the heap traffic of the cancel-then-schedule pair.
+    ///
+    /// Returns `true` if the event was pending and has been moved,
+    /// `false` (leaving the queue untouched) if the handle was stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the most recently popped event,
+    /// like [`EventQueue::schedule`].
+    pub fn reschedule(&mut self, id: EventId, time: SimTime) -> bool {
+        let Some(slot) = self.resolve(id) else {
             return false;
-        }
-        self.slots[slot].state = SlotState::Cancelled;
-        self.pending -= 1;
-        self.cancelled += 1;
-        self.maybe_compact();
+        };
+        assert!(
+            time >= self.watermark,
+            "attempted to reschedule an event at {time} before current time {}",
+            self.watermark
+        );
+        let pos = self.slots[slot].pos as usize;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap[pos].time = time;
+        self.heap[pos].seq = seq;
+        // The entry may need to move in either direction.
+        self.sift_down(pos);
+        self.sift_up(pos);
         true
     }
 
     /// Removes and returns the earliest live event, advancing the
     /// watermark to its time.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            let slot = (ev.id.0 & 0xFFFF_FFFF) as usize;
-            match self.slots[slot].state {
-                SlotState::Cancelled => {
-                    self.cancelled -= 1;
-                    self.release(slot);
-                }
-                SlotState::Pending => {
-                    self.pending -= 1;
-                    self.release(slot);
-                    self.watermark = ev.time;
-                    return Some(ev);
-                }
-                SlotState::Free => unreachable!("heap entry for a freed slot"),
-            }
+        if self.heap.is_empty() {
+            return None;
         }
-        None
+        let ev = self.remove_at(0);
+        self.release((ev.id.0 & 0xFFFF_FFFF) as usize);
+        self.watermark = ev.time;
+        Some(ev)
+    }
+
+    /// Removes and returns the earliest live event **iff** its time is
+    /// at or before `limit`; otherwise leaves it queued and returns
+    /// `None`, exactly like [`EventQueue::peek_time`] + bounds check +
+    /// [`EventQueue::pop`] fused into one call — the simulator's
+    /// run-loop entry point.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent<E>> {
+        if self.heap.first()?.time > limit {
+            return None;
+        }
+        self.pop()
     }
 
     /// The time of the earliest live event without removing it.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            let slot = (ev.id.0 & 0xFFFF_FFFF) as usize;
-            if self.slots[slot].state == SlotState::Cancelled {
-                self.heap.pop();
-                self.cancelled -= 1;
-                self.release(slot);
-                continue;
-            }
-            return Some(ev.time);
-        }
-        None
+        self.heap.first().map(|ev| ev.time)
     }
 
     /// Number of live (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.pending
+        self.heap.len()
     }
 
     /// True if no live events remain.
@@ -210,20 +230,14 @@ impl<E> EventQueue<E> {
         self.watermark
     }
 
-    /// Drops every pending event (live and cancelled) without changing the
-    /// watermark. Previously issued handles become stale, never aliases
-    /// of later events.
+    /// Drops every pending event without changing the watermark.
+    /// Previously issued handles become stale, never aliases of later
+    /// events.
     pub fn clear(&mut self) {
-        self.heap.clear();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if slot.state != SlotState::Free {
-                slot.state = SlotState::Free;
-                slot.gen = slot.gen.wrapping_add(1);
-                self.free.push(i as u32);
-            }
+        for ev in self.heap.drain(..) {
+            let slot = (ev.id.0 & 0xFFFF_FFFF) as usize;
+            Self::release_in(&mut self.slots, &mut self.free, slot);
         }
-        self.pending = 0;
-        self.cancelled = 0;
     }
 
     /// Maps a handle to its slot index, `None` when stale or foreign.
@@ -239,36 +253,76 @@ impl<E> EventQueue<E> {
     }
 
     /// [`EventQueue::release`] on borrowed fields, callable where `self`
-    /// is partially borrowed (the compaction closure).
+    /// is partially borrowed.
     fn release_in(slots: &mut [Slot], free: &mut Vec<u32>, slot: usize) {
-        slots[slot].state = SlotState::Free;
         slots[slot].gen = slots[slot].gen.wrapping_add(1);
+        slots[slot].pos = NO_POS;
         free.push(slot as u32);
     }
 
-    fn maybe_compact(&mut self) {
-        // Workloads with `Resample`-style churn cancel several far-future
-        // events per step; those tombstones never surface at `pop`, so
-        // without compaction the heap depth (and every sift) grows with
-        // the cancellation backlog. A low threshold keeps the heap near
-        // its live size; `retain` rebuilds in place without allocating.
-        if self.cancelled <= 16 || self.cancelled * 2 <= self.heap.len() {
+    /// Removes and returns the entry at heap index `pos`, restoring the
+    /// heap invariant. Does **not** release the entry's slot.
+    fn remove_at(&mut self, pos: usize) -> ScheduledEvent<E> {
+        let last = self.heap.len() - 1;
+        if pos != last {
+            self.heap.swap(pos, last);
+            let ev = self.heap.pop().expect("heap is non-empty");
+            // The moved-in entry may be out of place in either direction
+            // (it came from an unrelated subtree).
+            self.sift_down(pos);
+            self.sift_up(pos);
+            ev
+        } else {
+            self.heap.pop().expect("heap is non-empty")
+        }
+    }
+
+    /// Records `heap[pos]`'s new position in its slot.
+    #[inline]
+    fn reposition(&mut self, pos: usize) {
+        let slot = (self.heap[pos].id.0 & 0xFFFF_FFFF) as usize;
+        self.slots[slot].pos = pos as u32;
+    }
+
+    /// Moves `heap[pos]` toward the root until its parent is no later.
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.heap[pos] >= self.heap[parent] {
+                break;
+            }
+            self.heap.swap(pos, parent);
+            self.reposition(pos);
+            pos = parent;
+        }
+        self.reposition(pos);
+    }
+
+    /// Moves `heap[pos]` toward the leaves until no child is earlier.
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        if pos >= len {
             return;
         }
-        let slots = &mut self.slots;
-        let free = &mut self.free;
-        let mut reclaimed = 0usize;
-        self.heap.retain(|Reverse(ev)| {
-            let slot = (ev.id.0 & 0xFFFF_FFFF) as usize;
-            if slots[slot].state == SlotState::Cancelled {
-                Self::release_in(slots, free, slot);
-                reclaimed += 1;
-                false
-            } else {
-                true
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
             }
-        });
-        self.cancelled -= reclaimed;
+            let right = left + 1;
+            let child = if right < len && self.heap[right] < self.heap[left] {
+                right
+            } else {
+                left
+            };
+            if self.heap[pos] <= self.heap[child] {
+                break;
+            }
+            self.heap.swap(pos, child);
+            self.reposition(pos);
+            pos = child;
+        }
+        self.reposition(pos);
     }
 }
 
@@ -276,12 +330,22 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Every slot's recorded position points at its own entry — the
+    /// indexed-heap invariant behind O(log n) cancellation.
+    fn assert_positions_consistent<E>(q: &EventQueue<E>) {
+        for (pos, ev) in q.heap.iter().enumerate() {
+            let slot = (ev.id.0 & 0xFFFF_FFFF) as usize;
+            assert_eq!(q.slots[slot].pos, pos as u32, "slot {slot} desynced");
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(3.0), 3);
         q.schedule(SimTime::from_secs(1.0), 1);
         q.schedule(SimTime::from_secs(2.0), 2);
+        assert_positions_consistent(&q);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.into_payload())).collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
@@ -317,13 +381,15 @@ mod tests {
     }
 
     #[test]
-    fn cancellation_hides_events() {
+    fn cancellation_removes_events_eagerly() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_secs(1.0), "a");
         q.schedule(SimTime::from_secs(2.0), "b");
         assert!(q.cancel(a));
         assert!(!q.cancel(a), "double cancel reports false");
         assert_eq!(q.len(), 1);
+        assert_eq!(q.heap.len(), 1, "cancelled entry must leave the heap");
+        assert_positions_consistent(&q);
         assert_eq!(q.pop().unwrap().into_payload(), "b");
     }
 
@@ -334,7 +400,7 @@ mod tests {
         let fired = q.pop().unwrap();
         assert_eq!(fired.id(), a);
         assert!(!q.cancel(a));
-        // A tombstone for a fired id must not kill a later event.
+        // A stale handle for a fired id must not kill a later event.
         let b = q.schedule(SimTime::from_secs(2.0), "b");
         assert_ne!(a, b);
         assert_eq!(q.pop().unwrap().into_payload(), "b");
@@ -354,7 +420,7 @@ mod tests {
     }
 
     #[test]
-    fn peek_time_skips_cancelled() {
+    fn peek_time_sees_earliest_live_event() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_secs(1.0), "a");
         q.schedule(SimTime::from_secs(2.0), "b");
@@ -382,7 +448,7 @@ mod tests {
     }
 
     #[test]
-    fn compaction_preserves_live_events() {
+    fn mass_cancellation_preserves_live_events() {
         let mut q = EventQueue::new();
         let mut keep = Vec::new();
         for i in 0..500 {
@@ -394,8 +460,90 @@ mod tests {
             }
         }
         assert_eq!(q.len(), keep.len());
+        assert_eq!(q.heap.len(), keep.len(), "heap must hold only live events");
+        assert_positions_consistent(&q);
         let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.into_payload())).collect();
         assert_eq!(popped, keep);
+    }
+
+    #[test]
+    fn cancel_from_the_middle_reheapifies() {
+        // Removing an interior entry swaps the last entry into its place;
+        // that entry may need to move *up* (toward the root), not just
+        // down. Build a shape that exercises the sift-up branch: cancel a
+        // deep entry whose replacement is earlier than its new parent.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), 1);
+        let d = q.schedule(SimTime::from_secs(50.0), 50);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        q.schedule(SimTime::from_secs(60.0), 60);
+        q.schedule(SimTime::from_secs(70.0), 70);
+        q.schedule(SimTime::from_secs(3.0), 3);
+        q.cancel(d);
+        assert_positions_consistent(&q);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.into_payload())).collect();
+        assert_eq!(order, vec![1, 2, 3, 60, 70]);
+    }
+
+    #[test]
+    fn reschedule_moves_event_and_keeps_handle() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(5.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        // Move a ahead of b; the handle survives the move.
+        assert!(q.reschedule(a, SimTime::from_secs(1.0)));
+        assert_positions_consistent(&q);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1.0)));
+        assert!(q.cancel(a), "handle must stay live across reschedule");
+        assert_eq!(q.pop().unwrap().into_payload(), "b");
+        // Stale handles are rejected without touching the queue.
+        assert!(!q.reschedule(a, SimTime::from_secs(9.0)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reschedule_requeues_at_the_fifo_tail() {
+        // A rescheduled event takes a fresh sequence number: among ties
+        // it fires after events that were already queued at that time,
+        // exactly as cancel + schedule would order it.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        let a = q.schedule(t, "a");
+        q.schedule(t, "b");
+        assert!(q.reschedule(a, t));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.into_payload())).collect();
+        assert_eq!(order, vec!["b", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn rescheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(10.0), "a");
+        q.schedule(SimTime::from_secs(8.0), "b");
+        q.pop();
+        q.reschedule(a, SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn pop_before_respects_limit_and_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        q.schedule(SimTime::from_secs(5.0), "c");
+        q.cancel(a);
+        // The cancelled t=1 event is gone even though it beats the limit.
+        let ev = q.pop_before(SimTime::from_secs(3.0)).unwrap();
+        assert_eq!(ev.time(), SimTime::from_secs(2.0));
+        assert_eq!(q.watermark(), SimTime::from_secs(2.0));
+        // c is beyond the limit: left queued, watermark unchanged.
+        assert!(q.pop_before(SimTime::from_secs(3.0)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.watermark(), SimTime::from_secs(2.0));
+        // An exact-time limit is inclusive, matching peek+pop semantics.
+        let ev = q.pop_before(SimTime::from_secs(5.0)).unwrap();
+        assert_eq!(ev.into_payload(), "c");
+        assert!(q.pop_before(SimTime::from_secs(9.0)).is_none());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! random numbers across configurations).
 
 use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::{RngCore, SeedableRng};
 use std::fmt;
 
 /// Identifies an independent random-number substream.
@@ -107,43 +107,156 @@ impl RngFactory {
         for chunk in seed.chunks_exact_mut(8) {
             chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
         }
-        SimRng {
-            inner: SmallRng::from_seed(seed),
-        }
+        SimRng::from_inner(SmallRng::from_seed(seed))
     }
+}
+
+/// Selects the exponential sampling kernel used by
+/// [`SimRng::exponential`].
+///
+/// Every exponential draw in the workspace — plain [`exponential`]
+/// calls, Erlang/hyper-exponential mixtures, and marking-dependent
+/// delay closures — funnels through [`SimRng::exponential`], so this
+/// one switch selects the kernel for an entire simulation.
+///
+/// [`exponential`]: SimRng::exponential
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sampling {
+    /// Inverse-CDF transform `-ln(U) / rate`: one uniform, one `ln`.
+    ///
+    /// This is the default and the *bit-identity oracle*: its draw
+    /// sequence is pinned by tests and must never change, so results
+    /// stay reproducible across releases.
+    #[default]
+    InverseCdf,
+    /// 256-strip ziggurat rejection sampler (Marsaglia–Tsang).
+    ///
+    /// ~98.9% of draws are a table lookup and one multiply, no
+    /// transcendental. Distribution-equivalent to [`InverseCdf`]
+    /// (same exponential law, held to the same KS/moment contract in
+    /// `ckpt-stats`) but draws a *different* stream: selecting it
+    /// changes trajectories, never statistics.
+    ///
+    /// [`InverseCdf`]: Sampling::InverseCdf
+    Ziggurat,
+}
+
+/// Number of raw 64-bit words buffered per refill of a [`SimRng`].
+const RNG_BLOCK: usize = 8;
+
+/// Tail cutoff of the 256-strip exponential ziggurat.
+const ZIG_R: f64 = 7.697_117_470_131_487;
+/// Common area of each ziggurat strip (and of the base strip + tail).
+const ZIG_V: f64 = 3.949_659_822_581_572e-3;
+/// Number of ziggurat strips.
+const ZIG_N: usize = 256;
+
+/// Lazily built ziggurat tables: strip edges `x[i]` (descending,
+/// `x[1] = R`, `x[N] = 0`, `x[0]` the extended base strip) and their
+/// densities `f[i] = exp(-x[i])`.
+fn zig_tables() -> &'static ([f64; ZIG_N + 1], [f64; ZIG_N + 1]) {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<([f64; ZIG_N + 1], [f64; ZIG_N + 1])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut x = [0.0f64; ZIG_N + 1];
+        x[0] = ZIG_V / (-ZIG_R).exp();
+        x[1] = ZIG_R;
+        for i in 2..ZIG_N {
+            // Each strip has area V: f(x_i) = f(x_{i-1}) + V / x_{i-1}.
+            let prev = x[i - 1];
+            x[i] = -(ZIG_V / prev + (-prev).exp()).ln();
+        }
+        x[ZIG_N] = 0.0;
+        let mut f = [0.0f64; ZIG_N + 1];
+        for (fi, xi) in f.iter_mut().zip(x.iter()) {
+            *fi = (-xi).exp();
+        }
+        (x, f)
+    })
 }
 
 /// A deterministic random-number generator for one model component.
 ///
-/// Wraps a fast non-cryptographic PRNG and adds the inverse-transform
-/// samplers most used by the simulators.
+/// Wraps a fast non-cryptographic PRNG and adds the samplers most used
+/// by the simulators. Raw 64-bit words are drawn through a small
+/// refill block (8 words) so the underlying generator advances in
+/// unrolled batches; consumption order is unchanged, so every sampler
+/// returns exactly the same sequence as an unbuffered generator
+/// (pinned by tests).
 #[derive(Debug, Clone)]
 pub struct SimRng {
     inner: SmallRng,
+    /// Buffered raw words; `buf[pos..]` are not yet consumed.
+    buf: [u64; RNG_BLOCK],
+    pos: usize,
+    sampling: Sampling,
 }
 
 impl SimRng {
+    fn from_inner(inner: SmallRng) -> SimRng {
+        SimRng {
+            inner,
+            buf: [0; RNG_BLOCK],
+            pos: RNG_BLOCK,
+            sampling: Sampling::default(),
+        }
+    }
+
     /// Creates a standalone generator from an explicit seed (mostly for
     /// tests; models should go through [`RngFactory`]).
     #[must_use]
     pub fn seed_from_u64(seed: u64) -> SimRng {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+        SimRng::from_inner(SmallRng::seed_from_u64(seed))
+    }
+
+    /// The exponential sampling kernel currently selected.
+    #[must_use]
+    pub fn sampling(&self) -> Sampling {
+        self.sampling
+    }
+
+    /// Selects the exponential sampling kernel. The default,
+    /// [`Sampling::InverseCdf`], is the bit-identity oracle;
+    /// [`Sampling::Ziggurat`] is faster but draws a different (equally
+    /// distributed) stream.
+    pub fn set_sampling(&mut self, sampling: Sampling) {
+        self.sampling = sampling;
+    }
+
+    /// Next buffered raw word, refilling the block when exhausted.
+    #[inline]
+    fn next_raw(&mut self) -> u64 {
+        if self.pos == RNG_BLOCK {
+            for slot in &mut self.buf {
+                *slot = self.inner.next_u64();
+            }
+            self.pos = 0;
         }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision — the same mapping
+    /// as the `rand` crate's `Standard` distribution for `f64`.
+    #[inline]
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `(0, 1)` — never exactly 0 or 1, so it is safe
     /// to take logarithms of either `u` or `1 - u`.
     pub fn open_unit(&mut self) -> f64 {
         loop {
-            let u: f64 = self.inner.gen();
+            let u = self.unit_f64();
             if u > 0.0 && u < 1.0 {
                 return u;
             }
         }
     }
 
-    /// Exponential sample with the given rate (mean `1/rate`).
+    /// Exponential sample with the given rate (mean `1/rate`), using
+    /// the kernel selected by [`SimRng::set_sampling`].
     ///
     /// # Panics
     ///
@@ -153,13 +266,48 @@ impl SimRng {
             rate > 0.0 && rate.is_finite(),
             "exponential rate must be positive and finite, got {rate}"
         );
-        -self.open_unit().ln() / rate
+        match self.sampling {
+            Sampling::InverseCdf => -self.open_unit().ln() / rate,
+            Sampling::Ziggurat => self.exp1_ziggurat() / rate,
+        }
+    }
+
+    /// Unit-rate exponential via the 256-strip ziggurat.
+    ///
+    /// One raw word supplies both the strip index (low 8 bits) and the
+    /// horizontal coordinate (top 52 bits); most draws accept on the
+    /// in-rectangle test without evaluating any transcendental.
+    fn exp1_ziggurat(&mut self) -> f64 {
+        let (x_tab, f_tab) = zig_tables();
+        loop {
+            let bits = self.next_raw();
+            let i = (bits & 0xff) as usize;
+            let u = (bits >> 12) as f64 * (1.0 / (1u64 << 52) as f64);
+            let x = u * x_tab[i];
+            if x < x_tab[i + 1] {
+                // Strictly inside strip i+1's rectangle: accept.
+                // Guard x > 0 so callers can take logs, matching the
+                // open-interval contract of the inverse-CDF path.
+                if x > 0.0 {
+                    return x;
+                }
+                continue;
+            }
+            if i == 0 {
+                // Tail beyond R: exact conditional tail of Exp(1).
+                return ZIG_R - self.open_unit().ln();
+            }
+            // Wedge between the rectangle and the density.
+            if f_tab[i + 1] + (f_tab[i] - f_tab[i + 1]) * self.unit_f64() < (-x).exp() && x > 0.0 {
+                return x;
+            }
+        }
     }
 
     /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
     pub fn bernoulli(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f64>() < p
+        self.unit_f64() < p
     }
 
     /// Standard normal sample (Marsaglia polar method).
@@ -177,19 +325,26 @@ impl SimRng {
 
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+        // The underlying `SmallRng` derives `next_u32` from `next_u64`,
+        // so routing through the block preserves the exact stream.
+        self.next_raw() as u32
     }
 
     fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.next_raw()
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_raw().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
     }
 
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        self.fill_bytes(dest);
+        Ok(())
     }
 }
 
@@ -290,6 +445,105 @@ mod tests {
         let hits = (0..100_000).filter(|_| r.bernoulli(0.3)).count();
         let freq = hits as f64 / 100_000.0;
         assert!((freq - 0.3).abs() < 0.01, "frequency {freq}");
+    }
+
+    /// Pinned oracle stream: these exact values were produced by the
+    /// pre-buffering implementation (one `next_u64` per draw, straight
+    /// from `SmallRng`). The block refill must never change them —
+    /// this is the bit-identity contract of `Sampling::InverseCdf`.
+    #[test]
+    fn inverse_cdf_stream_is_pinned() {
+        let mut r = SimRng::seed_from_u64(42);
+        assert_eq!(r.open_unit(), 0.8143051451229099);
+        assert_eq!(r.open_unit(), 0.3188210400616611);
+        assert_eq!(r.open_unit(), 0.9838941681774888);
+        assert_eq!(r.open_unit(), 0.7011355981347556);
+        assert_eq!(r.exponential(0.5), 0.4625921618901303);
+        assert_eq!(r.next_u64(), 10848501901068131965);
+        assert_eq!(r.next_u32(), 572142934);
+        assert!(!r.bernoulli(0.5));
+        assert_eq!(r.standard_normal(), 0.1962265296745266);
+        let mut b = [0u8; 11];
+        r.fill_bytes(&mut b);
+        assert_eq!(b, [152, 155, 53, 84, 112, 231, 20, 174, 189, 13, 89]);
+        assert_eq!(r.open_unit(), 0.40307330082561377);
+    }
+
+    #[test]
+    fn sampling_default_is_inverse_cdf() {
+        assert_eq!(Sampling::default(), Sampling::InverseCdf);
+        assert_eq!(SimRng::seed_from_u64(1).sampling(), Sampling::InverseCdf);
+    }
+
+    #[test]
+    fn ziggurat_tables_are_well_formed() {
+        let (x, f) = super::zig_tables();
+        assert_eq!(x[1], super::ZIG_R);
+        assert_eq!(x[super::ZIG_N], 0.0);
+        assert_eq!(f[super::ZIG_N], 1.0);
+        // Edges descend, densities ascend, and the recursion closes
+        // near zero (r and V are a matched pair).
+        for i in 1..super::ZIG_N {
+            assert!(x[i] > x[i + 1], "x[{i}]={} !> x[{}]", x[i], i + 1);
+            assert!(f[i] < f[i + 1]);
+        }
+        // Closure: the top strip [0, x_255] × (f(x_255), 1] must have
+        // area V like every other strip — that is what pins r and V.
+        let top = x[super::ZIG_N - 1] * (1.0 - f[super::ZIG_N - 1]);
+        assert!(
+            (top - super::ZIG_V).abs() < 1e-5,
+            "top strip area {top} vs V {}",
+            super::ZIG_V
+        );
+        assert!(x[0] > x[1], "base strip must extend past R");
+    }
+
+    #[test]
+    fn ziggurat_moments_match_exponential() {
+        let mut r = SimRng::seed_from_u64(17);
+        r.set_sampling(Sampling::Ziggurat);
+        let n = 400_000;
+        let rate = 0.25;
+        let (mut sum, mut sum2, mut min) = (0.0f64, 0.0f64, f64::MAX);
+        for _ in 0..n {
+            let x = r.exponential(rate);
+            assert!(x > 0.0 && x.is_finite());
+            sum += x;
+            sum2 += x * x;
+            min = min.min(x);
+        }
+        let mean = sum / f64::from(n);
+        let var = sum2 / f64::from(n) - mean * mean;
+        // Exp(rate): mean 1/rate = 4, variance 1/rate^2 = 16.
+        assert!((mean - 4.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 16.0).abs() < 0.35, "variance {var}");
+        assert!(min < 1e-3, "left tail unexplored, min {min}");
+    }
+
+    #[test]
+    fn ziggurat_reaches_the_tail() {
+        let mut r = SimRng::seed_from_u64(23);
+        r.set_sampling(Sampling::Ziggurat);
+        // P(X > R) = exp(-R) ≈ 4.5e-4; 100k draws ⇒ ~45 tail hits.
+        let tail = (0..100_000)
+            .filter(|_| r.exponential(1.0) > super::ZIG_R)
+            .count();
+        assert!((10..200).contains(&tail), "tail draws {tail}");
+    }
+
+    #[test]
+    fn buffered_raw_draws_match_unbuffered_smallrng() {
+        use rand::rngs::SmallRng;
+        let mut raw = SmallRng::seed_from_u64(99);
+        let mut sim = SimRng::seed_from_u64(99);
+        // Interleave word sizes to cross refill boundaries.
+        for k in 0..100 {
+            if k % 3 == 0 {
+                assert_eq!(sim.next_u32(), raw.next_u64() as u32);
+            } else {
+                assert_eq!(sim.next_u64(), raw.next_u64());
+            }
+        }
     }
 
     #[test]

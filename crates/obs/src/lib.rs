@@ -34,6 +34,7 @@
 mod event;
 mod manifest;
 mod observer;
+mod phases;
 mod recorder;
 mod registry;
 mod trace;
@@ -41,6 +42,7 @@ mod trace;
 pub use event::{AbortReason, ModelEvent, PhaseKind, PhaseTimes};
 pub use manifest::{json_escape, RunManifest, RunProfile};
 pub use observer::{NoopObserver, ObsEvent, Observer};
+pub use phases::phases_json;
 pub use recorder::Recorder;
 pub use registry::{MetricsRegistry, ReconcileError};
 pub use trace::{TraceBuffer, TraceEntry};

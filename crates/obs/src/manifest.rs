@@ -30,6 +30,18 @@ pub struct RunProfile {
     pub events: u64,
 }
 
+impl RunProfile {
+    /// Events per wall-clock second (0 over an empty measurement).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Provenance for one experiment or sweep: everything needed to rerun
 /// it and to judge how it performed.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +69,9 @@ pub struct RunManifest {
     pub jobs: usize,
     /// `std::thread::available_parallelism` on the producing host.
     pub host_parallelism: usize,
+    /// Warm-up replications run and discarded before the recorded ones
+    /// (their wall time and events appear nowhere in this manifest).
+    pub warmup: u32,
     /// Model configuration as ordered key/value pairs.
     pub config: Vec<(String, String)>,
     /// Per-replication wall/events profiles, in replication order.
@@ -97,6 +112,7 @@ impl RunManifest {
             "  \"host_parallelism\": {},\n",
             self.host_parallelism
         ));
+        s.push_str(&format!("  \"warmup\": {},\n", self.warmup));
         s.push_str("  \"config\": {");
         for (i, (k, v)) in self.config.iter().enumerate() {
             if i > 0 {
@@ -117,8 +133,10 @@ impl RunManifest {
                 s.push(',');
             }
             s.push_str(&format!(
-                "\n    {{\"rep\": {i}, \"wall_secs\": {:.6}, \"events\": {}}}",
-                p.wall_secs, p.events
+                "\n    {{\"rep\": {i}, \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}}}",
+                p.wall_secs,
+                p.events,
+                p.events_per_sec()
             ));
         }
         if !self.profiles.is_empty() {
@@ -155,6 +173,7 @@ mod tests {
             faults: 0,
             jobs: 4,
             host_parallelism: 8,
+            warmup: 1,
             config: vec![("processors".into(), "65536".into())],
             profiles: vec![
                 RunProfile {
@@ -172,7 +191,10 @@ mod tests {
         assert!(j.contains("\"engine\": \"direct\""));
         assert!(j.contains("\"base_seed\": 24301"));
         assert!(j.contains("\"processors\": \"65536\""));
-        assert!(j.contains("\"rep\": 1, \"wall_secs\": 0.600000, \"events\": 1001"));
+        assert!(j.contains("\"warmup\": 1"));
+        assert!(j.contains(
+            "\"rep\": 1, \"wall_secs\": 0.600000, \"events\": 1001, \"events_per_sec\": 1668.3"
+        ));
         assert!(j.ends_with("]\n}\n"));
     }
 
@@ -190,6 +212,7 @@ mod tests {
             faults: 1,
             jobs: 1,
             host_parallelism: 1,
+            warmup: 0,
             config: vec![],
             profiles: vec![],
         };

@@ -1,0 +1,105 @@
+//! Versioned JSON rendering of hot-phase profiles.
+//!
+//! [`ckpt_des::prof`] attributes per-event wall time to five hot
+//! phases; this module turns an accumulated
+//! [`PhaseProfile`](ckpt_des::prof::PhaseProfile) into the stable JSON
+//! breakdown consumed by `ckptsim run --profile-phases` and
+//! `bench_engines --phases`. The schema is versioned
+//! (`phase_schema_version`) so downstream tooling can detect format
+//! changes.
+
+use crate::manifest::json_escape;
+use ckpt_des::prof::{HotPhase, PhaseProfile};
+
+/// Renders `profile` as a versioned JSON object.
+///
+/// * `label` — what was profiled (e.g. `fig4-65536-incremental`).
+/// * `wall_secs` / `events` — the run's total wall time and event
+///   count, used to derive per-phase `ns_per_event` and `share` (the
+///   fraction of *attributed* time, not of total wall time — profiled
+///   builds inflate wall time with the instrumentation itself, so
+///   shares are the meaningful quantity).
+///
+/// The `unattributed_nanos` field is the wall time not covered by any
+/// instrumented region (firing effects, gate evaluation, bookkeeping,
+/// and the instrumentation overhead itself); it is derived as
+/// `wall - attributed` and floored at zero.
+#[must_use]
+pub fn phases_json(label: &str, profile: &PhaseProfile, wall_secs: f64, events: u64) -> String {
+    let attributed = profile.total_nanos();
+    let wall_nanos = (wall_secs * 1e9) as u64;
+    let mut s = String::from("{\n  \"phase_schema_version\": 1,\n");
+    s.push_str(&format!("  \"label\": \"{}\",\n", json_escape(label)));
+    s.push_str(&format!("  \"wall_secs\": {wall_secs:.6},\n"));
+    s.push_str(&format!("  \"events\": {events},\n"));
+    s.push_str(&format!("  \"attributed_nanos\": {attributed},\n"));
+    s.push_str(&format!(
+        "  \"unattributed_nanos\": {},\n",
+        wall_nanos.saturating_sub(attributed)
+    ));
+    s.push_str("  \"phases\": [");
+    for (i, phase) in HotPhase::ALL.iter().enumerate() {
+        let idx = *phase as usize;
+        let nanos = profile.nanos[idx];
+        let count = profile.counts[idx];
+        let ns_per_event = if events > 0 {
+            nanos as f64 / events as f64
+        } else {
+            0.0
+        };
+        let share = if attributed > 0 {
+            nanos as f64 / attributed as f64
+        } else {
+            0.0
+        };
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"phase\": \"{}\", \"nanos\": {nanos}, \"count\": {count}, \
+             \"ns_per_event\": {ns_per_event:.2}, \"share\": {share:.4}}}",
+            phase.name()
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profile_renders_zero_shares() {
+        let j = phases_json("empty", &PhaseProfile::default(), 0.0, 0);
+        assert!(j.contains("\"phase_schema_version\": 1"));
+        assert!(j.contains("\"label\": \"empty\""));
+        assert!(j.contains("\"attributed_nanos\": 0"));
+        for phase in HotPhase::ALL {
+            assert!(j.contains(&format!("\"phase\": \"{}\"", phase.name())));
+        }
+        assert!(j.contains("\"share\": 0.0000"));
+        assert!(j.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn shares_sum_over_attributed_time() {
+        let mut p = PhaseProfile::default();
+        p.nanos[HotPhase::DelaySampling as usize] = 600;
+        p.counts[HotPhase::DelaySampling as usize] = 3;
+        p.nanos[HotPhase::QueueOps as usize] = 400;
+        p.counts[HotPhase::QueueOps as usize] = 8;
+        let j = phases_json("two-phase", &p, 1e-6, 100);
+        assert!(j.contains("\"attributed_nanos\": 1000"));
+        // 1 µs wall = 1000 ns, fully attributed.
+        assert!(j.contains("\"unattributed_nanos\": 0"));
+        assert!(j.contains(
+            "\"phase\": \"delay_sampling\", \"nanos\": 600, \"count\": 3, \
+             \"ns_per_event\": 6.00, \"share\": 0.6000"
+        ));
+        assert!(j.contains(
+            "\"phase\": \"queue_ops\", \"nanos\": 400, \"count\": 8, \
+             \"ns_per_event\": 4.00, \"share\": 0.4000"
+        ));
+    }
+}

@@ -71,3 +71,7 @@ pub use marking::{FluidId, Marking, PlaceId};
 pub use model::{ActivityBuilder, CaseBuilder, San, SanBuilder};
 pub use reward::{RewardReport, RewardSpec, RewardValue};
 pub use simulator::{SanObserver, Scheduling, Simulator};
+
+// The sampler choice travels with the simulator API: `Simulator::with_options`
+// takes it, so callers should not need a direct `ckpt-des` dependency.
+pub use ckpt_des::Sampling;

@@ -2,7 +2,7 @@
 
 use crate::activity::ActivityId;
 use crate::error::SanError;
-use crate::marking::Marking;
+use crate::marking::{Marking, PlaceId};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -25,6 +25,8 @@ type ImpulseFn = Arc<dyn Fn(&Marking) -> f64 + Send + Sync>;
 pub struct RewardSpec {
     name: String,
     rate: Option<RateFn>,
+    /// Declared support of the rate function (see [`RewardSpec::reads`]).
+    rate_reads: Option<Vec<PlaceId>>,
     impulses: Vec<(ActivityId, ImpulseFn)>,
 }
 
@@ -37,6 +39,7 @@ impl RewardSpec {
         RewardSpec {
             name: name.into(),
             rate: Some(Arc::new(rate)),
+            rate_reads: None,
             impulses: Vec::new(),
         }
     }
@@ -47,8 +50,26 @@ impl RewardSpec {
         RewardSpec {
             name: name.into(),
             rate: None,
+            rate_reads: None,
             impulses: Vec::new(),
         }
+    }
+
+    /// Declares the rate function's support: the discrete places its
+    /// value depends on — the same contract as
+    /// [`InputGate::reads`](crate::InputGate::reads).
+    ///
+    /// A declared rate reward is evaluated only when one of these
+    /// places changes (its value is cached between changes), instead of
+    /// on every event. The declaration is a promise: the rate function
+    /// must not read any *other* discrete place, nor fluid levels —
+    /// fluid integration does not mark places dirty. Undeclared rate
+    /// rewards are conservatively re-evaluated every event, which is
+    /// always correct.
+    #[must_use]
+    pub fn reads(mut self, places: &[PlaceId]) -> RewardSpec {
+        self.rate_reads = Some(places.to_vec());
+        self
     }
 
     /// Adds an impulse: when `activity` fires, `value(marking_after)` is
@@ -72,6 +93,10 @@ impl RewardSpec {
         self.rate.as_ref()
     }
 
+    pub(crate) fn rate_reads(&self) -> Option<&[PlaceId]> {
+        self.rate_reads.as_deref()
+    }
+
     pub(crate) fn impulses(&self) -> &[(ActivityId, ImpulseFn)] {
         &self.impulses
     }
@@ -82,6 +107,7 @@ impl fmt::Debug for RewardSpec {
         f.debug_struct("RewardSpec")
             .field("name", &self.name)
             .field("has_rate", &self.rate.is_some())
+            .field("rate_reads", &self.rate_reads.as_ref().map(Vec::len))
             .field("impulses", &self.impulses.len())
             .finish()
     }
@@ -111,14 +137,24 @@ impl RewardValue {
 }
 
 /// The values of all reward variables after a run, indexed by name.
+///
+/// Backed by the simulator's prebuilt name→index map (shared via `Arc`,
+/// maintained as rewards are registered) plus a dense value vector, so
+/// producing a report allocates one small `Vec` instead of rebuilding a
+/// `HashMap` of owned `String` keys on every call.
 #[derive(Debug, Clone, Default)]
 pub struct RewardReport {
-    values: HashMap<String, RewardValue>,
+    names: Arc<HashMap<String, usize>>,
+    values: Vec<RewardValue>,
 }
 
 impl RewardReport {
-    pub(crate) fn new(values: HashMap<String, RewardValue>) -> RewardReport {
-        RewardReport { values }
+    pub(crate) fn new(
+        names: Arc<HashMap<String, usize>>,
+        values: Vec<RewardValue>,
+    ) -> RewardReport {
+        debug_assert_eq!(names.len(), values.len());
+        RewardReport { names, values }
     }
 
     /// The value of the named variable.
@@ -127,15 +163,17 @@ impl RewardReport {
     ///
     /// Returns [`SanError::UnknownReward`] for unregistered names.
     pub fn value(&self, name: &str) -> Result<RewardValue, SanError> {
-        self.values
+        self.names
             .get(name)
-            .copied()
+            .map(|&i| self.values[i])
             .ok_or_else(|| SanError::UnknownReward { name: name.into() })
     }
 
     /// Iterates over `(name, value)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, RewardValue)> + '_ {
-        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+        self.names
+            .iter()
+            .map(|(k, &i)| (k.as_str(), self.values[i]))
     }
 
     /// Number of variables in the report.
@@ -169,16 +207,16 @@ mod tests {
 
     #[test]
     fn report_lookup() {
-        let mut m = HashMap::new();
-        m.insert(
-            "x".to_string(),
-            RewardValue {
+        let mut names = HashMap::new();
+        names.insert("x".to_string(), 0usize);
+        let r = RewardReport::new(
+            Arc::new(names),
+            vec![RewardValue {
                 total: 1.0,
                 window: 2.0,
                 impulse_count: 0,
-            },
+            }],
         );
-        let r = RewardReport::new(m);
         assert_eq!(r.len(), 1);
         assert!(!r.is_empty());
         assert_eq!(r.value("x").unwrap().total, 1.0);
@@ -195,6 +233,9 @@ mod tests {
         let s = RewardSpec::rate("r", |_| 1.0);
         assert_eq!(s.name(), "r");
         assert!(s.rate_fn().is_some());
+        assert!(s.rate_reads().is_none());
+        let s = RewardSpec::rate("r2", |_| 1.0).reads(&[PlaceId(3), PlaceId(5)]);
+        assert_eq!(s.rate_reads().unwrap(), &[PlaceId(3), PlaceId(5)]);
         let s = RewardSpec::impulse_only("i").with_impulse(ActivityId(0), |_| -1.0);
         assert!(s.rate_fn().is_none());
         assert_eq!(s.impulses().len(), 1);

@@ -5,9 +5,11 @@ use crate::error::SanError;
 use crate::marking::Marking;
 use crate::model::San;
 use crate::reward::{RewardReport, RewardSpec, RewardValue};
-use ckpt_des::{EventId, EventQueue, SimRng, SimTime};
+use ckpt_des::prof::{HotPhase, PhaseProfile, PhaseProfiler};
+use ckpt_des::{EventId, EventQueue, Sampling, SimRng, SimTime};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Upper bound on instantaneous firings between two time advances before
 /// the simulator reports a livelock.
@@ -36,10 +38,25 @@ pub enum Scheduling {
     FullScan,
 }
 
+/// Cold per-reward state: consulted when registering, reporting, or
+/// accruing impulses, but not on the per-event integration path (whose
+/// working set lives in the simulator's dense parallel arrays).
 struct RewardState {
     spec: RewardSpec,
-    total: f64,
     impulse_count: u64,
+}
+
+/// How [`Simulator::integrate_to`] obtains a reward's current rate.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RateMode {
+    /// No rate component (impulse-only reward): skip.
+    NoRate,
+    /// Evaluate the rate closure against the marking every step.
+    Evaluate,
+    /// Read the cached value maintained by
+    /// [`Simulator::refresh_dirty_rate_caches`] (declared
+    /// [`RewardSpec::reads`] support under incremental scheduling).
+    Cached,
 }
 
 /// Receives notifications from a running [`Simulator`].
@@ -89,6 +106,24 @@ pub struct Simulator<'m> {
     sampled_version: Vec<u64>,
     rng: SimRng,
     rewards: Vec<RewardState>,
+    /// Running totals, parallel to `rewards`. Split out of
+    /// [`RewardState`] so the per-event integration loop walks a dense
+    /// f64 array instead of striding over the full (spec-carrying)
+    /// reward structs.
+    totals: Vec<f64>,
+    /// How to obtain each reward's rate during integration; parallel to
+    /// `rewards`.
+    rate_mode: Vec<RateMode>,
+    /// `rate(marking)` as of the last support change, for
+    /// [`RateMode::Cached`] rewards; parallel to `rewards`.
+    rate_cache: Vec<f64>,
+    /// Reward name → index into `rewards`; shared with every
+    /// [`RewardReport`] this simulator hands out, so producing a report
+    /// does not rebuild a `HashMap` per call.
+    reward_names: Arc<HashMap<String, usize>>,
+    /// Place index → declared-support rate rewards reading it; drives
+    /// dirty-place-gated cache refresh under incremental scheduling.
+    rate_by_place: Vec<Vec<u32>>,
     /// Activity index → `(reward index, impulse index)` pairs, so firing
     /// only touches rewards that actually attach an impulse to it.
     impulse_map: Vec<Vec<(u32, u32)>>,
@@ -109,6 +144,9 @@ pub struct Simulator<'m> {
     /// activity is a settle candidate for the current event.
     inst_stamp: Vec<u64>,
     inst_gen: u64,
+    /// Hot-phase wall-time attribution; a no-op unless the `prof`
+    /// feature is enabled (see [`ckpt_des::prof`]).
+    prof: PhaseProfiler,
 }
 
 impl<'m> Simulator<'m> {
@@ -125,7 +163,8 @@ impl<'m> Simulator<'m> {
         Simulator::with_scheduling(san, seed, Scheduling::default())
     }
 
-    /// Creates a simulator with an explicit [`Scheduling`] strategy.
+    /// Creates a simulator with an explicit [`Scheduling`] strategy and
+    /// the default ([`Sampling::InverseCdf`]) sampler.
     ///
     /// # Errors
     ///
@@ -136,7 +175,26 @@ impl<'m> Simulator<'m> {
         seed: u64,
         scheduling: Scheduling,
     ) -> Result<Simulator<'m>, SanError> {
+        Simulator::with_options(san, seed, scheduling, Sampling::default())
+    }
+
+    /// Creates a simulator with explicit [`Scheduling`] and [`Sampling`]
+    /// choices. The sampling mode is set before any initial delay draw,
+    /// so the whole run — including initialization — uses one sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError`] if the initial settling livelocks or a delay
+    /// sampler misbehaves.
+    pub fn with_options(
+        san: &'m San,
+        seed: u64,
+        scheduling: Scheduling,
+        sampling: Sampling,
+    ) -> Result<Simulator<'m>, SanError> {
         let n = san.activities.len();
+        let mut rng = SimRng::seed_from_u64(seed);
+        rng.set_sampling(sampling);
         let mut sim = Simulator {
             san,
             marking: san.initial_marking(),
@@ -144,8 +202,13 @@ impl<'m> Simulator<'m> {
             queue: EventQueue::new(),
             scheduled: vec![None; n],
             sampled_version: vec![0; n],
-            rng: SimRng::seed_from_u64(seed),
+            rng,
             rewards: Vec::new(),
+            totals: Vec::new(),
+            rate_mode: Vec::new(),
+            rate_cache: Vec::new(),
+            reward_names: Arc::new(HashMap::new()),
+            rate_by_place: vec![Vec::new(); san.place_count()],
             impulse_map: vec![Vec::new(); n],
             firing_counts: vec![0; n],
             events_total: 0,
@@ -158,6 +221,7 @@ impl<'m> Simulator<'m> {
             visit_gen: 0,
             inst_stamp: vec![0; n],
             inst_gen: 0,
+            prof: PhaseProfiler::new(),
         };
         // Initialization settles and schedules with the full scan in both
         // modes: it visits every activity in ascending index order, which
@@ -174,6 +238,25 @@ impl<'m> Simulator<'m> {
         self.scheduling
     }
 
+    /// The sampling strategy this simulator's RNG runs with.
+    #[must_use]
+    pub fn sampling(&self) -> Sampling {
+        self.rng.sampling()
+    }
+
+    /// The hot-phase profile accumulated so far. All-zero unless the
+    /// `prof` cargo feature is enabled (check
+    /// [`ckpt_des::prof::ENABLED`]).
+    #[must_use]
+    pub fn phase_profile(&self) -> &PhaseProfile {
+        self.prof.profile()
+    }
+
+    /// Returns the accumulated hot-phase profile and resets it.
+    pub fn take_phase_profile(&mut self) -> PhaseProfile {
+        self.prof.take()
+    }
+
     /// Registers a reward variable. Rewards accumulate from the moment
     /// they are registered (or from the last [`Simulator::reset_rewards`]).
     ///
@@ -181,21 +264,44 @@ impl<'m> Simulator<'m> {
     ///
     /// Returns [`SanError::DuplicateReward`] if the name is taken.
     pub fn add_reward(&mut self, spec: RewardSpec) -> Result<(), SanError> {
-        if self.rewards.iter().any(|r| r.spec.name() == spec.name()) {
+        if self.reward_names.contains_key(spec.name()) {
             return Err(SanError::DuplicateReward {
                 name: spec.name().into(),
             });
         }
         let reward_idx = u32::try_from(self.rewards.len()).expect("more than 2^32 rewards");
+        Arc::make_mut(&mut self.reward_names).insert(spec.name().to_string(), self.rewards.len());
         for (impulse_idx, (act, _)) in spec.impulses().iter().enumerate() {
             let impulse_idx = u32::try_from(impulse_idx).expect("more than 2^32 impulses");
             self.impulse_map[act.0].push((reward_idx, impulse_idx));
         }
+        // Rate rewards with a declared support are cached under
+        // incremental scheduling: the rate is evaluated now and
+        // re-evaluated only when a support place changes, instead of on
+        // every integration step. The full scan has no dirty-place
+        // information, so it keeps evaluating directly — same bits,
+        // original cost.
+        let mut rate_mode = RateMode::NoRate;
+        let mut cached_rate = 0.0;
+        if let Some(rate) = spec.rate_fn() {
+            rate_mode = RateMode::Evaluate;
+            if let Some(reads) = spec.rate_reads() {
+                if self.scheduling == Scheduling::Incremental {
+                    rate_mode = RateMode::Cached;
+                    cached_rate = rate(&self.marking);
+                    for p in reads {
+                        self.rate_by_place[p.0].push(reward_idx);
+                    }
+                }
+            }
+        }
         self.rewards.push(RewardState {
             spec,
-            total: 0.0,
             impulse_count: 0,
         });
+        self.totals.push(0.0);
+        self.rate_mode.push(rate_mode);
+        self.rate_cache.push(cached_rate);
         Ok(())
     }
 
@@ -242,8 +348,8 @@ impl<'m> Simulator<'m> {
     /// window at the current time — the "transient discard" step of
     /// steady-state simulation.
     pub fn reset_rewards(&mut self) {
+        self.totals.fill(0.0);
         for r in &mut self.rewards {
-            r.total = 0.0;
             r.impulse_count = 0;
         }
         self.window_start = self.now;
@@ -253,21 +359,17 @@ impl<'m> Simulator<'m> {
     #[must_use]
     pub fn reward_report(&self) -> RewardReport {
         let window = (self.now - self.window_start).as_secs();
-        let values: HashMap<String, RewardValue> = self
+        let values: Vec<RewardValue> = self
             .rewards
             .iter()
-            .map(|r| {
-                (
-                    r.spec.name().to_string(),
-                    RewardValue {
-                        total: r.total,
-                        window,
-                        impulse_count: r.impulse_count,
-                    },
-                )
+            .zip(&self.totals)
+            .map(|(r, &total)| RewardValue {
+                total,
+                window,
+                impulse_count: r.impulse_count,
             })
             .collect();
-        RewardReport::new(values)
+        RewardReport::new(Arc::clone(&self.reward_names), values)
     }
 
     /// Runs for `duration` of simulated time from the current instant.
@@ -299,13 +401,12 @@ impl<'m> Simulator<'m> {
         if condition(&self.marking) {
             return Ok(Some(self.now));
         }
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let Some(ev) = self.queue.pop() else {
-                unreachable!("peek_time returned Some")
-            };
+        loop {
+            let span = self.prof.begin();
+            let ev = self.queue.pop_before(horizon);
+            self.prof.end(HotPhase::QueueOps, span);
+            let Some(ev) = ev else { break };
+            let t = ev.time();
             self.step_event(t, ev.into_payload())?;
             if condition(&self.marking) {
                 return Ok(Some(self.now));
@@ -326,13 +427,12 @@ impl<'m> Simulator<'m> {
     /// Returns [`SanError`] on instantaneous livelock or invalid sampled
     /// delays.
     pub fn run_until(&mut self, horizon: SimTime) -> Result<(), SanError> {
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let Some(ev) = self.queue.pop() else {
-                unreachable!("peek_time returned Some")
-            };
+        loop {
+            let span = self.prof.begin();
+            let ev = self.queue.pop_before(horizon);
+            self.prof.end(HotPhase::QueueOps, span);
+            let Some(ev) = ev else { break };
+            let t = ev.time();
             self.step_event(t, ev.into_payload())?;
         }
         if horizon > self.now {
@@ -351,19 +451,50 @@ impl<'m> Simulator<'m> {
         match self.scheduling {
             Scheduling::FullScan => {
                 self.fire(activity)?;
+                let span = self.prof.begin();
                 self.settle_instantaneous()?;
+                self.prof.end(HotPhase::InstantaneousSettle, span);
+                let span = self.prof.begin();
                 self.update_schedules()?;
+                self.prof
+                    .end_excluding_nested(HotPhase::ScheduleReconciliation, span);
             }
             Scheduling::Incremental => {
                 self.marking.begin_dirty_window();
                 self.fire(activity)?;
+                let span = self.prof.begin();
                 self.settle_incremental()?;
+                self.prof.end(HotPhase::InstantaneousSettle, span);
+                let span = self.prof.begin();
                 self.update_schedules_incremental(activity)?;
+                self.prof
+                    .end_excluding_nested(HotPhase::ScheduleReconciliation, span);
+                self.refresh_dirty_rate_caches();
                 #[cfg(debug_assertions)]
                 self.assert_schedule_consistency();
             }
         }
         Ok(())
+    }
+
+    /// Re-evaluates declared-support rate-reward caches whose support
+    /// intersects the places dirtied by the current event. Rewards whose
+    /// support did not change keep their cache — their rate function
+    /// promised (via [`RewardSpec::reads`]) to depend on nothing else,
+    /// so the cached value still equals a fresh evaluation.
+    fn refresh_dirty_rate_caches(&mut self) {
+        let marking = &self.marking;
+        let rewards = &self.rewards;
+        let rate_cache = &mut self.rate_cache;
+        for &p in marking.dirty_places() {
+            for &ri in &self.rate_by_place[p as usize] {
+                let rate = rewards[ri as usize]
+                    .spec
+                    .rate_fn()
+                    .expect("cached reward has a rate");
+                rate_cache[ri as usize] = rate(marking);
+            }
+        }
     }
 
     /// Advances fluid places and rate rewards over `[self.now, to)`.
@@ -372,20 +503,34 @@ impl<'m> Simulator<'m> {
         if dt <= 0.0 {
             return;
         }
+        let span = self.prof.begin();
         for (fluid, rate) in &self.san.flows {
             let r = rate(&self.marking);
             if r != 0.0 {
                 self.marking.integrate_fluid(*fluid, r * dt);
             }
         }
-        for r in &mut self.rewards {
-            if let Some(rate) = r.spec.rate_fn() {
-                let v = rate(&self.marking);
-                if v != 0.0 {
-                    r.total += v * dt;
+        let marking = &self.marking;
+        let rewards = &self.rewards;
+        let rate_cache = &self.rate_cache;
+        let totals = &mut self.totals;
+        for (k, &mode) in self.rate_mode.iter().enumerate() {
+            // Cached reads hold `rate(marking)` as of the last support
+            // change; `v != 0.0` mirrors the evaluated path's guard so
+            // the accumulated total is bit-identical either way.
+            let v = match mode {
+                RateMode::NoRate => continue,
+                RateMode::Cached => rate_cache[k],
+                RateMode::Evaluate => {
+                    let rate = rewards[k].spec.rate_fn().expect("rate mode has a rate");
+                    rate(marking)
                 }
+            };
+            if v != 0.0 {
+                totals[k] += v * dt;
             }
         }
+        self.prof.end(HotPhase::RewardAccumulation, span);
     }
 
     /// Fires one activity: consume inputs, run gates, pick a case, apply
@@ -451,10 +596,11 @@ impl<'m> Simulator<'m> {
         for &(reward_idx, impulse_idx) in &self.impulse_map[id.0] {
             let r = &mut self.rewards[reward_idx as usize];
             let f = &r.spec.impulses()[impulse_idx as usize].1;
-            r.total += f(&self.marking);
+            let total = self.totals[reward_idx as usize] + f(&self.marking);
+            self.totals[reward_idx as usize] = total;
             r.impulse_count += 1;
             if let Some(obs) = self.observer.as_deref_mut() {
-                obs.reward_updated(self.now, r.spec.name(), r.total);
+                obs.reward_updated(self.now, r.spec.name(), total);
             }
         }
         if let Some(obs) = self.observer.as_deref_mut() {
@@ -619,16 +765,26 @@ impl<'m> Simulator<'m> {
         match (enabled, self.scheduled[i]) {
             (false, Some(ev)) => {
                 // Disabling aborts the activity.
+                let span = self.prof.begin();
                 self.queue.cancel(ev);
+                self.prof.end(HotPhase::QueueOps, span);
                 self.scheduled[i] = None;
             }
             (false, None) => {}
             (true, Some(ev)) => {
                 if def.reactivation == Reactivation::Resample && self.sampled_version[i] != version
                 {
-                    self.queue.cancel(ev);
-                    self.scheduled[i] = None;
-                    self.schedule_timed(i, delay)?;
+                    // Redraw in place: cancelling draws no randomness, so
+                    // sampling before the queue move keeps the RNG stream
+                    // identical to the cancel-then-schedule sequence while
+                    // halving the heap traffic. The handle stays valid, so
+                    // `scheduled[i]` needs no update.
+                    let at = self.sample_delay(i, delay)?;
+                    let span = self.prof.begin();
+                    let moved = self.queue.reschedule(ev, at);
+                    self.prof.end(HotPhase::QueueOps, span);
+                    debug_assert!(moved, "rescheduled a stale handle");
+                    self.sampled_version[i] = self.marking.version();
                 }
             }
             (true, None) => {
@@ -671,20 +827,34 @@ impl<'m> Simulator<'m> {
         }
     }
 
-    fn schedule_timed(
+    /// Draws activity `idx`'s firing delay and converts it to an
+    /// absolute completion time, validating the sample.
+    fn sample_delay(
         &mut self,
         idx: usize,
         delay: &crate::activity::Delay,
-    ) -> Result<(), SanError> {
+    ) -> Result<SimTime, SanError> {
+        let span = self.prof.begin();
         let d = delay.sample(&self.marking, &mut self.rng);
+        self.prof.end(HotPhase::DelaySampling, span);
         if !d.is_finite() || d < 0.0 {
             return Err(SanError::BadDelay {
                 activity: self.san.activities[idx].name.clone(),
                 value: d,
             });
         }
-        let at = self.now + SimTime::from_secs(d);
+        Ok(self.now + SimTime::from_secs(d))
+    }
+
+    fn schedule_timed(
+        &mut self,
+        idx: usize,
+        delay: &crate::activity::Delay,
+    ) -> Result<(), SanError> {
+        let at = self.sample_delay(idx, delay)?;
+        let span = self.prof.begin();
         let ev = self.queue.schedule(at, ActivityId(idx));
+        self.prof.end(HotPhase::QueueOps, span);
         self.scheduled[idx] = Some(ev);
         self.sampled_version[idx] = self.marking.version();
         Ok(())
@@ -1079,5 +1249,65 @@ mod tests {
         let san = repair_model();
         let sim = Simulator::new(&san, 0).unwrap();
         assert!(format!("{sim:?}").contains("repair"));
+    }
+
+    #[test]
+    fn declared_rate_reward_is_bit_identical_to_conservative() {
+        // Declaring the support places must change nothing but the cost:
+        // cached and freshly-evaluated rate rewards accumulate the exact
+        // same bits, under both scheduling strategies.
+        let san = repair_model();
+        let up = san.place_by_name("up").unwrap();
+        let run = |declare: bool, scheduling: Scheduling| {
+            let mut sim = Simulator::with_scheduling(&san, 6, scheduling).unwrap();
+            let spec = RewardSpec::rate("avail", move |m| if m.has_token(up) { 1.0 } else { 0.0 });
+            let spec = if declare { spec.reads(&[up]) } else { spec };
+            sim.add_reward(spec).unwrap();
+            sim.run_for(SimTime::from_secs(50_000.0)).unwrap();
+            sim.reward_report().value("avail").unwrap().total
+        };
+        let reference = run(false, Scheduling::FullScan);
+        for scheduling in [Scheduling::FullScan, Scheduling::Incremental] {
+            assert_eq!(run(true, scheduling).to_bits(), reference.to_bits());
+            assert_eq!(run(false, scheduling).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn ziggurat_sampling_reproduces_availability() {
+        // Ziggurat is distribution-equivalent, not bit-identical: the
+        // repair model's long-run availability must still come out at
+        // ~0.9 within Monte-Carlo noise.
+        let san = repair_model();
+        let up = san.place_by_name("up").unwrap();
+        let mut sim =
+            Simulator::with_options(&san, 1, Scheduling::Incremental, Sampling::Ziggurat).unwrap();
+        assert_eq!(sim.sampling(), Sampling::Ziggurat);
+        sim.add_reward(RewardSpec::rate("avail", move |m| {
+            if m.has_token(up) {
+                1.0
+            } else {
+                0.0
+            }
+        }))
+        .unwrap();
+        sim.run_for(SimTime::from_secs(200_000.0)).unwrap();
+        let a = sim.reward_report().value("avail").unwrap().time_average();
+        assert!((a - 0.9).abs() < 0.01, "availability {a}");
+    }
+
+    #[test]
+    fn phase_profile_matches_build_features() {
+        let san = repair_model();
+        let mut sim = Simulator::new(&san, 12).unwrap();
+        sim.run_for(SimTime::from_secs(1_000.0)).unwrap();
+        if ckpt_des::prof::ENABLED {
+            assert!(!sim.phase_profile().is_empty());
+            let taken = sim.take_phase_profile();
+            assert!(taken.total_nanos() > 0 || taken.counts.iter().any(|&c| c > 0));
+        } else {
+            assert!(sim.phase_profile().is_empty());
+        }
+        assert!(sim.phase_profile().is_empty() || ckpt_des::prof::ENABLED);
     }
 }

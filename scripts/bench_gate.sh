@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Perf-regression gate: re-measures the engine's smoke workload and
+# fails when incremental-scheduler throughput regressed more than
+# MAX_REGRESSION_PCT against the committed reference in
+# BENCH_hotloop.json (the "gate_reference_quick" leg, produced by
+# `cargo run --release -p ckpt-bench --bin bench_hotloop`).
+#
+# Usage: scripts/bench_gate.sh [extra bench_engines flags...]
+#
+# The measurement is `bench_engines --quick --warmup 1` — small enough
+# for every PR, warm enough that cold-start noise stays out. Because
+# events/sec is host-dependent, the gate only *fails* on hosts with
+# real parallelism (CI runners); on single-core hosts, or when
+# BENCH_GATE_REPORT_ONLY=1, it reports the comparison without failing.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+max_regression_pct="${MAX_REGRESSION_PCT:-15}"
+ref_file="$repo/BENCH_hotloop.json"
+
+if [ ! -f "$ref_file" ]; then
+  echo "bench_gate: no $ref_file — run bench_hotloop to create the reference" >&2
+  exit 2
+fi
+
+# Reference: events/sec of the gate_reference_quick leg.
+ref_eps="$(python3 - "$ref_file" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print(int(doc["gate"]["events_per_sec"]))
+EOF
+)"
+
+(cd "$repo" && cargo build --release -p ckpt-bench --bin bench_engines >&2)
+(cd "$repo" && ./target/release/bench_engines --quick --warmup 1 "$@" >/dev/null)
+
+cur_eps="$(python3 - "$repo/BENCH_engines.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+[inc] = [r for r in doc["runs"] if r["scheduler"] == "incremental"]
+print(int(inc["events_per_sec"]))
+EOF
+)"
+
+verdict="$(awk -v cur="$cur_eps" -v ref="$ref_eps" -v max="$max_regression_pct" \
+  'BEGIN {
+     drop = 100.0 * (ref - cur) / ref;
+     printf "reference %d ev/s, measured %d ev/s, change %+.1f%%\n", ref, cur, -drop;
+     exit (drop > max) ? 1 : 0;
+   }')" && pass=0 || pass=1
+echo "bench_gate: $verdict (budget: ${max_regression_pct}% regression)"
+
+if [ "$pass" -ne 0 ]; then
+  cores="$(nproc 2>/dev/null || echo 1)"
+  if [ "${BENCH_GATE_REPORT_ONLY:-0}" = "1" ] || [ "$cores" -le 1 ]; then
+    echo "bench_gate: REGRESSION over budget, but report-only" \
+         "(cores=$cores, BENCH_GATE_REPORT_ONLY=${BENCH_GATE_REPORT_ONLY:-0})" >&2
+    exit 0
+  fi
+  echo "bench_gate: FAIL — events/sec regressed more than ${max_regression_pct}%" >&2
+  echo "bench_gate: if intentional, refresh the reference with" \
+       "'cargo run --release -p ckpt-bench --bin bench_hotloop'" >&2
+  exit 1
+fi
+echo "bench_gate: OK"

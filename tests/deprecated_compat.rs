@@ -27,6 +27,7 @@ fn opts() -> RunOptions {
         transient: SimTime::from_hours(10.0),
         horizon: SimTime::from_hours(120.0),
         scheduling: Scheduling::default(),
+        ..RunOptions::default()
     }
 }
 

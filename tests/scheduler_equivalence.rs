@@ -20,6 +20,7 @@ fn assert_bit_identical(cfg: SystemConfig, what: &str) {
                     transient: SimTime::from_hours(50.0),
                     horizon: SimTime::from_hours(500.0),
                     scheduling,
+                    ..RunOptions::default()
                 })
                 .expect("replication runs");
             (outcome.metrics, outcome.events)
