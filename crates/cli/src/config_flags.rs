@@ -1,8 +1,43 @@
 //! Shared configuration-flag parsing for `run` and `analytic`.
 
 use ckpt_core::config::{CoordinationMode, ErrorPropagation, GenericCorrelated, SystemConfig};
+use ckpt_core::PolicySpec;
 use ckpt_des::SimTime;
 use ckpt_harness::CkptError;
+
+/// Parses a `--policy` value: a bare policy name, or
+/// `adaptive:WINDOW,FLOOR_SECS,CEIL_SECS` to override the adaptive
+/// defaults.
+fn parse_policy(v: &str) -> Result<PolicySpec, CkptError> {
+    match v {
+        "fixed" => Ok(PolicySpec::Fixed),
+        "daly" => Ok(PolicySpec::DalyOptimal),
+        "adaptive" => Ok(PolicySpec::load_adaptive_default()),
+        other => {
+            if let Some(params) = other.strip_prefix("adaptive:") {
+                let parts: Vec<&str> = params.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(CkptError::Usage(
+                        "--policy adaptive:WINDOW,FLOOR_SECS,CEIL_SECS".into(),
+                    ));
+                }
+                let bad = |e| CkptError::Usage(format!("--policy adaptive: {e}"));
+                return Ok(PolicySpec::LoadAdaptive {
+                    window: parts[0].parse().map_err(bad)?,
+                    floor_secs: parts[1]
+                        .parse()
+                        .map_err(|e| CkptError::Usage(format!("--policy adaptive: {e}")))?,
+                    ceil_secs: parts[2]
+                        .parse()
+                        .map_err(|e| CkptError::Usage(format!("--policy adaptive: {e}")))?,
+                });
+            }
+            Err(CkptError::Usage(format!(
+                "--policy: unknown policy '{other}' (fixed|daly|adaptive[:W,F,C])"
+            )))
+        }
+    }
+}
 
 /// Splits `args` into configuration flags (consumed here) and the rest
 /// (returned for the run-option parser), and builds the [`SystemConfig`].
@@ -122,6 +157,10 @@ pub fn parse_config(args: Vec<String>) -> Result<(SystemConfig, Vec<String>), Ck
                     parse_num(parts[1], "--jitter hi")?,
                 )));
             }
+            "--policy" => {
+                let v = value(&mut it, "--policy")?;
+                b = b.policy(parse_policy(&v)?);
+            }
             "--no-failures" => {
                 b = b.failures_enabled(false);
             }
@@ -220,5 +259,30 @@ mod tests {
     fn no_failures_switch() {
         let (cfg, _) = parse_config(argv(&["--no-failures"])).unwrap();
         assert!(!cfg.failures_enabled());
+    }
+
+    #[test]
+    fn policy_flag() {
+        let (cfg, _) = parse_config(vec![]).unwrap();
+        assert_eq!(cfg.policy(), PolicySpec::Fixed);
+        let (cfg, _) = parse_config(argv(&["--policy", "fixed"])).unwrap();
+        assert_eq!(cfg.policy(), PolicySpec::Fixed);
+        let (cfg, _) = parse_config(argv(&["--policy", "daly"])).unwrap();
+        assert_eq!(cfg.policy(), PolicySpec::DalyOptimal);
+        let (cfg, _) = parse_config(argv(&["--policy", "adaptive"])).unwrap();
+        assert_eq!(cfg.policy(), PolicySpec::load_adaptive_default());
+        let (cfg, _) = parse_config(argv(&["--policy", "adaptive:4,120,7200"])).unwrap();
+        assert_eq!(
+            cfg.policy(),
+            PolicySpec::LoadAdaptive {
+                window: 4,
+                floor_secs: 120.0,
+                ceil_secs: 7200.0,
+            }
+        );
+        assert!(parse_config(argv(&["--policy", "psychic"])).is_err());
+        assert!(parse_config(argv(&["--policy", "adaptive:1,2"])).is_err());
+        // Parameter validation still runs: window 1 is rejected.
+        assert!(parse_config(argv(&["--policy", "adaptive:1,60,120"])).is_err());
     }
 }

@@ -6,7 +6,9 @@
 //! * `figure <id>` — regenerate one of the paper's figures,
 //! * `list` — list the available figure ids,
 //! * `table3` — print the model parameters (paper's Table 3),
-//! * `analytic` — print the closed-form baselines for a configuration.
+//! * `analytic` — print the closed-form baselines for a configuration,
+//! * `optimize` — search the checkpoint-policy space for the best
+//!   useful-work fraction and emit a versioned JSON report.
 //!
 //! Configuration flags are shared between `run` and `analytic`; see
 //! [`config_flags::parse_config`].
@@ -16,6 +18,7 @@
 
 pub mod commands;
 pub mod config_flags;
+pub mod optimize;
 
 pub use ckpt_harness::CkptError;
 
@@ -30,6 +33,9 @@ USAGE:
     ckptsim table3                                print model parameters
     ckptsim analytic [CONFIG FLAGS]               closed-form baselines
     ckptsim dot      [CONFIG FLAGS]               SAN structure as Graphviz DOT
+    ckptsim optimize [CONFIG FLAGS] [RUN FLAGS] [--out FILE]
+                                                  search checkpoint policies for
+                                                  the best useful-work fraction
 
 CONFIG FLAGS:
     --processors N           total compute processors       [65536]
@@ -45,6 +51,9 @@ CONFIG FLAGS:
     --generic-correlated A,R generic correlation (alpha, factor)
     --spatial P              compute/I-O co-failure probability (extension)
     --jitter LO,HI           per-cycle compute-fraction jitter (extension)
+    --policy P               checkpoint-interval policy             [fixed]
+                             fixed | daly | adaptive[:WINDOW,FLOOR_S,CEIL_S]
+                             (adaptive needs --engine direct)
 
 RUN FLAGS:
     --engine direct|san      simulation engine              [direct]
@@ -104,6 +113,7 @@ fn dispatch(mut args: Vec<String>) -> Result<(), CkptError> {
         "table3" => commands::table3(),
         "analytic" => commands::analytic(args),
         "dot" => commands::dot(args),
+        "optimize" => optimize::optimize(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -150,6 +160,46 @@ mod tests {
             ])),
             0
         );
+    }
+
+    #[test]
+    fn optimize_rejects_report_sinks_and_bad_flags() {
+        assert_eq!(run(argv(&["optimize", "--metrics", "m.json"])), 2);
+        assert_eq!(run(argv(&["optimize", "--trace", "t.jsonl"])), 2);
+        assert_eq!(run(argv(&["optimize", "--out"])), 2);
+        assert_eq!(run(argv(&["optimize", "--bogus"])), 2);
+    }
+
+    #[test]
+    fn optimize_smoke_writes_report() {
+        let path = std::env::temp_dir().join(format!("ckptsim-opt-{}.json", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        assert_eq!(
+            run(argv(&[
+                "optimize",
+                "--processors",
+                "1024",
+                "--mttf-years",
+                "0.25",
+                "--reps",
+                "1",
+                "--hours",
+                "50",
+                "--transient",
+                "5",
+                "--jobs",
+                "2",
+                "--quiet",
+                "--out",
+                &path_s,
+            ])),
+            0
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let doc = ckpt_harness::json::parse(&text).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("optimize_report"));
+        assert!(doc.get("winner").unwrap().get("label").is_some());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! select which model features (coordination, timeout, correlated
 //! failures) are active, and the derived quantities both simulators use.
 
+use crate::policy::PolicySpec;
 use ckpt_des::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -97,6 +98,13 @@ pub enum ConfigError {
         /// The rejected value.
         value: f64,
     },
+    /// A count parameter that divides or groups other quantities
+    /// (`procs_per_node`, `compute_nodes_per_io_node`) was zero, which
+    /// would make the derived node counts divide by zero.
+    ZeroCount {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -114,6 +122,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::OutOfRange { name, value } => {
                 write!(f, "parameter '{name}' out of range: {value}")
+            }
+            ConfigError::ZeroCount { name } => {
+                write!(f, "count parameter '{name}' must be at least 1")
             }
         }
     }
@@ -150,6 +161,7 @@ pub struct SystemConfig {
     pub(crate) compute_nodes_per_io_node: u32,
     // --- checkpoint protocol ---
     pub(crate) checkpoint_interval: SimTimeSecs,
+    pub(crate) policy: PolicySpec,
     pub(crate) mttq: SimTimeSecs,
     pub(crate) broadcast_overhead: SimTimeSecs,
     pub(crate) software_overhead: SimTimeSecs,
@@ -190,6 +202,14 @@ impl SystemConfig {
         SystemConfigBuilder::default()
     }
 
+    /// Re-opens this (validated) configuration as a builder so a
+    /// variant can be derived by changing a few fields — e.g. the
+    /// policy-search candidates in `ckptsim optimize`.
+    #[must_use]
+    pub fn to_builder(&self) -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg: self.clone() }
+    }
+
     // --- scale accessors -------------------------------------------------
 
     /// Total compute processors.
@@ -226,10 +246,17 @@ impl SystemConfig {
 
     // --- protocol accessors ----------------------------------------------
 
-    /// Interval between checkpoint initiations.
+    /// Interval between checkpoint initiations (the base interval the
+    /// [`PolicySpec::Fixed`] policy uses verbatim).
     #[must_use]
     pub fn checkpoint_interval(&self) -> SimTime {
         SimTime::from_secs(self.checkpoint_interval)
+    }
+
+    /// Selected checkpoint-interval policy.
+    #[must_use]
+    pub fn policy(&self) -> PolicySpec {
+        self.policy
     }
 
     /// Per-node mean time to quiesce.
@@ -525,6 +552,7 @@ impl SystemConfig {
                 "checkpoint_interval_secs".into(),
                 self.checkpoint_interval.to_string(),
             ),
+            ("policy".into(), self.policy.to_string()),
             ("mttq_secs".into(), self.mttq.to_string()),
             (
                 "broadcast_overhead_secs".into(),
@@ -622,6 +650,7 @@ impl Default for SystemConfigBuilder {
                 procs_per_node: 8,
                 compute_nodes_per_io_node: 64,
                 checkpoint_interval: 30.0 * 60.0,
+                policy: PolicySpec::Fixed,
                 mttq: 10.0,
                 broadcast_overhead: 1e-3,
                 software_overhead: 1e-3,
@@ -680,6 +709,13 @@ impl SystemConfigBuilder {
     #[must_use]
     pub fn checkpoint_interval(mut self, t: SimTime) -> Self {
         self.cfg.checkpoint_interval = t.as_secs();
+        self
+    }
+
+    /// Checkpoint-interval policy (default: the paper's fixed interval).
+    #[must_use]
+    pub fn policy(mut self, p: PolicySpec) -> Self {
+        self.cfg.policy = p;
         self
     }
 
@@ -880,10 +916,17 @@ impl SystemConfigBuilder {
     /// or a fraction/probability is out of range.
     pub fn build(self) -> Result<SystemConfig, ConfigError> {
         let c = &self.cfg;
-        if c.processors == 0
-            || c.procs_per_node == 0
-            || !c.processors.is_multiple_of(u64::from(c.procs_per_node))
-        {
+        if c.procs_per_node == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "procs_per_node",
+            });
+        }
+        if c.compute_nodes_per_io_node == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "compute_nodes_per_io_node",
+            });
+        }
+        if c.processors == 0 || !c.processors.is_multiple_of(u64::from(c.procs_per_node)) {
             return Err(ConfigError::BadProcessorCount {
                 processors: c.processors,
                 per_node: c.procs_per_node,
@@ -926,12 +969,6 @@ impl SystemConfigBuilder {
             return Err(ConfigError::OutOfRange {
                 name: "app_io_data_per_node_mb",
                 value: c.app_io_data_per_node_mb,
-            });
-        }
-        if c.compute_nodes_per_io_node == 0 {
-            return Err(ConfigError::OutOfRange {
-                name: "compute_nodes_per_io_node",
-                value: 0.0,
             });
         }
         if let Some(e) = c.error_propagation {
@@ -997,6 +1034,7 @@ impl SystemConfigBuilder {
                 value: 0.0,
             });
         }
+        c.policy.validate()?;
         Ok(self.cfg)
     }
 }
@@ -1084,6 +1122,87 @@ mod tests {
     #[test]
     fn rejects_zero_processors() {
         assert!(SystemConfig::builder().processors(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_group_counts() {
+        // Regression: both denominators of node_count()/io_node_count()
+        // must be rejected with a dedicated error, not folded into an
+        // unrelated variant (or worse, reach a divide-by-zero).
+        let err = SystemConfig::builder()
+            .procs_per_node(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroCount {
+                name: "procs_per_node"
+            }
+        );
+        let err = SystemConfig::builder()
+            .compute_nodes_per_io_node(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroCount {
+                name: "compute_nodes_per_io_node"
+            }
+        );
+        assert!(err.to_string().contains("compute_nodes_per_io_node"));
+    }
+
+    #[test]
+    fn rejects_bad_policy_parameters() {
+        let err = SystemConfig::builder()
+            .policy(PolicySpec::LoadAdaptive {
+                window: 1,
+                floor_secs: 60.0,
+                ceil_secs: 120.0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::OutOfRange { name, .. } if name == "policy.window"));
+    }
+
+    #[test]
+    fn policy_defaults_to_fixed_and_appears_in_summary() {
+        let c = SystemConfig::builder().build().unwrap();
+        assert_eq!(c.policy(), PolicySpec::Fixed);
+        let s = c.summary();
+        let policy = s.iter().find(|(k, _)| k == "policy").unwrap();
+        assert_eq!(policy.1, "fixed");
+
+        let c = SystemConfig::builder()
+            .policy(PolicySpec::DalyOptimal)
+            .build()
+            .unwrap();
+        let s = c.summary();
+        let policy = s.iter().find(|(k, _)| k == "policy").unwrap();
+        assert_eq!(policy.1, "daly_optimal");
+    }
+
+    #[test]
+    fn to_builder_round_trips_and_derives_variants() {
+        let base = SystemConfig::builder()
+            .processors(8192)
+            .coordination(CoordinationMode::MaxOfN)
+            .build()
+            .unwrap();
+        let copy = base.to_builder().build().unwrap();
+        assert_eq!(base, copy);
+
+        let variant = base
+            .to_builder()
+            .checkpoint_interval(SimTime::from_secs(600.0))
+            .policy(PolicySpec::DalyOptimal)
+            .build()
+            .unwrap();
+        assert_eq!(variant.checkpoint_interval().as_secs(), 600.0);
+        assert_eq!(variant.policy(), PolicySpec::DalyOptimal);
+        // Untouched fields survive the round trip.
+        assert_eq!(variant.processors(), 8192);
+        assert_eq!(variant.coordination(), CoordinationMode::MaxOfN);
     }
 
     #[test]

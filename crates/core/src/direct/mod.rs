@@ -28,6 +28,7 @@ mod events;
 
 use crate::config::{CoordinationMode, RecoveryTimeModel, SystemConfig};
 use crate::metrics::{Counters, Metrics, PhaseKind, PhaseTimes};
+use crate::policy::CheckpointPolicy;
 use crate::trace::{AbortReason, TraceBuffer, TraceEvent};
 use ckpt_des::{EventId, EventQueue, RngFactory, SimRng, SimTime, StreamId};
 use ckpt_obs::{ObsEvent, Observer};
@@ -87,6 +88,12 @@ pub struct DirectSimulator<'c> {
     window_open: bool,
     consecutive_failed_recoveries: u32,
 
+    /// Checkpoint-interval policy, consulted each time the trigger is
+    /// armed and fed every recorded model event. Deterministic (see
+    /// [`CheckpointPolicy`]); the fixed policy reproduces the historical
+    /// constant interval bit-for-bit.
+    policy: Box<dyn CheckpointPolicy>,
+
     // RNG streams (one per stochastic component; reproducible from the seed).
     rng_compute: SimRng,
     rng_io: SimRng,
@@ -135,6 +142,7 @@ impl<'c> DirectSimulator<'c> {
             buffered: false,
             window_open: false,
             consecutive_failed_recoveries: 0,
+            policy: cfg.policy().build(cfg),
             rng_compute: f.stream(StreamId::new("compute_failure", 0)),
             rng_io: f.stream(StreamId::new("io_failure", 0)),
             rng_master: f.stream(StreamId::new("master_failure", 0)),
@@ -284,6 +292,7 @@ impl<'c> DirectSimulator<'c> {
     }
 
     fn record(&mut self, event: TraceEvent) {
+        self.policy.observe(self.now, event);
         if let Some(t) = &mut self.trace {
             t.record(self.now, event);
         }
@@ -497,7 +506,8 @@ impl<'c> DirectSimulator<'c> {
     // ------------------------------------------------------------------
 
     fn arm_checkpoint_trigger(&mut self) {
-        self.schedule(Event::CheckpointTrigger, self.cfg.checkpoint_interval());
+        let interval = self.policy.next_interval(self.now);
+        self.schedule(Event::CheckpointTrigger, interval);
     }
 
     fn schedule_app_phase_end(&mut self) {

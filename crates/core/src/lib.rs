@@ -48,6 +48,7 @@ pub mod config;
 pub mod direct;
 pub mod experiment;
 pub mod metrics;
+pub mod policy;
 pub mod san_model;
 pub mod trace;
 
@@ -57,3 +58,4 @@ pub use experiment::{
     ReplicationProfile, ReplicationStore, RunControl, WorkerFault,
 };
 pub use metrics::{Counters, Metrics, PhaseKind};
+pub use policy::{CheckpointPolicy, PolicySpec};

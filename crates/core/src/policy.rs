@@ -1,0 +1,442 @@
+//! Checkpoint-interval policies.
+//!
+//! The paper fixes a single fixed-interval policy (Table 3: 30 minutes);
+//! the interesting design questions live in the policy space around it.
+//! This module makes the interval decision a first-class, composable
+//! trait so both engines can run alternative policies:
+//!
+//! * [`PolicySpec::Fixed`] — the paper's policy: every interval equals
+//!   [`SystemConfig::checkpoint_interval`]. This is the bit-identity
+//!   baseline; selecting it reproduces the pre-policy behavior exactly.
+//! * [`PolicySpec::DalyOptimal`] — the interval is computed once from
+//!   the configured failure rates and dump time with Daly's
+//!   higher-order optimum (`ckpt_analytic::daly::optimal_interval`).
+//! * [`PolicySpec::LoadAdaptive`] — the interval is re-derived at every
+//!   checkpoint trigger from the *empirically observed* failure times
+//!   (the same model events the PR 2 observer stream carries), clamped
+//!   to a configured band. Direct engine only: the SAN composition
+//!   hard-codes the trigger delay in an activity distribution, so
+//!   [`CheckpointSan::build`](crate::san_model::CheckpointSan::build)
+//!   refuses it like the other direct-only ablations.
+//!
+//! Policies are deterministic and draw no random numbers, so they
+//! preserve the workspace's determinism contract: replication `k` still
+//! consumes exactly the same RNG streams with or without a policy in
+//! the loop, and the fixed policy is bit-identical to the historical
+//! hard-coded interval.
+
+use crate::config::{ConfigError, SystemConfig};
+use ckpt_des::SimTime;
+use ckpt_obs::ModelEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Serializable selection of a checkpoint-interval policy.
+///
+/// Participates in [`SystemConfig`] equality, the config summary, and —
+/// via the harness's canonical JSON — the experiment fingerprint, so
+/// result caches and snapshot journals distinguish runs by policy. The
+/// default ([`PolicySpec::Fixed`]) renders as the *absence* of a policy
+/// key in canonical JSON, which keeps every pre-policy fingerprint and
+/// snapshot valid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// The paper's fixed interval: [`SystemConfig::checkpoint_interval`].
+    #[default]
+    Fixed,
+    /// Daly's optimal interval computed from the configured dump time
+    /// and aggregate failure rate (compute + generic correlated). Falls
+    /// back to the configured interval when failures are disabled.
+    DalyOptimal,
+    /// Re-estimate the interval at each trigger from observed failures.
+    LoadAdaptive {
+        /// Number of most-recent failure timestamps kept (≥ 2).
+        window: u32,
+        /// Lower clamp on the emitted interval, seconds (> 0).
+        floor_secs: f64,
+        /// Upper clamp on the emitted interval, seconds (≥ floor).
+        ceil_secs: f64,
+    },
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicySpec::Fixed => write!(f, "fixed"),
+            PolicySpec::DalyOptimal => write!(f, "daly_optimal"),
+            PolicySpec::LoadAdaptive {
+                window,
+                floor_secs,
+                ceil_secs,
+            } => write!(
+                f,
+                "load_adaptive{{window={window},floor={floor_secs},ceil={ceil_secs}}}"
+            ),
+        }
+    }
+}
+
+/// Default observation window of [`PolicySpec::LoadAdaptive`].
+pub const ADAPTIVE_DEFAULT_WINDOW: u32 = 8;
+/// Default interval floor of [`PolicySpec::LoadAdaptive`], seconds.
+pub const ADAPTIVE_DEFAULT_FLOOR_SECS: f64 = 60.0;
+/// Default interval ceiling of [`PolicySpec::LoadAdaptive`], seconds
+/// (the paper's largest studied interval, 4 h).
+pub const ADAPTIVE_DEFAULT_CEIL_SECS: f64 = 4.0 * 3600.0;
+
+impl PolicySpec {
+    /// A [`PolicySpec::LoadAdaptive`] with the default window and clamp
+    /// band (window 8, 60 s – 4 h).
+    #[must_use]
+    pub fn load_adaptive_default() -> PolicySpec {
+        PolicySpec::LoadAdaptive {
+            window: ADAPTIVE_DEFAULT_WINDOW,
+            floor_secs: ADAPTIVE_DEFAULT_FLOOR_SECS,
+            ceil_secs: ADAPTIVE_DEFAULT_CEIL_SECS,
+        }
+    }
+
+    /// Stable machine-readable name (canonical JSON / CLI value).
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            PolicySpec::Fixed => "fixed",
+            PolicySpec::DalyOptimal => "daly_optimal",
+            PolicySpec::LoadAdaptive { .. } => "load_adaptive",
+        }
+    }
+
+    /// Validates the policy parameters (called by
+    /// [`SystemConfigBuilder::build`](crate::config::SystemConfigBuilder::build)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the adaptive window is smaller than 2
+    /// or the clamp band is not `0 < floor ≤ ceil` with finite bounds.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let PolicySpec::LoadAdaptive {
+            window,
+            floor_secs,
+            ceil_secs,
+        } = *self
+        {
+            if window < 2 {
+                return Err(ConfigError::OutOfRange {
+                    name: "policy.window",
+                    value: f64::from(window),
+                });
+            }
+            if !(floor_secs.is_finite() && floor_secs > 0.0) {
+                return Err(ConfigError::NonPositiveDuration {
+                    name: "policy.floor_secs",
+                });
+            }
+            if !(ceil_secs.is_finite() && ceil_secs >= floor_secs) {
+                return Err(ConfigError::OutOfRange {
+                    name: "policy.ceil_secs",
+                    value: ceil_secs,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The constant interval this policy uses, if it is static: the
+    /// configured interval for [`PolicySpec::Fixed`], the Daly optimum
+    /// for [`PolicySpec::DalyOptimal`], `None` for the (dynamic)
+    /// adaptive policy. This is what the SAN engine compiles into its
+    /// `checkpoint_trigger` activity.
+    #[must_use]
+    pub fn static_interval(&self, cfg: &SystemConfig) -> Option<SimTime> {
+        match self {
+            PolicySpec::Fixed => Some(cfg.checkpoint_interval()),
+            PolicySpec::DalyOptimal => {
+                Some(daly_interval(cfg).unwrap_or_else(|| cfg.checkpoint_interval()))
+            }
+            PolicySpec::LoadAdaptive { .. } => None,
+        }
+    }
+
+    /// Instantiates the runtime policy for one replication.
+    #[must_use]
+    pub fn build(&self, cfg: &SystemConfig) -> Box<dyn CheckpointPolicy> {
+        match *self {
+            PolicySpec::Fixed | PolicySpec::DalyOptimal => Box::new(FixedInterval {
+                interval: self
+                    .static_interval(cfg)
+                    .expect("static policies have an interval"),
+            }),
+            PolicySpec::LoadAdaptive {
+                window,
+                floor_secs,
+                ceil_secs,
+            } => Box::new(LoadAdaptive {
+                base_secs: cfg.checkpoint_interval().as_secs(),
+                dump_secs: cfg.checkpoint_dump_time().as_secs(),
+                floor_secs,
+                ceil_secs,
+                window: window as usize,
+                failures: VecDeque::with_capacity(window as usize),
+            }),
+        }
+    }
+}
+
+/// Daly's optimal interval for `cfg`, or `None` when the model has no
+/// failure process to optimize against (failures disabled or zero
+/// aggregate rate).
+fn daly_interval(cfg: &SystemConfig) -> Option<SimTime> {
+    if !cfg.failures_enabled() {
+        return None;
+    }
+    let rate = cfg.compute_failure_rate() + cfg.generic_correlated_rate();
+    if !(rate.is_finite() && rate > 0.0) {
+        return None;
+    }
+    let delta = cfg.checkpoint_dump_time().as_secs();
+    Some(SimTime::from_secs(ckpt_analytic::daly::optimal_interval(
+        delta,
+        1.0 / rate,
+    )))
+}
+
+/// A checkpoint-interval decision procedure, consulted by the engines
+/// each time the next checkpoint trigger is armed.
+///
+/// Implementations must be deterministic functions of the observed
+/// event sequence — no randomness, no wall-clock — so the workspace's
+/// bit-reproducibility (any `--jobs`, crash/resume) is preserved.
+pub trait CheckpointPolicy {
+    /// Delay from `now` until the next checkpoint initiation.
+    fn next_interval(&mut self, now: SimTime) -> SimTime;
+
+    /// Feeds one model event (same vocabulary as the observer stream)
+    /// into the policy. Default: ignore.
+    fn observe(&mut self, _now: SimTime, _event: ModelEvent) {}
+}
+
+/// The static policy: a constant interval, precomputed at build time.
+/// Backs both [`PolicySpec::Fixed`] and [`PolicySpec::DalyOptimal`].
+struct FixedInterval {
+    interval: SimTime,
+}
+
+impl CheckpointPolicy for FixedInterval {
+    fn next_interval(&mut self, _now: SimTime) -> SimTime {
+        self.interval
+    }
+}
+
+/// The load-adaptive policy: keeps the last `window` failure times and
+/// re-derives Daly's optimum from the empirical MTBF over that window,
+/// clamped to `[floor, ceil]`. With fewer than two observations it
+/// falls back to the configured base interval (also clamped).
+struct LoadAdaptive {
+    base_secs: f64,
+    dump_secs: f64,
+    floor_secs: f64,
+    ceil_secs: f64,
+    window: usize,
+    failures: VecDeque<f64>,
+}
+
+impl LoadAdaptive {
+    fn clamp(&self, secs: f64) -> SimTime {
+        SimTime::from_secs(secs.clamp(self.floor_secs, self.ceil_secs))
+    }
+}
+
+impl CheckpointPolicy for LoadAdaptive {
+    fn next_interval(&mut self, _now: SimTime) -> SimTime {
+        if self.failures.len() < 2 {
+            return self.clamp(self.base_secs);
+        }
+        let first = *self.failures.front().expect("non-empty window");
+        let last = *self.failures.back().expect("non-empty window");
+        // Timestamps are finite and the window is deduplicated, but a
+        // zero span must still clamp rather than divide to infinity.
+        let span = last - first;
+        if span <= 0.0 {
+            return self.clamp(self.floor_secs);
+        }
+        let mtbf = span / (self.failures.len() - 1) as f64;
+        self.clamp(ckpt_analytic::daly::optimal_interval(self.dump_secs, mtbf))
+    }
+
+    fn observe(&mut self, now: SimTime, event: ModelEvent) {
+        let is_failure = matches!(
+            event,
+            ModelEvent::Rollback { .. } | ModelEvent::IoFailure | ModelEvent::RecoveryInterrupted
+        );
+        if !is_failure {
+            return;
+        }
+        let t = now.as_secs();
+        // Distinct failures only: one wall-clock instant counts once.
+        if self.failures.back().is_some_and(|&last| last == t) {
+            return;
+        }
+        if self.failures.len() == self.window {
+            self.failures.pop_front();
+        }
+        self.failures.push_back(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::builder().build().unwrap()
+    }
+
+    #[test]
+    fn fixed_policy_returns_configured_interval() {
+        let c = cfg();
+        let mut p = PolicySpec::Fixed.build(&c);
+        for hours in [0.0, 1.0, 500.0] {
+            assert_eq!(
+                p.next_interval(SimTime::from_hours(hours)),
+                c.checkpoint_interval()
+            );
+        }
+        assert_eq!(
+            PolicySpec::Fixed.static_interval(&c),
+            Some(c.checkpoint_interval())
+        );
+    }
+
+    #[test]
+    fn daly_policy_matches_closed_form() {
+        let c = cfg();
+        let rate = c.compute_failure_rate() + c.generic_correlated_rate();
+        let expected =
+            ckpt_analytic::daly::optimal_interval(c.checkpoint_dump_time().as_secs(), 1.0 / rate);
+        let tau = PolicySpec::DalyOptimal.static_interval(&c).unwrap();
+        assert!((tau.as_secs() - expected).abs() < 1e-9);
+        let mut p = PolicySpec::DalyOptimal.build(&c);
+        assert_eq!(p.next_interval(SimTime::ZERO), tau);
+    }
+
+    #[test]
+    fn daly_policy_falls_back_when_failures_disabled() {
+        let c = SystemConfig::builder()
+            .failures_enabled(false)
+            .build()
+            .unwrap();
+        assert_eq!(
+            PolicySpec::DalyOptimal.static_interval(&c),
+            Some(c.checkpoint_interval())
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_has_no_static_interval() {
+        assert_eq!(
+            PolicySpec::load_adaptive_default().static_interval(&cfg()),
+            None
+        );
+    }
+
+    #[test]
+    fn adaptive_tracks_empirical_failure_rate() {
+        let c = cfg();
+        let spec = PolicySpec::LoadAdaptive {
+            window: 4,
+            floor_secs: 1.0,
+            ceil_secs: 1e9,
+        };
+        let mut p = spec.build(&c);
+        // No observations: the configured base interval.
+        assert_eq!(p.next_interval(SimTime::ZERO), c.checkpoint_interval());
+        // Failures every 2000 s → empirical MTBF 2000 s.
+        for k in 1..=4u64 {
+            p.observe(
+                SimTime::from_secs(2000.0 * k as f64),
+                ModelEvent::Rollback { from_buffer: true },
+            );
+        }
+        let expected =
+            ckpt_analytic::daly::optimal_interval(c.checkpoint_dump_time().as_secs(), 2000.0);
+        let got = p.next_interval(SimTime::from_secs(9000.0)).as_secs();
+        assert!((got - expected).abs() < 1e-9, "got {got}, want {expected}");
+        // The window slides: a burst of closely spaced failures shrinks
+        // the interval.
+        for k in 0..4u64 {
+            p.observe(
+                SimTime::from_secs(9000.0 + 10.0 * k as f64),
+                ModelEvent::IoFailure,
+            );
+        }
+        let burst = p.next_interval(SimTime::from_secs(9100.0)).as_secs();
+        assert!(burst < got, "burst {burst} should shrink below {got}");
+    }
+
+    #[test]
+    fn adaptive_clamps_and_dedups() {
+        let c = cfg();
+        let spec = PolicySpec::LoadAdaptive {
+            window: 8,
+            floor_secs: 300.0,
+            ceil_secs: 600.0,
+        };
+        let mut p = spec.build(&c);
+        // Base interval (1800 s) clamps to the ceiling.
+        assert_eq!(p.next_interval(SimTime::ZERO).as_secs(), 600.0);
+        // Two failures at the same instant count once → still < 2 obs.
+        p.observe(SimTime::from_secs(50.0), ModelEvent::IoFailure);
+        p.observe(
+            SimTime::from_secs(50.0),
+            ModelEvent::Rollback { from_buffer: false },
+        );
+        assert_eq!(p.next_interval(SimTime::ZERO).as_secs(), 600.0);
+        // A dense burst clamps to the floor.
+        p.observe(SimTime::from_secs(51.0), ModelEvent::IoFailure);
+        p.observe(SimTime::from_secs(52.0), ModelEvent::IoFailure);
+        assert_eq!(p.next_interval(SimTime::ZERO).as_secs(), 300.0);
+        // Non-failure events are ignored.
+        p.observe(SimTime::from_secs(53.0), ModelEvent::CheckpointCompleted);
+        p.observe(SimTime::from_secs(54.0), ModelEvent::RecoveryComplete);
+        assert_eq!(p.next_interval(SimTime::ZERO).as_secs(), 300.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_adaptive_parameters() {
+        assert!(PolicySpec::LoadAdaptive {
+            window: 1,
+            floor_secs: 60.0,
+            ceil_secs: 120.0,
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::LoadAdaptive {
+            window: 4,
+            floor_secs: 0.0,
+            ceil_secs: 120.0,
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::LoadAdaptive {
+            window: 4,
+            floor_secs: 120.0,
+            ceil_secs: 60.0,
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::load_adaptive_default().validate().is_ok());
+        assert!(PolicySpec::Fixed.validate().is_ok());
+        assert!(PolicySpec::DalyOptimal.validate().is_ok());
+    }
+
+    #[test]
+    fn display_and_key_are_stable() {
+        assert_eq!(PolicySpec::Fixed.to_string(), "fixed");
+        assert_eq!(PolicySpec::DalyOptimal.key(), "daly_optimal");
+        assert_eq!(
+            PolicySpec::load_adaptive_default().to_string(),
+            "load_adaptive{window=8,floor=60,ceil=14400}"
+        );
+    }
+}

@@ -215,6 +215,14 @@ impl CheckpointSan {
                 switch: "compute_fraction_jitter",
             });
         }
+        if cfg.policy().static_interval(cfg).is_none() {
+            // The SAN composition compiles the trigger interval into an
+            // activity distribution at build time, so dynamic policies
+            // (load-adaptive) only run on the direct engine.
+            return Err(ModelError::UnsupportedAblation {
+                switch: "load_adaptive_policy",
+            });
+        }
 
         let mut b = SanBuilder::new("coordinated_checkpointing");
         let ids = Ids::register(&mut b);
@@ -678,9 +686,16 @@ fn submodel_master(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
     let i = *ids;
     // The interval timer runs while the master sleeps and the system
     // executes; disabling (recovery) aborts it, re-enabling restarts it.
+    // The policy's static interval equals `checkpoint_interval()` under
+    // the default fixed policy; dynamic policies are rejected by
+    // `CheckpointSan::build`.
+    let interval = cfg
+        .policy()
+        .static_interval(cfg)
+        .unwrap_or_else(|| cfg.checkpoint_interval());
     b.timed_activity(
         "checkpoint_trigger",
-        Delay::from(Dist::deterministic(cfg.checkpoint_interval().as_secs())),
+        Delay::from(Dist::deterministic(interval.as_secs())),
     )
     .input_arc(ids.master_sleep, 1)
     .input_gate(

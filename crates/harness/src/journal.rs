@@ -47,6 +47,11 @@ pub struct SweepJournal {
     every: u32,
     state: Mutex<JournalState>,
     write_error: Mutex<Option<SnapshotError>>,
+    /// Serializes snapshot writes. Worker threads persist through
+    /// [`SweepJournal::record`] concurrently; without this lock two
+    /// threads race on the shared `<path>.tmp` staging file and the
+    /// loser's rename fails with a spurious `ENOENT`.
+    write_lock: Mutex<()>,
 }
 
 impl SweepJournal {
@@ -62,6 +67,7 @@ impl SweepJournal {
             every,
             state: Mutex::new(JournalState::default()),
             write_error: Mutex::new(None),
+            write_lock: Mutex::new(()),
         }
     }
 
@@ -219,6 +225,7 @@ impl SweepJournal {
                 since_persist: 0,
             }),
             write_error: Mutex::new(None),
+            write_lock: Mutex::new(()),
         })
     }
 
@@ -338,6 +345,10 @@ impl SweepJournal {
     }
 
     fn write_snapshot(&self) -> Result<(), SnapshotError> {
+        // One writer at a time: render *and* write under the lock so
+        // concurrent automatic persists neither race on the staging
+        // file nor interleave their renames.
+        let _writer = self.write_lock.lock().unwrap();
         let mut doc = self.to_json();
         doc.push('\n');
         atomic_write(&self.path, &doc)
@@ -480,6 +491,31 @@ mod tests {
             SweepJournal::resume(&path, 0, 0),
             Err(SnapshotError::Parse { .. })
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Regression: automatic persists from concurrent worker threads
+    /// used to race on the shared `<path>.tmp` staging file — the
+    /// losing thread's rename failed with ENOENT, which was stashed
+    /// and surfaced as a spurious error from the final `persist()`.
+    #[test]
+    fn concurrent_records_with_eager_persistence_never_error() {
+        let path = temp_path("concurrent.json");
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::create(&path, 0xbeef, 1);
+        std::thread::scope(|scope| {
+            for cell in 0u32..8 {
+                let journal = &journal;
+                scope.spawn(move || {
+                    for rep in 0u32..8 {
+                        journal.record(cell, rep, &metrics(u64::from(cell * 8 + rep)), 1);
+                    }
+                });
+            }
+        });
+        journal.persist().expect("no stashed write error");
+        let resumed = SweepJournal::resume(&path, 0xbeef, 1).unwrap();
+        assert_eq!(resumed.completed(), 64);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -19,7 +19,7 @@ use crate::json::{parse, JsonValue};
 use ckpt_core::config::{
     CoordinationMode, ErrorPropagation, GenericCorrelated, RecoveryTimeModel, SystemConfig,
 };
-use ckpt_core::{ConfigError, EngineKind, Estimation, Experiment};
+use ckpt_core::{ConfigError, EngineKind, Estimation, Experiment, PolicySpec};
 use ckpt_des::SimTime;
 use std::fmt;
 
@@ -436,6 +436,8 @@ impl ExperimentSpecBuilder {
                 Some("spatial_correlation")
             } else if cfg.compute_fraction_jitter().is_some() {
                 Some("compute_fraction_jitter")
+            } else if cfg.policy().static_interval(cfg).is_none() {
+                Some("load_adaptive_policy")
             } else {
                 None
             };
@@ -507,7 +509,7 @@ pub fn config_to_json(cfg: &SystemConfig) -> JsonValue {
         .map_or(JsonValue::Null, |(lo, hi)| {
             JsonValue::Array(vec![num(lo), num(hi)])
         });
-    JsonValue::Object(vec![
+    let mut fields = vec![
         (
             "processors".to_string(),
             JsonValue::from_u64(cfg.processors()),
@@ -607,7 +609,59 @@ pub fn config_to_json(cfg: &SystemConfig) -> JsonValue {
             "app_io_data_per_node_mb".to_string(),
             num(cfg.app_io_data_per_node_mb()),
         ),
-    ])
+    ];
+    // The policy key is emitted only for non-default policies: the
+    // fixed-interval default renders as the key's *absence*, so every
+    // fingerprint and snapshot minted before policies existed remains
+    // valid, while any other policy perturbs the fingerprint.
+    if cfg.policy() != PolicySpec::Fixed {
+        let at = fields
+            .iter()
+            .position(|(k, _)| k == "checkpoint_interval_secs")
+            .map_or(fields.len(), |i| i + 1);
+        fields.insert(at, ("policy".to_string(), policy_to_json(cfg.policy())));
+    }
+    JsonValue::Object(fields)
+}
+
+/// Serializes a [`PolicySpec`] (the `policy` key of [`config_to_json`]).
+#[must_use]
+pub fn policy_to_json(policy: PolicySpec) -> JsonValue {
+    match policy {
+        PolicySpec::Fixed => JsonValue::from_text("fixed"),
+        PolicySpec::DalyOptimal => JsonValue::from_text("daly_optimal"),
+        PolicySpec::LoadAdaptive {
+            window,
+            floor_secs,
+            ceil_secs,
+        } => JsonValue::Object(vec![(
+            "load_adaptive".to_string(),
+            JsonValue::Object(vec![
+                ("window".to_string(), JsonValue::from_u64(u64::from(window))),
+                ("floor_secs".to_string(), JsonValue::from_f64(floor_secs)),
+                ("ceil_secs".to_string(), JsonValue::from_f64(ceil_secs)),
+            ]),
+        )]),
+    }
+}
+
+/// Parses the optional `policy` key of a config document; a missing or
+/// null key is the fixed-interval default.
+fn policy_from_json(doc: &JsonValue) -> Result<PolicySpec, SpecError> {
+    match doc.get("policy") {
+        None | Some(JsonValue::Null) => Ok(PolicySpec::Fixed),
+        Some(JsonValue::String(s)) if s == "fixed" => Ok(PolicySpec::Fixed),
+        Some(JsonValue::String(s)) if s == "daly_optimal" => Ok(PolicySpec::DalyOptimal),
+        Some(obj) => match obj.get("load_adaptive") {
+            Some(p) => Ok(PolicySpec::LoadAdaptive {
+                window: u32::try_from(req_u64(p, "window")?)
+                    .map_err(|_| SpecError::Parse("policy window out of range".into()))?,
+                floor_secs: req_f64(p, "floor_secs")?,
+                ceil_secs: req_f64(p, "ceil_secs")?,
+            }),
+            None => Err(SpecError::Parse("unknown policy".into())),
+        },
+    }
 }
 
 /// Reconstructs a [`SystemConfig`] from [`config_to_json`] output,
@@ -673,6 +727,7 @@ pub fn config_from_json(doc: &JsonValue) -> Result<SystemConfig, SpecError> {
                 .map_err(|_| SpecError::Parse("compute_nodes_per_io_node out of range".into()))?,
         )
         .checkpoint_interval(secs("checkpoint_interval_secs")?)
+        .policy(policy_from_json(doc)?)
         .mttq(secs("mttq_secs")?)
         .broadcast_overhead(secs("broadcast_overhead_secs")?)
         .software_overhead(secs("software_overhead_secs")?)
@@ -833,6 +888,64 @@ mod tests {
             .build()
             .unwrap();
         assert!(ExperimentSpec::builder(cfg).build().is_ok());
+    }
+
+    #[test]
+    fn policy_round_trips_and_perturbs_fingerprint() {
+        let base = ExperimentSpec::builder(SystemConfig::builder().build().unwrap())
+            .build()
+            .unwrap();
+        // The fixed default renders without a policy key: pre-policy
+        // documents and fingerprints stay valid.
+        assert!(!base.to_json().contains("\"policy\""));
+
+        for policy in [
+            PolicySpec::DalyOptimal,
+            PolicySpec::LoadAdaptive {
+                window: 5,
+                floor_secs: 120.0,
+                ceil_secs: 7200.0,
+            },
+        ] {
+            let cfg = SystemConfig::builder().policy(policy).build().unwrap();
+            let spec = ExperimentSpec::builder(cfg).build().unwrap();
+            assert_ne!(
+                spec.fingerprint(),
+                base.fingerprint(),
+                "{policy} must perturb the fingerprint"
+            );
+            let back = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, back);
+            assert_eq!(back.config().policy(), policy);
+        }
+    }
+
+    #[test]
+    fn rejects_san_with_adaptive_policy() {
+        let cfg = SystemConfig::builder()
+            .policy(PolicySpec::load_adaptive_default())
+            .build()
+            .unwrap();
+        let err = ExperimentSpec::builder(cfg.clone())
+            .engine(EngineKind::San)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::UnsupportedAblation {
+                switch: "load_adaptive_policy"
+            }
+        );
+        // The direct engine accepts it; SAN accepts the static policies.
+        assert!(ExperimentSpec::builder(cfg).build().is_ok());
+        let daly = SystemConfig::builder()
+            .policy(PolicySpec::DalyOptimal)
+            .build()
+            .unwrap();
+        assert!(ExperimentSpec::builder(daly)
+            .engine(EngineKind::San)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -67,7 +67,13 @@ impl OnlineStats {
         self.mean
     }
 
-    /// Unbiased sample variance (0 for fewer than two observations).
+    /// Unbiased sample variance.
+    ///
+    /// # Degenerate cases
+    ///
+    /// With fewer than two observations the sample variance is
+    /// undefined (the `n − 1` denominator vanishes); this returns `0.0`
+    /// rather than NaN so downstream interval arithmetic stays finite.
     #[must_use]
     pub fn variance(&self) -> f64 {
         if self.count < 2 {
@@ -84,6 +90,12 @@ impl OnlineStats {
     }
 
     /// Standard error of the mean.
+    ///
+    /// # Degenerate cases
+    ///
+    /// Returns `0.0` for fewer than two observations (the guard on the
+    /// empty set avoids `0/0 = NaN`; a single observation inherits the
+    /// zero [`variance`](Self::variance)).
     #[must_use]
     pub fn std_error(&self) -> f64 {
         if self.count == 0 {
@@ -196,11 +208,18 @@ impl ConfidenceInterval {
         self.mean + self.half_width
     }
 
-    /// Relative half-width `half_width / |mean|` (`inf` when mean is 0);
-    /// the usual stopping criterion for sequential simulation.
+    /// Relative half-width `half_width / |mean|` — the usual stopping
+    /// criterion for sequential simulation.
+    ///
+    /// # Degenerate cases
+    ///
+    /// A zero or non-finite mean has no meaningful relative precision;
+    /// both return `+inf` ("not precise enough" for any threshold)
+    /// rather than letting `0/0` or `x/NaN` leak NaN into stopping
+    /// rules, where every `<` comparison would silently hold.
     #[must_use]
     pub fn relative_half_width(&self) -> f64 {
-        if self.mean == 0.0 {
+        if self.mean == 0.0 || !self.mean.is_finite() {
             f64::INFINITY
         } else {
             self.half_width / self.mean.abs()
@@ -317,16 +336,13 @@ pub struct BatchMeans {
 
 impl BatchMeans {
     /// Creates an estimator with the given batch size (observations per
-    /// batch).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `batch_size` is zero.
+    /// batch). A batch size of zero saturates to 1 — an estimator that
+    /// can never complete a batch would silently report an empty,
+    /// zero-width interval forever.
     #[must_use]
     pub fn new(batch_size: u64) -> BatchMeans {
-        assert!(batch_size > 0, "batch size must be positive");
         BatchMeans {
-            batch_size,
+            batch_size: batch_size.max(1),
             current_sum: 0.0,
             current_count: 0,
             batches: OnlineStats::new(),
@@ -681,9 +697,59 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "batch size must be positive")]
-    fn batch_means_rejects_zero() {
-        let _ = BatchMeans::new(0);
+    fn batch_means_zero_size_saturates_to_one() {
+        // Regression: `new(0)` used to be a panic (and before that, an
+        // estimator that never completed a batch). Saturating to 1
+        // makes every push its own batch.
+        let mut bm = BatchMeans::new(0);
+        for x in [1.0, 2.0, 3.0] {
+            bm.push(x);
+        }
+        assert_eq!(bm.batch_count(), 3);
+        assert!((bm.mean() - 2.0).abs() < 1e-12);
+        let mut one = BatchMeans::new(1);
+        for x in [1.0, 2.0, 3.0] {
+            one.push(x);
+        }
+        assert_eq!(bm.batch_count(), one.batch_count());
+        assert_eq!(bm.mean().to_bits(), one.mean().to_bits());
+    }
+
+    #[test]
+    fn degenerate_stats_stay_finite() {
+        // count == 1: variance/std_error are defined as 0, not NaN.
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        let ci = s.confidence_interval(0.95);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.mean, 42.0);
+    }
+
+    #[test]
+    fn relative_half_width_degenerate_cases() {
+        fn ci(mean: f64, half: f64) -> ConfidenceInterval {
+            ConfidenceInterval {
+                mean,
+                half_width: half,
+                level: 0.95,
+                count: 5,
+            }
+        }
+        // Zero mean (of either sign) → +inf, never NaN.
+        assert_eq!(ci(0.0, 0.0).relative_half_width(), f64::INFINITY);
+        assert_eq!(ci(-0.0, 0.1).relative_half_width(), f64::INFINITY);
+        // NaN/infinite mean → +inf, so `rhw < threshold` stopping rules
+        // cannot silently accept a garbage estimate.
+        assert_eq!(ci(f64::NAN, 0.1).relative_half_width(), f64::INFINITY);
+        assert_eq!(ci(f64::INFINITY, 0.1).relative_half_width(), f64::INFINITY);
+        let would_stop = ci(f64::NAN, 0.1).relative_half_width() < 0.05;
+        assert!(!would_stop, "a NaN mean must never satisfy a stopping rule");
+        // Ordinary case unchanged, sign-insensitive.
+        assert!((ci(2.0, 0.1).relative_half_width() - 0.05).abs() < 1e-15);
+        assert!((ci(-2.0, 0.1).relative_half_width() - 0.05).abs() < 1e-15);
     }
 
     #[test]

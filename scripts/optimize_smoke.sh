@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Policy-search smoke test: run `ckptsim optimize` twice at different
+# worker counts, require the two reports to be byte-identical (the
+# report carries no timing fields, so any difference is a determinism
+# bug), and validate the report schema.
+#
+# Environment:
+#   BIN   path to the ckptsim binary [target/release/ckptsim]
+set -euo pipefail
+
+BIN="${BIN:-target/release/ckptsim}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+# Small enough to finish in seconds, failure-heavy enough (6-month
+# per-node MTTF) that the interval actually matters to the frontier.
+FLAGS=(optimize --processors 4096 --mttf-years 0.5
+       --reps 2 --hours 500 --transient 50 --quiet)
+
+echo "== search (jobs=2)"
+"$BIN" "${FLAGS[@]}" --jobs 2 --out "$OUT/report.json"
+
+echo "== search (jobs=1)"
+"$BIN" "${FLAGS[@]}" --jobs 1 --out "$OUT/report_j1.json"
+
+cmp "$OUT/report.json" "$OUT/report_j1.json"
+echo "reports are byte-identical across worker counts"
+
+python3 - "$OUT/report.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1
+assert doc["kind"] == "optimize_report"
+assert doc["objective"] == "useful_work_fraction"
+assert doc["engine"] in ("direct", "san")
+assert doc["replications"] == 2
+assert isinstance(doc["config"], dict) and doc["config"]["processors"] == 4096
+assert doc["fingerprint"].startswith("0x")
+
+cands = doc["candidates"]
+# 7-point fixed grid + Daly + (direct engine) load-adaptive.
+assert len(cands) >= 8, f"unexpectedly few candidates: {len(cands)}"
+for c in cands:
+    assert isinstance(c["label"], str) and c["label"]
+    assert "policy" in c
+    assert 0.0 <= c["useful_work_fraction"] <= 1.0, c
+    assert c["half_width"] >= 0.0
+    assert c["interval_secs"] is None or c["interval_secs"] > 0
+
+w = doc["winner"]
+assert cands[w["index"]]["label"] == w["label"]
+best = max(c["useful_work_fraction"] for c in cands)
+assert w["useful_work_fraction"] == best
+print(f"{len(cands)} candidates; winner: {w['label']} "
+      f"(useful-work fraction {w['useful_work_fraction']:.4f})")
+EOF

@@ -1,0 +1,237 @@
+//! The fixed-interval policy is the pre-PR behavior, bit for bit.
+//!
+//! The policy abstraction threads a `CheckpointPolicy` through both
+//! engines; these tests pin the contract that introducing it changed
+//! nothing observable for the default (fixed) policy:
+//!
+//! * spec fingerprints captured from the pre-policy code are unchanged,
+//!   so old snapshots still resume;
+//! * useful-work fractions captured from the pre-policy code are
+//!   reproduced bitwise, on both engines, at any worker count;
+//! * the Daly policy is exactly a fixed policy at the closed-form
+//!   interval — same simulator, same draws, same bits;
+//! * the adaptive policy is rejected by the SAN engine (its master
+//!   submodel needs a static firing rate);
+//! * `ckptsim optimize` interrupted after some cells and resumed from
+//!   its snapshot emits the byte-identical report.
+
+use ckpt_bench::sweep::Metric;
+use ckpt_bench::{run_sweep_controlled, RunOptions, SweepControl};
+use ckpt_cli::optimize::{candidates, cells, run_search};
+use ckpt_harness::{ExperimentSpec, SpecError, SweepJournal};
+use ckptsim::des::SimTime;
+use ckptsim::model::{EngineKind, PolicySpec, SystemConfig};
+use std::path::PathBuf;
+
+/// Golden values captured from the pre-policy tree (same capture
+/// recipe as below, run before `PolicySpec` existed). A mismatch means
+/// the default policy is no longer bit-compatible with the paper
+/// baseline — a regression, not a test to update.
+const DEFAULT_SPEC_FINGERPRINT: u64 = 0x373e_33fa_1b29_d7fa;
+const SMALL_SPEC_FINGERPRINT: u64 = 0x2199_cd19_c00d_39d4;
+const DIRECT_UWF_MEAN_BITS: u64 = 0x3fee_5085_efee_0b1a;
+const DIRECT_UWF_HALF_BITS: u64 = 0x3f87_6d3a_eb91_543b;
+const SAN_SPEC_FINGERPRINT: u64 = 0x69af_528a_e83f_e2dd;
+const SAN_UWF_MEAN_BITS: u64 = 0x3fee_4d1c_cbed_f1ee;
+const SAN_UWF_HALF_BITS: u64 = 0x3f93_5503_6c40_cb1a;
+
+fn small_config(procs: u64) -> SystemConfig {
+    SystemConfig::builder()
+        .processors(procs)
+        .mttf_per_node(SimTime::from_years(0.25))
+        .build()
+        .expect("valid test config")
+}
+
+fn small_spec(cfg: &SystemConfig, engine: EngineKind, jobs: usize) -> ExperimentSpec {
+    ExperimentSpec::builder(cfg.clone())
+        .engine(engine)
+        .transient(SimTime::from_hours(10.0))
+        .horizon(SimTime::from_hours(120.0))
+        .replications(4)
+        .seed(0x5eed)
+        .jobs(jobs)
+        .build()
+        .expect("valid test spec")
+}
+
+#[test]
+fn default_config_fingerprint_is_unchanged() {
+    let cfg = SystemConfig::builder().build().expect("default config");
+    assert_eq!(cfg.policy(), PolicySpec::Fixed);
+    let spec = ExperimentSpec::builder(cfg).build().expect("spec");
+    assert_eq!(spec.fingerprint(), DEFAULT_SPEC_FINGERPRINT);
+}
+
+#[test]
+fn fixed_policy_is_bit_identical_to_pre_policy_direct_engine() {
+    let cfg = small_config(1024);
+    for jobs in [1usize, 4] {
+        let spec = small_spec(&cfg, EngineKind::Direct, jobs);
+        assert_eq!(spec.fingerprint(), SMALL_SPEC_FINGERPRINT);
+        let est = spec.to_experiment().run().expect("direct runs");
+        let uwf = est.useful_work_fraction();
+        assert_eq!(uwf.mean.to_bits(), DIRECT_UWF_MEAN_BITS, "jobs={jobs}");
+        assert_eq!(
+            uwf.half_width.to_bits(),
+            DIRECT_UWF_HALF_BITS,
+            "jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn fixed_policy_is_bit_identical_to_pre_policy_san_engine() {
+    let cfg = small_config(1024);
+    for jobs in [1usize, 4] {
+        let spec = small_spec(&cfg, EngineKind::San, jobs);
+        assert_eq!(spec.fingerprint(), SAN_SPEC_FINGERPRINT);
+        let est = spec.to_experiment().run().expect("san runs");
+        let uwf = est.useful_work_fraction();
+        assert_eq!(uwf.mean.to_bits(), SAN_UWF_MEAN_BITS, "jobs={jobs}");
+        assert_eq!(uwf.half_width.to_bits(), SAN_UWF_HALF_BITS, "jobs={jobs}");
+    }
+}
+
+/// The Daly policy is pure interval selection: simulating it must be
+/// bitwise the same as a fixed policy manually configured at the
+/// closed-form interval.
+#[test]
+fn daly_policy_equals_fixed_policy_at_the_closed_form_interval() {
+    let daly_cfg = small_config(1024)
+        .to_builder()
+        .policy(PolicySpec::DalyOptimal)
+        .build()
+        .expect("daly config");
+    let tau = daly_cfg
+        .policy()
+        .static_interval(&daly_cfg)
+        .expect("daly has a static interval");
+    let manual_cfg = small_config(1024)
+        .to_builder()
+        .checkpoint_interval(tau)
+        .policy(PolicySpec::Fixed)
+        .build()
+        .expect("manual config");
+
+    for engine in [EngineKind::Direct, EngineKind::San] {
+        let daly = small_spec(&daly_cfg, engine, 1)
+            .to_experiment()
+            .run()
+            .expect("daly runs");
+        let manual = small_spec(&manual_cfg, engine, 1)
+            .to_experiment()
+            .run()
+            .expect("manual runs");
+        let (d, m) = (daly.useful_work_fraction(), manual.useful_work_fraction());
+        assert_eq!(d.mean.to_bits(), m.mean.to_bits(), "engine={engine:?}");
+        assert_eq!(
+            d.half_width.to_bits(),
+            m.half_width.to_bits(),
+            "engine={engine:?}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_policy_is_rejected_by_the_san_engine() {
+    let cfg = small_config(1024)
+        .to_builder()
+        .policy(PolicySpec::load_adaptive_default())
+        .build()
+        .expect("adaptive config");
+    let err = ExperimentSpec::builder(cfg.clone())
+        .engine(EngineKind::San)
+        .build()
+        .expect_err("SAN must reject the adaptive policy");
+    match err {
+        SpecError::UnsupportedAblation { switch } => {
+            assert_eq!(switch, "load_adaptive_policy");
+        }
+        other => panic!("expected UnsupportedAblation, got {other}"),
+    }
+    // The direct engine accepts it.
+    ExperimentSpec::builder(cfg)
+        .engine(EngineKind::Direct)
+        .build()
+        .expect("direct accepts the adaptive policy");
+}
+
+fn snapshot_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ckptsim_policy_tests");
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    dir.join(format!("{tag}.json"))
+}
+
+fn optimize_opts(jobs: usize) -> RunOptions {
+    RunOptions {
+        engine: EngineKind::Direct,
+        reps: 2,
+        horizon: SimTime::from_hours(60.0),
+        transient: SimTime::from_hours(5.0),
+        seed: 0x5eed,
+        jobs,
+        quiet: true,
+        ..RunOptions::default()
+    }
+}
+
+/// `ckptsim optimize` killed after the first cells and resumed from
+/// its snapshot emits the byte-identical report (at a different worker
+/// count, too — the snapshot excludes `--jobs`).
+#[test]
+fn optimize_resumed_after_interrupt_matches_uninterrupted() {
+    let cfg = small_config(512);
+    let baseline = run_search(&cfg, &optimize_opts(2)).expect("uninterrupted search");
+
+    // Phase 1: the in-process equivalent of SIGTERM landing after the
+    // first `killed` cells completed — journal exactly that prefix
+    // under the full search's fingerprint, then "die".
+    let cands = candidates(&cfg, EngineKind::Direct).expect("candidates");
+    let all_cells = cells(&cands);
+    let killed = 3usize.min(all_cells.len() - 1);
+    let opts = optimize_opts(1);
+    let fingerprint =
+        ckpt_bench::sweep_fingerprint("optimize", &all_cells, &opts).expect("fingerprint");
+    let path = snapshot_path("optimize_interrupted");
+    let target = snapshot_path("optimize_resumed");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&target);
+    let journal = SweepJournal::create(&path, fingerprint, 1);
+    let labels: Vec<String> = cands[..killed].iter().map(|c| c.label.clone()).collect();
+    run_sweep_controlled(
+        &labels,
+        all_cells[..killed].to_vec(),
+        Metric::UsefulWorkFraction,
+        &opts,
+        SweepControl {
+            journal: Some(&journal),
+            interrupt: None,
+        },
+    )
+    .expect("prefix sweep runs");
+    journal.persist().expect("persist interrupted snapshot");
+    assert_eq!(journal.completed(), killed * opts.reps as usize);
+    drop(journal);
+
+    // Phase 2: resume through the real optimize path, on more workers.
+    let resumed_opts = RunOptions {
+        resume: Some(path.to_string_lossy().into_owned()),
+        snapshot: Some(target.to_string_lossy().into_owned()),
+        ..optimize_opts(4)
+    };
+    let resumed = run_search(&cfg, &resumed_opts).expect("resumed search");
+    assert_eq!(resumed, baseline, "resumed report must be byte-identical");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&target);
+}
+
+/// The report itself is deterministic: worker count changes
+/// scheduling, never sampling — the bytes must not move.
+#[test]
+fn optimize_report_is_worker_count_invariant() {
+    let cfg = small_config(512);
+    let a = run_search(&cfg, &optimize_opts(1)).expect("jobs=1");
+    let b = run_search(&cfg, &optimize_opts(4)).expect("jobs=4");
+    assert_eq!(a, b);
+}

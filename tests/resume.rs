@@ -2,6 +2,10 @@
 //! and resuming from its snapshot yields results bit-identical to an
 //! uninterrupted run — at any worker count, because replication `k`
 //! always draws from seed `base + k` regardless of scheduling.
+//!
+//! The same property for the `ckptsim optimize` policy search
+//! (interrupted mid-sweep, resumed, byte-identical report) is covered
+//! in `tests/policy_equivalence.rs`.
 
 use ckpt_harness::snapshot::metrics_to_json;
 use ckpt_harness::{ExperimentSpec, SweepJournal};
