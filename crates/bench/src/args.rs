@@ -44,6 +44,15 @@ pub struct RunOptions {
     pub snapshot_every: u32,
     /// Resume from a snapshot written by an interrupted run.
     pub resume: Option<String>,
+    /// Stream deterministic progress records as JSON Lines to this
+    /// path (stays active under `--quiet`: explicitly requested
+    /// machine output is output, not chatter).
+    pub progress: Option<String>,
+    /// Write the merged telemetry document (histograms + spans) as
+    /// JSON to this path.
+    pub histograms: Option<String>,
+    /// Write the Prometheus text exposition to this path at exit.
+    pub prom: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -65,6 +74,9 @@ impl Default for RunOptions {
             snapshot: None,
             snapshot_every: 1,
             resume: None,
+            progress: None,
+            histograms: None,
+            prom: None,
         }
     }
 }
@@ -159,6 +171,9 @@ impl RunOptions {
                         .map_err(|e| ParseError(format!("--snapshot-every: {e}")))?;
                 }
                 "--resume" => opts.resume = Some(value_for("--resume")?),
+                "--progress" => opts.progress = Some(value_for("--progress")?),
+                "--histograms" => opts.histograms = Some(value_for("--histograms")?),
+                "--prom" => opts.prom = Some(value_for("--prom")?),
                 "--csv" => opts.csv = true,
                 "--quick" => {
                     opts.quick = true;
@@ -171,7 +186,8 @@ impl RunOptions {
                         "usage: [--engine direct|san] [--reps N] [--hours H] \
                          [--transient H] [--seed S] [--jobs N] [--warmup N] [--csv] \
                          [--quick] [--trace FILE] [--metrics FILE] [--manifest FILE] \
-                         [--quiet] [--snapshot FILE] [--snapshot-every N] [--resume FILE]"
+                         [--quiet] [--snapshot FILE] [--snapshot-every N] [--resume FILE] \
+                         [--progress FILE] [--histograms FILE] [--prom FILE]"
                             .to_string(),
                     ))
                 }
@@ -179,6 +195,27 @@ impl RunOptions {
             }
         }
         Ok(opts)
+    }
+
+    /// Builds the progress-sink stack these options imply: a human
+    /// heartbeat on stderr unless `--csv` or `--quiet` suppressed it,
+    /// plus a deterministic JSONL stream when `--progress FILE` was
+    /// given. This is the single place the `--quiet` contract for
+    /// progress lives — every command (run, figure, optimize, report)
+    /// gates its heartbeats through here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `--progress` file-creation error.
+    pub fn progress_sink(&self) -> std::io::Result<ckpt_obs::MultiSink> {
+        let mut sinks = ckpt_obs::MultiSink::new();
+        if !self.csv && !self.quiet {
+            sinks.push(Box::new(ckpt_obs::HumanSink));
+        }
+        if let Some(path) = &self.progress {
+            sinks.push(Box::new(ckpt_obs::JsonlSink::create(path)?));
+        }
+        Ok(sinks)
     }
 
     /// Parses from the process environment, printing errors/usage and
@@ -294,6 +331,49 @@ mod tests {
         let d = parse(&[]).unwrap();
         assert!(d.snapshot.is_none() && d.resume.is_none());
         assert_eq!(d.snapshot_every, 1);
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let o = parse(&[
+            "--progress",
+            "p.jsonl",
+            "--histograms",
+            "h.json",
+            "--prom",
+            "m.prom",
+        ])
+        .unwrap();
+        assert_eq!(o.progress.as_deref(), Some("p.jsonl"));
+        assert_eq!(o.histograms.as_deref(), Some("h.json"));
+        assert_eq!(o.prom.as_deref(), Some("m.prom"));
+        assert!(parse(&["--progress"]).is_err());
+        assert!(parse(&["--histograms"]).is_err());
+        assert!(parse(&["--prom"]).is_err());
+        let d = parse(&[]).unwrap();
+        assert!(d.progress.is_none() && d.histograms.is_none() && d.prom.is_none());
+    }
+
+    #[test]
+    fn quiet_and_csv_suppress_the_human_sink_but_not_progress_files() {
+        // No flags: one HumanSink. Quiet or csv: none.
+        assert_eq!(parse(&[]).unwrap().progress_sink().unwrap().len(), 1);
+        assert!(parse(&["--quiet"])
+            .unwrap()
+            .progress_sink()
+            .unwrap()
+            .is_empty());
+        assert!(parse(&["--csv"])
+            .unwrap()
+            .progress_sink()
+            .unwrap()
+            .is_empty());
+        // An explicit --progress file survives --quiet.
+        let path =
+            std::env::temp_dir().join(format!("ckpt_args_sink_{}.jsonl", std::process::id()));
+        let o = parse(&["--quiet", "--progress", path.to_str().unwrap()]).unwrap();
+        assert_eq!(o.progress_sink().unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -164,6 +164,7 @@ fn main() {
             jobs: 1,
             host_parallelism: host,
             warmup: opts.warmup,
+            policy: "fixed".into(),
             config: vec![("processors".into(), "65536".into())],
             profiles: r.profiles.clone(),
         };
@@ -205,6 +206,7 @@ fn main() {
          \"horizon_hours\": {:.0},\n  \
          \"seed\": {},\n  \
          \"host_parallelism\": {host},\n  \
+         \"telemetry_probes\": {},\n  \
          \"runs\": [{runs}\n  ],\n  \
          \"speedup_incremental_vs_full_scan\": {speedup:.2},{baseline}\n  \
          \"identical_results\": {identical},\n  \
@@ -215,6 +217,7 @@ fn main() {
         opts.transient.as_hours(),
         opts.horizon.as_hours(),
         opts.seed,
+        ckpt_des::telem::ENABLED,
     );
     std::fs::write("BENCH_engines.json", &json).expect("write BENCH_engines.json");
     println!("{json}");

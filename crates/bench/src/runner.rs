@@ -90,9 +90,14 @@ pub fn run_figure(id: &str, spec: FigureSpec, opts: &RunOptions) -> Result<Vec<S
     signal::install();
     let fingerprint = sweep_fingerprint(id, &spec.cells, opts)?;
     let journal = open_journal(fingerprint, opts)?;
+    let sink = opts.progress_sink().map_err(|e| CkptError::Io {
+        path: opts.progress.clone().unwrap_or_default(),
+        message: e.to_string(),
+    })?;
     let control = SweepControl {
         journal: journal.as_ref(),
         interrupt: Some(signal::interrupt_flag()),
+        progress: (!sink.is_empty()).then_some(&sink as &dyn ckpt_obs::ProgressSink),
     };
     let cell_count = spec.cells.len();
     let started = std::time::Instant::now();
@@ -102,12 +107,13 @@ pub fn run_figure(id: &str, spec: FigureSpec, opts: &RunOptions) -> Result<Vec<S
                 j.persist()?;
             }
             let wall_secs = started.elapsed().as_secs_f64();
-            if !opts.csv && !opts.quiet {
-                eprintln!(
+            ckpt_obs::ProgressSink::message(
+                &sink,
+                &format!(
                     "sweep: {cell_count} cells on {} worker(s) in {wall_secs:.2} s",
                     opts.jobs
-                );
-            }
+                ),
+            );
             if let Some(path) = &opts.manifest {
                 let manifest = crate::sweep_manifest_json(id, cell_count, opts, wall_secs);
                 std::fs::write(path, &manifest).map_err(|e| CkptError::Io {

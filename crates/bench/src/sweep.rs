@@ -18,8 +18,10 @@ use crate::args::RunOptions;
 use ckpt_core::{Estimate, ExperimentError, ReplicationStore, RunControl, SystemConfig};
 use ckpt_harness::spec::ExperimentSpec;
 use ckpt_harness::{CkptError, SweepJournal};
+use ckpt_obs::{ProgressSink, ProgressSnapshot};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// One evaluated point of a figure: the x value, the estimated metric
 /// (mean over replications) and its 95 % half-width.
@@ -72,15 +74,30 @@ pub struct Cell {
     pub config: SystemConfig,
 }
 
-/// Crash-safety hooks for a sweep: an optional journal of completed
-/// replications (cells are keyed by their index in the `cells` vector)
-/// and an optional cooperative-interrupt flag.
-#[derive(Debug, Clone, Copy, Default)]
+/// Crash-safety and liveness hooks for a sweep: an optional journal of
+/// completed replications (cells are keyed by their index in the
+/// `cells` vector), an optional cooperative-interrupt flag, and an
+/// optional progress sink that replaces the old ad-hoc heartbeat
+/// prints.
+#[derive(Clone, Copy, Default)]
 pub struct SweepControl<'a> {
     /// Journal that caches completed replications across runs.
     pub journal: Option<&'a SweepJournal>,
     /// Flag polled before starting each cell and each replication.
     pub interrupt: Option<&'a AtomicBool>,
+    /// Receives one snapshot per completed cell, emitted under a lock
+    /// in strictly increasing `completed` order.
+    pub progress: Option<&'a dyn ProgressSink>,
+}
+
+impl std::fmt::Debug for SweepControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepControl")
+            .field("journal", &self.journal)
+            .field("interrupt", &self.interrupt)
+            .field("progress", &self.progress.map(|_| "dyn ProgressSink"))
+            .finish()
+    }
 }
 
 /// Builds a validated [`ExperimentSpec`] from a configuration, an
@@ -175,10 +192,15 @@ pub fn run_sweep(
 /// pushed one level down: each cell's experiment runs its replications
 /// on `opts.jobs / workers` threads.
 ///
-/// Long sweeps print a heartbeat line to stderr as each cell completes
-/// (suppressed by `--csv` and `--quiet`), so a multi-minute figure run
-/// is visibly alive. The heartbeat is purely cosmetic: completion
-/// *order* depends on scheduling, but every cell's result does not.
+/// Long sweeps report each completed cell through `control.progress`
+/// (the figure runner wires a stderr heartbeat unless `--csv` /
+/// `--quiet`, plus a `--progress` JSONL stream), so a multi-minute
+/// figure run is visibly alive. Snapshots are emitted under a lock in
+/// strictly increasing `completed` order, and the deterministic fields
+/// (label, completed, total) are scheduling-independent — a JSONL
+/// stream is byte-identical at any worker count. The per-cell *detail*
+/// text reflects completion order and is rendered by the human sink
+/// only.
 ///
 /// # Errors
 ///
@@ -205,10 +227,12 @@ pub fn run_sweep_controlled(
         .collect::<Result<Vec<_>, _>>()?;
 
     let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
     type Slot = Option<Result<(usize, Point), ExperimentError>>;
     let results: Mutex<Vec<Slot>> = Mutex::new((0..cells.len()).map(|_| None).collect());
-    let heartbeat = !opts.csv && !opts.quiet;
+    // The counter lives under the sink's lock so `completed` arrives
+    // strictly increasing at every sink, whatever the scheduling.
+    let progress = control.progress.map(|sink| (sink, Mutex::new(0usize)));
+    let started = Instant::now();
     let stop = |flag: Option<&AtomicBool>| flag.is_some_and(|f| f.load(Ordering::SeqCst));
 
     std::thread::scope(|scope| {
@@ -234,6 +258,10 @@ pub fn run_sweep_controlled(
                     .run_controlled(RunControl {
                         store: store.as_ref().map(|s| s as &dyn ReplicationStore),
                         interrupt: control.interrupt,
+                        // Sweeps report at cell granularity; forwarding
+                        // the sink here would interleave replication
+                        // counts from unrelated cells.
+                        progress: None,
                     })
                     .map(|est| {
                         let (y, half_width) = metric.extract(&est);
@@ -251,14 +279,22 @@ pub fn run_sweep_controlled(
                 if !ok {
                     return;
                 }
-                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if heartbeat {
-                    eprintln!(
-                        "  [{finished}/{}] {} x={} done",
-                        cells.len(),
+                if let Some((sink, counter)) = &progress {
+                    let mut finished = counter.lock().expect("progress counter poisoned");
+                    *finished += 1;
+                    let detail = format!(
+                        "{} x={} done",
                         labels.get(cell.series).map_or("", |l| l.as_str()),
                         cell.x
                     );
+                    let mut snap = ProgressSnapshot::new("sweep", *finished, cells.len());
+                    snap.detail = Some(&detail);
+                    snap.workers = Some(workers);
+                    if *finished < cells.len() {
+                        let per_cell = started.elapsed().as_secs_f64() / *finished as f64;
+                        snap.eta_secs = Some(per_cell * (cells.len() - *finished) as f64);
+                    }
+                    sink.progress(&snap);
                 }
             });
         }
@@ -452,6 +488,7 @@ mod tests {
             SweepControl {
                 journal: None,
                 interrupt: Some(&flag),
+                progress: None,
             },
         )
         .unwrap_err();
@@ -491,6 +528,7 @@ mod tests {
             SweepControl {
                 journal: Some(&journal),
                 interrupt: None,
+                progress: None,
             },
         )
         .unwrap();
@@ -512,6 +550,7 @@ mod tests {
                 SweepControl {
                     journal: Some(&resumed_journal),
                     interrupt: None,
+                    progress: None,
                 },
             )
             .unwrap();

@@ -9,7 +9,7 @@ use ckpt_core::{
 };
 use ckpt_des::prof::{HotPhase, PhaseProfile};
 use ckpt_harness::{signal, CkptError};
-use ckpt_obs::{phases_json, Recorder};
+use ckpt_obs::{phases_json, spans_json, telemetry_json, ProgressSink, Recorder};
 use std::fmt::Write as _;
 
 /// Ring-buffer capacity behind `--trace`: large enough to keep every
@@ -100,12 +100,13 @@ pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
     if profile_phases {
         return run_profile_phases(&cfg, &opts);
     }
-    let observing = opts.trace.is_some() || opts.metrics.is_some();
+    let telemetry = opts.histograms.is_some() || opts.prom.is_some();
+    let observing = opts.trace.is_some() || opts.metrics.is_some() || telemetry;
     if observing && (opts.snapshot.is_some() || opts.resume.is_some()) {
         return Err(CkptError::Usage(
-            "--snapshot/--resume cannot be combined with --trace/--metrics: \
-             observation re-executes every replication, so cached results \
-             would be ignored"
+            "--snapshot/--resume cannot be combined with \
+             --trace/--metrics/--histograms/--prom: observation re-executes \
+             every replication, so cached results would be ignored"
                 .into(),
         ));
     }
@@ -113,17 +114,27 @@ pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
     signal::install();
     let journal = runner::open_journal(spec.fingerprint(), &opts)?;
     let store = journal.as_ref().map(|j| j.cell_store(0));
+    let sink = opts.progress_sink().map_err(|e| CkptError::Io {
+        path: opts.progress.clone().unwrap_or_default(),
+        message: e.to_string(),
+    })?;
     let mut exp = spec.to_experiment().warmup(opts.warmup);
     if observing {
-        exp = exp.observe(ObserveSpec {
+        let mut observe = ObserveSpec {
             trace_capacity: opts.trace.as_ref().map(|_| TRACE_CAPACITY),
             registry: true,
-        });
+            histograms: false,
+        };
+        if telemetry {
+            observe = observe.with_histograms();
+        }
+        exp = exp.observe(observe);
     }
     let est = exp
         .run_controlled(RunControl {
             store: store.as_ref().map(|s| s as &dyn ReplicationStore),
             interrupt: Some(signal::interrupt_flag()),
+            progress: (!sink.is_empty()).then_some(&sink as &dyn ProgressSink),
         })
         .map_err(|e| runner::seal_interrupted(journal.as_ref(), CkptError::from(e)))?;
     if let Some(j) = &journal {
@@ -138,6 +149,19 @@ pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
     }
     if let Some(path) = &opts.manifest {
         write_file(path, &est.manifest().to_json())?;
+    }
+    if telemetry {
+        let label = format!("{}proc-{}", cfg.processors(), opts.engine.name());
+        let merged = est.merged_telemetry().unwrap_or_default();
+        if let Some(path) = &opts.histograms {
+            let tree = est.span_tree(&label);
+            let doc = telemetry_json(&label, &merged, &spans_json(std::slice::from_ref(&tree)));
+            write_file(path, &doc)?;
+        }
+        if let Some(path) = &opts.prom {
+            let text = ckpt_obs::export::exposition(est.merged_registry().as_ref(), Some(&merged));
+            write_file(path, &text)?;
+        }
     }
 
     print!("{}", render_report(&cfg, &est, &opts));

@@ -8,7 +8,9 @@
 //! * `table3` — print the model parameters (paper's Table 3),
 //! * `analytic` — print the closed-form baselines for a configuration,
 //! * `optimize` — search the checkpoint-policy space for the best
-//!   useful-work fraction and emit a versioned JSON report.
+//!   useful-work fraction and emit a versioned JSON report,
+//! * `report` — summarize run artifacts (manifests, metrics reports,
+//!   snapshots, telemetry documents) as tables or versioned JSON.
 //!
 //! Configuration flags are shared between `run` and `analytic`; see
 //! [`config_flags::parse_config`].
@@ -19,6 +21,7 @@
 pub mod commands;
 pub mod config_flags;
 pub mod optimize;
+pub mod report;
 
 pub use ckpt_harness::CkptError;
 
@@ -36,6 +39,9 @@ USAGE:
     ckptsim optimize [CONFIG FLAGS] [RUN FLAGS] [--out FILE]
                                                   search checkpoint policies for
                                                   the best useful-work fraction
+    ckptsim report   FILE... [--json]             summarize run artifacts
+                                                  (manifests, metrics, snapshots,
+                                                  telemetry) with cross-run deltas
 
 CONFIG FLAGS:
     --processors N           total compute processors       [65536]
@@ -72,6 +78,11 @@ RUN FLAGS:
     --snapshot-every N       persist the journal every N replications   [1]
     --resume FILE            resume from a snapshot; re-runs only missing work
     --quiet                  suppress per-rep profiles and progress heartbeats
+                             (an explicit --progress FILE stream stays active)
+    --progress FILE          stream deterministic progress records as JSON Lines
+    --histograms FILE        write merged telemetry (histograms + spans) as JSON;
+                             engine hot-loop probes need --features telemetry
+    --prom FILE              write Prometheus text exposition at exit
     --profile-phases         (run only) hot-phase wall-time breakdown as JSON;
                              needs a build with --features prof and --engine san
 
@@ -114,6 +125,7 @@ fn dispatch(mut args: Vec<String>) -> Result<(), CkptError> {
         "analytic" => commands::analytic(args),
         "dot" => commands::dot(args),
         "optimize" => optimize::optimize(args),
+        "report" => report::report(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -261,7 +273,8 @@ mod tests {
         assert!(m.contains("\"merged_registry\""));
         assert!(m.contains("\"reconcile\":\"ok\""));
         let man = std::fs::read_to_string(&manifest).unwrap();
-        assert!(man.contains("\"schema_version\": 1"));
+        assert!(man.contains("\"schema_version\": 2"));
+        assert!(man.contains("\"policy\": \"fixed\""));
         assert!(man.contains("\"engine\": \"direct\""));
         for p in [&trace, &metrics, &manifest] {
             let _ = std::fs::remove_file(p);
@@ -367,6 +380,134 @@ mod tests {
             ])),
             2
         );
+    }
+
+    #[test]
+    fn report_summarizes_artifacts_and_enforces_exit_codes() {
+        let dir = std::env::temp_dir();
+        let manifest = dir.join("ckptsim_cli_test_report_manifest.json");
+        assert_eq!(
+            run(argv(&[
+                "run",
+                "--processors",
+                "8192",
+                "--reps",
+                "2",
+                "--hours",
+                "200",
+                "--transient",
+                "20",
+                "--quiet",
+                "--csv",
+                "--manifest",
+                manifest.to_str().unwrap(),
+            ])),
+            0
+        );
+        // Both renderings succeed on a fresh artifact.
+        assert_eq!(run(argv(&["report", manifest.to_str().unwrap()])), 0);
+        assert_eq!(
+            run(argv(&["report", manifest.to_str().unwrap(), "--json"])),
+            0
+        );
+        // Bad flag → usage (2); missing file → I/O (3); no files → 2.
+        assert_eq!(
+            run(argv(&["report", manifest.to_str().unwrap(), "--bogus"])),
+            2
+        );
+        assert_eq!(run(argv(&["report", "/nonexistent/ckptsim.json"])), 3);
+        assert_eq!(run(argv(&["report"])), 2);
+        let _ = std::fs::remove_file(&manifest);
+    }
+
+    #[test]
+    fn quiet_keeps_an_explicit_progress_stream_and_jobs_do_not_change_it() {
+        // --quiet silences the human heartbeat but an explicit
+        // --progress FILE is a requested artifact and stays active; its
+        // records are deterministic, so serial and parallel runs write
+        // byte-identical streams.
+        let dir = std::env::temp_dir();
+        let run_with = |jobs: &str, path: &std::path::Path| {
+            assert_eq!(
+                run(argv(&[
+                    "run",
+                    "--processors",
+                    "8192",
+                    "--reps",
+                    "4",
+                    "--hours",
+                    "200",
+                    "--transient",
+                    "20",
+                    "--jobs",
+                    jobs,
+                    "--quiet",
+                    "--csv",
+                    "--progress",
+                    path.to_str().unwrap(),
+                ])),
+                0
+            );
+            std::fs::read_to_string(path).unwrap()
+        };
+        let p1 = dir.join("ckptsim_cli_test_progress_j1.jsonl");
+        let p8 = dir.join("ckptsim_cli_test_progress_j8.jsonl");
+        let serial = run_with("1", &p1);
+        let parallel = run_with("8", &p8);
+        assert_eq!(serial, parallel, "progress stream depends on --jobs");
+        assert_eq!(serial.lines().count(), 4, "one record per replication");
+        for (k, line) in serial.lines().enumerate() {
+            assert!(
+                line.contains("\"kind\":\"progress\"")
+                    && line.contains(&format!("\"completed\":{}", k + 1))
+                    && line.contains("\"total\":4"),
+                "bad progress record: {line}"
+            );
+        }
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p8);
+    }
+
+    #[test]
+    fn run_writes_histograms_and_prometheus_exports() {
+        let dir = std::env::temp_dir();
+        let hist = dir.join("ckptsim_cli_test_telemetry.json");
+        let prom = dir.join("ckptsim_cli_test_metrics.prom");
+        assert_eq!(
+            run(argv(&[
+                "run",
+                "--processors",
+                "8192",
+                "--reps",
+                "2",
+                "--hours",
+                "200",
+                "--transient",
+                "20",
+                "--quiet",
+                "--csv",
+                "--histograms",
+                hist.to_str().unwrap(),
+                "--prom",
+                prom.to_str().unwrap(),
+            ])),
+            0
+        );
+        let h = std::fs::read_to_string(&hist).unwrap();
+        assert!(h.contains("\"kind\": \"telemetry\""), "telemetry doc: {h}");
+        assert!(h.contains("\"failure_gap_secs\""));
+        assert!(h.contains("\"spans\""));
+        let doc = ckpt_harness::json::parse(&h).unwrap();
+        assert_eq!(
+            doc.get("probes_enabled").unwrap().as_bool(),
+            Some(ckpt_des::telem::ENABLED)
+        );
+        let p = std::fs::read_to_string(&prom).unwrap();
+        assert!(p.contains("# TYPE ckptsim_"), "exposition: {p}");
+        // The telemetry document is itself reportable.
+        assert_eq!(run(argv(&["report", hist.to_str().unwrap(), "--json"])), 0);
+        let _ = std::fs::remove_file(&hist);
+        let _ = std::fs::remove_file(&prom);
     }
 
     #[test]

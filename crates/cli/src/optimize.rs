@@ -240,6 +240,20 @@ pub fn report_json(
 /// an interrupt surfaces as [`CkptError::Interrupted`] *after* the
 /// snapshot is persisted.
 pub fn run_search(base: &SystemConfig, opts: &RunOptions) -> Result<String, CkptError> {
+    let sink = opts.progress_sink().map_err(|e| CkptError::Io {
+        path: opts.progress.clone().unwrap_or_default(),
+        message: e.to_string(),
+    })?;
+    run_search_with_sink(base, opts, &sink)
+}
+
+/// [`run_search`] reporting through an already-built sink stack (so
+/// the `--progress` file is created exactly once per process).
+fn run_search_with_sink(
+    base: &SystemConfig,
+    opts: &RunOptions,
+    sink: &ckpt_obs::MultiSink,
+) -> Result<String, CkptError> {
     let cands = candidates(base, opts.engine)?;
     let labels: Vec<String> = cands.iter().map(|c| c.label.clone()).collect();
     let cells = cells(&cands);
@@ -248,6 +262,7 @@ pub fn run_search(base: &SystemConfig, opts: &RunOptions) -> Result<String, Ckpt
     let control = SweepControl {
         journal: journal.as_ref(),
         interrupt: Some(signal::interrupt_flag()),
+        progress: (!sink.is_empty()).then_some(sink as &dyn ckpt_obs::ProgressSink),
     };
     let series = run_sweep_controlled(&labels, cells, Metric::UsefulWorkFraction, opts, control)
         .map_err(|e| runner::seal_interrupted(journal.as_ref(), e))?;
@@ -282,16 +297,20 @@ pub fn optimize(args: Vec<String>) -> Result<(), CkptError> {
         ));
     }
     signal::install();
-    let report = run_search(&cfg, &opts)?;
+    let sink = opts.progress_sink().map_err(|e| CkptError::Io {
+        path: opts.progress.clone().unwrap_or_default(),
+        message: e.to_string(),
+    })?;
+    let report = run_search_with_sink(&cfg, &opts, &sink)?;
     match &out {
         Some(path) => {
             std::fs::write(path, &report).map_err(|e| CkptError::Io {
                 path: path.clone(),
                 message: e.to_string(),
             })?;
-            if !opts.quiet {
-                eprintln!("optimize report written to {path}");
-            }
+            // Same --quiet gating as the heartbeats: the sink stack is
+            // empty under --quiet/--csv, so this line vanishes with it.
+            ckpt_obs::ProgressSink::message(&sink, &format!("optimize report written to {path}"));
         }
         None => print!("{report}"),
     }

@@ -30,6 +30,7 @@ use crate::config::{CoordinationMode, RecoveryTimeModel, SystemConfig};
 use crate::metrics::{Counters, Metrics, PhaseKind, PhaseTimes};
 use crate::policy::CheckpointPolicy;
 use crate::trace::{AbortReason, TraceBuffer, TraceEvent};
+use ckpt_des::telem::{HotTelemetry, TelemetrySnapshot};
 use ckpt_des::{EventId, EventQueue, RngFactory, SimRng, SimTime, StreamId};
 use ckpt_obs::{ObsEvent, Observer};
 use ckpt_stats::dist::sample_max_exponential;
@@ -119,6 +120,9 @@ pub struct DirectSimulator<'c> {
     /// Last phase reported to the observer (suppresses no-op `Phase`
     /// notifications).
     observed_phase: PhaseKind,
+    /// Queue-depth distribution probe; a zero-sized no-op unless the
+    /// `telemetry` feature is enabled (see [`ckpt_des::telem`]).
+    telem: HotTelemetry,
 }
 
 impl<'c> DirectSimulator<'c> {
@@ -162,6 +166,7 @@ impl<'c> DirectSimulator<'c> {
             trace: None,
             observer: None,
             observed_phase: PhaseKind::Executing,
+            telem: HotTelemetry::new(),
         };
         sim.schedule_app_phase_end();
         sim.arm_checkpoint_trigger();
@@ -208,6 +213,7 @@ impl<'c> DirectSimulator<'c> {
             };
             self.advance_clock(t);
             self.events_processed += 1;
+            self.telem.record_queue_depth(self.queue.len());
             let id = ev.id();
             let event = ev.into_payload();
             self.clear_pending(event, id);
@@ -228,6 +234,7 @@ impl<'c> DirectSimulator<'c> {
             };
             self.advance_clock(t);
             self.events_processed += 1;
+            self.telem.record_queue_depth(self.queue.len());
             let id = ev.id();
             let event = ev.into_payload();
             self.clear_pending(event, id);
@@ -256,6 +263,14 @@ impl<'c> DirectSimulator<'c> {
     #[must_use]
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// The hot-loop telemetry distributions accumulated so far. Empty
+    /// unless the `telemetry` cargo feature is enabled (check
+    /// [`ckpt_des::telem::ENABLED`]).
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telem.snapshot()
     }
 
     /// Attaches a bounded execution trace retaining the most recent

@@ -19,9 +19,11 @@ use crate::config::SystemConfig;
 use crate::direct::DirectSimulator;
 use crate::metrics::Metrics;
 use crate::san_model::{CheckpointSan, ModelError, RunOptions as SanRunOptions};
+use ckpt_des::prof::PhaseProfile;
 use ckpt_des::SimTime;
 use ckpt_obs::{
-    MetricsRegistry, ModelEvent, ObsEvent, Observer, Recorder, RunManifest, RunProfile,
+    MetricsRegistry, ModelEvent, ObsEvent, Observer, ProgressSink, ProgressSnapshot, Recorder,
+    ReplicationTelemetry, RunManifest, RunProfile, SpanKind, SpanRecord,
 };
 use ckpt_stats::{ConfidenceInterval, Replications};
 use std::fmt;
@@ -142,6 +144,12 @@ pub struct RunControl<'a> {
     /// flag reads `true`; in-flight replications finish (and are
     /// recorded) and the run returns [`ExperimentError::Interrupted`].
     pub interrupt: Option<&'a AtomicBool>,
+    /// When set, every completed replication reports a
+    /// [`ProgressSnapshot`] (label `replications`). Emission is
+    /// serialized under a lock so `completed` arrives strictly
+    /// increasing — the deterministic-stream contract of
+    /// [`ckpt_obs::JsonlSink`] — at any `jobs` value.
+    pub progress: Option<&'a dyn ProgressSink>,
 }
 
 impl fmt::Debug for RunControl<'_> {
@@ -149,6 +157,7 @@ impl fmt::Debug for RunControl<'_> {
         f.debug_struct("RunControl")
             .field("store", &self.store.map(|_| "dyn ReplicationStore"))
             .field("interrupt", &self.interrupt)
+            .field("progress", &self.progress.map(|_| "dyn ProgressSink"))
             .finish()
     }
 }
@@ -247,6 +256,10 @@ pub struct ReplicationProfile {
     pub wall_secs: f64,
     /// Simulation events the replication processed.
     pub events: u64,
+    /// Hot-phase wall-time breakdown; all-zero except for SAN runs
+    /// under the `prof` feature (see [`ckpt_des::prof`]). Feeds the
+    /// phase-level leaves of [`Estimate::span_tree`].
+    pub phases: PhaseProfile,
 }
 
 impl ReplicationProfile {
@@ -276,6 +289,11 @@ pub struct ObserveSpec {
     /// Accumulate a [`MetricsRegistry`] (event counters, activity
     /// firings, sim-time-weighted phase times) per replication.
     pub registry: bool,
+    /// Accumulate [`ReplicationTelemetry`] per replication
+    /// (inter-failure gap histogram and event counts always; the
+    /// engines' queue-depth / dirty-set histograms and RNG-draw counts
+    /// additionally when the build has the `telemetry` feature).
+    pub histograms: bool,
 }
 
 impl ObserveSpec {
@@ -285,6 +303,7 @@ impl ObserveSpec {
         ObserveSpec {
             trace_capacity: None,
             registry: true,
+            histograms: false,
         }
     }
 
@@ -294,7 +313,15 @@ impl ObserveSpec {
         ObserveSpec {
             trace_capacity: Some(trace_capacity),
             registry: true,
+            histograms: false,
         }
+    }
+
+    /// The same spec with telemetry histograms enabled.
+    #[must_use]
+    pub fn with_histograms(mut self) -> ObserveSpec {
+        self.histograms = true;
+        self
     }
 }
 
@@ -416,6 +443,72 @@ impl Estimate {
         Some(merged)
     }
 
+    /// Merges every replication's [`ReplicationTelemetry`] into one
+    /// aggregate, in replication-index order. Histogram merges are
+    /// associative over a fixed bucket layout, so the result — and its
+    /// JSON — is byte-identical at any `jobs` value. `None` when
+    /// telemetry was not enabled (see [`ObserveSpec::histograms`]).
+    #[must_use]
+    pub fn merged_telemetry(&self) -> Option<ReplicationTelemetry> {
+        let mut iter = self.recordings.iter().filter_map(Recorder::telemetry);
+        let mut merged = iter.next()?.clone();
+        for t in iter {
+            merged.merge(t);
+        }
+        Some(merged)
+    }
+
+    /// Per-replication [`SpanRecord`]s (wall time, events, RNG draws),
+    /// in index order, with phase-level child spans where a hot-phase
+    /// profile was recorded (SAN engine under the `prof` feature).
+    #[must_use]
+    pub fn replication_spans(&self) -> Vec<SpanRecord> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut span = SpanRecord::new(SpanKind::Replication, format!("rep {i}"));
+                span.wall_nanos = (p.wall_secs * 1.0e9) as u64;
+                span.events = p.events;
+                if let Some(t) = self.recordings.get(i).and_then(Recorder::telemetry) {
+                    span.rng_draws = t.rng_draws;
+                }
+                for phase in ckpt_des::prof::HotPhase::ALL {
+                    let nanos = p.phases.nanos[phase as usize];
+                    let count = p.phases.counts[phase as usize];
+                    if count > 0 {
+                        let mut child = SpanRecord::new(SpanKind::Phase, phase.name());
+                        child.wall_nanos = nanos;
+                        child.events = count;
+                        span.children.push(child);
+                    }
+                }
+                span
+            })
+            .collect()
+    }
+
+    /// The experiment's span tree: one [`SpanKind::Experiment`] root
+    /// (total wall time, events, RNG draws) over the
+    /// [`Estimate::replication_spans`]. Spans are provenance — wall
+    /// nanoseconds differ between runs — so they serialize under the
+    /// `provenance` section of telemetry documents, never into
+    /// bit-identity-checked output.
+    #[must_use]
+    pub fn span_tree(&self, label: &str) -> SpanRecord {
+        let mut root = SpanRecord::new(SpanKind::Experiment, label);
+        root.wall_nanos = (self.total_wall_secs() * 1.0e9) as u64;
+        root.events = self.profiles.iter().map(|p| p.events).sum();
+        root.rng_draws = self
+            .recordings
+            .iter()
+            .filter_map(Recorder::telemetry)
+            .map(|t| t.rng_draws)
+            .sum();
+        root.children = self.replication_spans();
+        root
+    }
+
     /// Run manifest: full provenance (tool version, engine, seeds,
     /// horizon, host parallelism, the complete configuration, and
     /// per-replication wall/event profiles) for reproducing or auditing
@@ -439,6 +532,7 @@ impl Estimate {
             host_parallelism: std::thread::available_parallelism()
                 .map_or(1, std::num::NonZeroUsize::get),
             warmup: self.warmup,
+            policy: self.config.policy().to_string(),
             config: self.config.summary(),
             profiles: self
                 .profiles
@@ -739,11 +833,20 @@ impl Experiment {
         k: u32,
     ) -> Result<(Metrics, ReplicationProfile, Option<Recorder>), ModelError> {
         let seed = self.base_seed + u64::from(k);
-        let mut recorder = self
-            .observe
-            .map(|spec| Recorder::new(spec.trace_capacity, spec.registry));
+        let mut recorder = self.observe.map(|spec| {
+            let rec = Recorder::new(spec.trace_capacity, spec.registry);
+            if spec.histograms {
+                rec.with_telemetry()
+            } else {
+                rec
+            }
+        });
         let start = Instant::now();
-        let (metrics, events) = match san_model {
+        // A replication runs entirely on one thread, so differencing
+        // the thread-local draw counter around it attributes its RNG
+        // consumption exactly (0 in non-`telemetry` builds).
+        let draws_before = ckpt_des::telem::rng_draws();
+        let (metrics, events, phases, engine_telem) = match san_model {
             None => {
                 let mut sim = DirectSimulator::new(&self.config, seed);
                 sim.run(self.transient);
@@ -755,10 +858,12 @@ impl Experiment {
                 sim.run(self.horizon);
                 let out = (sim.metrics(), sim.events_processed());
                 let end = sim.now();
+                let telem = sim.telemetry_snapshot();
+                drop(sim);
                 if let Some(rec) = recorder.as_mut() {
                     rec.on_window_end(end);
                 }
-                out
+                (out.0, out.1, PhaseProfile::default(), telem)
             }
             Some(model) => {
                 let opts = SanRunOptions {
@@ -767,16 +872,39 @@ impl Experiment {
                     horizon: self.horizon,
                     ..SanRunOptions::default()
                 };
-                let outcome = match recorder.as_mut() {
-                    None => model.run(&opts)?,
-                    Some(rec) => model.run_observed(&opts, rec)?,
-                };
-                (outcome.metrics, outcome.events)
+                match recorder.as_mut() {
+                    None => {
+                        let outcome = model.run(&opts)?;
+                        (
+                            outcome.metrics,
+                            outcome.events,
+                            outcome.phases,
+                            Default::default(),
+                        )
+                    }
+                    Some(rec) if rec.telemetry().is_some() => {
+                        let (outcome, telem) = model.run_observed_with_telemetry(&opts, rec)?;
+                        (outcome.metrics, outcome.events, outcome.phases, telem)
+                    }
+                    Some(rec) => {
+                        let outcome = model.run_observed(&opts, rec)?;
+                        (
+                            outcome.metrics,
+                            outcome.events,
+                            outcome.phases,
+                            Default::default(),
+                        )
+                    }
+                }
             }
         };
+        if let Some(rec) = recorder.as_mut() {
+            rec.absorb_engine_telemetry(&engine_telem, ckpt_des::telem::rng_draws() - draws_before);
+        }
         let profile = ReplicationProfile {
             wall_secs: start.elapsed().as_secs_f64(),
             events,
+            phases,
         };
         Ok((metrics, profile, recorder))
     }
@@ -807,6 +935,7 @@ impl Experiment {
                 let profile = ReplicationProfile {
                     wall_secs: 0.0,
                     events: cached.events,
+                    phases: PhaseProfile::default(),
                 };
                 return Ok((cached.metrics, profile, None, None));
             }
@@ -886,6 +1015,15 @@ impl Experiment {
         // new replication is O(1), where rebuilding from the replicate
         // list every round made the stopping loop quadratic.
         let mut accum = Replications::new();
+        // Live progress: completions are counted and emitted under one
+        // lock so snapshots leave in strictly increasing `completed`
+        // order at any worker count. The planned total grows when
+        // sequential stopping schedules another round.
+        let progress = control
+            .progress
+            .map(|sink| (sink, std::sync::Mutex::new(0usize)));
+        let planned = std::sync::atomic::AtomicUsize::new(self.replications as usize);
+        let run_started = Instant::now();
         let launch = |from: u32,
                       count: u32,
                       replicates: &mut Vec<Metrics>,
@@ -895,7 +1033,26 @@ impl Experiment {
                       accum: &mut Replications|
          -> Result<(), ExperimentError> {
             let chunk = run_indexed(count as usize, self.jobs, control.interrupt, |i| {
-                self.run_one_supervised(san_model.as_ref(), from + i as u32, control.store)
+                let result =
+                    self.run_one_supervised(san_model.as_ref(), from + i as u32, control.store);
+                if let Some((sink, counter)) = &progress {
+                    let mut done = counter.lock().expect("progress lock poisoned");
+                    *done += 1;
+                    let total = planned.load(Ordering::Relaxed);
+                    let mut snapshot = ProgressSnapshot::new("replications", *done, total);
+                    // Provenance extras (HumanSink-only; the JSONL sink
+                    // ignores them, keeping the stream deterministic).
+                    let elapsed = run_started.elapsed().as_secs_f64();
+                    if *done > 0 && total >= *done {
+                        snapshot.eta_secs = Some(elapsed / *done as f64 * (total - *done) as f64);
+                    }
+                    if let Ok((_, profile, _, _)) = &result {
+                        snapshot.events_per_sec = Some(profile.events_per_sec());
+                    }
+                    snapshot.workers = Some(self.jobs.min(count as usize).max(1));
+                    sink.progress(&snapshot);
+                }
+                result
             });
             // Index order is preserved, so replication k lands at slot
             // k (metrics, profile, and recording alike) and errors
@@ -944,6 +1101,7 @@ impl Experiment {
                 // Chunked stopping: one round per CI test, sized to
                 // keep every worker busy without overshooting the cap.
                 let round = (max_reps - k).min(self.jobs.max(1) as u32);
+                planned.store((k + round) as usize, Ordering::Relaxed);
                 launch(
                     k,
                     round,
@@ -1008,6 +1166,7 @@ impl Experiment {
         let profiles = vec![ReplicationProfile {
             wall_secs: start.elapsed().as_secs_f64(),
             events,
+            phases: PhaseProfile::default(),
         }];
         Ok((replicates, profiles, Vec::new(), Vec::new()))
     }
@@ -1389,6 +1548,7 @@ mod tests {
             RunControl {
                 store: Some(&store),
                 interrupt: None,
+                progress: None,
             },
         )
         .unwrap();
@@ -1416,6 +1576,7 @@ mod tests {
             RunControl {
                 store: Some(&store),
                 interrupt: None,
+                progress: None,
             },
         )
         .unwrap_err();
@@ -1438,6 +1599,7 @@ mod tests {
             RunControl {
                 store: Some(&store),
                 interrupt: None,
+                progress: None,
             },
         )
         .unwrap();
@@ -1458,6 +1620,7 @@ mod tests {
                 RunControl {
                     store: Some(&resumed_store),
                     interrupt: None,
+                    progress: None,
                 },
             )
             .unwrap();
@@ -1480,6 +1643,7 @@ mod tests {
             RunControl {
                 store: None,
                 interrupt: Some(&flag),
+                progress: None,
             },
         )
         .unwrap_err();
@@ -1496,6 +1660,7 @@ mod tests {
         let control = RunControl {
             store: Some(&store),
             interrupt: None,
+            progress: None,
         };
         controlled(cfg.clone(), 1, control).unwrap();
         let observed = Experiment::new(cfg)

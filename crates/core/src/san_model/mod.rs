@@ -44,6 +44,7 @@ use crate::config::{CoordinationMode, RecoveryTimeModel, SystemConfig};
 use crate::metrics::{Counters, Metrics, PhaseKind, PhaseTimes};
 use bridge::SanBridge;
 use ckpt_des::prof::PhaseProfile;
+use ckpt_des::telem::TelemetrySnapshot;
 use ckpt_des::SimTime;
 use ckpt_obs::{Observer, TraceBuffer};
 use ckpt_san::{
@@ -284,7 +285,7 @@ impl CheckpointSan {
             opts.scheduling,
             opts.sampling,
         )
-        .map(|(metrics, events, phases)| RunOutcome {
+        .map(|(metrics, events, phases, _)| RunOutcome {
             metrics,
             events,
             phases,
@@ -316,10 +317,46 @@ impl CheckpointSan {
             opts.scheduling,
             opts.sampling,
         )
-        .map(|(metrics, events, phases)| RunOutcome {
+        .map(|(metrics, events, phases, _)| RunOutcome {
             metrics,
             events,
             phases,
+        })
+    }
+
+    /// Like [`CheckpointSan::run_observed`], but also returns the
+    /// engine's hot-loop telemetry (queue-depth and dirty-set
+    /// distributions). The snapshot is empty unless the build has the
+    /// `telemetry` cargo feature (check [`ckpt_des::telem::ENABLED`]);
+    /// either way the metrics stay bit-identical to
+    /// [`CheckpointSan::run`] on the same seed — probes never draw from
+    /// or reorder the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SAN execution errors.
+    pub fn run_observed_with_telemetry(
+        &self,
+        opts: &RunOptions,
+        observer: &mut dyn Observer,
+    ) -> Result<(RunOutcome, TelemetrySnapshot), ModelError> {
+        self.run_steady_state_inner(
+            opts.seed,
+            opts.transient,
+            opts.horizon,
+            Some(observer),
+            opts.scheduling,
+            opts.sampling,
+        )
+        .map(|(metrics, events, phases, telemetry)| {
+            (
+                RunOutcome {
+                    metrics,
+                    events,
+                    phases,
+                },
+                telemetry,
+            )
         })
     }
 
@@ -437,7 +474,7 @@ impl CheckpointSan {
         capacity: usize,
     ) -> Result<(Metrics, TraceBuffer), ModelError> {
         let mut buf = TraceBuffer::new(capacity);
-        let (metrics, _, _) = self.run_steady_state_inner(
+        let (metrics, _, _, _) = self.run_steady_state_inner(
             seed,
             SimTime::ZERO,
             horizon,
@@ -457,7 +494,7 @@ impl CheckpointSan {
         observer: Option<&mut dyn Observer>,
         scheduling: Scheduling,
         sampling: Sampling,
-    ) -> Result<(Metrics, u64, PhaseProfile), ModelError> {
+    ) -> Result<(Metrics, u64, PhaseProfile, TelemetrySnapshot), ModelError> {
         let ids = self.ids;
         let mut sim = Simulator::with_options(&self.san, seed, scheduling, sampling)?;
 
@@ -562,11 +599,12 @@ impl CheckpointSan {
         };
         let events = sim.events_processed();
         let phases = sim.take_phase_profile();
+        let telemetry = sim.telemetry_snapshot();
         let end = sim.now();
         if let Some(b) = obs_bridge.as_mut() {
             b.finish(end);
         }
-        Ok((metrics, events, phases))
+        Ok((metrics, events, phases, telemetry))
     }
 
     /// Runs one long replication cut into `batches` measurement slices

@@ -1,0 +1,307 @@
+//! Mergeable log-bucket histograms (HDR-style, fixed layout).
+//!
+//! A [`LogHistogram`] records non-negative integer samples (event-queue
+//! depths, dirty-set sizes, sim-time gaps in whole seconds, …) into a
+//! *fixed* bucket layout: values below [`LINEAR_LIMIT`] get one bucket
+//! each, and every power-of-two octave above that is split into
+//! [`SUB_BUCKETS`] equal sub-buckets (≈6 % relative resolution). The
+//! layout never depends on the data, so merging two histograms is a
+//! plain element-wise count addition — associative, commutative, and
+//! therefore invariant under worker count and merge order. That is the
+//! property the experiment layer relies on: per-replication histograms
+//! merged in replication-index order produce byte-identical JSON at any
+//! `--jobs` value.
+//!
+//! Percentile queries return the *upper bound* of the bucket holding
+//! the requested rank (clamped to the recorded maximum), so quantiles
+//! are deterministic integers with bounded relative error rather than
+//! interpolated floats.
+
+/// Values below this limit get one bucket each (exact counts).
+pub const LINEAR_LIMIT: u64 = 16;
+
+/// Sub-buckets per power-of-two octave above the linear range.
+pub const SUB_BUCKETS: usize = 16;
+
+/// log2 of [`LINEAR_LIMIT`]; the first octave that is subdivided.
+const FIRST_OCTAVE: u32 = 4;
+
+/// Total buckets: the linear range plus 60 subdivided octaves
+/// (octaves 4..=63 cover the rest of the `u64` domain).
+pub const NUM_BUCKETS: usize = LINEAR_LIMIT as usize + (64 - FIRST_OCTAVE as usize) * SUB_BUCKETS;
+
+/// A fixed-layout log-bucket histogram over `u64` samples.
+///
+/// See the [module docs](self) for the layout and merge contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+/// Bucket index of a sample value. Total function: every `u64` maps to
+/// exactly one of the [`NUM_BUCKETS`] buckets.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_LIMIT {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros(); // >= FIRST_OCTAVE
+    let sub = (value >> (octave - FIRST_OCTAVE)) as usize & (SUB_BUCKETS - 1);
+    LINEAR_LIMIT as usize + (octave - FIRST_OCTAVE) as usize * SUB_BUCKETS + sub
+}
+
+/// Smallest value that lands in bucket `index`.
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index < LINEAR_LIMIT as usize {
+        return index as u64;
+    }
+    let g = index - LINEAR_LIMIT as usize;
+    let octave = FIRST_OCTAVE + (g / SUB_BUCKETS) as u32;
+    let sub = (g % SUB_BUCKETS) as u64;
+    (1u64 << octave) + (sub << (octave - FIRST_OCTAVE))
+}
+
+/// Largest value that lands in bucket `index` (inclusive).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(index + 1) - 1
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds every bucket of `other` into `self`. Element-wise addition
+    /// over a fixed layout: associative and commutative, so any merge
+    /// order or partition of the same samples yields identical state.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` (0.0..=1.0): the upper bound of the
+    /// bucket containing the sample of rank `ceil(q·count)`, clamped to
+    /// the recorded maximum. 0 when empty. Deterministic — integer
+    /// bucket walking, no interpolation.
+    #[must_use]
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, ascending by index.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Deterministic JSON encoding: summary fields plus the sparse
+    /// bucket list. Byte-identical for equal histogram state.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            self.value_at_quantile(0.50),
+            self.value_at_quantile(0.90),
+            self.value_at_quantile(0.99),
+        );
+        for (n, (i, c)) in self.nonzero_buckets().enumerate() {
+            if n > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{i},{c}]"));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_total_and_monotone() {
+        // Every bucket's bounds nest: lower <= upper < next lower.
+        for i in 0..NUM_BUCKETS - 1 {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            assert!(lo <= hi, "bucket {i}");
+            assert_eq!(hi + 1, bucket_lower_bound(i + 1), "bucket {i}");
+        }
+        // Round trip: a value's bucket contains it.
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(
+                bucket_lower_bound(i) <= v && v <= bucket_upper_bound(i),
+                "v={v}"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..LINEAR_LIMIT {
+            h.record(v);
+        }
+        for v in 0..LINEAR_LIMIT {
+            assert_eq!(h.value_at_quantile((v as f64 + 1.0) / 16.0), v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.count(), 16);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let samples: Vec<u64> = (0..1000u64).map(|i| i * i % 7919 + i / 3).collect();
+        let mut whole = LogHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        // Split in three, merge in a scrambled order.
+        let mut parts = [
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        ];
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % 3].record(s);
+        }
+        let mut merged = LogHistogram::new();
+        merged.merge(&parts[2]);
+        merged.merge(&parts[0]);
+        merged.merge(&parts[1]);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.to_json(), whole.to_json());
+    }
+
+    #[test]
+    fn quantiles_are_bounded_by_the_data() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 200, 300, 4000, 50_000] {
+            h.record(v);
+        }
+        assert!(h.value_at_quantile(0.5) >= 200);
+        assert!(h.value_at_quantile(1.0) <= h.max());
+        assert_eq!(h.value_at_quantile(1.0), h.max());
+        let relative_error = (h.value_at_quantile(0.5) as f64 - 300.0).abs() / 300.0;
+        assert!(relative_error < 0.10, "p50 error {relative_error}");
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]}"
+        );
+    }
+}

@@ -49,13 +49,16 @@
 
 mod engine;
 mod event;
+pub mod hist;
 pub mod prof;
 mod queue;
 mod rng;
+pub mod telem;
 mod time;
 
 pub use engine::{Engine, EventHandler, RunOutcome};
 pub use event::{EventId, ScheduledEvent};
+pub use hist::LogHistogram;
 pub use queue::EventQueue;
 pub use rng::{RngFactory, Sampling, SimRng, StreamId};
 pub use time::{SimTime, TimeError};

@@ -226,6 +226,10 @@ impl SimRng {
     /// Next buffered raw word, refilling the block when exhausted.
     #[inline]
     fn next_raw(&mut self) -> u64 {
+        // Every sampler and the `RngCore` impl funnel through here, so
+        // this one probe counts all consumed words (free when the
+        // `telemetry` feature is off).
+        crate::telem::note_rng_draw();
         if self.pos == RNG_BLOCK {
             for slot in &mut self.buf {
                 *slot = self.inner.next_u64();

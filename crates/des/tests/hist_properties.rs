@@ -1,0 +1,113 @@
+//! Property-based tests of the mergeable log-bucket histogram: the
+//! bucket layout is fixed at compile time, so merging per-replication
+//! histograms must be associative and commutative — the merged JSON is
+//! byte-identical no matter how the record stream is partitioned across
+//! workers or in which order the partial histograms are combined.
+
+use ckpt_des::hist::{bucket_index, bucket_lower_bound, bucket_upper_bound, LogHistogram};
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Values spanning the linear range, the log range, and the extremes.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => 0u64..64,
+        3 => 0u64..1_000_000,
+        2 => (0u32..63).prop_map(|shift| 1u64 << shift),
+        1 => Just(u64::MAX),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_value_lands_in_a_bucket_that_contains_it(v in value_strategy()) {
+        let idx = bucket_index(v);
+        prop_assert!(
+            bucket_lower_bound(idx) <= v,
+            "value {v} below lower bound of bucket {idx}"
+        );
+        prop_assert!(
+            v <= bucket_upper_bound(idx),
+            "value {v} above upper bound of bucket {idx}"
+        );
+    }
+
+    #[test]
+    fn merge_is_partition_invariant(
+        values in proptest::collection::vec(value_strategy(), 0..400),
+        cut_a in 0usize..400,
+        cut_b in 0usize..400,
+    ) {
+        // One worker recording everything...
+        let whole = record_all(&values);
+
+        // ...must match any three-way split merged back together.
+        let (lo, hi) = if cut_a <= cut_b { (cut_a, cut_b) } else { (cut_b, cut_a) };
+        let (lo, hi) = (lo.min(values.len()), hi.min(values.len()));
+        let mut merged = record_all(&values[..lo]);
+        merged.merge(&record_all(&values[lo..hi]));
+        merged.merge(&record_all(&values[hi..]));
+
+        prop_assert_eq!(whole.to_json(), merged.to_json());
+        prop_assert_eq!(whole.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter(
+        a in proptest::collection::vec(value_strategy(), 0..150),
+        b in proptest::collection::vec(value_strategy(), 0..150),
+        c in proptest::collection::vec(value_strategy(), 0..150),
+    ) {
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        // (a ⊕ b) ⊕ c, byte-compared against c ⊕ (b ⊕ a): exercises both
+        // commutativity and associativity of the element-wise merge.
+        let mut fwd = ha.clone();
+        fwd.merge(&hb);
+        fwd.merge(&hc);
+
+        let mut rev = hc.clone();
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        rev.merge(&ba);
+
+        prop_assert_eq!(fwd.to_json(), rev.to_json());
+    }
+
+    #[test]
+    fn summary_statistics_survive_a_merge(
+        a in proptest::collection::vec(value_strategy(), 1..150),
+        b in proptest::collection::vec(value_strategy(), 1..150),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+
+        let all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged.count(), all.len() as u64);
+        prop_assert_eq!(merged.min(), *all.iter().min().unwrap());
+        prop_assert_eq!(merged.max(), *all.iter().max().unwrap());
+        let sum: u64 = all.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(merged.sum(), sum);
+
+        // Quantiles are bucket-resolution approximations, but they must
+        // stay within the bucket containing the true order statistic.
+        let mut sorted = all;
+        sorted.sort_unstable();
+        let true_p50 = sorted[(sorted.len() - 1) / 2];
+        let est_p50 = merged.value_at_quantile(0.5);
+        prop_assert!(
+            bucket_index(est_p50) <= bucket_index(true_p50).saturating_add(1)
+                && bucket_index(true_p50) <= bucket_index(est_p50).saturating_add(1),
+            "p50 estimate {est_p50} too far from true median {true_p50}"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Prometheus-style text exposition for registries and histograms.
+//!
+//! Renders the post-run state of a [`MetricsRegistry`] and a merged
+//! [`ReplicationTelemetry`] in the Prometheus text format (`# TYPE`
+//! headers, `name{label="…"} value` samples, cumulative `_bucket{le}`
+//! histogram series). This is a *post-hoc* exporter: ckptsim runs are
+//! batch jobs, so instead of an HTTP scrape endpoint the text is
+//! written once at exit (`--prom FILE`) for pushgateway-style ingest
+//! or eyeballing. Output key order follows the registry's sorted maps
+//! and the fixed bucket layout, so equal state renders byte-identical.
+
+use crate::telemetry::ReplicationTelemetry;
+use crate::{MetricsRegistry, PhaseKind};
+use ckpt_des::hist::bucket_upper_bound;
+use ckpt_des::LogHistogram;
+use std::fmt::Write;
+
+/// Sanitizes a key into a Prometheus label value (escapes `\`, `"`,
+/// and newlines).
+fn label_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders one histogram as a cumulative `_bucket{le=…}` series plus
+/// `_sum` and `_count`, the standard Prometheus histogram triplet.
+/// Only non-empty buckets get explicit `le` bounds (plus the mandatory
+/// `+Inf`), keeping the text proportional to observed spread.
+#[must_use]
+pub fn histogram_text(name: &str, help: &str, hist: &LogHistogram) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# HELP {name} {help}");
+    let _ = writeln!(s, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (index, count) in hist.nonzero_buckets() {
+        cumulative += count;
+        let _ = writeln!(
+            s,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_upper_bound(index)
+        );
+    }
+    let _ = writeln!(s, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+    let _ = writeln!(s, "{name}_sum {}", hist.sum());
+    let _ = writeln!(s, "{name}_count {}", hist.count());
+    s
+}
+
+/// Renders a [`MetricsRegistry`] as Prometheus text: model-event
+/// counters, SAN activity firings, per-phase sim-seconds, and the
+/// measurement-window length.
+#[must_use]
+pub fn registry_text(registry: &MetricsRegistry) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# HELP ckptsim_events_total Model events by kind.");
+    let _ = writeln!(s, "# TYPE ckptsim_events_total counter");
+    for (key, value) in registry.counters() {
+        let _ = writeln!(
+            s,
+            "ckptsim_events_total{{event=\"{}\"}} {value}",
+            label_escape(key)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "# HELP ckptsim_activity_firings_total SAN activity firings."
+    );
+    let _ = writeln!(s, "# TYPE ckptsim_activity_firings_total counter");
+    for (name, value) in registry.activities() {
+        let _ = writeln!(
+            s,
+            "ckptsim_activity_firings_total{{activity=\"{}\"}} {value}",
+            label_escape(name)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "# HELP ckptsim_phase_seconds Simulated seconds per phase."
+    );
+    let _ = writeln!(s, "# TYPE ckptsim_phase_seconds gauge");
+    let phases = registry.phase_times();
+    for phase in PhaseKind::ALL {
+        let _ = writeln!(
+            s,
+            "ckptsim_phase_seconds{{phase=\"{}\"}} {}",
+            phase.key(),
+            phases.get(phase)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "# HELP ckptsim_window_seconds Total closed measurement-window length."
+    );
+    let _ = writeln!(s, "# TYPE ckptsim_window_seconds gauge");
+    let _ = writeln!(s, "ckptsim_window_seconds {}", registry.window_secs());
+    s
+}
+
+/// Full exposition: registry metrics (when available) followed by the
+/// telemetry histograms and scalar draw/event counters.
+#[must_use]
+pub fn exposition(
+    registry: Option<&MetricsRegistry>,
+    telemetry: Option<&ReplicationTelemetry>,
+) -> String {
+    let mut s = String::new();
+    if let Some(reg) = registry {
+        s.push_str(&registry_text(reg));
+    }
+    if let Some(t) = telemetry {
+        let _ = writeln!(s, "# HELP ckptsim_rng_draws_total Raw RNG words drawn.");
+        let _ = writeln!(s, "# TYPE ckptsim_rng_draws_total counter");
+        let _ = writeln!(s, "ckptsim_rng_draws_total {}", t.rng_draws);
+        let _ = writeln!(
+            s,
+            "# HELP ckptsim_observed_events_total Model events observed."
+        );
+        let _ = writeln!(s, "# TYPE ckptsim_observed_events_total counter");
+        let _ = writeln!(s, "ckptsim_observed_events_total {}", t.events);
+        s.push_str(&histogram_text(
+            "ckptsim_failure_gap_seconds",
+            "Sim-time gaps between consecutive failures.",
+            &t.failure_gaps,
+        ));
+        s.push_str(&histogram_text(
+            "ckptsim_queue_depth",
+            "Event-queue depth at each pop (telemetry builds).",
+            &t.queue_depth,
+        ));
+        s.push_str(&histogram_text(
+            "ckptsim_dirty_set",
+            "Dirty-place set size per event (SAN telemetry builds).",
+            &t.dirty_set,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelEvent, ObsEvent, Observer};
+    use ckpt_des::SimTime;
+
+    #[test]
+    fn histogram_text_is_cumulative_and_closed() {
+        let mut h = LogHistogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(100);
+        let text = histogram_text("x", "help", &h);
+        assert!(text.contains("# TYPE x histogram"));
+        assert!(text.contains("x_bucket{le=\"1\"} 2"));
+        assert!(text.contains("x_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("x_sum 102"));
+        assert!(text.contains("x_count 3"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn registry_exposition_has_standard_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.on_window_begin(SimTime::ZERO, PhaseKind::Executing);
+        reg.on_event(
+            SimTime::from_secs(5.0),
+            ObsEvent::Model(ModelEvent::CheckpointInitiated),
+        );
+        reg.on_window_end(SimTime::from_secs(10.0));
+        let text = exposition(Some(&reg), Some(&ReplicationTelemetry::new()));
+        assert!(text.contains("ckptsim_events_total{event=\"checkpoint_initiated\"} 1"));
+        assert!(text.contains("ckptsim_phase_seconds{phase=\"executing\"} 10"));
+        assert!(text.contains("ckptsim_window_seconds 10"));
+        assert!(text.contains("ckptsim_rng_draws_total 0"));
+        // Every non-comment line is `name{...} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.rsplit(' ').next().unwrap().parse::<f64>().is_ok(),
+                "{line}"
+            );
+        }
+    }
+}

@@ -32,17 +32,24 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod export;
 mod manifest;
 mod observer;
 mod phases;
+pub mod progress;
 mod recorder;
 mod registry;
+pub mod span;
+pub mod telemetry;
 mod trace;
 
 pub use event::{AbortReason, ModelEvent, PhaseKind, PhaseTimes};
-pub use manifest::{json_escape, RunManifest, RunProfile};
+pub use manifest::{json_escape, RunManifest, RunProfile, MANIFEST_SCHEMA_VERSION};
 pub use observer::{NoopObserver, ObsEvent, Observer};
 pub use phases::phases_json;
+pub use progress::{HumanSink, JsonlSink, MultiSink, NullSink, ProgressSink, ProgressSnapshot};
 pub use recorder::Recorder;
 pub use registry::{MetricsRegistry, ReconcileError};
+pub use span::{spans_json, SpanKind, SpanRecord};
+pub use telemetry::{telemetry_json, ReplicationTelemetry};
 pub use trace::{TraceBuffer, TraceEntry};

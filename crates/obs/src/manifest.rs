@@ -72,17 +72,25 @@ pub struct RunManifest {
     /// Warm-up replications run and discarded before the recorded ones
     /// (their wall time and events appear nowhere in this manifest).
     pub warmup: u32,
+    /// Active checkpoint-interval policy (e.g. `fixed`,
+    /// `daly_optimal`), as rendered by `PolicySpec`'s `Display`.
+    /// Schema v2; empty in manifests parsed from v1 documents.
+    pub policy: String,
     /// Model configuration as ordered key/value pairs.
     pub config: Vec<(String, String)>,
     /// Per-replication wall/events profiles, in replication order.
     pub profiles: Vec<RunProfile>,
 }
 
+/// Manifest schema emitted by [`RunManifest::to_json`]. History:
+/// v1 (PR 2) — base fields; v2 (this PR) — adds `policy`.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
+
 impl RunManifest {
     /// The manifest as one pretty-ish JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"schema_version\": 1,\n");
+        let mut s = format!("{{\n  \"schema_version\": {MANIFEST_SCHEMA_VERSION},\n");
         s.push_str(&format!("  \"tool\": \"{}\",\n", json_escape(&self.tool)));
         s.push_str(&format!(
             "  \"version\": \"{}\",\n",
@@ -113,6 +121,10 @@ impl RunManifest {
             self.host_parallelism
         ));
         s.push_str(&format!("  \"warmup\": {},\n", self.warmup));
+        s.push_str(&format!(
+            "  \"policy\": \"{}\",\n",
+            json_escape(&self.policy)
+        ));
         s.push_str("  \"config\": {");
         for (i, (k, v)) in self.config.iter().enumerate() {
             if i > 0 {
@@ -174,6 +186,7 @@ mod tests {
             jobs: 4,
             host_parallelism: 8,
             warmup: 1,
+            policy: "fixed".into(),
             config: vec![("processors".into(), "65536".into())],
             profiles: vec![
                 RunProfile {
@@ -187,8 +200,9 @@ mod tests {
             ],
         };
         let j = m.to_json();
-        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"engine\": \"direct\""));
+        assert!(j.contains("\"policy\": \"fixed\""));
         assert!(j.contains("\"base_seed\": 24301"));
         assert!(j.contains("\"processors\": \"65536\""));
         assert!(j.contains("\"warmup\": 1"));
@@ -213,6 +227,7 @@ mod tests {
             jobs: 1,
             host_parallelism: 1,
             warmup: 0,
+            policy: String::new(),
             config: vec![],
             profiles: vec![],
         };

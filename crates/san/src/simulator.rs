@@ -6,6 +6,7 @@ use crate::marking::Marking;
 use crate::model::San;
 use crate::reward::{RewardReport, RewardSpec, RewardValue};
 use ckpt_des::prof::{HotPhase, PhaseProfile, PhaseProfiler};
+use ckpt_des::telem::{HotTelemetry, TelemetrySnapshot};
 use ckpt_des::{EventId, EventQueue, Sampling, SimRng, SimTime};
 use std::collections::HashMap;
 use std::fmt;
@@ -147,6 +148,10 @@ pub struct Simulator<'m> {
     /// Hot-phase wall-time attribution; a no-op unless the `prof`
     /// feature is enabled (see [`ckpt_des::prof`]).
     prof: PhaseProfiler,
+    /// Queue-depth / dirty-set distribution probes; zero-sized no-ops
+    /// unless the `telemetry` feature is enabled (see
+    /// [`ckpt_des::telem`]).
+    telem: HotTelemetry,
 }
 
 impl<'m> Simulator<'m> {
@@ -222,6 +227,7 @@ impl<'m> Simulator<'m> {
             inst_stamp: vec![0; n],
             inst_gen: 0,
             prof: PhaseProfiler::new(),
+            telem: HotTelemetry::new(),
         };
         // Initialization settles and schedules with the full scan in both
         // modes: it visits every activity in ascending index order, which
@@ -255,6 +261,14 @@ impl<'m> Simulator<'m> {
     /// Returns the accumulated hot-phase profile and resets it.
     pub fn take_phase_profile(&mut self) -> PhaseProfile {
         self.prof.take()
+    }
+
+    /// The hot-loop telemetry distributions accumulated so far. Empty
+    /// unless the `telemetry` cargo feature is enabled (check
+    /// [`ckpt_des::telem::ENABLED`]).
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telem.snapshot()
     }
 
     /// Registers a reward variable. Rewards accumulate from the moment
@@ -445,6 +459,7 @@ impl<'m> Simulator<'m> {
     /// Processes one timed completion at `t`: advance the clock, fire,
     /// settle instantaneous activities, reconcile timed schedules.
     fn step_event(&mut self, t: SimTime, activity: ActivityId) -> Result<(), SanError> {
+        self.telem.record_queue_depth(self.queue.len());
         self.integrate_to(t);
         self.now = t;
         self.scheduled[activity.0] = None;
@@ -470,6 +485,8 @@ impl<'m> Simulator<'m> {
                 self.prof
                     .end_excluding_nested(HotPhase::ScheduleReconciliation, span);
                 self.refresh_dirty_rate_caches();
+                self.telem
+                    .record_dirty_set(self.marking.dirty_places().len());
                 #[cfg(debug_assertions)]
                 self.assert_schedule_consistency();
             }

@@ -12,6 +12,14 @@
 # events/sec is host-dependent, the gate only *fails* on hosts with
 # real parallelism (CI runners); on single-core hosts, or when
 # BENCH_GATE_REPORT_ONLY=1, it reports the comparison without failing.
+#
+# The committed reference was recorded with the telemetry probes
+# compiled OUT (the default feature set). The gate builds the same
+# default set and then *asserts* the measured binary reports
+# telemetry_probes=false, so the hot loop being compared is the one
+# the reference measured — a telemetry-enabled build would gate its
+# probe overhead against a probe-free baseline and fail spuriously
+# (or, worse, hide a real regression behind a refreshed reference).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,6 +45,10 @@ EOF
 cur_eps="$(python3 - "$repo/BENCH_engines.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
+if doc.get("telemetry_probes", False):
+    sys.exit("bench_gate: measured binary has telemetry probes compiled in; "
+             "the gate compares against a probe-free reference — rebuild "
+             "without --features telemetry")
 [inc] = [r for r in doc["runs"] if r["scheduler"] == "incremental"]
 print(int(inc["events_per_sec"]))
 EOF

@@ -207,6 +207,7 @@ fn optimize_resumed_after_interrupt_matches_uninterrupted() {
         SweepControl {
             journal: Some(&journal),
             interrupt: None,
+            progress: None,
         },
     )
     .expect("prefix sweep runs");

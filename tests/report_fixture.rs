@@ -1,0 +1,44 @@
+//! `ckptsim report` against committed fixtures: the `--json` rendering
+//! is a deterministic function of the input documents, so the report
+//! over a PR 2-era (schema v1) run manifest is pinned byte-for-byte.
+//! If this test fails after an intentional layout change, bump
+//! `REPORT_SCHEMA_VERSION` and regenerate the expected file.
+
+use ckpt_cli::report::{report_json, summarize};
+use ckptsim::harness::json::parse;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn v1_manifest_report_matches_pinned_output() {
+    let doc = parse(&fixture("run_manifest_v1.json")).expect("fixture parses");
+    let entries = vec![("tests/fixtures/run_manifest_v1.json".to_string(), doc)];
+    let actual = report_json(&entries).expect("report renders");
+    let expected = fixture("report_v1_expected.json");
+    assert_eq!(
+        actual, expected,
+        "report --json drifted from the pinned fixture; if the change is \
+         intentional, bump REPORT_SCHEMA_VERSION and regenerate"
+    );
+}
+
+#[test]
+fn v1_manifest_summary_defaults_missing_fields() {
+    // The v1 layout predates `policy`, `warmup`, and `faults`; the
+    // report must parse it leniently with documented defaults rather
+    // than reject old artifacts.
+    let doc = parse(&fixture("run_manifest_v1.json")).expect("fixture parses");
+    let s = summarize("old.json", &doc).expect("summarizes");
+    let get = |k: &str| s.get(k).cloned().expect(k).to_json();
+    assert_eq!(get("schema_version"), "1");
+    assert_eq!(get("policy"), "\"\"");
+    assert_eq!(get("warmup"), "0");
+    assert_eq!(get("faults"), "0");
+    // Fields v1 did record come through verbatim.
+    assert_eq!(get("jobs"), "2");
+    assert_eq!(get("host_parallelism"), "8");
+    assert_eq!(get("events_total"), "359750");
+}

@@ -111,6 +111,7 @@ fn kill_resume_check(
         .run_controlled(RunControl {
             store: Some(&store),
             interrupt: Some(&flag),
+            progress: None,
         })
         .expect_err("run must report the interrupt");
     match err {
@@ -139,6 +140,7 @@ fn kill_resume_check(
             .run_controlled(RunControl {
                 store: Some(&store),
                 interrupt: None,
+                progress: None,
             })
             .expect("resumed run completes");
         assert_bit_identical(baseline, &est);
