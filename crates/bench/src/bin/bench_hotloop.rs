@@ -26,10 +26,13 @@
 //! * `--pr4-baseline-eps N` — the pre-optimization incremental
 //!   events/sec (from the previous PR's `BENCH_engines.json`, same
 //!   workload, same host) used for the before/after speedups.
-//! * `--phases-in FILE` — embed a phase breakdown produced by a
-//!   `--features prof` run of `bench_engines --phases` (profiled builds
-//!   inflate wall time, so phases and headline numbers come from
-//!   separate builds).
+//!
+//! Phase attribution lives in the separate `BENCH_phases.json` artifact
+//! (written by a `--features prof` build of `bench_engines --phases`;
+//! profiled builds inflate wall time, so phases and headline numbers
+//! come from separate builds). This file only *references* it via
+//! `phases_file` — earlier revisions embedded a copy, which let the two
+//! drift apart.
 
 use ckpt_bench::RunOptions;
 use ckpt_core::san_model::{CheckpointSan, RunOptions as SanRunOptions};
@@ -123,7 +126,6 @@ fn leg_json(leg: &Leg) -> String {
 
 fn main() {
     let mut pr4_baseline_eps = DEFAULT_PR4_BASELINE_EPS;
-    let mut phases_in: Option<String> = None;
     let mut rest = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -132,11 +134,6 @@ fn main() {
                 eprintln!("--pr4-baseline-eps expects a number (events/sec)");
                 std::process::exit(2);
             });
-        } else if arg == "--phases-in" {
-            phases_in = Some(args.next().unwrap_or_else(|| {
-                eprintln!("--phases-in expects a file path");
-                std::process::exit(2);
-            }));
         } else {
             rest.push(arg);
         }
@@ -208,17 +205,6 @@ fn main() {
         );
     }
 
-    let phases = match &phases_in {
-        None => "null".to_string(),
-        Some(path) => {
-            let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("--phases-in {path}: {e}");
-                std::process::exit(2);
-            });
-            // Re-indent the embedded document to keep the file readable.
-            raw.trim_end().replace('\n', "\n  ")
-        }
-    };
     let legs = [&inv, &full, &zig, &gate]
         .into_iter()
         .map(leg_json)
@@ -242,11 +228,12 @@ fn main() {
          \"speedup_ziggurat_vs_inverse_cdf\": {:.2},\n  \
          \"identical_metrics_inverse_cdf\": true,\n  \
          \"gate\": {{\"leg\": \"gate_reference_quick\", \
-         \"events_per_sec\": {:.0}, \"max_regression_pct\": 15}},\n  \
+         \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
+         \"max_regression_pct\": 15}},\n  \
          \"note\": \"InverseCdf preserves the exact pre-optimization RNG stream \
          (metrics bit-identical across schedulers, asserted); Ziggurat is \
          distribution-equivalent, validated by KS/moment and CI-overlap tests\",\n  \
-         \"phases\": {phases}\n}}\n",
+         \"phases_file\": \"BENCH_phases.json\"\n}}\n",
         opts.reps,
         opts.transient.as_hours(),
         opts.horizon.as_hours(),
@@ -256,6 +243,7 @@ fn main() {
         zig.events_per_sec() / pr4_baseline_eps.max(1e-9),
         zig.events_per_sec() / inv.events_per_sec().max(1e-9),
         gate.events_per_sec(),
+        gate.ns_per_event(),
     );
     std::fs::write("BENCH_hotloop.json", &json).expect("write BENCH_hotloop.json");
     println!("{json}");

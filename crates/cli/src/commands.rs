@@ -279,7 +279,7 @@ fn profile_section(est: &Estimate, csv: bool) -> String {
 }
 
 /// `ckptsim run --profile-phases`: attribute hot-loop wall time to the
-/// five instrumented phases and emit the versioned JSON breakdown.
+/// seven instrumented phases and emit the versioned JSON breakdown.
 ///
 /// Needs a binary built with `--features prof` (the profiler compiles
 /// to nothing otherwise) and the SAN engine (the hot phases are SAN
@@ -333,10 +333,13 @@ fn run_profile_phases(cfg: &SystemConfig, opts: &RunOptions) -> Result<(), CkptE
     let wall_secs = start.elapsed().as_secs_f64();
     if !opts.quiet {
         let attributed = phases.total_nanos();
+        let coverage = attributed as f64 / (wall_secs * 1e9).max(1.0);
         eprintln!(
-            "{} replications, {events} events, {wall_secs:.2} s wall \
+            "{} replications, {events} events, {wall_secs:.2} s wall, \
+             {:.1}% attributed \
              (instrumented build — use an uninstrumented build for headline numbers)",
-            opts.reps
+            opts.reps,
+            100.0 * coverage.min(1.0)
         );
         eprintln!(
             "  {:<24} {:>12} {:>12} {:>12} {:>7}",

@@ -368,6 +368,53 @@ mod tests {
     }
 
     #[test]
+    fn profile_phases_attributes_at_least_ninety_percent() {
+        // Only meaningful with the profiler compiled in (CI runs this
+        // suite with `--features prof`; without it the flag is refused
+        // and the refusal is covered above).
+        if !ckpt_des::prof::ENABLED {
+            return;
+        }
+        let out = std::env::temp_dir().join("ckptsim_cli_test_phase_coverage.json");
+        let _ = std::fs::remove_file(&out);
+        assert_eq!(
+            run(argv(&[
+                "run",
+                "--processors",
+                "8192",
+                "--engine",
+                "san",
+                "--profile-phases",
+                "--reps",
+                "1",
+                "--hours",
+                "500",
+                "--transient",
+                "20",
+                "--quiet",
+                "--metrics",
+                out.to_str().unwrap(),
+            ])),
+            0
+        );
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"phase_schema_version\": 2"));
+        let share = json
+            .lines()
+            .find(|l| l.contains("\"attributed_share\""))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok())
+            .expect("attributed_share field present");
+        // The event_dispatch container wraps every event, so nearly all
+        // hot-loop wall time must land in some instrumented phase.
+        assert!(
+            share >= 0.90,
+            "attributed share {share} < 0.90 — a hot-loop region lost its span:\n{json}"
+        );
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
     fn run_rejects_snapshot_with_observers() {
         assert_eq!(
             run(argv(&[

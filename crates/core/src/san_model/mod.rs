@@ -48,8 +48,8 @@ use ckpt_des::telem::TelemetrySnapshot;
 use ckpt_des::SimTime;
 use ckpt_obs::{Observer, TraceBuffer};
 use ckpt_san::{
-    ActivityId, Delay, InputGate, Reactivation, Sampling, San, SanBuilder, SanError, Scheduling,
-    Simulator,
+    ActivityId, Delay, InputGate, Pred, Reactivation, Sampling, San, SanBuilder, SanError,
+    Scheduling, Simulator,
 };
 use ckpt_stats::Dist;
 use std::fmt;
@@ -721,7 +721,6 @@ fn submodel_useful_work(_cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
 
 /// `master`: periodic checkpoint initiation and the 'ready' timeout.
 fn submodel_master(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
-    let i = *ids;
     // The interval timer runs while the master sleeps and the system
     // executes; disabling (recovery) aborts it, re-enabling restarts it.
     // The policy's static interval equals `checkpoint_interval()` under
@@ -736,10 +735,10 @@ fn submodel_master(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
         Delay::from(Dist::deterministic(interval.as_secs())),
     )
     .input_arc(ids.master_sleep, 1)
-    .input_gate(
-        InputGate::predicate_only("system_executing", move |m| m.has_token(i.execution))
-            .reads(&[ids.execution]),
-    )
+    .input_gate(InputGate::when(
+        "system_executing",
+        Pred::has(ids.execution),
+    ))
     .output_arc(ids.master_checkpointing, 1)
     .build();
 
@@ -752,12 +751,10 @@ fn submodel_master(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
             Delay::from(Dist::deterministic(timeout.as_secs())),
         )
         .input_arc(ids.master_checkpointing, 1)
-        .input_gate(
-            InputGate::predicate_only("awaiting_ready", move |m| {
-                !m.has_token(i.checkpointing) && !m.has_token(i.timedout)
-            })
-            .reads(&[ids.checkpointing, ids.timedout]),
-        )
+        .input_gate(InputGate::when(
+            "awaiting_ready",
+            Pred::empty(ids.checkpointing).and(Pred::empty(ids.timedout)),
+        ))
         .output_arc(ids.master_checkpointing, 1)
         .output_arc(ids.timedout, 1)
         .build();
@@ -788,12 +785,10 @@ fn submodel_compute_nodes(
         )),
     )
     .input_arc(ids.execution, 1)
-    .input_gate(
-        InputGate::predicate_only("master_broadcasting", move |m| {
-            m.has_token(i.master_checkpointing)
-        })
-        .reads(&[ids.master_checkpointing]),
-    )
+    .input_gate(InputGate::when(
+        "master_broadcasting",
+        Pred::has(ids.master_checkpointing),
+    ))
     .output_arc(ids.quiescing, 1)
     .output_arc(ids.to_coordination, 1)
     .build();
@@ -817,10 +812,10 @@ fn submodel_compute_nodes(
             Delay::from(Dist::deterministic(cfg.checkpoint_dump_time().as_secs())),
         )
         .input_arc(ids.checkpointing, 1)
-        .input_gate(
-            InputGate::predicate_only("ionode_is_idle", move |m| m.has_token(i.ionode_idle))
-                .reads(&[ids.ionode_idle]),
-        )
+        .input_gate(InputGate::when(
+            "ionode_is_idle",
+            Pred::has(ids.ionode_idle),
+        ))
         .output_arc(ids.execution, 1)
         .output_arc(ids.enable_chkpt, 1)
         .output_arc(ids.protocol_done, 1)
@@ -856,13 +851,9 @@ fn submodel_compute_nodes(
 /// `coordination`: waits for non-preemptive application I/O, then samples
 /// the coordination time per the configured [`CoordinationMode`].
 fn submodel_coordination(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
-    let i = *ids;
     b.instantaneous_activity("start_coord", 3)
         .input_arc(ids.to_coordination, 1)
-        .input_gate(
-            InputGate::predicate_only("app_not_in_io", move |m| m.has_token(i.app_compute))
-                .reads(&[ids.app_compute]),
-        )
+        .input_gate(InputGate::when("app_not_in_io", Pred::has(ids.app_compute)))
         .output_arc(ids.coordinating, 1)
         .build();
 
@@ -888,16 +879,12 @@ fn submodel_app_workload(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
     if cfg.io_phase().is_zero() {
         return;
     }
-    let i = *ids;
     b.timed_activity(
         "compute_phase",
         Delay::from(Dist::deterministic(cfg.compute_phase().as_secs())),
     )
     .input_arc(ids.app_compute, 1)
-    .input_gate(
-        InputGate::predicate_only("executing", move |m| m.has_token(i.execution))
-            .reads(&[ids.execution]),
-    )
+    .input_gate(InputGate::when("executing", Pred::has(ids.execution)))
     .output_arc(ids.app_io, 1)
     .build();
 
@@ -907,12 +894,10 @@ fn submodel_app_workload(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
         Delay::from(Dist::deterministic(cfg.io_phase().as_secs())),
     )
     .input_arc(ids.app_io, 1)
-    .input_gate(
-        InputGate::predicate_only("executing_or_quiescing", move |m| {
-            m.has_token(i.execution) || m.has_token(i.quiescing)
-        })
-        .reads(&[ids.execution, ids.quiescing]),
-    )
+    .input_gate(InputGate::when(
+        "executing_or_quiescing",
+        Pred::has(ids.execution).or(Pred::has(ids.quiescing)),
+    ))
     .output_arc(ids.app_compute, 1)
     .output_arc(ids.app_data_ready, 1)
     .build();
@@ -953,10 +938,7 @@ fn submodel_io_nodes(cfg: &SystemConfig, ids: &Ids, b: &mut SanBuilder) {
         // their buffers (the next write covers it).
         b.instantaneous_activity("drop_app_data", 0)
             .input_arc(ids.app_data_ready, 1)
-            .input_gate(
-                InputGate::predicate_only("ionode_busy", move |m| !m.has_token(i.ionode_idle))
-                    .reads(&[ids.ionode_idle]),
-            )
+            .input_gate(InputGate::when("ionode_busy", Pred::empty(ids.ionode_idle)))
             .build();
 
         b.timed_activity(
@@ -1010,10 +992,7 @@ fn submodel_comp_node_failure(
     let ab = b
         .timed_activity("comp_failure", delay)
         .reactivation(Reactivation::Resample)
-        .input_gate(
-            InputGate::predicate_only("not_rebooting", move |m| !m.has_token(i.rebooting))
-                .reads(&[ids.rebooting]),
-        );
+        .input_gate(InputGate::when("not_rebooting", Pred::empty(ids.rebooting)));
     acts.comp_failure = Some(if pe > 0.0 {
         ab.case(pe, |c| {
             c.effect("failure_with_propagation", move |m| {
@@ -1050,10 +1029,7 @@ fn submodel_io_node_failure(
     acts.io_failure = Some(
         b.timed_activity("io_failure", delay)
             .reactivation(Reactivation::Resample)
-            .input_gate(
-                InputGate::predicate_only("not_rebooting", move |m| !m.has_token(i.rebooting))
-                    .reads(&[ids.rebooting]),
-            )
+            .input_gate(InputGate::when("not_rebooting", Pred::empty(ids.rebooting)))
             .effect("io_failure_effect", move |m| {
                 effects::io_failure_effect(&i, threshold, m);
             })
@@ -1077,17 +1053,11 @@ fn submodel_master_failure(
     acts.master_failure = Some(
         b.timed_activity("master_failure", delay)
             .reactivation(Reactivation::Resample)
-            .input_gate(
-                InputGate::predicate_only("checkpoint_in_progress", move |m| {
-                    m.has_token(i.master_checkpointing)
-                        && (m.has_token(i.quiescing) || m.has_token(i.checkpointing))
-                })
-                .reads(&[
-                    ids.master_checkpointing,
-                    ids.quiescing,
-                    ids.checkpointing,
-                ]),
-            )
+            .input_gate(InputGate::when(
+                "checkpoint_in_progress",
+                Pred::has(ids.master_checkpointing)
+                    .and(Pred::has(ids.quiescing).or(Pred::has(ids.checkpointing))),
+            ))
             .effect("master_abort", move |m| {
                 effects::abort_checkpoint(&i, m);
             })
@@ -1117,10 +1087,7 @@ fn submodel_correlated_failures(
         let ab = b
             .timed_activity("generic_failure", Delay::from(Dist::exponential(rate)))
             .reactivation(Reactivation::Resample)
-            .input_gate(
-                InputGate::predicate_only("not_rebooting", move |m| !m.has_token(i.rebooting))
-                    .reads(&[ids.rebooting]),
-            );
+            .input_gate(InputGate::when("not_rebooting", Pred::empty(ids.rebooting)));
         acts.generic_failure = Some(if pe > 0.0 {
             ab.case(pe, |c| {
                 c.effect("generic_with_propagation", move |m| {
@@ -1157,22 +1124,17 @@ fn submodel_comp_node_recovery(
     b.instantaneous_activity("recovery_from_wait_stage1", 2)
         .input_arc(ids.recovering_wait_io, 1)
         .input_arc(ids.ionode_idle, 1)
-        .input_gate(
-            InputGate::predicate_only("not_buffered", move |m| !m.has_token(i.buffered))
-                .reads(&[ids.buffered]),
-        )
+        .input_gate(InputGate::when("not_buffered", Pred::empty(ids.buffered)))
         .output_arc(ids.reading_chkpt, 1)
         .output_arc(ids.recovering_stage1, 1)
         .build();
     b.instantaneous_activity("recovery_from_wait_stage2", 2)
         .input_arc(ids.recovering_wait_io, 1)
-        .input_gate(
-            InputGate::predicate_only("buffered_and_io_up", move |m| {
-                m.has_token(i.buffered)
-                    && (m.has_token(i.ionode_idle) || m.has_token(i.writing_chkpt))
-            })
-            .reads(&[ids.buffered, ids.ionode_idle, ids.writing_chkpt]),
-        )
+        .input_gate(InputGate::when(
+            "buffered_and_io_up",
+            Pred::has(ids.buffered)
+                .and(Pred::has(ids.ionode_idle).or(Pred::has(ids.writing_chkpt))),
+        ))
         .output_arc(ids.recovering_stage2, 1)
         .build();
 

@@ -1,18 +1,29 @@
 //! Feature-gated phase profiler for the per-event hot loop.
 //!
-//! The simulators attribute wall time and counts to the five hot
+//! The simulators attribute wall time and counts to the seven hot
 //! phases of event processing:
 //!
 //! 1. **delay sampling** — drawing firing delays for newly (re)enabled
 //!    timed activities;
-//! 2. **instantaneous settle** — firing enabled instantaneous
-//!    activities to quiescence after each state change;
+//! 2. **instantaneous settle** — selecting enabled instantaneous
+//!    activities to fire after each state change (minus the nested
+//!    firing work, attributed to its own phase);
 //! 3. **schedule reconciliation** — deciding which timed activities to
 //!    schedule, cancel, or resample after a firing;
-//! 4. **event-queue ops** — heap pushes, pops, and tombstone
-//!    cancellations;
+//! 4. **event-queue ops** — heap pushes, pops, and in-place moves;
 //! 5. **reward accumulation** — integrating rate rewards and fluid
-//!    flows over elapsed simulated time.
+//!    flows over elapsed simulated time;
+//! 6. **activity firing** — consuming input arcs, running gate
+//!    functions, case selection, output effects, and impulse rewards;
+//! 7. **event dispatch** — the per-event bookkeeping around all of the
+//!    above (clock advance, dirty-window reset, telemetry probes,
+//!    rate-cache refresh, consistency checks).
+//!
+//! Phases 2, 3, and 7 are *containers*: their instrumented regions
+//! enclose other instrumented regions, so they are recorded via
+//! [`PhaseProfiler::end_excluding_nested`], which subtracts whatever
+//! the nested regions already attributed. The seven accumulators are
+//! therefore disjoint and sum to (at most) the instrumented wall time.
 //!
 //! Everything here compiles to **nothing** unless the `prof` cargo
 //! feature is enabled: [`PhaseSpan`] is a zero-sized token, and
@@ -29,26 +40,36 @@
 /// hooks below actually record; `false` when they are no-ops.
 pub const ENABLED: bool = cfg!(feature = "prof");
 
-/// The five instrumented phases of the per-event kernel.
+/// The seven instrumented phases of the per-event kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum HotPhase {
     /// Drawing firing delays for (re)enabled timed activities.
     DelaySampling = 0,
-    /// Firing instantaneous activities to quiescence.
+    /// Selecting instantaneous activities to fire (minus the nested
+    /// firing work, which is attributed to
+    /// [`HotPhase::ActivityFiring`]).
     InstantaneousSettle = 1,
     /// Post-firing schedule reconciliation (minus its nested delay
     /// sampling and queue operations, which are attributed to their
     /// own phases).
     ScheduleReconciliation = 2,
-    /// Event-queue pushes, pops, peeks, and cancellations.
+    /// Event-queue pushes, pops, peeks, cancellations, and in-place
+    /// reschedules.
     QueueOps = 3,
     /// Rate-reward and fluid-flow integration over elapsed sim time.
     RewardAccumulation = 4,
+    /// Firing one activity: arc consumption, gate functions, case
+    /// selection, output effects, impulse rewards, observer calls.
+    ActivityFiring = 5,
+    /// Per-event dispatch and bookkeeping around the other phases:
+    /// clock advance, dirty-window reset, rate-cache refresh,
+    /// telemetry probes, and (debug builds) consistency checks.
+    EventDispatch = 6,
 }
 
 /// Number of instrumented phases.
-pub const PHASE_COUNT: usize = 5;
+pub const PHASE_COUNT: usize = 7;
 
 impl HotPhase {
     /// All phases, in display order.
@@ -58,6 +79,8 @@ impl HotPhase {
         HotPhase::ScheduleReconciliation,
         HotPhase::QueueOps,
         HotPhase::RewardAccumulation,
+        HotPhase::ActivityFiring,
+        HotPhase::EventDispatch,
     ];
 
     /// Stable snake_case name used in JSON breakdowns.
@@ -69,6 +92,8 @@ impl HotPhase {
             HotPhase::ScheduleReconciliation => "schedule_reconciliation",
             HotPhase::QueueOps => "queue_ops",
             HotPhase::RewardAccumulation => "reward_accumulation",
+            HotPhase::ActivityFiring => "activity_firing",
+            HotPhase::EventDispatch => "event_dispatch",
         }
     }
 }
@@ -116,7 +141,7 @@ impl PhaseProfile {
 pub struct PhaseSpan {
     #[cfg(feature = "prof")]
     at: std::time::Instant,
-    /// Nested delay-sampling + queue nanos at region start; used by
+    /// Total attributed nanos (all phases) at region start; used by
     /// [`PhaseProfiler::end_excluding_nested`].
     #[cfg(feature = "prof")]
     nested: u64,
@@ -135,12 +160,6 @@ impl PhaseProfiler {
         PhaseProfiler::default()
     }
 
-    #[cfg(feature = "prof")]
-    fn nested_nanos(&self) -> u64 {
-        self.profile.nanos[HotPhase::DelaySampling as usize]
-            + self.profile.nanos[HotPhase::QueueOps as usize]
-    }
-
     /// Opens an instrumented region. Free when the feature is off.
     #[inline(always)]
     #[must_use]
@@ -149,7 +168,7 @@ impl PhaseProfiler {
             #[cfg(feature = "prof")]
             at: std::time::Instant::now(),
             #[cfg(feature = "prof")]
-            nested: self.nested_nanos(),
+            nested: self.profile.total_nanos(),
         }
     }
 
@@ -168,19 +187,22 @@ impl PhaseProfiler {
         }
     }
 
-    /// Closes a region, attributing its elapsed time *minus* any
-    /// delay-sampling and queue time recorded inside it to `phase`.
+    /// Closes a region, attributing its elapsed time *minus* anything
+    /// the nested instrumented regions already attributed to `phase`.
     ///
-    /// Used for schedule reconciliation, whose body contains the
-    /// delay-sampling and queue-op leaves: attributing leaves to their
-    /// own phases and the remainder here keeps the five accumulators
-    /// disjoint, so they sum to (at most) the instrumented wall time.
+    /// Used for the container phases (settle, reconciliation, event
+    /// dispatch), whose bodies contain other instrumented regions:
+    /// attributing leaves to their own phases and only the remainder
+    /// here keeps the accumulators disjoint, so they sum to (at most)
+    /// the instrumented wall time. Containers may nest (dispatch
+    /// encloses settle encloses firing) as long as each inner region
+    /// is closed before its enclosing one.
     #[inline(always)]
     pub fn end_excluding_nested(&mut self, phase: HotPhase, span: PhaseSpan) {
         #[cfg(feature = "prof")]
         {
             let dt = span.at.elapsed().as_nanos() as u64;
-            let nested = self.nested_nanos() - span.nested;
+            let nested = self.profile.total_nanos() - span.nested;
             self.profile.nanos[phase as usize] += dt.saturating_sub(nested);
             self.profile.counts[phase as usize] += 1;
         }
@@ -223,7 +245,9 @@ mod tests {
                 "instantaneous_settle",
                 "schedule_reconciliation",
                 "queue_ops",
-                "reward_accumulation"
+                "reward_accumulation",
+                "activity_firing",
+                "event_dispatch"
             ]
         );
     }
@@ -236,8 +260,8 @@ mod tests {
         a.counts[0] = 1;
         b.nanos[0] = 7;
         b.counts[0] = 2;
-        b.nanos[4] = 11;
-        b.counts[4] = 1;
+        b.nanos[6] = 11;
+        b.counts[6] = 1;
         a.merge(&b);
         assert_eq!(a.nanos[0], 12);
         assert_eq!(a.counts[0], 3);
@@ -257,6 +281,27 @@ mod tests {
         let taken = p.take();
         assert!(!taken.is_empty());
         assert!(p.profile().is_empty());
+    }
+
+    #[cfg(feature = "prof")]
+    #[test]
+    fn containers_exclude_any_nested_phase() {
+        // A dispatch-style container wrapping a leaf from a *different*
+        // phase must not double count the leaf's time: container nanos
+        // stay below its wall time once the leaf is subtracted.
+        let mut p = PhaseProfiler::new();
+        let outer = p.begin();
+        let inner = p.begin();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p.end(HotPhase::ActivityFiring, inner);
+        p.end_excluding_nested(HotPhase::EventDispatch, outer);
+        let fired = p.profile().nanos[HotPhase::ActivityFiring as usize];
+        let dispatch = p.profile().nanos[HotPhase::EventDispatch as usize];
+        assert!(fired >= 1_000_000, "leaf recorded {fired} ns");
+        assert!(
+            dispatch < fired,
+            "container must exclude the nested leaf ({dispatch} vs {fired})"
+        );
     }
 
     #[cfg(not(feature = "prof"))]

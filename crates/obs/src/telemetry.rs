@@ -11,7 +11,7 @@
 //!
 //! The split matters for determinism guarantees:
 //!
-//! * `failure_gaps` is derived from the observed [`ModelEvent`] stream
+//! * `failure_gaps` is derived from the observed [`ModelEvent`](crate::ModelEvent) stream
 //!   (sim-time gaps between consecutive failures), so it works on every
 //!   build and is always deterministic;
 //! * `queue_depth` / `dirty_set` come from the engines' probes and stay

@@ -1,6 +1,7 @@
 //! Input and output gates.
 
 use crate::marking::{Marking, PlaceId};
+use crate::pred::Pred;
 use std::fmt;
 use std::sync::Arc;
 
@@ -8,6 +9,15 @@ use std::sync::Arc;
 pub type GatePredicate = Arc<dyn Fn(&Marking) -> bool + Send + Sync>;
 /// Marking-transformation half of a gate.
 pub type GateFunction = Arc<dyn Fn(&mut Marking) + Send + Sync>;
+
+/// How an input gate's enabling condition is expressed: an opaque
+/// closure (compatibility path) or a declarative [`Pred`] expression the
+/// builder can inspect and compile.
+#[derive(Clone)]
+enum PredicateImpl {
+    Closure(GatePredicate),
+    Expr(Pred),
+}
 
 /// An input gate: the activity it is attached to is enabled only while
 /// the predicate holds, and the gate's function is applied to the marking
@@ -24,7 +34,7 @@ pub type GateFunction = Arc<dyn Fn(&mut Marking) + Send + Sync>;
 #[derive(Clone)]
 pub struct InputGate {
     name: String,
-    predicate: GatePredicate,
+    predicate: PredicateImpl,
     function: GateFunction,
     reads: Option<Vec<PlaceId>>,
 }
@@ -38,7 +48,7 @@ impl InputGate {
     {
         InputGate {
             name: name.into(),
-            predicate: Arc::new(predicate),
+            predicate: PredicateImpl::Closure(Arc::new(predicate)),
             function: Arc::new(function),
             reads: None,
         }
@@ -50,6 +60,34 @@ impl InputGate {
         P: Fn(&Marking) -> bool + Send + Sync + 'static,
     {
         InputGate::new(name, predicate, |_| {})
+    }
+
+    /// A pure enabling condition given as a declarative [`Pred`]
+    /// expression.
+    ///
+    /// The gate's read set is **derived** from the expression — no
+    /// [`InputGate::reads`] call needed, and no way to under-declare —
+    /// and the builder compiles the expression into the model's flat
+    /// gate program, so the hot loop evaluates it without dynamic
+    /// dispatch.
+    pub fn when(name: impl Into<String>, pred: Pred) -> InputGate {
+        InputGate::when_with(name, pred, |_| {})
+    }
+
+    /// A declarative [`Pred`] enabling condition plus a firing function
+    /// (the function's writes are tracked by the marking itself and need
+    /// no declaration).
+    pub fn when_with<F>(name: impl Into<String>, pred: Pred, function: F) -> InputGate
+    where
+        F: Fn(&mut Marking) + Send + Sync + 'static,
+    {
+        let reads = pred.reads();
+        InputGate {
+            name: name.into(),
+            predicate: PredicateImpl::Expr(pred),
+            function: Arc::new(function),
+            reads: Some(reads),
+        }
     }
 
     /// Declares the discrete places the predicate reads, opting the
@@ -68,10 +106,21 @@ impl InputGate {
     }
 
     /// The declared read set, or `None` for a conservative (re-check
-    /// always) gate.
+    /// always) gate. [`Pred`]-backed gates always have one (derived).
     #[must_use]
     pub fn declared_reads(&self) -> Option<&[PlaceId]> {
         self.reads.as_deref()
+    }
+
+    /// The declarative expression behind this gate, if it was built with
+    /// [`InputGate::when`] / [`InputGate::when_with`]; `None` for
+    /// closure gates. The builder compiles this into the flat gate
+    /// program.
+    pub(crate) fn expr(&self) -> Option<&Pred> {
+        match &self.predicate {
+            PredicateImpl::Expr(p) => Some(p),
+            PredicateImpl::Closure(_) => None,
+        }
     }
 
     /// The gate's diagnostic name.
@@ -83,7 +132,10 @@ impl InputGate {
     /// Evaluates the enabling predicate.
     #[must_use]
     pub fn holds(&self, marking: &Marking) -> bool {
-        (self.predicate)(marking)
+        match &self.predicate {
+            PredicateImpl::Closure(p) => p(marking),
+            PredicateImpl::Expr(p) => p.eval(marking),
+        }
     }
 
     /// Applies the firing function.
@@ -203,5 +255,40 @@ mod tests {
         assert_eq!(g.declared_reads(), None, "undeclared by default");
         let g = g.reads(&[p0]);
         assert_eq!(g.declared_reads(), Some(&[p0][..]));
+    }
+
+    #[test]
+    fn pred_gate_derives_reads_and_evaluates() {
+        use crate::pred::Pred;
+        let p0 = PlaceId(0);
+        let p1 = PlaceId(1);
+        let g = InputGate::when("both", Pred::has(p0).and(Pred::empty(p1)));
+        assert_eq!(g.declared_reads(), Some(&[p0, p1][..]));
+        assert!(g.expr().is_some());
+        let mut m = marking(); // tokens [2, 0]
+        assert!(g.holds(&m));
+        m.add_tokens(p1, 1);
+        assert!(!g.holds(&m));
+        // `when` gates have no marking effect.
+        let v = m.version();
+        g.apply(&mut m);
+        assert_eq!(m.version(), v);
+    }
+
+    #[test]
+    fn pred_gate_with_function_applies() {
+        use crate::pred::Pred;
+        let p0 = PlaceId(0);
+        let p1 = PlaceId(1);
+        let g = InputGate::when_with("drain", Pred::at_least(p0, 2), move |m| {
+            m.remove_tokens(p0, 2);
+            m.add_tokens(p1, 1);
+        });
+        let mut m = marking();
+        assert!(g.holds(&m));
+        g.apply(&mut m);
+        assert_eq!(m.tokens(p0), 0);
+        assert_eq!(m.tokens(p1), 1);
+        assert!(!g.holds(&m));
     }
 }

@@ -55,12 +55,14 @@
 #![warn(missing_docs)]
 
 mod activity;
+mod compiled;
 pub mod compose;
 pub mod dot;
 mod error;
 mod gate;
 mod marking;
 mod model;
+mod pred;
 mod reward;
 mod simulator;
 
@@ -69,6 +71,7 @@ pub use error::SanError;
 pub use gate::{InputGate, OutputGate};
 pub use marking::{FluidId, Marking, PlaceId};
 pub use model::{ActivityBuilder, CaseBuilder, San, SanBuilder};
+pub use pred::Pred;
 pub use reward::{RewardReport, RewardSpec, RewardValue};
 pub use simulator::{SanObserver, Scheduling, Simulator};
 

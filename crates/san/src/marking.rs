@@ -39,10 +39,14 @@ impl fmt::Display for FluidId {
 /// bookkeeping for the incremental scheduler: a bounded scratch list of
 /// the discrete places touched since the last dirty-window reset
 /// (`begin_dirty_window`, crate-internal), de-duplicated by a per-place
-/// generation stamp. Recording a dirty place is two array writes in the
-/// worst case and one compare in the common (already-dirty) case; the
-/// steady state allocates nothing. Equality ([`PartialEq`]) compares
-/// tokens and fluid levels only — never the bookkeeping.
+/// bitmask (one bit per place, 64 places per word). Recording a dirty
+/// place is one word test plus, on first touch, a bit set and a push;
+/// resetting the window clears only the set bits, so the steady state
+/// allocates nothing and never scans the full place space. The mask
+/// doubles as the scheduler's input: it is OR-folded against precomputed
+/// place→activity dependency bitsets without walking the list. Equality
+/// ([`PartialEq`]) compares tokens and fluid levels only — never the
+/// bookkeeping.
 #[derive(Debug, Clone)]
 pub struct Marking {
     tokens: Vec<u64>,
@@ -51,12 +55,11 @@ pub struct Marking {
     /// changes without diffing.
     version: u64,
     /// Discrete places mutated since the last `begin_dirty_window`, each
-    /// listed once. Bounded by the place count.
+    /// listed once, in first-touch order. Bounded by the place count.
     dirty: Vec<u32>,
-    /// Per-place stamp; equals `dirty_gen` iff the place is in `dirty`.
-    dirty_stamp: Vec<u64>,
-    /// Current dirty-window generation (bumped by `begin_dirty_window`).
-    dirty_gen: u64,
+    /// Bit-per-place mirror of `dirty`: bit `p` of word `p / 64` is set
+    /// iff place `p` is in the list.
+    dirty_words: Vec<u64>,
 }
 
 impl PartialEq for Marking {
@@ -73,9 +76,7 @@ impl Marking {
             fluid,
             version: 0,
             dirty: Vec::with_capacity(places),
-            dirty_stamp: vec![0; places],
-            // Start at 1 so the zero-initialized stamps read as clean.
-            dirty_gen: 1,
+            dirty_words: vec![0; places.div_ceil(64)],
         }
     }
 
@@ -175,11 +176,15 @@ impl Marking {
     }
 
     /// Opens a fresh dirty window: subsequently mutated discrete places
-    /// accumulate in [`Marking::dirty_places`]. The incremental scheduler
-    /// calls this once per event; resetting is one counter bump plus a
-    /// `Vec::clear` (capacity retained — no allocation in steady state).
+    /// accumulate in [`Marking::dirty_places`] and the mirroring
+    /// bitmask. The incremental scheduler calls this once
+    /// per event; resetting clears only the bits of the places actually
+    /// dirtied (O(dirty), not O(places)) plus a `Vec::clear` with
+    /// capacity retained — no allocation in steady state.
     pub(crate) fn begin_dirty_window(&mut self) {
-        self.dirty_gen += 1;
+        for &p in &self.dirty {
+            self.dirty_words[(p >> 6) as usize] &= !(1u64 << (p & 63));
+        }
         self.dirty.clear();
     }
 
@@ -190,9 +195,33 @@ impl Marking {
         &self.dirty
     }
 
+    /// Bit-per-place view of [`Marking::dirty_places`]: bit `p % 64` of
+    /// word `p / 64` is set iff place `p` is dirty.
+    #[cfg(test)]
+    pub(crate) fn dirty_mask(&self) -> &[u64] {
+        &self.dirty_words
+    }
+
+    /// Debug-build check that the dirty bitmask and the dirty list
+    /// describe the same set of places; called from the simulator's
+    /// per-event consistency assertion.
+    #[cfg(debug_assertions)]
+    pub(crate) fn assert_dirty_consistency(&self) {
+        let mut expect = vec![0u64; self.dirty_words.len()];
+        for &p in &self.dirty {
+            expect[(p >> 6) as usize] |= 1u64 << (p & 63);
+        }
+        debug_assert_eq!(
+            expect, self.dirty_words,
+            "dirty bitmask out of sync with the dirty-place list"
+        );
+    }
+
     fn mark_dirty(&mut self, place: usize) {
-        if self.dirty_stamp[place] != self.dirty_gen {
-            self.dirty_stamp[place] = self.dirty_gen;
+        let word = &mut self.dirty_words[place >> 6];
+        let bit = 1u64 << (place & 63);
+        if *word & bit == 0 {
+            *word |= bit;
             self.dirty.push(place as u32);
         }
     }
@@ -300,9 +329,115 @@ mod tests {
         assert_ne!(a.dirty_places(), b.dirty_places());
     }
 
+    /// The bits set in `dirty_mask()` and the entries of `dirty_places()`
+    /// must always describe the same set.
+    fn assert_mask_matches_list(m: &Marking) {
+        let mut from_mask: Vec<u32> = Vec::new();
+        for (w, &word) in m.dirty_mask().iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                from_mask.push((w * 64) as u32 + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+        let mut from_list: Vec<u32> = m.dirty_places().to_vec();
+        from_list.sort_unstable();
+        assert_eq!(from_mask, from_list);
+    }
+
+    #[test]
+    fn dirty_mask_mirrors_dirty_list_across_words() {
+        // 130 places spans three mask words; drive pseudo-random
+        // mutations through several windows and check the mirror at
+        // every step.
+        let mut m = Marking::new(vec![0; 130], vec![]);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for window in 0..50 {
+            m.begin_dirty_window();
+            assert!(m.dirty_places().is_empty());
+            assert!(m.dirty_mask().iter().all(|&w| w == 0));
+            for _ in 0..(window % 7) + 1 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let place = (state >> 33) as usize % 130;
+                m.add_tokens(PlaceId(place), 1);
+                assert_mask_matches_list(&m);
+            }
+        }
+    }
+
     #[test]
     fn ids_display() {
         assert_eq!(PlaceId(4).to_string(), "place#4");
         assert_eq!(FluidId(2).to_string(), "fluid#2");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 64,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Oracle equivalence for the dirty bookkeeping: replay a random
+        /// interleaving of mutations and window resets against a plain
+        /// set-of-dirty-places oracle, and require that the dirty list
+        /// and the bitmask both describe exactly the oracle's set after
+        /// every operation.
+        #[test]
+        fn dirty_bitmask_matches_set_oracle(
+            places in 1usize..200,
+            ops in proptest::collection::vec(
+                (0u8..4, 0usize..1_000_000, 0u64..3),
+                1..120,
+            ),
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            use std::collections::BTreeSet;
+
+            let mut m = Marking::new(vec![1; places], vec![]);
+            let mut oracle: BTreeSet<u32> = BTreeSet::new();
+            for (op, raw_place, count) in ops {
+                let p = PlaceId(raw_place % places);
+                match op {
+                    0 => {
+                        m.begin_dirty_window();
+                        oracle.clear();
+                    }
+                    1 => {
+                        if m.tokens(p) != count {
+                            oracle.insert(p.0 as u32);
+                        }
+                        m.set_tokens(p, count);
+                    }
+                    2 => {
+                        if count > 0 {
+                            oracle.insert(p.0 as u32);
+                        }
+                        m.add_tokens(p, count);
+                    }
+                    _ => {
+                        let c = count.min(m.tokens(p));
+                        if c > 0 {
+                            oracle.insert(p.0 as u32);
+                        }
+                        m.remove_tokens(p, c);
+                    }
+                }
+                let mut listed: Vec<u32> = m.dirty_places().to_vec();
+                listed.sort_unstable();
+                let expect: Vec<u32> = oracle.iter().copied().collect();
+                prop_assert_eq!(&listed, &expect, "dirty list diverged from the oracle");
+                for (w, &word) in m.dirty_mask().iter().enumerate() {
+                    for b in 0..64 {
+                        let place = (w * 64 + b) as u32;
+                        prop_assert_eq!(
+                            (word >> b) & 1 == 1,
+                            oracle.contains(&place),
+                            "mask bit for place {} diverged",
+                            place
+                        );
+                    }
+                }
+            }
+        }
     }
 }

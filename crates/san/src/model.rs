@@ -1,9 +1,11 @@
 //! SAN definition and builder.
 
 use crate::activity::{ActivityDef, ActivityId, Case, CaseWeight, Delay, Reactivation, Timing};
+use crate::compiled::CompiledSan;
 use crate::error::SanError;
 use crate::gate::{InputGate, OutputGate};
 use crate::marking::{FluidId, Marking, PlaceId};
+use crate::pred::Pred;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -106,6 +108,10 @@ pub struct San {
     pub(crate) flows: Vec<(FluidId, FlowRate)>,
     pub(crate) activities: Vec<ActivityDef>,
     pub(crate) deps: DependencyIndex,
+    /// Flat arena form of the enabling rules and dependency index,
+    /// evaluated by the incremental scheduler's hot loop (see
+    /// `compiled.rs`).
+    pub(crate) compiled: CompiledSan,
 }
 
 impl San {
@@ -169,6 +175,34 @@ impl San {
     /// Iterates over the fluid places' names (used by the DOT export).
     pub fn fluid_names_iter(&self) -> impl Iterator<Item = &str> + '_ {
         self.fluid_names.iter().map(String::as_str)
+    }
+
+    /// Iterates over every discrete place's id.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.place_names.len()).map(PlaceId)
+    }
+
+    /// Iterates over every activity's id.
+    pub fn activity_ids(&self) -> impl Iterator<Item = ActivityId> + '_ {
+        (0..self.activities.len()).map(ActivityId)
+    }
+
+    /// Evaluates `activity`'s enabling rule through the compiled gate
+    /// programs — the code path the incremental scheduler's hot loop
+    /// runs. Equal to [`San::enabled_reference`] for every marking (the
+    /// debug-build consistency assertion and the equivalence test suites
+    /// enforce this).
+    #[must_use]
+    pub fn enabled_fast(&self, activity: ActivityId, marking: &Marking) -> bool {
+        self.compiled.enabled(activity.0, marking)
+    }
+
+    /// Evaluates `activity`'s enabling rule through the original
+    /// trait-dispatch chain (input arcs, then each gate's predicate) —
+    /// the semantic reference for [`San::enabled_fast`].
+    #[must_use]
+    pub fn enabled_reference(&self, activity: ActivityId, marking: &Marking) -> bool {
+        self.activities[activity.0].enabled(marking)
     }
 
     pub(crate) fn activity_defs_iter(
@@ -326,6 +360,7 @@ impl SanBuilder {
             }
         }
         let deps = DependencyIndex::build(self.place_names.len(), &self.activities);
+        let compiled = CompiledSan::build(self.place_names.len(), &self.activities, &deps);
         Ok(San {
             name: self.name,
             place_names: self.place_names,
@@ -335,6 +370,7 @@ impl SanBuilder {
             flows: self.flows,
             activities: self.activities,
             deps,
+            compiled,
         })
     }
 }
@@ -412,6 +448,15 @@ impl<'a> ActivityBuilder<'a> {
         P: Fn(&Marking) -> bool + Send + Sync + 'static,
     {
         self.input_gate(InputGate::predicate_only(name, predicate))
+    }
+
+    /// Shorthand for a declarative predicate-only input gate
+    /// ([`InputGate::when`]): the read set is derived from the
+    /// expression and the predicate is compiled into the model's flat
+    /// gate program.
+    #[must_use]
+    pub fn enabled_if(self, name: &str, pred: Pred) -> Self {
+        self.input_gate(InputGate::when(name, pred))
     }
 
     /// Adds `count` tokens to `place` on firing (implicit single case).

@@ -16,6 +16,34 @@ use std::sync::Arc;
 /// the simulator reports a livelock.
 const INSTANTANEOUS_LIMIT: u32 = 100_000;
 
+/// One deferred schedule-reconciliation action (incremental mode).
+///
+/// The classification pass pushes these in ascending activity order;
+/// the batch sampling pass fills `at` for the entries that draw a
+/// delay; the apply pass executes the queue operations in the same
+/// order. Keeping all three passes in ascending activity order makes
+/// the RNG draw sequence AND the queue-operation sequence (hence
+/// event-id assignment) identical to the one-activity-at-a-time
+/// reference path.
+struct PendingOp {
+    /// Activity index.
+    act: u32,
+    /// Absolute completion time, filled in by the sampling pass
+    /// (cancels keep `SimTime::ZERO`).
+    at: SimTime,
+    kind: PendingKind,
+}
+
+enum PendingKind {
+    /// The activity was disabled while scheduled: abort its completion.
+    Cancel(EventId),
+    /// The activity became enabled: draw a delay and schedule it.
+    Schedule,
+    /// A `Resample` activity saw a marking change while scheduled:
+    /// redraw and move its completion in place.
+    Reschedule(EventId),
+}
+
 /// Which scheduling strategy a [`Simulator`] uses to reconcile activity
 /// schedules after each firing.
 ///
@@ -136,15 +164,15 @@ pub struct Simulator<'m> {
     scheduling: Scheduling,
     /// Reused per multi-case firing; never reallocated in steady state.
     weights_scratch: Vec<f64>,
-    /// Timed activities to reconcile this event (incremental mode).
-    visit_scratch: Vec<u32>,
-    /// Dedup stamps for `visit_scratch`; equal to `visit_gen` iff queued.
-    visit_stamp: Vec<u64>,
-    visit_gen: u64,
-    /// Instantaneous-candidate stamps; equal to `inst_gen` iff the
-    /// activity is a settle candidate for the current event.
-    inst_stamp: Vec<u64>,
-    inst_gen: u64,
+    /// Visit bitmask scratch for incremental reconciliation: one bit per
+    /// timed activity to revisit this event.
+    timed_acc: Vec<u64>,
+    /// Candidate bitmask scratch for incremental settling: one bit per
+    /// instantaneous activity that may have become enabled.
+    inst_acc: Vec<u64>,
+    /// Deferred reconciliation actions; reused across events, never
+    /// reallocated in steady state.
+    pending: Vec<PendingOp>,
     /// Hot-phase wall-time attribution; a no-op unless the `prof`
     /// feature is enabled (see [`ckpt_des::prof`]).
     prof: PhaseProfiler,
@@ -221,11 +249,9 @@ impl<'m> Simulator<'m> {
             observer: None,
             scheduling,
             weights_scratch: Vec::new(),
-            visit_scratch: Vec::with_capacity(n),
-            visit_stamp: vec![0; n],
-            visit_gen: 0,
-            inst_stamp: vec![0; n],
-            inst_gen: 0,
+            timed_acc: vec![0; san.compiled.mask_words],
+            inst_acc: vec![0; san.compiled.mask_words],
+            pending: Vec::with_capacity(n),
             prof: PhaseProfiler::new(),
             telem: HotTelemetry::new(),
         };
@@ -458,39 +484,56 @@ impl<'m> Simulator<'m> {
 
     /// Processes one timed completion at `t`: advance the clock, fire,
     /// settle instantaneous activities, reconcile timed schedules.
+    ///
+    /// The whole body runs under an `event_dispatch` span whose nested
+    /// instrumented regions (integration, firing, settle,
+    /// reconciliation, sampling, queue ops) are attributed to their own
+    /// phases — what remains in `event_dispatch` is the per-event
+    /// bookkeeping glue, previously invisible as unattributed time.
     fn step_event(&mut self, t: SimTime, activity: ActivityId) -> Result<(), SanError> {
+        let dispatch = self.prof.begin();
         self.telem.record_queue_depth(self.queue.len());
         self.integrate_to(t);
         self.now = t;
         self.scheduled[activity.0] = None;
-        match self.scheduling {
-            Scheduling::FullScan => {
-                self.fire(activity)?;
-                let span = self.prof.begin();
-                self.settle_instantaneous()?;
-                self.prof.end(HotPhase::InstantaneousSettle, span);
-                let span = self.prof.begin();
-                self.update_schedules()?;
-                self.prof
-                    .end_excluding_nested(HotPhase::ScheduleReconciliation, span);
-            }
-            Scheduling::Incremental => {
-                self.marking.begin_dirty_window();
-                self.fire(activity)?;
-                let span = self.prof.begin();
-                self.settle_incremental()?;
-                self.prof.end(HotPhase::InstantaneousSettle, span);
-                let span = self.prof.begin();
-                self.update_schedules_incremental(activity)?;
-                self.prof
-                    .end_excluding_nested(HotPhase::ScheduleReconciliation, span);
-                self.refresh_dirty_rate_caches();
-                self.telem
-                    .record_dirty_set(self.marking.dirty_places().len());
-                #[cfg(debug_assertions)]
-                self.assert_schedule_consistency();
-            }
-        }
+        let result = match self.scheduling {
+            Scheduling::FullScan => self.step_full_scan(activity),
+            Scheduling::Incremental => self.step_incremental(activity),
+        };
+        self.prof
+            .end_excluding_nested(HotPhase::EventDispatch, dispatch);
+        result
+    }
+
+    fn step_full_scan(&mut self, activity: ActivityId) -> Result<(), SanError> {
+        self.fire(activity)?;
+        let span = self.prof.begin();
+        self.settle_instantaneous()?;
+        self.prof
+            .end_excluding_nested(HotPhase::InstantaneousSettle, span);
+        let span = self.prof.begin();
+        self.update_schedules()?;
+        self.prof
+            .end_excluding_nested(HotPhase::ScheduleReconciliation, span);
+        Ok(())
+    }
+
+    fn step_incremental(&mut self, activity: ActivityId) -> Result<(), SanError> {
+        self.marking.begin_dirty_window();
+        self.fire(activity)?;
+        let span = self.prof.begin();
+        self.settle_incremental()?;
+        self.prof
+            .end_excluding_nested(HotPhase::InstantaneousSettle, span);
+        let span = self.prof.begin();
+        self.update_schedules_incremental(activity)?;
+        self.prof
+            .end_excluding_nested(HotPhase::ScheduleReconciliation, span);
+        self.refresh_dirty_rate_caches();
+        self.telem
+            .record_dirty_set(self.marking.dirty_places().len());
+        #[cfg(debug_assertions)]
+        self.assert_schedule_consistency();
         Ok(())
     }
 
@@ -553,6 +596,13 @@ impl<'m> Simulator<'m> {
     /// Fires one activity: consume inputs, run gates, pick a case, apply
     /// outputs, record impulses.
     fn fire(&mut self, id: ActivityId) -> Result<(), SanError> {
+        let span = self.prof.begin();
+        let result = self.fire_inner(id);
+        self.prof.end(HotPhase::ActivityFiring, span);
+        result
+    }
+
+    fn fire_inner(&mut self, id: ActivityId) -> Result<(), SanError> {
         let san = self.san;
         let def = &san.activities[id.0];
         debug_assert!(
@@ -664,16 +714,15 @@ impl<'m> Simulator<'m> {
     /// schedule reconciliation nor fluid integration changes discrete
     /// token counts), so the only activities that can have become enabled
     /// are those depending on a place dirtied during this event — plus
-    /// the conservatively re-checked global set. Candidates accumulate as
+    /// the conservatively re-checked global set. The candidate set is a
+    /// bitmask: folding a dirty place in is an OR over the precomputed
+    /// `place → instantaneous dependents` row. Candidates accumulate as
     /// firings dirty further places; priority order and tie-breaking
     /// match the full scan exactly.
     fn settle_incremental(&mut self) -> Result<(), SanError> {
         let san = self.san;
-        self.inst_gen += 1;
-        let gen = self.inst_gen;
-        for &a in &san.deps.global_inst {
-            self.inst_stamp[a as usize] = gen;
-        }
+        let compiled = &san.compiled;
+        self.inst_acc.copy_from_slice(&compiled.global_inst_mask);
         let mut consumed = 0usize;
         let mut fired = 0u32;
         loop {
@@ -686,19 +735,23 @@ impl<'m> Simulator<'m> {
                 }
                 let p = dirty[consumed] as usize;
                 consumed += 1;
-                for &a in &san.deps.place_to_inst[p] {
-                    self.inst_stamp[a as usize] = gen;
+                for (acc, &row) in self.inst_acc.iter_mut().zip(compiled.place_inst_row(p)) {
+                    *acc |= row;
                 }
+            }
+            if self.inst_acc.iter().all(|&w| w == 0) {
+                return Ok(()); // no candidates at all — the common case
             }
             // `inst_priority_order` is sorted (priority desc, index asc),
             // so the first enabled candidate is exactly the activity the
             // full scan's "first maximum" selection would pick.
             let mut chosen = None;
             for &a in &san.deps.inst_priority_order {
-                if self.inst_stamp[a as usize] == gen
-                    && san.activities[a as usize].enabled(&self.marking)
+                let idx = a as usize;
+                if self.inst_acc[idx >> 6] & (1u64 << (idx & 63)) != 0
+                    && compiled.enabled(idx, &self.marking)
                 {
-                    chosen = Some(a as usize);
+                    chosen = Some(idx);
                     break;
                 }
             }
@@ -738,34 +791,142 @@ impl<'m> Simulator<'m> {
     /// did not), so they sit in the `(enabled, scheduled)` states
     /// `(true, Some)` with `Keep` or `(false, None)`, neither of which
     /// draws randomness or touches the queue.
+    ///
+    /// Three passes, all in ascending activity order:
+    ///
+    /// 1. **Visit & classify** — the visit set is a bitmask (global row
+    ///    OR the dirty places' dependency rows OR the fired bit;
+    ///    ascending iteration over set bits replaces the old
+    ///    stamp/push/sort scratch machinery), and each visited activity's
+    ///    compiled enabling check decides cancel / schedule / reschedule.
+    /// 2. **Batch sampling** — all delay draws for this event run
+    ///    back-to-back through the block-buffered RNG under a single
+    ///    `delay_sampling` span.
+    /// 3. **Apply** — all queue operations execute under a single
+    ///    `queue_ops` span.
+    ///
+    /// Queue operations draw no randomness and sampling touches no queue
+    /// state, so hoisting all draws ahead of all queue operations leaves
+    /// both the RNG stream and the queue-op sequence (hence event-id
+    /// assignment and same-time tie-breaking) bit-identical to the
+    /// interleaved reference path.
     fn update_schedules_incremental(&mut self, fired: ActivityId) -> Result<(), SanError> {
-        let san = self.san;
-        self.visit_gen += 1;
-        let gen = self.visit_gen;
-        self.visit_scratch.clear();
+        let compiled = &self.san.compiled;
         {
-            let a = u32::try_from(fired.0).expect("more than 2^32 activities");
-            self.visit_stamp[fired.0] = gen;
-            self.visit_scratch.push(a);
-        }
-        for &a in &san.deps.global_timed {
-            if self.visit_stamp[a as usize] != gen {
-                self.visit_stamp[a as usize] = gen;
-                self.visit_scratch.push(a);
-            }
-        }
-        for &p in self.marking.dirty_places() {
-            for &a in &san.deps.place_to_timed[p as usize] {
-                if self.visit_stamp[a as usize] != gen {
-                    self.visit_stamp[a as usize] = gen;
-                    self.visit_scratch.push(a);
+            let acc = &mut self.timed_acc;
+            acc.copy_from_slice(&compiled.global_timed_mask);
+            debug_assert!(
+                compiled.is_timed(fired.0),
+                "queue completed a non-timed activity"
+            );
+            acc[fired.0 >> 6] |= 1u64 << (fired.0 & 63);
+            for &p in self.marking.dirty_places() {
+                for (a, &row) in acc.iter_mut().zip(compiled.place_timed_row(p as usize)) {
+                    *a |= row;
                 }
             }
         }
-        self.visit_scratch.sort_unstable();
         let version = self.marking.version();
-        for k in 0..self.visit_scratch.len() {
-            self.reconcile_timed(self.visit_scratch[k] as usize, version)?;
+        let mut pending = std::mem::take(&mut self.pending);
+        debug_assert!(pending.is_empty());
+        let mut draws = 0usize;
+        for w in 0..self.timed_acc.len() {
+            let mut bits = self.timed_acc[w];
+            while bits != 0 {
+                let a = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let enabled = compiled.enabled(a, &self.marking);
+                match (enabled, self.scheduled[a]) {
+                    (false, Some(ev)) => {
+                        // Disabling aborts the activity; draws nothing.
+                        self.scheduled[a] = None;
+                        pending.push(PendingOp {
+                            act: a as u32,
+                            at: SimTime::ZERO,
+                            kind: PendingKind::Cancel(ev),
+                        });
+                    }
+                    (false, None) => {}
+                    (true, Some(ev)) => {
+                        if compiled.is_resample(a) && self.sampled_version[a] != version {
+                            draws += 1;
+                            pending.push(PendingOp {
+                                act: a as u32,
+                                at: SimTime::ZERO,
+                                kind: PendingKind::Reschedule(ev),
+                            });
+                        }
+                    }
+                    (true, None) => {
+                        draws += 1;
+                        pending.push(PendingOp {
+                            act: a as u32,
+                            at: SimTime::ZERO,
+                            kind: PendingKind::Schedule,
+                        });
+                    }
+                }
+            }
+        }
+        let result = self.apply_pending(&mut pending, draws, version);
+        pending.clear();
+        self.pending = pending;
+        result
+    }
+
+    /// Passes 2 and 3 of incremental reconciliation: batch-sample every
+    /// delay, then execute every queue operation, both in the pending
+    /// list's (ascending activity) order.
+    fn apply_pending(
+        &mut self,
+        pending: &mut [PendingOp],
+        draws: usize,
+        version: u64,
+    ) -> Result<(), SanError> {
+        let san = self.san;
+        if draws > 0 {
+            let span = self.prof.begin();
+            for op in pending.iter_mut() {
+                if matches!(op.kind, PendingKind::Cancel(_)) {
+                    continue;
+                }
+                let act = op.act as usize;
+                let Timing::Timed(delay) = &san.activities[act].timing else {
+                    unreachable!("pending draw for a non-timed activity");
+                };
+                let d = delay.sample(&self.marking, &mut self.rng);
+                if !d.is_finite() || d < 0.0 {
+                    self.prof.end(HotPhase::DelaySampling, span);
+                    return Err(SanError::BadDelay {
+                        activity: san.activities[act].name.clone(),
+                        value: d,
+                    });
+                }
+                op.at = self.now + SimTime::from_secs(d);
+            }
+            self.prof.end(HotPhase::DelaySampling, span);
+        }
+        if !pending.is_empty() {
+            let span = self.prof.begin();
+            for op in pending.iter() {
+                let act = op.act as usize;
+                match op.kind {
+                    PendingKind::Cancel(ev) => {
+                        self.queue.cancel(ev);
+                    }
+                    PendingKind::Schedule => {
+                        let ev = self.queue.schedule(op.at, ActivityId(act));
+                        self.scheduled[act] = Some(ev);
+                        self.sampled_version[act] = version;
+                    }
+                    PendingKind::Reschedule(ev) => {
+                        let moved = self.queue.reschedule(ev, op.at);
+                        debug_assert!(moved, "rescheduled a stale handle");
+                        self.sampled_version[act] = version;
+                    }
+                }
+            }
+            self.prof.end(HotPhase::QueueOps, span);
         }
         Ok(())
     }
@@ -813,17 +974,30 @@ impl<'m> Simulator<'m> {
 
     /// Verifies the incremental scheduler's core invariants against a
     /// ground-truth scan (debug builds only): every timed activity is
-    /// scheduled iff enabled, and no instantaneous activity is enabled
-    /// between events. A violation means some gate's declared
-    /// [`reads`](crate::InputGate::reads) set is stale — its predicate
-    /// changed without any declared place changing.
+    /// scheduled iff enabled, no instantaneous activity is enabled
+    /// between events, the compiled enabling check agrees with the
+    /// trait-dispatch reference for every activity, and the marking's
+    /// dirty bitmask mirrors its dirty list. A schedule violation means
+    /// some gate's declared [`reads`](crate::InputGate::reads) set is
+    /// stale — its predicate changed without any declared place
+    /// changing; a compiled/reference disagreement means a gate-program
+    /// compilation bug.
     #[cfg(debug_assertions)]
     fn assert_schedule_consistency(&self) {
+        self.marking.assert_dirty_consistency();
         for (i, def) in self.san.activities.iter().enumerate() {
+            let reference = def.enabled(&self.marking);
+            debug_assert_eq!(
+                self.san.compiled.enabled(i, &self.marking),
+                reference,
+                "compiled enabling check for activity '{}' disagrees with \
+                 the trait-dispatch reference — gate-program compilation bug",
+                def.name
+            );
             match def.timing {
                 Timing::Timed(_) => {
                     debug_assert_eq!(
-                        def.enabled(&self.marking),
+                        reference,
                         self.scheduled[i].is_some(),
                         "timed activity '{}' out of sync with its schedule — \
                          a gate predicate changed without any of its declared \
@@ -833,7 +1007,7 @@ impl<'m> Simulator<'m> {
                 }
                 Timing::Instantaneous { .. } => {
                     debug_assert!(
-                        !def.enabled(&self.marking),
+                        !reference,
                         "instantaneous activity '{}' enabled after settling — \
                          a gate predicate changed without any of its declared \
                          reads() places changing",

@@ -1,0 +1,141 @@
+//! Equality of compiled gate programs and trait-dispatch enabling.
+//!
+//! `San::build` compiles every declarative [`Pred`] gate into a flat
+//! postfix program evaluated by `San::enabled_fast`; gates that cannot
+//! be compiled (closure predicates, over-deep expressions) fall back to
+//! the original boxed closure. The contract is exact equality with the
+//! trait-dispatch reference (`San::enabled_reference`) on **every**
+//! marking, not just reachable ones — these tests sweep hand-built nets
+//! and proptest-randomized markings to hold the compiler to it.
+
+use ckpt_san::{Delay, InputGate, Pred, San, SanBuilder};
+use ckpt_stats::Dist;
+use proptest::prelude::*;
+
+/// Asserts the compiled and reference enabling tests agree for every
+/// activity of `san` under `marking`.
+fn assert_enabling_agrees(san: &San, marking: &ckpt_san::Marking, label: &str) {
+    for a in san.activity_ids() {
+        assert_eq!(
+            san.enabled_fast(a, marking),
+            san.enabled_reference(a, marking),
+            "compiled/reference enabling diverged for {} under {label}",
+            san.activity_name(a),
+        );
+    }
+}
+
+/// A net exercising every compilable predicate shape plus the closure
+/// fallback: leaf tests, boolean combinators, negation folding, arc
+/// multiplicities, and an undeclared closure gate.
+fn gate_zoo() -> (San, Vec<ckpt_san::PlaceId>) {
+    let mut b = SanBuilder::new("zoo");
+    let p: Vec<_> = (0..6).map(|i| b.place(format!("p{i}"), 0)).collect();
+    let d = Delay::from(Dist::exponential(1.0));
+
+    b.timed_activity("leaf_has", d.clone())
+        .enabled_if("has0", Pred::has(p[0]))
+        .build();
+    b.timed_activity("leaf_empty", d.clone())
+        .enabled_if("empty1", Pred::empty(p[1]))
+        .build();
+    b.timed_activity("leaf_at_least", d.clone())
+        .enabled_if("ge3", Pred::at_least(p[2], 3))
+        .build();
+    b.timed_activity("conjunction", d.clone())
+        .enabled_if(
+            "and",
+            Pred::has(p[0]).and(Pred::empty(p[1]).and(Pred::has(p[2]))),
+        )
+        .build();
+    b.timed_activity("disjunction", d.clone())
+        .enabled_if(
+            "or",
+            Pred::has(p[3]).or(Pred::has(p[4]).or(Pred::at_least(p[5], 2))),
+        )
+        .build();
+    b.timed_activity("negated_mix", d.clone())
+        .enabled_if(
+            "not_mix",
+            Pred::has(p[0]).and(Pred::has(p[1]).or(Pred::has(p[2])).negate()),
+        )
+        .build();
+    b.timed_activity("with_arcs", d.clone())
+        .input_arc(p[3], 2)
+        .input_arc(p[4], 1)
+        .enabled_if("arc_guard", Pred::empty(p[5]))
+        .output_arc(p[0], 1)
+        .build();
+    // Closure gate: stays on the trait-dispatch fallback inside the
+    // compiled program, so both paths must still agree.
+    let watch = p[5];
+    b.timed_activity("closure_gate", d)
+        .input_gate(InputGate::predicate_only("undeclared", move |m| {
+            m.tokens(watch).is_multiple_of(2)
+        }))
+        .build();
+
+    let san = b.build().expect("zoo net is well-formed");
+    (san, p)
+}
+
+#[test]
+fn gate_zoo_agrees_on_token_sweep() {
+    let (san, places) = gate_zoo();
+    let mut m = san.initial_marking();
+    assert_enabling_agrees(&san, &m, "initial marking");
+    // Sweep each place through 0..=4 tokens with the rest pinned.
+    for &place in &places {
+        for count in 0..=4 {
+            m.set_tokens(place, count);
+            assert_enabling_agrees(&san, &m, "single-place sweep");
+        }
+        m.set_tokens(place, 0);
+    }
+}
+
+#[test]
+fn over_deep_predicates_fall_back_and_still_agree() {
+    // A right-leaning Any chain past the compiler's stack bound takes
+    // the closure fallback; behaviour must be unchanged.
+    let mut b = SanBuilder::new("deep");
+    let places: Vec<_> = (0..24).map(|i| b.place(format!("p{i}"), 0)).collect();
+    let mut pred = Pred::has(places[23]);
+    for &place in places[..23].iter().rev() {
+        pred = Pred::has(place).or(Pred::All(vec![pred]));
+    }
+    b.timed_activity("deep", Delay::from(Dist::exponential(1.0)))
+        .enabled_if("deep_any", pred)
+        .build();
+    let san = b.build().unwrap();
+    let mut m = san.initial_marking();
+    assert_enabling_agrees(&san, &m, "all-empty");
+    for &place in &places {
+        m.set_tokens(place, 1);
+        assert_enabling_agrees(&san, &m, "one-hot sweep");
+        m.set_tokens(place, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Randomized markings over the gate zoo: arbitrary token vectors
+    /// (reachable or not) never split the compiled and reference paths.
+    #[test]
+    fn random_markings_agree(tokens in proptest::collection::vec(0u64..6, 6..7)) {
+        let (san, places) = gate_zoo();
+        let mut m = san.initial_marking();
+        for (&place, &count) in places.iter().zip(&tokens) {
+            m.set_tokens(place, count);
+        }
+        for a in san.activity_ids() {
+            prop_assert_eq!(
+                san.enabled_fast(a, &m),
+                san.enabled_reference(a, &m),
+                "diverged for {}",
+                san.activity_name(a)
+            );
+        }
+    }
+}

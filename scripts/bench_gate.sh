@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Perf-regression gate: re-measures the engine's smoke workload and
-# fails when incremental-scheduler throughput regressed more than
-# MAX_REGRESSION_PCT against the committed reference in
-# BENCH_hotloop.json (the "gate_reference_quick" leg, produced by
-# `cargo run --release -p ckpt-bench --bin bench_hotloop`).
+# Perf-regression gate, two layers:
+#
+#  1. Headline throughput — re-measures the engine's smoke workload and
+#     fails when incremental-scheduler events/sec regressed more than
+#     MAX_REGRESSION_PCT against the committed reference in
+#     BENCH_hotloop.json (the "gate_reference_quick" leg, produced by
+#     `cargo run --release -p ckpt-bench --bin bench_hotloop`).
+#  2. Per-phase attribution — re-measures the hot-phase breakdown with a
+#     `--features prof` build and fails when any attributed phase's
+#     ns/event regressed more than MAX_REGRESSION_PCT against the
+#     committed BENCH_phases.json (incremental leg). This catches a
+#     regression that hides inside the headline number — e.g. a 30%
+#     slower reconciliation paid for by a faster queue — and pinpoints
+#     the phase that moved.
 #
 # Usage: scripts/bench_gate.sh [extra bench_engines flags...]
 #
@@ -13,31 +22,60 @@
 # real parallelism (CI runners); on single-core hosts, or when
 # BENCH_GATE_REPORT_ONLY=1, it reports the comparison without failing.
 #
-# The committed reference was recorded with the telemetry probes
-# compiled OUT (the default feature set). The gate builds the same
-# default set and then *asserts* the measured binary reports
+# The committed headline reference was recorded with the telemetry
+# probes compiled OUT (the default feature set). The gate builds the
+# same default set and then *asserts* the measured binary reports
 # telemetry_probes=false, so the hot loop being compared is the one
 # the reference measured — a telemetry-enabled build would gate its
 # probe overhead against a probe-free baseline and fail spuriously
 # (or, worse, hide a real regression behind a refreshed reference).
+#
+# The phase leg runs from a scratch directory: a profiled bench_engines
+# also rewrites BENCH_engines.json, and instrumented wall times must
+# never clobber the headline artifact.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 max_regression_pct="${MAX_REGRESSION_PCT:-15}"
 ref_file="$repo/BENCH_hotloop.json"
+ref_phases="$repo/BENCH_phases.json"
 
 if [ ! -f "$ref_file" ]; then
   echo "bench_gate: no $ref_file — run bench_hotloop to create the reference" >&2
   exit 2
 fi
 
-# Reference: events/sec of the gate_reference_quick leg.
+report_only() {
+  cores="$(nproc 2>/dev/null || echo 1)"
+  [ "${BENCH_GATE_REPORT_ONLY:-0}" = "1" ] || [ "$cores" -le 1 ]
+}
+
+# --- References: read BEFORE any regeneration touches the artifacts ---
+
 ref_eps="$(python3 - "$ref_file" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 print(int(doc["gate"]["events_per_sec"]))
 EOF
 )"
+
+# Per-phase ns/event of the committed incremental leg (schema >= 2).
+# Empty output skips the phase gate (no reference yet / old schema).
+ref_phase_rows=""
+if [ -f "$ref_phases" ]; then
+  ref_phase_rows="$(python3 - "$ref_phases" <<'EOF'
+import json, sys
+docs = json.load(open(sys.argv[1]))
+for doc in docs:
+    if doc.get("label", "").endswith("-incremental") \
+       and doc.get("phase_schema_version", 0) >= 2:
+        for p in doc["phases"]:
+            print(f'{p["phase"]} {p["ns_per_event"]}')
+EOF
+)"
+fi
+
+# --- Layer 1: headline events/sec -------------------------------------
 
 (cd "$repo" && cargo build --release -p ckpt-bench --bin bench_engines >&2)
 (cd "$repo" && ./target/release/bench_engines --quick --warmup 1 "$@" >/dev/null)
@@ -63,15 +101,67 @@ verdict="$(awk -v cur="$cur_eps" -v ref="$ref_eps" -v max="$max_regression_pct" 
 echo "bench_gate: $verdict (budget: ${max_regression_pct}% regression)"
 
 if [ "$pass" -ne 0 ]; then
-  cores="$(nproc 2>/dev/null || echo 1)"
-  if [ "${BENCH_GATE_REPORT_ONLY:-0}" = "1" ] || [ "$cores" -le 1 ]; then
+  if report_only; then
     echo "bench_gate: REGRESSION over budget, but report-only" \
-         "(cores=$cores, BENCH_GATE_REPORT_ONLY=${BENCH_GATE_REPORT_ONLY:-0})" >&2
-    exit 0
+         "(cores=$(nproc 2>/dev/null || echo 1), BENCH_GATE_REPORT_ONLY=${BENCH_GATE_REPORT_ONLY:-0})" >&2
+  else
+    echo "bench_gate: FAIL — events/sec regressed more than ${max_regression_pct}%" >&2
+    echo "bench_gate: if intentional, refresh the reference with" \
+         "'cargo run --release -p ckpt-bench --bin bench_hotloop'" >&2
+    exit 1
   fi
-  echo "bench_gate: FAIL — events/sec regressed more than ${max_regression_pct}%" >&2
-  echo "bench_gate: if intentional, refresh the reference with" \
-       "'cargo run --release -p ckpt-bench --bin bench_hotloop'" >&2
-  exit 1
+fi
+
+# --- Layer 2: per-phase ns/event --------------------------------------
+
+if [ -z "$ref_phase_rows" ]; then
+  echo "bench_gate: no per-phase reference in $ref_phases (schema >= 2) — phase gate skipped"
+  echo "bench_gate: OK"
+  exit 0
+fi
+
+(cd "$repo" && cargo build --release -p ckpt-bench --features prof --bin bench_engines >&2)
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+(cd "$scratch" && "$repo/target/release/bench_engines" --quick --warmup 1 --phases "$@" >/dev/null)
+
+phase_verdict=0
+python3 - "$scratch/BENCH_phases.json" "$max_regression_pct" <<EOF || phase_verdict=1
+import json, sys
+ref = {}
+for line in """$ref_phase_rows""".strip().splitlines():
+    name, ns = line.split()
+    ref[name] = float(ns)
+docs = json.load(open(sys.argv[1]))
+max_pct = float(sys.argv[2])
+[inc] = [d for d in docs if d.get("label", "").endswith("-incremental")]
+# Phases under this floor are measurement noise at --quick scale.
+NOISE_FLOOR_NS = 2.0
+worst = None
+for p in inc["phases"]:
+    name, cur = p["phase"], float(p["ns_per_event"])
+    if name not in ref or ref[name] < NOISE_FLOOR_NS:
+        continue
+    change = 100.0 * (cur - ref[name]) / ref[name]
+    flag = " <-- OVER BUDGET" if change > max_pct else ""
+    print(f"bench_gate: phase {name:<26} ref {ref[name]:8.1f} ns/ev, "
+          f"measured {cur:8.1f} ns/ev, change {change:+6.1f}%{flag}")
+    if change > max_pct and (worst is None or change > worst[1]):
+        worst = (name, change)
+if worst:
+    sys.exit(f"bench_gate: phase '{worst[0]}' regressed {worst[1]:.1f}% "
+             f"(budget {max_pct}%)")
+EOF
+
+if [ "$phase_verdict" -ne 0 ]; then
+  if report_only; then
+    echo "bench_gate: PHASE REGRESSION over budget, but report-only" \
+         "(cores=$(nproc 2>/dev/null || echo 1), BENCH_GATE_REPORT_ONLY=${BENCH_GATE_REPORT_ONLY:-0})" >&2
+  else
+    echo "bench_gate: FAIL — a hot phase regressed more than ${max_regression_pct}% ns/event" >&2
+    echo "bench_gate: if intentional, refresh the reference with" \
+         "'cargo run --release -p ckpt-bench --features prof --bin bench_engines -- --phases'" >&2
+    exit 1
+  fi
 fi
 echo "bench_gate: OK"
