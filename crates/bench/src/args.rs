@@ -2,6 +2,7 @@
 
 use ckpt_core::EngineKind;
 use ckpt_des::SimTime;
+use ckpt_harness::{CkptError, ExecFlags};
 use std::fmt;
 
 /// Options accepted by every figure binary.
@@ -34,20 +35,11 @@ pub struct RunOptions {
     pub metrics: Option<String>,
     /// Write just the run manifest as JSON to this path.
     pub manifest: Option<String>,
-    /// Suppress per-replication profile output and progress heartbeats
-    /// (for scripting).
-    pub quiet: bool,
-    /// Persist a resumable progress snapshot to this path.
-    pub snapshot: Option<String>,
-    /// Persist the snapshot after every N completed replications
-    /// (0 = only on interrupt/completion).
-    pub snapshot_every: u32,
-    /// Resume from a snapshot written by an interrupted run.
-    pub resume: Option<String>,
-    /// Stream deterministic progress records as JSON Lines to this
-    /// path (stays active under `--quiet`: explicitly requested
-    /// machine output is output, not chatter).
-    pub progress: Option<String>,
+    /// The shared execution-control switches
+    /// (`--snapshot/--snapshot-every/--resume/--progress/--quiet`),
+    /// parsed and validated by [`ExecFlags`] — one implementation for
+    /// every command.
+    pub exec: ExecFlags,
     /// Write the merged telemetry document (histograms + spans) as
     /// JSON to this path.
     pub histograms: Option<String>,
@@ -70,11 +62,7 @@ impl Default for RunOptions {
             trace: None,
             metrics: None,
             manifest: None,
-            quiet: false,
-            snapshot: None,
-            snapshot_every: 1,
-            resume: None,
-            progress: None,
+            exec: ExecFlags::default(),
             histograms: None,
             prom: None,
         }
@@ -163,15 +151,6 @@ impl RunOptions {
                 "--trace" => opts.trace = Some(value_for("--trace")?),
                 "--metrics" => opts.metrics = Some(value_for("--metrics")?),
                 "--manifest" => opts.manifest = Some(value_for("--manifest")?),
-                "--quiet" => opts.quiet = true,
-                "--snapshot" => opts.snapshot = Some(value_for("--snapshot")?),
-                "--snapshot-every" => {
-                    opts.snapshot_every = value_for("--snapshot-every")?
-                        .parse()
-                        .map_err(|e| ParseError(format!("--snapshot-every: {e}")))?;
-                }
-                "--resume" => opts.resume = Some(value_for("--resume")?),
-                "--progress" => opts.progress = Some(value_for("--progress")?),
                 "--histograms" => opts.histograms = Some(value_for("--histograms")?),
                 "--prom" => opts.prom = Some(value_for("--prom")?),
                 "--csv" => opts.csv = true,
@@ -191,7 +170,15 @@ impl RunOptions {
                             .to_string(),
                     ))
                 }
-                other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                other => {
+                    let consumed = opts
+                        .exec
+                        .accept(other, |name| value_for(name).map_err(|e| e.to_string()))
+                        .map_err(ParseError)?;
+                    if !consumed {
+                        return Err(ParseError(format!("unknown flag '{other}'")));
+                    }
+                }
             }
         }
         Ok(opts)
@@ -200,22 +187,16 @@ impl RunOptions {
     /// Builds the progress-sink stack these options imply: a human
     /// heartbeat on stderr unless `--csv` or `--quiet` suppressed it,
     /// plus a deterministic JSONL stream when `--progress FILE` was
-    /// given. This is the single place the `--quiet` contract for
-    /// progress lives — every command (run, figure, optimize, report)
-    /// gates its heartbeats through here.
+    /// given. The `--quiet` contract itself lives in
+    /// [`ExecFlags::progress_sink`]; `--csv` is this crate's only
+    /// addition (machine output implies no human heartbeat).
     ///
     /// # Errors
     ///
-    /// Propagates the `--progress` file-creation error.
-    pub fn progress_sink(&self) -> std::io::Result<ckpt_obs::MultiSink> {
-        let mut sinks = ckpt_obs::MultiSink::new();
-        if !self.csv && !self.quiet {
-            sinks.push(Box::new(ckpt_obs::HumanSink));
-        }
-        if let Some(path) = &self.progress {
-            sinks.push(Box::new(ckpt_obs::JsonlSink::create(path)?));
-        }
-        Ok(sinks)
+    /// Propagates the `--progress` file-creation error as
+    /// [`CkptError::Io`].
+    pub fn progress_sink(&self) -> Result<ckpt_obs::MultiSink, CkptError> {
+        self.exec.progress_sink(!self.csv)
     }
 
     /// Parses from the process environment, printing errors/usage and
@@ -304,11 +285,11 @@ mod tests {
         assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(o.metrics.as_deref(), Some("m.json"));
         assert_eq!(o.manifest.as_deref(), Some("r.json"));
-        assert!(o.quiet);
+        assert!(o.exec.quiet);
         assert!(parse(&["--trace"]).is_err());
         assert!(parse(&["--metrics"]).is_err());
         let d = parse(&[]).unwrap();
-        assert!(d.trace.is_none() && d.metrics.is_none() && d.manifest.is_none() && !d.quiet);
+        assert!(d.trace.is_none() && d.metrics.is_none() && d.manifest.is_none() && !d.exec.quiet);
     }
 
     #[test]
@@ -322,15 +303,15 @@ mod tests {
             "r.json",
         ])
         .unwrap();
-        assert_eq!(o.snapshot.as_deref(), Some("s.json"));
-        assert_eq!(o.snapshot_every, 4);
-        assert_eq!(o.resume.as_deref(), Some("r.json"));
+        assert_eq!(o.exec.snapshot.as_deref(), Some("s.json"));
+        assert_eq!(o.exec.snapshot_every, 4);
+        assert_eq!(o.exec.resume.as_deref(), Some("r.json"));
         assert!(parse(&["--snapshot"]).is_err());
         assert!(parse(&["--snapshot-every", "often"]).is_err());
         assert!(parse(&["--resume"]).is_err());
         let d = parse(&[]).unwrap();
-        assert!(d.snapshot.is_none() && d.resume.is_none());
-        assert_eq!(d.snapshot_every, 1);
+        assert!(d.exec.snapshot.is_none() && d.exec.resume.is_none());
+        assert_eq!(d.exec.snapshot_every, 1);
     }
 
     #[test]
@@ -344,14 +325,14 @@ mod tests {
             "m.prom",
         ])
         .unwrap();
-        assert_eq!(o.progress.as_deref(), Some("p.jsonl"));
+        assert_eq!(o.exec.progress.as_deref(), Some("p.jsonl"));
         assert_eq!(o.histograms.as_deref(), Some("h.json"));
         assert_eq!(o.prom.as_deref(), Some("m.prom"));
         assert!(parse(&["--progress"]).is_err());
         assert!(parse(&["--histograms"]).is_err());
         assert!(parse(&["--prom"]).is_err());
         let d = parse(&[]).unwrap();
-        assert!(d.progress.is_none() && d.histograms.is_none() && d.prom.is_none());
+        assert!(d.exec.progress.is_none() && d.histograms.is_none() && d.prom.is_none());
     }
 
     #[test]

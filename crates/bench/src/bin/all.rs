@@ -27,7 +27,7 @@ fn write_or_fail(path: &std::path::Path, contents: &str) {
 
 fn main() {
     let opts = RunOptions::from_env();
-    if opts.snapshot.is_some() || opts.resume.is_some() {
+    if opts.exec.journaling() {
         // One journal cannot span figures (cell indices collide); point
         // users at the per-figure binaries, which support both flags.
         fail(&CkptError::Usage(

@@ -15,13 +15,10 @@ use crate::sweep::{run_sweep_controlled, sweep_fingerprint, Series, SweepControl
 use crate::table;
 use ckpt_core::ExperimentError;
 use ckpt_harness::{signal, CkptError, SweepJournal};
-use std::path::Path;
-
 /// Opens the journal requested by `--snapshot` / `--resume`, validating
-/// a resumed snapshot against `fingerprint`.
-///
-/// `--resume FILE` keeps persisting to `FILE` unless `--snapshot`
-/// redirects it.
+/// a resumed snapshot against `fingerprint` — a thin wrapper over
+/// [`ckpt_harness::ExecFlags::open_journal`], the single
+/// implementation of the journal-open policy.
 ///
 /// # Errors
 ///
@@ -31,25 +28,7 @@ pub fn open_journal(
     fingerprint: u64,
     opts: &RunOptions,
 ) -> Result<Option<SweepJournal>, CkptError> {
-    match (&opts.resume, &opts.snapshot) {
-        (Some(resume), snapshot) => {
-            let target = snapshot.as_deref().unwrap_or(resume.as_str());
-            SweepJournal::resume_into(
-                Path::new(resume),
-                Path::new(target),
-                fingerprint,
-                opts.snapshot_every,
-            )
-            .map(Some)
-            .map_err(CkptError::from)
-        }
-        (None, Some(snapshot)) => Ok(Some(SweepJournal::create(
-            Path::new(snapshot),
-            fingerprint,
-            opts.snapshot_every,
-        ))),
-        (None, None) => Ok(None),
-    }
+    opts.exec.open_journal(fingerprint).map_err(CkptError::from)
 }
 
 /// Persists `journal` (if any) and translates a cooperative interrupt
@@ -90,10 +69,7 @@ pub fn run_figure(id: &str, spec: FigureSpec, opts: &RunOptions) -> Result<Vec<S
     signal::install();
     let fingerprint = sweep_fingerprint(id, &spec.cells, opts)?;
     let journal = open_journal(fingerprint, opts)?;
-    let sink = opts.progress_sink().map_err(|e| CkptError::Io {
-        path: opts.progress.clone().unwrap_or_default(),
-        message: e.to_string(),
-    })?;
+    let sink = opts.progress_sink()?;
     let control = SweepControl {
         journal: journal.as_ref(),
         interrupt: Some(signal::interrupt_flag()),
@@ -148,7 +124,10 @@ mod tests {
             reps: 1,
             horizon: SimTime::from_hours(100.0),
             transient: SimTime::from_hours(10.0),
-            quiet: true,
+            exec: ckpt_harness::ExecFlags {
+                quiet: true,
+                ..ckpt_harness::ExecFlags::default()
+            },
             csv: true,
             ..RunOptions::default()
         }
@@ -171,12 +150,12 @@ mod tests {
         let _ = std::fs::remove_file(&path);
 
         let mut opts = quick_opts();
-        opts.snapshot = Some(path.display().to_string());
+        opts.exec.snapshot = Some(path.display().to_string());
         let first = run_figure("fig4h", figures::fig4gh(16), &opts).unwrap();
         assert!(path.exists());
 
         let mut resume_opts = quick_opts();
-        resume_opts.resume = Some(path.display().to_string());
+        resume_opts.exec.resume = Some(path.display().to_string());
         let resumed = run_figure("fig4h", figures::fig4gh(16), &resume_opts).unwrap();
         for (a, b) in first.iter().zip(&resumed) {
             for (pa, pb) in a.points.iter().zip(&b.points) {
@@ -195,11 +174,11 @@ mod tests {
         let _ = std::fs::remove_file(&path);
 
         let mut opts = quick_opts();
-        opts.snapshot = Some(path.display().to_string());
+        opts.exec.snapshot = Some(path.display().to_string());
         run_figure("fig4h", figures::fig4gh(16), &opts).unwrap();
 
         let mut other = quick_opts();
-        other.resume = Some(path.display().to_string());
+        other.exec.resume = Some(path.display().to_string());
         other.seed = 1234; // different sampling → different fingerprint
         let err = run_figure("fig4h", figures::fig4gh(16), &other).unwrap_err();
         assert!(matches!(

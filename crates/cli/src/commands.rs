@@ -10,6 +10,7 @@ use ckpt_core::{
 use ckpt_des::prof::{HotPhase, PhaseProfile};
 use ckpt_harness::{signal, CkptError};
 use ckpt_obs::{phases_json, spans_json, telemetry_json, ProgressSink, Recorder};
+use ckpt_svc::{LocalRun, Scheduler};
 use std::fmt::Write as _;
 
 /// Ring-buffer capacity behind `--trace`: large enough to keep every
@@ -102,7 +103,7 @@ pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
     }
     let telemetry = opts.histograms.is_some() || opts.prom.is_some();
     let observing = opts.trace.is_some() || opts.metrics.is_some() || telemetry;
-    if observing && (opts.snapshot.is_some() || opts.resume.is_some()) {
+    if observing && opts.exec.journaling() {
         return Err(CkptError::Usage(
             "--snapshot/--resume cannot be combined with \
              --trace/--metrics/--histograms/--prom: observation re-executes \
@@ -114,12 +115,8 @@ pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
     signal::install();
     let journal = runner::open_journal(spec.fingerprint(), &opts)?;
     let store = journal.as_ref().map(|j| j.cell_store(0));
-    let sink = opts.progress_sink().map_err(|e| CkptError::Io {
-        path: opts.progress.clone().unwrap_or_default(),
-        message: e.to_string(),
-    })?;
-    let mut exp = spec.to_experiment().warmup(opts.warmup);
-    if observing {
+    let sink = opts.progress_sink()?;
+    let observe = observing.then(|| {
         let mut observe = ObserveSpec {
             trace_capacity: opts.trace.as_ref().map(|_| TRACE_CAPACITY),
             registry: true,
@@ -128,15 +125,24 @@ pub fn run_single(args: Vec<String>) -> Result<(), CkptError> {
         if telemetry {
             observe = observe.with_histograms();
         }
-        exp = exp.observe(observe);
-    }
-    let est = exp
-        .run_controlled(RunControl {
-            store: store.as_ref().map(|s| s as &dyn ReplicationStore),
-            interrupt: Some(signal::interrupt_flag()),
-            progress: (!sink.is_empty()).then_some(&sink as &dyn ProgressSink),
-        })
-        .map_err(|e| runner::seal_interrupted(journal.as_ref(), CkptError::from(e)))?;
+        observe
+    });
+    // `run` is a thin wrapper over the service execution core: the same
+    // entry point the `ckptsim serve` workers use, so a local run and a
+    // served one are the same code path (and bit-identical).
+    let est = Scheduler::run_local(
+        &spec,
+        LocalRun {
+            warmup: opts.warmup,
+            observe,
+            control: RunControl {
+                store: store.as_ref().map(|s| s as &dyn ReplicationStore),
+                interrupt: Some(signal::interrupt_flag()),
+                progress: (!sink.is_empty()).then_some(&sink as &dyn ProgressSink),
+            },
+        },
+    )
+    .map_err(|e| runner::seal_interrupted(journal.as_ref(), CkptError::from(e)))?;
     if let Some(j) = &journal {
         j.persist()?;
     }
@@ -238,7 +244,7 @@ fn render_report(cfg: &SystemConfig, est: &Estimate, opts: &RunOptions) -> Strin
             est.events_per_sec()
         );
     }
-    if !opts.quiet {
+    if !opts.exec.quiet {
         s.push_str(&profile_section(est, opts.csv));
     }
     s
@@ -301,7 +307,7 @@ fn run_profile_phases(cfg: &SystemConfig, opts: &RunOptions) -> Result<(), CkptE
                 .into(),
         ));
     }
-    if opts.snapshot.is_some() || opts.resume.is_some() {
+    if opts.exec.journaling() {
         return Err(CkptError::Usage(
             "--profile-phases cannot be combined with --snapshot/--resume: cached \
              replications carry no phase profile"
@@ -331,7 +337,7 @@ fn run_profile_phases(cfg: &SystemConfig, opts: &RunOptions) -> Result<(), CkptE
         events += outcome.events;
     }
     let wall_secs = start.elapsed().as_secs_f64();
-    if !opts.quiet {
+    if !opts.exec.quiet {
         let attributed = phases.total_nanos();
         let coverage = attributed as f64 / (wall_secs * 1e9).max(1.0);
         eprintln!(
@@ -558,7 +564,6 @@ mod tests {
                 &est,
                 &RunOptions {
                     csv,
-                    quiet: false,
                     ..RunOptions::default()
                 },
             );
@@ -567,7 +572,10 @@ mod tests {
                 &est,
                 &RunOptions {
                     csv,
-                    quiet: true,
+                    exec: ckpt_harness::ExecFlags {
+                        quiet: true,
+                        ..ckpt_harness::ExecFlags::default()
+                    },
                     ..RunOptions::default()
                 },
             );

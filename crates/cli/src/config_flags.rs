@@ -1,5 +1,12 @@
 //! Shared configuration-flag parsing for `run` and `analytic`.
 
+/// The shared `--snapshot/--snapshot-every/--resume/--progress/--quiet`
+/// execution switches, re-exported from the harness: every command
+/// (run, figure, optimize, submit, and the per-figure bench binaries)
+/// parses and validates them through this one type instead of
+/// duplicating the plumbing.
+pub use ckpt_harness::ExecFlags;
+
 use ckpt_core::config::{CoordinationMode, ErrorPropagation, GenericCorrelated, SystemConfig};
 use ckpt_core::PolicySpec;
 use ckpt_des::SimTime;

@@ -10,10 +10,16 @@
 //! * `optimize` — search the checkpoint-policy space for the best
 //!   useful-work fraction and emit a versioned JSON report,
 //! * `report` — summarize run artifacts (manifests, metrics reports,
-//!   snapshots, telemetry documents) as tables or versioned JSON.
+//!   snapshots, telemetry documents) as tables or versioned JSON,
+//! * `serve` — run the simulation service: an HTTP listener over a
+//!   content-addressed result cache (see [`ckpt_svc`]),
+//! * `submit` / `status` / `result` — the client side of `serve`.
 //!
-//! Configuration flags are shared between `run` and `analytic`; see
-//! [`config_flags::parse_config`].
+//! Configuration flags are shared between `run`, `analytic`, and
+//! `submit`; see [`config_flags::parse_config`]. `run` itself is a thin
+//! wrapper over the service execution core
+//! ([`ckpt_svc::Scheduler::run_local`]), so a locally-run spec and a
+//! served one go through the same code path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +28,7 @@ pub mod commands;
 pub mod config_flags;
 pub mod optimize;
 pub mod report;
+pub mod service;
 
 pub use ckpt_harness::CkptError;
 
@@ -42,6 +49,14 @@ USAGE:
     ckptsim report   FILE... [--json]             summarize run artifacts
                                                   (manifests, metrics, snapshots,
                                                   telemetry) with cross-run deltas
+    ckptsim serve    [SERVE FLAGS]                serve simulations over HTTP with
+                                                  a content-addressed result cache
+    ckptsim submit   [CONFIG FLAGS] [RUN FLAGS] [CLIENT FLAGS]
+                                                  submit a spec to a server; with
+                                                  --wait, print the result bytes
+    ckptsim status   <id> [CLIENT FLAGS]          poll a submitted job
+    ckptsim result   <id> [CLIENT FLAGS]          fetch a job's result bytes
+                                                  verbatim (cmp-stable)
 
 CONFIG FLAGS:
     --processors N           total compute processors       [65536]
@@ -83,6 +98,22 @@ RUN FLAGS:
     --histograms FILE        write merged telemetry (histograms + spans) as JSON;
                              engine hot-loop probes need --features telemetry
     --prom FILE              write Prometheus text exposition at exit
+
+SERVE FLAGS:
+    --addr A                 listen address                 [127.0.0.1:7070]
+                             (use port 0 for an ephemeral port; the resolved
+                             address is printed as 'listening on ADDR')
+    --store DIR              job-store directory            [.ckptsim-store]
+    --workers N              scheduler worker threads       [all cores]
+    --shards N               work units per job (1 = never shard)       [1]
+    --batch N                smallest replications per work unit        [1]
+    --snapshot-every N       journal persist cadence per work unit      [1]
+
+CLIENT FLAGS:
+    --server A               server address                 [127.0.0.1:7070]
+    --tenant T               fair-share queue to submit into    [default]
+    --wait                   poll until done, then print the result bytes
+    --wait-secs S            like --wait with an explicit timeout     [600]
     --profile-phases         (run only) hot-phase wall-time breakdown as JSON;
                              needs a build with --features prof and --engine san
 
@@ -126,6 +157,10 @@ fn dispatch(mut args: Vec<String>) -> Result<(), CkptError> {
         "dot" => commands::dot(args),
         "optimize" => optimize::optimize(args),
         "report" => report::report(args),
+        "serve" => service::serve(args),
+        "submit" => service::submit(args),
+        "status" => service::job_status(args),
+        "result" => service::job_result(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

@@ -240,10 +240,7 @@ pub fn report_json(
 /// an interrupt surfaces as [`CkptError::Interrupted`] *after* the
 /// snapshot is persisted.
 pub fn run_search(base: &SystemConfig, opts: &RunOptions) -> Result<String, CkptError> {
-    let sink = opts.progress_sink().map_err(|e| CkptError::Io {
-        path: opts.progress.clone().unwrap_or_default(),
-        message: e.to_string(),
-    })?;
+    let sink = opts.progress_sink()?;
     run_search_with_sink(base, opts, &sink)
 }
 
@@ -297,10 +294,7 @@ pub fn optimize(args: Vec<String>) -> Result<(), CkptError> {
         ));
     }
     signal::install();
-    let sink = opts.progress_sink().map_err(|e| CkptError::Io {
-        path: opts.progress.clone().unwrap_or_default(),
-        message: e.to_string(),
-    })?;
+    let sink = opts.progress_sink()?;
     let report = run_search_with_sink(&cfg, &opts, &sink)?;
     match &out {
         Some(path) => {

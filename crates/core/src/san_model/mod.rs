@@ -96,8 +96,7 @@ impl From<SanError> for ModelError {
 
 /// Options for one steady-state SAN replication — the single
 /// configuration point of [`CheckpointSan::run`] /
-/// [`CheckpointSan::run_observed`], replacing the former
-/// `run_steady_state*` method family.
+/// [`CheckpointSan::run_observed`].
 ///
 /// `Default` mirrors the experiment layer's defaults (seed `0x5eed`,
 /// 1000-hour transient, 20000-hour horizon, default scheduling), so
@@ -358,104 +357,6 @@ impl CheckpointSan {
                 telemetry,
             )
         })
-    }
-
-    /// Runs one steady-state replication and returns just its metrics.
-    ///
-    /// # Errors
-    ///
-    /// Propagates SAN execution errors.
-    #[deprecated(since = "0.1.0", note = "use `run(&RunOptions)` instead")]
-    pub fn run_steady_state(
-        &self,
-        seed: u64,
-        transient: SimTime,
-        horizon: SimTime,
-    ) -> Result<Metrics, ModelError> {
-        self.run(&RunOptions {
-            seed,
-            transient,
-            horizon,
-            ..RunOptions::default()
-        })
-        .map(|o| o.metrics)
-    }
-
-    /// Runs one steady-state replication, also reporting its event
-    /// count.
-    ///
-    /// # Errors
-    ///
-    /// Propagates SAN execution errors.
-    #[deprecated(since = "0.1.0", note = "use `run(&RunOptions)` instead")]
-    pub fn run_steady_state_profiled(
-        &self,
-        seed: u64,
-        transient: SimTime,
-        horizon: SimTime,
-    ) -> Result<(Metrics, u64), ModelError> {
-        self.run(&RunOptions {
-            seed,
-            transient,
-            horizon,
-            ..RunOptions::default()
-        })
-        .map(|o| (o.metrics, o.events))
-    }
-
-    /// Runs one steady-state replication under an explicit
-    /// [`Scheduling`] strategy.
-    ///
-    /// # Errors
-    ///
-    /// Propagates SAN execution errors.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `run(&RunOptions)` with the `scheduling` field instead"
-    )]
-    pub fn run_steady_state_profiled_with(
-        &self,
-        seed: u64,
-        transient: SimTime,
-        horizon: SimTime,
-        scheduling: Scheduling,
-    ) -> Result<(Metrics, u64), ModelError> {
-        self.run(&RunOptions {
-            seed,
-            transient,
-            horizon,
-            scheduling,
-            ..RunOptions::default()
-        })
-        .map(|o| (o.metrics, o.events))
-    }
-
-    /// Runs one observed steady-state replication.
-    ///
-    /// # Errors
-    ///
-    /// Propagates SAN execution errors.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `run_observed(&RunOptions, observer)` instead"
-    )]
-    pub fn run_steady_state_observed(
-        &self,
-        seed: u64,
-        transient: SimTime,
-        horizon: SimTime,
-        observer: &mut dyn Observer,
-    ) -> Result<(Metrics, u64), ModelError> {
-        self.run_observed(
-            &RunOptions {
-                seed,
-                transient,
-                horizon,
-                ..RunOptions::default()
-            },
-            observer,
-        )
-        .map(|o| (o.metrics, o.events))
     }
 
     /// Runs one replication from time zero (no transient) with a

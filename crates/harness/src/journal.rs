@@ -229,6 +229,47 @@ impl SweepJournal {
         })
     }
 
+    /// The file name a journal for `fingerprint` uses inside a shared
+    /// store directory. The fingerprint is part of the name, so two
+    /// different specs snapshotting into the same directory can never
+    /// clobber each other's progress.
+    #[must_use]
+    pub fn store_file_name(fingerprint: u64) -> String {
+        format!("job-{fingerprint:016x}.journal.json")
+    }
+
+    /// The journal path for `fingerprint` inside the shared store
+    /// directory `dir` (see [`SweepJournal::store_file_name`]).
+    #[must_use]
+    pub fn store_path(dir: &Path, fingerprint: u64) -> PathBuf {
+        dir.join(SweepJournal::store_file_name(fingerprint))
+    }
+
+    /// Opens the journal for `fingerprint` in the shared store
+    /// directory `dir`: resumes the fingerprint-namespaced file if a
+    /// previous (interrupted) run left one behind, otherwise starts a
+    /// fresh journal at that path. Because the path embeds the
+    /// fingerprint, concurrent jobs with different specs get disjoint
+    /// files — and a hash-colliding stale file is still caught by the
+    /// fingerprint check inside [`SweepJournal::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SweepJournal::resume`] when an existing file fails
+    /// validation.
+    pub fn open_in_dir(
+        dir: &Path,
+        fingerprint: u64,
+        every: u32,
+    ) -> Result<SweepJournal, SnapshotError> {
+        let path = SweepJournal::store_path(dir, fingerprint);
+        if path.exists() {
+            SweepJournal::resume(&path, fingerprint, every)
+        } else {
+            Ok(SweepJournal::create(&path, fingerprint, every))
+        }
+    }
+
     /// The file this journal persists to.
     #[must_use]
     pub fn path(&self) -> &Path {
@@ -517,6 +558,59 @@ mod tests {
         let resumed = SweepJournal::resume(&path, 0xbeef, 1).unwrap();
         assert_eq!(resumed.completed(), 64);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Two different specs sharing one store directory must never
+    /// clobber each other: the journal file name embeds the spec
+    /// fingerprint, so each job persists and resumes its own file.
+    #[test]
+    fn shared_store_dir_namespaces_journals_by_fingerprint() {
+        let dir = std::env::temp_dir().join("ckpt_harness_journal_store_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let (fp_a, fp_b) = (0x1111_2222_3333_4444, 0x5555_6666_7777_8888);
+        let a = SweepJournal::open_in_dir(&dir, fp_a, 0).unwrap();
+        let b = SweepJournal::open_in_dir(&dir, fp_b, 0).unwrap();
+        assert_ne!(a.path(), b.path(), "distinct specs share a file");
+        a.record(0, 0, &metrics(1), 10);
+        b.record(0, 0, &metrics(2), 20);
+        b.record(0, 1, &metrics(3), 30);
+        a.persist().unwrap();
+        b.persist().unwrap();
+
+        // Reopening resumes each spec's own progress, untouched by the
+        // other job that wrote into the same directory.
+        let a2 = SweepJournal::open_in_dir(&dir, fp_a, 0).unwrap();
+        let b2 = SweepJournal::open_in_dir(&dir, fp_b, 0).unwrap();
+        assert_eq!(a2.completed(), 1);
+        assert_eq!(b2.completed(), 2);
+        assert_eq!(
+            a2.cell_store(0).lookup(0),
+            Some(CachedReplication {
+                metrics: metrics(1),
+                events: 10
+            })
+        );
+
+        // Loading one spec's file under the other's fingerprint is
+        // still refused — the path convention is a layout guarantee,
+        // not the integrity check.
+        let err = SweepJournal::resume(&SweepJournal::store_path(&dir, fp_a), fp_b, 0).unwrap_err();
+        assert!(matches!(err, SnapshotError::FingerprintMismatch { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_in_dir_starts_fresh_without_a_prior_file() {
+        let dir = std::env::temp_dir().join("ckpt_harness_journal_fresh_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let j = SweepJournal::open_in_dir(&dir, 42, 0).unwrap();
+        assert_eq!(j.completed(), 0);
+        assert_eq!(j.path(), SweepJournal::store_path(&dir, 42));
+        assert!(!j.path().exists(), "nothing persisted until requested");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

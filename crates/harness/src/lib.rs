@@ -21,6 +21,10 @@
 //! * [`signal`] — cooperative SIGINT/SIGTERM handling: first signal
 //!   requests a graceful stop (persist, then exit `128 + signal`),
 //!   second signal kills.
+//! * [`exec_flags::ExecFlags`] — the shared
+//!   `--snapshot/--snapshot-every/--resume/--progress/--quiet`
+//!   execution switches: one parser, one journal-open policy, one
+//!   `--quiet` progress contract for every front end.
 //! * [`error::CkptError`] — the typed front-end error with stable exit
 //!   codes, replacing `panic!`/`expect` in CLI and sweep paths.
 //! * [`json`] — the dependency-free JSON value/parser/writer used by
@@ -51,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod exec_flags;
 pub mod journal;
 pub mod json;
 pub mod signal;
@@ -58,6 +63,7 @@ pub mod snapshot;
 pub mod spec;
 
 pub use error::CkptError;
+pub use exec_flags::ExecFlags;
 pub use journal::{CellStore, SweepJournal, SNAPSHOT_SCHEMA_VERSION};
 pub use snapshot::{atomic_write, SnapshotError};
 pub use spec::{ExperimentSpec, ExperimentSpecBuilder, SpecError};

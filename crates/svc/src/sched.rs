@@ -1,0 +1,669 @@
+//! The scheduler: a std-thread worker pool draining a fair
+//! FIFO-per-tenant queue of journal-backed work units.
+//!
+//! Jobs enter through [`Scheduler::submit`]; each job's replication
+//! range is split into work units by [`crate::exec::unit_ranges`]
+//! under the three tuning switches of [`Tuning`] (shard count, batch
+//! size, snapshot interval). Units are queued FIFO within their
+//! tenant, and workers pick tenants round-robin, so one tenant's
+//! thousand-job backlog cannot starve another's single submission.
+//!
+//! The [`ckpt_harness::SweepJournal`] is the unit of migration: a unit
+//! can run on any worker (or a future server process) because all of
+//! its completed replications live in the job's fingerprint-namespaced
+//! journal, not in the worker. When a job's last unit completes, the
+//! finalize pass replays the journal deterministically and publishes
+//! the result into the [`JobStore`]; identical resubmissions then hit
+//! the cache without executing anything.
+
+use crate::exec::{self, LocalRun};
+use crate::result;
+use crate::store::JobStore;
+use ckpt_core::{Estimate, ExperimentError};
+use ckpt_harness::{CkptError, ExperimentSpec, SweepJournal};
+use ckpt_obs::{JsonlSink, ProgressSink, ProgressSnapshot};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The scheduler's tuning switches. `shards`, `batch`, and
+/// `snapshot_every` are the three knobs that shape work units (see
+/// [`crate::exec::unit_ranges`]); `workers` sizes the thread pool that
+/// drains them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuning {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Target number of work units a job is sharded into (1 = never
+    /// shard; the unit keeps the spec's own inner worker count).
+    pub shards: usize,
+    /// Smallest number of replications a work unit may hold — the
+    /// floor that keeps small jobs from being over-split.
+    pub batch: u32,
+    /// Journal persist cadence in completed replications
+    /// (0 = only at unit boundaries and on interrupt).
+    pub snapshot_every: u32,
+}
+
+impl Default for Tuning {
+    fn default() -> Tuning {
+        Tuning {
+            workers: 2,
+            shards: 1,
+            batch: 1,
+            snapshot_every: 1,
+        }
+    }
+}
+
+/// Where a submitted job currently stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted; no unit has started.
+    Queued,
+    /// Executing. For single-unit jobs `completed`/`total` count
+    /// replications; for sharded jobs they count work units.
+    Running {
+        /// Finished work items.
+        completed: usize,
+        /// Planned work items.
+        total: usize,
+    },
+    /// Finished; the result is in the store. `cached` is `true` when
+    /// this submission was served from the cache without executing.
+    Done {
+        /// Served from the content-addressed cache.
+        cached: bool,
+    },
+    /// Execution failed (or was interrupted); the journal keeps what
+    /// completed, so a resubmission resumes instead of restarting.
+    Failed {
+        /// Human-readable failure.
+        message: String,
+    },
+}
+
+impl JobStatus {
+    /// Whether the job has reached a terminal state.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Done { .. } | JobStatus::Failed { .. })
+    }
+}
+
+/// What [`Scheduler::submit`] decided about a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The job id: the spec fingerprint as 16 lowercase hex digits.
+    pub id: String,
+    /// The result was already in the cache — nothing will execute.
+    pub cached: bool,
+    /// An identical job was already queued or running; this submission
+    /// attached to it instead of enqueueing a duplicate.
+    pub deduplicated: bool,
+}
+
+struct Job {
+    spec: ExperimentSpec,
+    status: JobStatus,
+    progress: Vec<String>,
+    journal: Option<Arc<SweepJournal>>,
+    units_total: usize,
+    units_done: usize,
+}
+
+struct Unit {
+    fingerprint: u64,
+    range: (u32, u32),
+    exclusive: bool,
+}
+
+struct State {
+    queues: Vec<(String, VecDeque<Unit>)>,
+    rr: usize,
+    jobs: HashMap<u64, Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    store: JobStore,
+    tuning: Tuning,
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    interrupt: AtomicBool,
+    executed_units: AtomicUsize,
+}
+
+/// The service scheduler. Dropping it interrupts in-flight units
+/// (journals persist what completed) and joins the worker pool.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts a scheduler over `store` with `tuning.workers` threads.
+    #[must_use]
+    pub fn new(store: JobStore, tuning: Tuning) -> Scheduler {
+        let inner = Arc::new(Inner {
+            store,
+            tuning,
+            state: Mutex::new(State {
+                queues: Vec::new(),
+                rr: 0,
+                jobs: HashMap::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            interrupt: AtomicBool::new(false),
+            executed_units: AtomicUsize::new(0),
+        });
+        let workers = (0..tuning.workers.max(1))
+            .map(|k| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ckpt-svc-worker-{k}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler { inner, workers }
+    }
+
+    /// The job store this scheduler publishes into.
+    #[must_use]
+    pub fn store(&self) -> &JobStore {
+        &self.inner.store
+    }
+
+    /// Parses a job id (16 hex digits) back into a fingerprint.
+    #[must_use]
+    pub fn parse_id(id: &str) -> Option<u64> {
+        (id.len() == 16).then(|| u64::from_str_radix(id, 16).ok())?
+    }
+
+    /// Submits `spec` for `tenant`. Content-addressed: a cached result
+    /// short-circuits (nothing executes), an identical in-flight job
+    /// deduplicates, otherwise the job is sharded into work units and
+    /// queued FIFO within the tenant.
+    ///
+    /// # Errors
+    ///
+    /// Cache/journal I/O ([`CkptError::Io`] / [`CkptError::Snapshot`]).
+    pub fn submit(&self, tenant: &str, spec: &ExperimentSpec) -> Result<SubmitOutcome, CkptError> {
+        let fingerprint = spec.fingerprint();
+        let id = format!("{fingerprint:016x}");
+        if self.inner.store.lookup(fingerprint)?.is_some() {
+            let mut st = self.lock();
+            let duplicate = st.jobs.contains_key(&fingerprint);
+            st.jobs.entry(fingerprint).or_insert_with(|| Job {
+                spec: spec.clone(),
+                status: JobStatus::Done { cached: true },
+                progress: Vec::new(),
+                journal: None,
+                units_total: 0,
+                units_done: 0,
+            });
+            return Ok(SubmitOutcome {
+                id,
+                cached: true,
+                deduplicated: duplicate,
+            });
+        }
+        let units = exec::unit_ranges(
+            spec.replications(),
+            spec.estimation(),
+            self.inner.tuning.shards,
+            self.inner.tuning.batch,
+        );
+        {
+            let mut st = self.lock();
+            if let Some(job) = st.jobs.get(&fingerprint) {
+                let cached = matches!(job.status, JobStatus::Done { .. });
+                return Ok(SubmitOutcome {
+                    id,
+                    cached,
+                    deduplicated: true,
+                });
+            }
+            // Placeholder first: a concurrent identical submission must
+            // dedup against it rather than race the journal open below.
+            st.jobs.insert(
+                fingerprint,
+                Job {
+                    spec: spec.clone(),
+                    status: JobStatus::Queued,
+                    progress: Vec::new(),
+                    journal: None,
+                    units_total: units.len(),
+                    units_done: 0,
+                },
+            );
+        }
+        let journal = match self
+            .inner
+            .store
+            .open_journal(fingerprint, self.inner.tuning.snapshot_every)
+        {
+            Ok(j) => Arc::new(j),
+            Err(e) => {
+                self.lock().jobs.remove(&fingerprint);
+                return Err(CkptError::from(e));
+            }
+        };
+        {
+            let mut st = self.lock();
+            if let Some(job) = st.jobs.get_mut(&fingerprint) {
+                job.journal = Some(journal);
+            }
+            let exclusive = units.len() == 1;
+            let queue = match st.queues.iter().position(|(t, _)| t == tenant) {
+                Some(i) => &mut st.queues[i].1,
+                None => {
+                    st.queues.push((tenant.to_string(), VecDeque::new()));
+                    let last = st.queues.len() - 1;
+                    &mut st.queues[last].1
+                }
+            };
+            for range in units {
+                queue.push_back(Unit {
+                    fingerprint,
+                    range,
+                    exclusive,
+                });
+            }
+        }
+        self.inner.work_cv.notify_all();
+        Ok(SubmitOutcome {
+            id,
+            cached: false,
+            deduplicated: false,
+        })
+    }
+
+    /// The job's current status; `None` for an unknown id. A job whose
+    /// result survives in the store from a previous process reports
+    /// `Done { cached: true }`.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O while probing the durable cache.
+    pub fn status(&self, id: &str) -> Result<Option<JobStatus>, CkptError> {
+        let Some(fingerprint) = Scheduler::parse_id(id) else {
+            return Ok(None);
+        };
+        if let Some(job) = self.lock().jobs.get(&fingerprint) {
+            return Ok(Some(job.status.clone()));
+        }
+        Ok(self
+            .inner
+            .store
+            .lookup(fingerprint)?
+            .map(|_| JobStatus::Done { cached: true }))
+    }
+
+    /// The stored result bytes, verbatim; `None` until the job is done.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O.
+    pub fn result(&self, id: &str) -> Result<Option<String>, CkptError> {
+        match Scheduler::parse_id(id) {
+            Some(fingerprint) => self.inner.store.lookup(fingerprint),
+            None => Ok(None),
+        }
+    }
+
+    /// Progress lines recorded after index `from` (the JSONL wire
+    /// format of [`JsonlSink::render`]), plus whether the job has
+    /// reached a terminal state. `None` for an unknown id.
+    #[must_use]
+    pub fn progress(&self, id: &str, from: usize) -> Option<(Vec<String>, bool)> {
+        let fingerprint = Scheduler::parse_id(id)?;
+        let st = self.lock();
+        let job = st.jobs.get(&fingerprint)?;
+        let lines = job.progress.get(from..).unwrap_or(&[]).to_vec();
+        Some((lines, job.status.is_terminal()))
+    }
+
+    /// Blocks until the job reaches a terminal state (returning it) or
+    /// `timeout` elapses (returning the last observed status).
+    #[must_use]
+    pub fn wait(&self, id: &str, timeout: Duration) -> Option<JobStatus> {
+        let fingerprint = Scheduler::parse_id(id)?;
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            let status = st.jobs.get(&fingerprint).map(|j| j.status.clone());
+            match status {
+                Some(s) if s.is_terminal() => return Some(s),
+                other => {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return other;
+                    }
+                    let (guard, _) = self
+                        .inner
+                        .done_cv
+                        .wait_timeout(st, left)
+                        .expect("scheduler state poisoned");
+                    st = guard;
+                }
+            }
+        }
+    }
+
+    /// Work units executed so far (cache hits execute none) — the
+    /// observable "ran exactly once" counter the tests assert on.
+    #[must_use]
+    pub fn executed_units(&self) -> usize {
+        self.inner.executed_units.load(Ordering::SeqCst)
+    }
+
+    /// Runs a spec in-process through the exact execution core the
+    /// service workers use — the thin wrapper `ckptsim run` is built
+    /// on. See [`crate::exec::run_local`].
+    ///
+    /// # Errors
+    ///
+    /// Everything the experiment itself can return.
+    pub fn run_local(spec: &ExperimentSpec, req: LocalRun<'_>) -> Result<Estimate, ExperimentError> {
+        exec::run_local(spec, req)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.inner.state.lock().expect("scheduler state poisoned")
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.inner.interrupt.store(true, Ordering::SeqCst);
+        self.lock().shutdown = true;
+        self.inner.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Forwards a single-unit job's per-replication progress into the job
+/// record, where pollers and the chunked HTTP stream read it.
+struct RecordingSink<'a> {
+    inner: &'a Inner,
+    fingerprint: u64,
+}
+
+impl ProgressSink for RecordingSink<'_> {
+    fn progress(&self, snapshot: &ProgressSnapshot<'_>) {
+        let line = JsonlSink::render(snapshot);
+        {
+            let mut st = self.inner.state.lock().expect("scheduler state poisoned");
+            if let Some(job) = st.jobs.get_mut(&self.fingerprint) {
+                job.progress.push(line);
+                job.status = JobStatus::Running {
+                    completed: snapshot.completed,
+                    total: snapshot.total,
+                };
+            }
+        }
+        self.inner.done_cv.notify_all();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let unit = {
+            let mut st = inner.state.lock().expect("scheduler state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(unit) = next_unit(&mut st) {
+                    break unit;
+                }
+                st = inner
+                    .work_cv
+                    .wait(st)
+                    .expect("scheduler state poisoned");
+            }
+        };
+        execute_unit(inner, &unit);
+    }
+}
+
+/// Round-robin across tenants, FIFO within each: the fairness policy.
+fn next_unit(st: &mut State) -> Option<Unit> {
+    let n = st.queues.len();
+    for k in 0..n {
+        let i = (st.rr + k) % n;
+        if let Some(unit) = st.queues[i].1.pop_front() {
+            st.rr = (i + 1) % n;
+            return Some(unit);
+        }
+    }
+    None
+}
+
+fn execute_unit(inner: &Inner, unit: &Unit) {
+    let fingerprint = unit.fingerprint;
+    let (spec, journal) = {
+        let mut st = inner.state.lock().expect("scheduler state poisoned");
+        let Some(job) = st.jobs.get_mut(&fingerprint) else {
+            return;
+        };
+        if matches!(job.status, JobStatus::Failed { .. }) {
+            // A sibling unit already failed; don't burn workers on the
+            // rest of the job.
+            job.units_done += 1;
+            return;
+        }
+        if job.status == JobStatus::Queued {
+            job.status = JobStatus::Running {
+                completed: 0,
+                total: if unit.exclusive {
+                    job.spec.replications() as usize
+                } else {
+                    job.units_total
+                },
+            };
+        }
+        let Some(journal) = job.journal.clone() else {
+            return;
+        };
+        (job.spec.clone(), journal)
+    };
+    let sink = RecordingSink { inner, fingerprint };
+    let outcome = exec::run_unit(
+        &spec,
+        &journal,
+        unit.range,
+        unit.exclusive,
+        Some(&inner.interrupt),
+        unit.exclusive.then_some(&sink as &dyn ProgressSink),
+    );
+    inner.executed_units.fetch_add(1, Ordering::SeqCst);
+
+    let mut st = inner.state.lock().expect("scheduler state poisoned");
+    let Some(job) = st.jobs.get_mut(&fingerprint) else {
+        return;
+    };
+    job.units_done += 1;
+    match outcome {
+        Err(e) => {
+            job.status = JobStatus::Failed {
+                message: e.to_string(),
+            };
+            drop(st);
+            inner.done_cv.notify_all();
+        }
+        Ok(est) => {
+            if !unit.exclusive {
+                job.progress.push(JsonlSink::render(&ProgressSnapshot::new(
+                    "units",
+                    job.units_done,
+                    job.units_total,
+                )));
+                job.status = JobStatus::Running {
+                    completed: job.units_done,
+                    total: job.units_total,
+                };
+            }
+            let finished = job.units_done == job.units_total;
+            if !finished {
+                drop(st);
+                inner.done_cv.notify_all();
+                return;
+            }
+            let spec = job.spec.clone();
+            drop(st);
+            // Publish outside the lock: rendering/replay can be slow.
+            let published = if unit.exclusive {
+                let body = result::render(&spec, &est);
+                inner.store.store(fingerprint, &body).map(|()| body)
+            } else {
+                exec::finalize(&inner.store, &spec, &journal)
+            };
+            let mut st = inner.state.lock().expect("scheduler state poisoned");
+            if let Some(job) = st.jobs.get_mut(&fingerprint) {
+                job.status = match published {
+                    Ok(_) => JobStatus::Done { cached: false },
+                    Err(e) => JobStatus::Failed {
+                        message: e.to_string(),
+                    },
+                };
+            }
+            drop(st);
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_core::SystemConfig;
+    use ckpt_des::SimTime;
+
+    fn store_in(tag: &str) -> JobStore {
+        let dir = std::env::temp_dir().join(format!("ckpt_svc_sched_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        JobStore::open(&dir).unwrap()
+    }
+
+    fn small_spec(seed: u64) -> ExperimentSpec {
+        let cfg = SystemConfig::builder().processors(512).build().unwrap();
+        ExperimentSpec::builder(cfg)
+            .transient(SimTime::from_hours(5.0))
+            .horizon(SimTime::from_hours(60.0))
+            .replications(3)
+            .seed(seed)
+            .jobs(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn submit_runs_once_and_resubmission_is_a_byte_identical_cache_hit() {
+        let store = store_in("cache");
+        let sched = Scheduler::new(store.clone(), Tuning::default());
+        let spec = small_spec(1);
+        let first = sched.submit("alice", &spec).unwrap();
+        assert!(!first.cached);
+        let status = sched.wait(&first.id, Duration::from_secs(120)).unwrap();
+        assert_eq!(status, JobStatus::Done { cached: false });
+        let body = sched.result(&first.id).unwrap().unwrap();
+
+        let second = sched.submit("alice", &spec).unwrap();
+        assert_eq!(second.id, first.id);
+        assert!(second.cached, "resubmission must be served from the cache");
+        assert_eq!(sched.result(&second.id).unwrap().unwrap(), body);
+        assert_eq!(sched.executed_units(), 1, "the job executed exactly once");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_deduplicate() {
+        let store = store_in("dedup");
+        let sched = Scheduler::new(store.clone(), Tuning::default());
+        let spec = small_spec(2);
+        let a = sched.submit("alice", &spec).unwrap();
+        let b = sched.submit("bob", &spec).unwrap();
+        assert_eq!(a.id, b.id);
+        assert!(b.deduplicated || b.cached);
+        assert!(sched
+            .wait(&a.id, Duration::from_secs(120))
+            .unwrap()
+            .is_terminal());
+        assert_eq!(sched.executed_units(), 1);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn sharded_execution_publishes_the_same_bytes_as_unsharded() {
+        let spec = small_spec(3);
+        let store_a = store_in("shard_a");
+        let store_b = store_in("shard_b");
+        let plain = Scheduler::new(store_a.clone(), Tuning::default());
+        let sharded = Scheduler::new(
+            store_b.clone(),
+            Tuning {
+                workers: 3,
+                shards: 3,
+                batch: 1,
+                snapshot_every: 1,
+            },
+        );
+        let a = plain.submit("t", &spec).unwrap();
+        let b = sharded.submit("t", &spec).unwrap();
+        assert_eq!(
+            plain.wait(&a.id, Duration::from_secs(120)).unwrap(),
+            JobStatus::Done { cached: false }
+        );
+        assert_eq!(
+            sharded.wait(&b.id, Duration::from_secs(120)).unwrap(),
+            JobStatus::Done { cached: false }
+        );
+        assert_eq!(
+            plain.result(&a.id).unwrap().unwrap(),
+            sharded.result(&b.id).unwrap().unwrap(),
+            "sharding is a scheduling decision; the result bytes must not move"
+        );
+        assert!(sharded.executed_units() >= 3, "the job really was sharded");
+        let _ = std::fs::remove_dir_all(store_a.root());
+        let _ = std::fs::remove_dir_all(store_b.root());
+    }
+
+    #[test]
+    fn single_unit_jobs_stream_per_replication_progress() {
+        let store = store_in("progress");
+        let sched = Scheduler::new(store.clone(), Tuning::default());
+        let spec = small_spec(4);
+        let out = sched.submit("t", &spec).unwrap();
+        assert!(sched
+            .wait(&out.id, Duration::from_secs(120))
+            .unwrap()
+            .is_terminal());
+        let (lines, done) = sched.progress(&out.id, 0).unwrap();
+        assert!(done);
+        assert_eq!(lines.len(), 3, "one line per replication");
+        assert!(lines[0].contains("\"kind\":\"progress\""));
+        assert!(lines[2].contains("\"completed\":3"));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn unknown_and_malformed_ids_are_not_found() {
+        let store = store_in("ids");
+        let sched = Scheduler::new(store.clone(), Tuning::default());
+        assert_eq!(sched.status("zzzz").unwrap(), None);
+        assert_eq!(sched.status("0000000000000000").unwrap(), None);
+        assert_eq!(sched.result("not-an-id").unwrap(), None);
+        assert!(sched.progress("0000000000000000", 0).is_none());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -27,7 +27,7 @@ git -C "$repo" worktree add --detach "$wt" "$commit" >/dev/null
 cat > "$wt/crates/bench/src/bin/bench_baseline.rs" <<'EOF'
 //! Injected pre-PR baseline harness (see scripts/bench_baseline.sh).
 use ckpt_bench::RunOptions;
-use ckpt_core::san_model::CheckpointSan;
+use ckpt_core::san_model::{CheckpointSan, RunOptions as SanRunOptions};
 use ckpt_core::SystemConfig;
 use std::time::Instant;
 
@@ -41,10 +41,15 @@ fn main() {
     let mut events = 0u64;
     let start = Instant::now();
     for k in 0..u64::from(opts.reps) {
-        let (_m, ev) = model
-            .run_steady_state_profiled(opts.seed + k, opts.transient, opts.horizon)
+        let outcome = model
+            .run(&SanRunOptions {
+                seed: opts.seed + k,
+                transient: opts.transient,
+                horizon: opts.horizon,
+                ..SanRunOptions::default()
+            })
             .expect("replication failed");
-        events += ev;
+        events += outcome.events;
     }
     let wall = start.elapsed().as_secs_f64();
     println!(

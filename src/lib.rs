@@ -19,6 +19,7 @@
 //! | [`analytic`] | `ckpt-analytic` | Young / Daly / Vaidya baselines and coordination expectations |
 //! | [`obs`] | `ckpt-obs` | engine-agnostic observability: tracing, phase-time metrics, run manifests |
 //! | [`harness`] | `ckpt-harness` | crash-safe execution: experiment specs, snapshot journals, typed errors, signal handling |
+//! | [`svc`] | `ckpt-svc` | simulation-as-a-service: content-addressed job store, fair-share scheduler over journal-backed work units, HTTP transport |
 //!
 //! # Quickstart
 //!
@@ -50,3 +51,4 @@ pub use ckpt_harness as harness;
 pub use ckpt_obs as obs;
 pub use ckpt_san as san;
 pub use ckpt_stats as stats;
+pub use ckpt_svc as svc;

@@ -171,7 +171,10 @@ fn optimize_opts(jobs: usize) -> RunOptions {
         transient: SimTime::from_hours(5.0),
         seed: 0x5eed,
         jobs,
-        quiet: true,
+        exec: ckpt_harness::ExecFlags {
+            quiet: true,
+            ..ckpt_harness::ExecFlags::default()
+        },
         ..RunOptions::default()
     }
 }
@@ -216,10 +219,14 @@ fn optimize_resumed_after_interrupt_matches_uninterrupted() {
     drop(journal);
 
     // Phase 2: resume through the real optimize path, on more workers.
+    let base = optimize_opts(4);
     let resumed_opts = RunOptions {
-        resume: Some(path.to_string_lossy().into_owned()),
-        snapshot: Some(target.to_string_lossy().into_owned()),
-        ..optimize_opts(4)
+        exec: ckpt_harness::ExecFlags {
+            resume: Some(path.to_string_lossy().into_owned()),
+            snapshot: Some(target.to_string_lossy().into_owned()),
+            ..base.exec.clone()
+        },
+        ..base
     };
     let resumed = run_search(&cfg, &resumed_opts).expect("resumed search");
     assert_eq!(resumed, baseline, "resumed report must be byte-identical");

@@ -1,0 +1,133 @@
+//! Property tests for the service result cache: the content-addressed
+//! contract must hold for *any* valid spec, not just the ones the
+//! integration tests pin down.
+//!
+//! * fingerprint-equal specs hit the cache and the hit is
+//!   byte-identical to the original execution,
+//! * fingerprint-distinct specs miss,
+//! * a partially-executed job (journal present, result absent) is
+//!   resumed — never trusted as complete — and the resumed result is
+//!   byte-identical to an uninterrupted run.
+
+use ckptsim::des::SimTime;
+use ckptsim::harness::ExperimentSpec;
+use ckptsim::model::SystemConfig;
+use ckptsim::svc::exec::{run_job, run_local, LocalRun};
+use ckptsim::svc::JobStore;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct SpecParams {
+    processors: u64,
+    reps: u32,
+    seed: u64,
+    horizon_h: f64,
+    transient_h: f64,
+}
+
+fn params_strategy() -> impl Strategy<Value = SpecParams> {
+    (
+        prop_oneof![Just(256u64), Just(512), Just(1024)],
+        2u32..=4,
+        0u64..1000,
+        40.0f64..80.0,
+        4.0f64..8.0,
+    )
+        .prop_map(|(processors, reps, seed, horizon_h, transient_h)| SpecParams {
+            processors,
+            reps,
+            seed,
+            horizon_h,
+            transient_h,
+        })
+}
+
+fn build_spec(p: &SpecParams, seed: u64, jobs: usize) -> ExperimentSpec {
+    let cfg = SystemConfig::builder()
+        .processors(p.processors)
+        .build()
+        .unwrap();
+    ExperimentSpec::builder(cfg)
+        .transient(SimTime::from_hours(p.transient_h))
+        .horizon(SimTime::from_hours(p.horizon_h))
+        .replications(p.reps)
+        .seed(seed)
+        .jobs(jobs)
+        .build()
+        .unwrap()
+}
+
+fn fresh_store(tag: &str, fingerprint: u64) -> JobStore {
+    let dir = std::env::temp_dir().join(format!(
+        "ckpt_svc_prop_{tag}_{fingerprint:016x}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    JobStore::open(&dir).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn fingerprint_equal_specs_hit_byte_identically_and_distinct_specs_miss(
+        p in params_strategy()
+    ) {
+        let spec_a = build_spec(&p, p.seed, 1);
+        let spec_b = build_spec(&p, p.seed, 3); // jobs differ, fingerprint equal
+        let spec_c = build_spec(&p, p.seed + 1, 1); // seed differs, fingerprint distinct
+        prop_assert_eq!(spec_a.fingerprint(), spec_b.fingerprint());
+        prop_assert_ne!(spec_a.fingerprint(), spec_c.fingerprint());
+
+        let store = fresh_store("hit", spec_a.fingerprint());
+        prop_assert!(store.lookup(spec_a.fingerprint()).unwrap().is_none());
+        let body_a = run_job(&store, &spec_a, 1, None, None).unwrap();
+        // The second call finds the result on disk: anything it returns
+        // comes from the cache, and must be the stored bytes verbatim.
+        prop_assert!(store.lookup(spec_b.fingerprint()).unwrap().is_some());
+        let body_b = run_job(&store, &spec_b, 1, None, None).unwrap();
+        prop_assert_eq!(&body_a, &body_b);
+        let stored = store.lookup(spec_a.fingerprint()).unwrap();
+        prop_assert_eq!(stored.as_deref(), Some(body_a.as_str()));
+        // A fingerprint-distinct spec misses this cache entry.
+        prop_assert!(store.lookup(spec_c.fingerprint()).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn an_interrupted_job_is_resumed_not_trusted(p in params_strategy()) {
+        let spec = build_spec(&p, p.seed, 1);
+        let fingerprint = spec.fingerprint();
+
+        // Reference: an uninterrupted run.
+        let reference = fresh_store("ref", fingerprint);
+        let body_ref = run_job(&reference, &spec, 1, None, None).unwrap();
+
+        // Forge the aftermath of an interrupt: a journal holding the
+        // first k replications, no result file.
+        let est = run_local(&spec, LocalRun::default()).unwrap();
+        let store = fresh_store("resume", fingerprint);
+        let journal = store.open_journal(fingerprint, 1).unwrap();
+        let k = (p.reps - 1) as usize;
+        for (rep, metrics) in est.replicates().iter().take(k).enumerate() {
+            let events = est.profiles()[rep].events;
+            journal.record(0, u32::try_from(rep).unwrap(), metrics, events);
+        }
+        journal.persist().unwrap();
+        drop(journal);
+        prop_assert!(
+            store.lookup(fingerprint).unwrap().is_none(),
+            "a journal without a result must not be served as complete"
+        );
+
+        // Resume: only the missing replications run, and the published
+        // result is byte-identical to the uninterrupted one.
+        let body_resumed = run_job(&store, &spec, 1, None, None).unwrap();
+        prop_assert_eq!(&body_resumed, &body_ref);
+        let _ = std::fs::remove_dir_all(store.root());
+        let _ = std::fs::remove_dir_all(reference.root());
+    }
+}
