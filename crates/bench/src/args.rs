@@ -36,9 +36,9 @@ pub struct RunOptions {
     /// Write just the run manifest as JSON to this path.
     pub manifest: Option<String>,
     /// The shared execution-control switches
-    /// (`--snapshot/--snapshot-every/--resume/--progress/--quiet`),
-    /// parsed and validated by [`ExecFlags`] — one implementation for
-    /// every command.
+    /// (`--snapshot/--snapshot-every/--resume/--progress/--quiet/`
+    /// `--reactivation/--queue`), parsed and validated by [`ExecFlags`]
+    /// — one implementation for every command.
     pub exec: ExecFlags,
     /// Write the merged telemetry document (histograms + spans) as
     /// JSON to this path.
@@ -166,7 +166,8 @@ impl RunOptions {
                          [--transient H] [--seed S] [--jobs N] [--warmup N] [--csv] \
                          [--quick] [--trace FILE] [--metrics FILE] [--manifest FILE] \
                          [--quiet] [--snapshot FILE] [--snapshot-every N] [--resume FILE] \
-                         [--progress FILE] [--histograms FILE] [--prom FILE]"
+                         [--progress FILE] [--histograms FILE] [--prom FILE] \
+                         [--reactivation resample|lazy] [--queue heap|calendar]"
                             .to_string(),
                     ))
                 }
@@ -355,6 +356,21 @@ mod tests {
         let o = parse(&["--quiet", "--progress", path.to_str().unwrap()]).unwrap();
         assert_eq!(o.progress_sink().unwrap().len(), 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn execution_mode_flags_parse() {
+        use ckpt_core::{QueueKind, ReactivationMode};
+        let o = parse(&["--reactivation", "lazy", "--queue", "calendar"]).unwrap();
+        assert_eq!(o.exec.reactivation, ReactivationMode::Lazy);
+        assert_eq!(o.exec.queue, QueueKind::Calendar);
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.exec.reactivation, ReactivationMode::Resample);
+        assert_eq!(d.exec.queue, QueueKind::IndexedHeap);
+        assert!(parse(&["--reactivation", "eager"]).is_err());
+        assert!(parse(&["--queue", "wheel"]).is_err());
+        assert!(parse(&["--reactivation"]).is_err());
+        assert!(parse(&["--queue"]).is_err());
     }
 
     #[test]

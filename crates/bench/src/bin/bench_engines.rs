@@ -22,6 +22,10 @@
 //! `BENCH_phases.json` (requires a build with `--features prof`; a
 //! profiled build inflates wall time, so use `--phases` for *where the
 //! time goes* and a plain build for the headline events/sec).
+//! `--reactivation` and `--queue` select the execution modes under
+//! test; the bit-identity assertion between the two schedulers holds
+//! in every mode (lazy elides the same redraws on both paths, and the
+//! calendar queue pops the heap's exact order).
 
 use ckpt_bench::RunOptions;
 use ckpt_core::san_model::{CheckpointSan, RunOptions as SanRunOptions};
@@ -51,6 +55,8 @@ fn run_engine(
         transient: opts.transient,
         horizon: opts.horizon,
         scheduling,
+        reactivation: opts.exec.reactivation,
+        queue: opts.exec.queue,
         ..SanRunOptions::default()
     };
     // Warm-up: same workload, results discarded, nothing timed yet.
@@ -207,6 +213,8 @@ fn main() {
          \"seed\": {},\n  \
          \"host_parallelism\": {host},\n  \
          \"telemetry_probes\": {},\n  \
+         \"reactivation\": \"{}\",\n  \
+         \"queue\": \"{}\",\n  \
          \"runs\": [{runs}\n  ],\n  \
          \"speedup_incremental_vs_full_scan\": {speedup:.2},{baseline}\n  \
          \"identical_results\": {identical},\n  \
@@ -218,6 +226,8 @@ fn main() {
         opts.horizon.as_hours(),
         opts.seed,
         ckpt_des::telem::ENABLED,
+        opts.exec.reactivation.name(),
+        opts.exec.queue.name(),
     );
     std::fs::write("BENCH_engines.json", &json).expect("write BENCH_engines.json");
     println!("{json}");

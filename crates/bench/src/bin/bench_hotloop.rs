@@ -2,12 +2,11 @@
 //! events/sec for the profile-guided kernel optimizations on the
 //! Figure 4 reference point (65536 processors, Table 3 defaults).
 //!
-//! Three legs, all on the incremental scheduler's workload:
+//! Baseline legs, all on the incremental scheduler's workload:
 //!
-//! 1. `incremental_inverse_cdf` — the default configuration after the
-//!    optimizations (buffered RNG block, allocation-free rewards,
-//!    dirty-place-gated rate caching, fused queue pop). Bit-identical
-//!    to the pre-optimization RNG stream by construction.
+//! 1. `incremental_inverse_cdf` — the default configuration (eager
+//!    `Resample` reactivation, indexed binary heap). Bit-identical to
+//!    the pre-optimization RNG stream by construction.
 //! 2. `full_scan_inverse_cdf` — the O(A) reference scheduler on the
 //!    same stream; its metrics are asserted bit-identical to leg 1
 //!    (the benchmark doubles as an equivalence check).
@@ -16,10 +15,22 @@
 //!    separately by the KS/moment tests in `ckpt-stats` and the
 //!    figure-level CI-overlap test in `ckpt-core`.
 //!
-//! A fourth, `gate_reference` leg runs the `--quick` workload with the
-//! default configuration; `scripts/bench_gate.sh` compares a fresh
-//! `--quick` measurement against the committed value and fails CI on a
-//! >15 % events/sec regression.
+//! Then the execution-mode matrix (reactivation × queue backend):
+//!
+//! * `resample_calendar` — the oracle sampling mode on the calendar
+//!   queue; metrics asserted **bit-identical** to leg 1 (the calendar
+//!   pops the heap's exact (time, FIFO) order).
+//! * `lazy_heap` / `lazy_calendar` — lazy reactivation (memoryless
+//!   exponential timers survive marking changes without a redraw);
+//!   distribution-equivalent to the oracle with a shorter RNG stream,
+//!   and asserted bit-identical *across queue backends*.
+//! * `lazy_ziggurat_calendar` — the headline: every opt-in fast path
+//!   at once, targeting <100 ns/event on this workload.
+//!
+//! The `gate_*_quick` legs run the `--quick` workload once per mode
+//! combination; `scripts/bench_gate.sh` compares fresh `--quick`
+//! measurements against the committed values and fails CI on a >15 %
+//! events/sec regression in any mode.
 //!
 //! Extra flags on top of `ckpt_bench::args`:
 //!
@@ -36,7 +47,7 @@
 
 use ckpt_bench::RunOptions;
 use ckpt_core::san_model::{CheckpointSan, RunOptions as SanRunOptions};
-use ckpt_core::{Metrics, SystemConfig};
+use ckpt_core::{Metrics, QueueKind, ReactivationMode, SystemConfig};
 use ckpt_des::{Sampling, SimTime};
 use ckpt_san::Scheduling;
 use std::time::Instant;
@@ -45,8 +56,28 @@ use std::time::Instant;
 /// (BENCH_engines.json, fig4 65536 processors, same container class).
 const DEFAULT_PR4_BASELINE_EPS: f64 = 3_965_698.0;
 
+#[derive(Clone, Copy)]
+struct Mode {
+    scheduling: Scheduling,
+    sampling: Sampling,
+    reactivation: ReactivationMode,
+    queue: QueueKind,
+}
+
+impl Mode {
+    fn default_path() -> Mode {
+        Mode {
+            scheduling: Scheduling::Incremental,
+            sampling: Sampling::InverseCdf,
+            reactivation: ReactivationMode::Resample,
+            queue: QueueKind::IndexedHeap,
+        }
+    }
+}
+
 struct Leg {
     name: &'static str,
+    mode: Mode,
     metrics: Vec<Metrics>,
     rep_eps: Vec<f64>,
     wall_secs: f64,
@@ -63,19 +94,15 @@ impl Leg {
     }
 }
 
-fn run_leg(
-    model: &CheckpointSan,
-    opts: &RunOptions,
-    scheduling: Scheduling,
-    sampling: Sampling,
-    name: &'static str,
-) -> Leg {
+fn run_leg(model: &CheckpointSan, opts: &RunOptions, mode: Mode, name: &'static str) -> Leg {
     let run_opts = |seed: u64| SanRunOptions {
         seed,
         transient: opts.transient,
         horizon: opts.horizon,
-        scheduling,
-        sampling,
+        scheduling: mode.scheduling,
+        sampling: mode.sampling,
+        reactivation: mode.reactivation,
+        queue: mode.queue,
     };
     for w in 0..u64::from(opts.warmup) {
         model
@@ -98,6 +125,7 @@ fn run_leg(
     }
     Leg {
         name,
+        mode,
         metrics,
         rep_eps,
         wall_secs: start.elapsed().as_secs_f64(),
@@ -113,12 +141,28 @@ fn leg_json(leg: &Leg) -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "\n    {{\"leg\": \"{}\", \"wall_secs\": {:.3}, \"events\": {}, \
+        "\n    {{\"leg\": \"{}\", \"reactivation\": \"{}\", \"queue\": \"{}\", \
+         \"wall_secs\": {:.3}, \"events\": {}, \
          \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
          \"rep_events_per_sec\": [{reps}]}}",
         leg.name,
+        leg.mode.reactivation.name(),
+        leg.mode.queue.name(),
         leg.wall_secs,
         leg.events,
+        leg.events_per_sec(),
+        leg.ns_per_event(),
+    )
+}
+
+fn gate_json(leg: &Leg) -> String {
+    format!(
+        "\n    {{\"leg\": \"{}\", \"reactivation\": \"{}\", \"queue\": \"{}\", \
+         \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
+         \"max_regression_pct\": 15}}",
+        leg.name,
+        leg.mode.reactivation.name(),
+        leg.mode.queue.name(),
         leg.events_per_sec(),
         leg.ns_per_event(),
     )
@@ -152,25 +196,24 @@ fn main() {
     let model = CheckpointSan::build(&cfg).expect("model builds");
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
-    let inv = run_leg(
-        &model,
-        &opts,
-        Scheduling::Incremental,
-        Sampling::InverseCdf,
-        "incremental_inverse_cdf",
-    );
+    let base = Mode::default_path();
+    let inv = run_leg(&model, &opts, base, "incremental_inverse_cdf");
     let full = run_leg(
         &model,
         &opts,
-        Scheduling::FullScan,
-        Sampling::InverseCdf,
+        Mode {
+            scheduling: Scheduling::FullScan,
+            ..base
+        },
         "full_scan_inverse_cdf",
     );
     let zig = run_leg(
         &model,
         &opts,
-        Scheduling::Incremental,
-        Sampling::Ziggurat,
+        Mode {
+            sampling: Sampling::Ziggurat,
+            ..base
+        },
         "incremental_ziggurat",
     );
     assert_eq!(
@@ -178,8 +221,60 @@ fn main() {
         "schedulers diverged on the inverse-CDF stream — bit-identity broken"
     );
 
-    // Gate reference: the fast smoke workload bench_gate.sh re-measures
-    // on every PR. Always the default configuration (what CI exercises).
+    // The execution-mode matrix. `resample_calendar` runs the pinned
+    // oracle sampling mode on the calendar backend and must reproduce
+    // the heap's metrics bit for bit; the two lazy legs must agree
+    // with each other for the same reason.
+    let res_cal = run_leg(
+        &model,
+        &opts,
+        Mode {
+            queue: QueueKind::Calendar,
+            ..base
+        },
+        "resample_calendar",
+    );
+    assert_eq!(
+        inv.metrics, res_cal.metrics,
+        "calendar queue diverged from the heap on the oracle mode — bit-identity broken"
+    );
+    let lazy_heap = run_leg(
+        &model,
+        &opts,
+        Mode {
+            reactivation: ReactivationMode::Lazy,
+            ..base
+        },
+        "lazy_heap",
+    );
+    let lazy_cal = run_leg(
+        &model,
+        &opts,
+        Mode {
+            reactivation: ReactivationMode::Lazy,
+            queue: QueueKind::Calendar,
+            ..base
+        },
+        "lazy_calendar",
+    );
+    assert_eq!(
+        lazy_heap.metrics, lazy_cal.metrics,
+        "calendar queue diverged from the heap under lazy reactivation — bit-identity broken"
+    );
+    let headline = run_leg(
+        &model,
+        &opts,
+        Mode {
+            sampling: Sampling::Ziggurat,
+            reactivation: ReactivationMode::Lazy,
+            queue: QueueKind::Calendar,
+            ..base
+        },
+        "lazy_ziggurat_calendar",
+    );
+
+    // Gate references: the fast smoke workload bench_gate.sh re-measures
+    // on every PR, once per mode combination CI exercises.
     let quick_opts = RunOptions {
         reps: 2,
         horizon: SimTime::from_hours(2_000.0),
@@ -187,15 +282,43 @@ fn main() {
         warmup: 1,
         ..opts.clone()
     };
-    let gate = run_leg(
-        &model,
-        &quick_opts,
-        Scheduling::Incremental,
-        Sampling::InverseCdf,
-        "gate_reference_quick",
-    );
+    let gate = run_leg(&model, &quick_opts, base, "gate_reference_quick");
+    let gate_modes = [
+        run_leg(
+            &model,
+            &quick_opts,
+            Mode {
+                queue: QueueKind::Calendar,
+                ..base
+            },
+            "gate_resample_calendar_quick",
+        ),
+        run_leg(
+            &model,
+            &quick_opts,
+            Mode {
+                reactivation: ReactivationMode::Lazy,
+                ..base
+            },
+            "gate_lazy_heap_quick",
+        ),
+        run_leg(
+            &model,
+            &quick_opts,
+            Mode {
+                reactivation: ReactivationMode::Lazy,
+                queue: QueueKind::Calendar,
+                ..base
+            },
+            "gate_lazy_calendar_quick",
+        ),
+    ];
 
-    for leg in [&inv, &full, &zig, &gate] {
+    let mut all: Vec<&Leg> = vec![
+        &inv, &full, &zig, &res_cal, &lazy_heap, &lazy_cal, &headline, &gate,
+    ];
+    all.extend(gate_modes.iter());
+    for leg in &all {
         eprintln!(
             "{}: {:.2} s wall, {:.0} events/s, {:.1} ns/event",
             leg.name,
@@ -205,9 +328,16 @@ fn main() {
         );
     }
 
-    let legs = [&inv, &full, &zig, &gate]
-        .into_iter()
-        .map(leg_json)
+    let legs = [
+        &inv, &full, &zig, &res_cal, &lazy_heap, &lazy_cal, &headline,
+    ]
+    .into_iter()
+    .map(leg_json)
+    .collect::<Vec<_>>()
+    .join(",");
+    let gates = gate_modes
+        .iter()
+        .map(gate_json)
         .collect::<Vec<_>>()
         .join(",");
     let json = format!(
@@ -226,13 +356,19 @@ fn main() {
          \"speedup_inverse_cdf_vs_pr4\": {:.2},\n  \
          \"speedup_ziggurat_vs_pr4\": {:.2},\n  \
          \"speedup_ziggurat_vs_inverse_cdf\": {:.2},\n  \
+         \"speedup_lazy_calendar_vs_default\": {:.2},\n  \
+         \"speedup_headline_vs_default\": {:.2},\n  \
+         \"headline_ns_per_event\": {:.1},\n  \
          \"identical_metrics_inverse_cdf\": true,\n  \
+         \"identical_metrics_calendar_vs_heap\": true,\n  \
          \"gate\": {{\"leg\": \"gate_reference_quick\", \
          \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
          \"max_regression_pct\": 15}},\n  \
+         \"gate_modes\": [{gates}\n  ],\n  \
          \"note\": \"InverseCdf preserves the exact pre-optimization RNG stream \
-         (metrics bit-identical across schedulers, asserted); Ziggurat is \
-         distribution-equivalent, validated by KS/moment and CI-overlap tests\",\n  \
+         (metrics bit-identical across schedulers and queue backends, asserted); \
+         Ziggurat and lazy reactivation are distribution-equivalent, validated by \
+         KS/moment and CI-overlap tests\",\n  \
          \"phases_file\": \"BENCH_phases.json\"\n}}\n",
         opts.reps,
         opts.transient.as_hours(),
@@ -242,6 +378,9 @@ fn main() {
         inv.events_per_sec() / pr4_baseline_eps.max(1e-9),
         zig.events_per_sec() / pr4_baseline_eps.max(1e-9),
         zig.events_per_sec() / inv.events_per_sec().max(1e-9),
+        lazy_cal.events_per_sec() / inv.events_per_sec().max(1e-9),
+        headline.events_per_sec() / inv.events_per_sec().max(1e-9),
+        headline.ns_per_event(),
         gate.events_per_sec(),
         gate.ns_per_event(),
     );

@@ -120,6 +120,8 @@ pub fn experiment_spec(
         .replications(opts.reps)
         .seed(opts.seed)
         .jobs(opts.jobs)
+        .reactivation(opts.exec.reactivation)
+        .queue(opts.exec.queue)
         .build()
         .map_err(CkptError::from)
 }
@@ -134,6 +136,8 @@ fn cell_spec(cell: &Cell, opts: &RunOptions, jobs: usize) -> Result<ExperimentSp
         .replications(opts.reps)
         .seed(opts.seed)
         .jobs(jobs)
+        .reactivation(opts.exec.reactivation)
+        .queue(opts.exec.queue)
         .build()
         .map_err(CkptError::from)
 }

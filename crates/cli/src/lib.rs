@@ -98,6 +98,12 @@ RUN FLAGS:
     --histograms FILE        write merged telemetry (histograms + spans) as JSON;
                              engine hot-loop probes need --features telemetry
     --prom FILE              write Prometheus text exposition at exit
+    --reactivation MODE      resample | lazy                [resample]
+                             lazy skips redraws of memoryless exponential
+                             timers (--engine san only; new RNG stream)
+    --queue KIND             heap | calendar                [heap]
+                             event-queue backend; both pop identical
+                             (time, FIFO) order, so results never change
 
 SERVE FLAGS:
     --addr A                 listen address                 [127.0.0.1:7070]

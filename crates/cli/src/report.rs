@@ -168,8 +168,17 @@ fn summarize_telemetry(doc: &JsonValue) -> Vec<(String, JsonValue)> {
             "rng_draws".into(),
             JsonValue::from_u64(det.and_then(|d| get_u64(d, "rng_draws")).unwrap_or(0)),
         ),
+        (
+            "redraws_elided".into(),
+            JsonValue::from_u64(det.and_then(|d| get_u64(d, "redraws_elided")).unwrap_or(0)),
+        ),
     ];
-    for name in ["failure_gap_secs", "queue_depth", "dirty_set"] {
+    for name in [
+        "failure_gap_secs",
+        "queue_depth",
+        "dirty_set",
+        "band_occupancy",
+    ] {
         if let Some(h) = hists.and_then(|hs| hs.get(name)) {
             fields.extend(histogram_fields(name, h));
         }

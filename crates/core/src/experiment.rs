@@ -20,11 +20,12 @@ use crate::direct::DirectSimulator;
 use crate::metrics::Metrics;
 use crate::san_model::{CheckpointSan, ModelError, RunOptions as SanRunOptions};
 use ckpt_des::prof::PhaseProfile;
-use ckpt_des::SimTime;
+use ckpt_des::{QueueKind, SimTime};
 use ckpt_obs::{
     MetricsRegistry, ModelEvent, ObsEvent, Observer, ProgressSink, ProgressSnapshot, Recorder,
     ReplicationTelemetry, RunManifest, RunProfile, SpanKind, SpanRecord,
 };
+use ckpt_san::ReactivationMode;
 use ckpt_stats::{ConfidenceInterval, Replications};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -647,6 +648,8 @@ pub struct Experiment {
     jobs: usize,
     warmup: u32,
     observe: Option<ObserveSpec>,
+    reactivation: ReactivationMode,
+    queue: QueueKind,
 }
 
 impl Experiment {
@@ -667,6 +670,8 @@ impl Experiment {
             jobs: default_jobs(),
             warmup: 0,
             observe: None,
+            reactivation: ReactivationMode::default(),
+            queue: QueueKind::default(),
         }
     }
 
@@ -674,6 +679,27 @@ impl Experiment {
     #[must_use]
     pub fn engine(mut self, engine: EngineKind) -> Experiment {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the reactivation realisation (SAN engine only; the
+    /// direct engine encodes the paper's resampling explicitly).
+    /// [`ReactivationMode::Resample`], the default, is the bit-identity
+    /// oracle; [`ReactivationMode::Lazy`] elides the redraws of
+    /// marking-independent exponential timers — distribution-equivalent
+    /// on a different stream.
+    #[must_use]
+    pub fn reactivation(mut self, mode: ReactivationMode) -> Experiment {
+        self.reactivation = mode;
+        self
+    }
+
+    /// Selects the event-queue backend for both engines. The choice is
+    /// bit-identical — both backends pop the same `(time, FIFO)` order
+    /// — so it changes dispatch cost only.
+    #[must_use]
+    pub fn queue(mut self, queue: QueueKind) -> Experiment {
+        self.queue = queue;
         self
     }
 
@@ -846,9 +872,10 @@ impl Experiment {
         // the thread-local draw counter around it attributes its RNG
         // consumption exactly (0 in non-`telemetry` builds).
         let draws_before = ckpt_des::telem::rng_draws();
+        let elided_before = ckpt_des::telem::redraws_elided();
         let (metrics, events, phases, engine_telem) = match san_model {
             None => {
-                let mut sim = DirectSimulator::new(&self.config, seed);
+                let mut sim = DirectSimulator::with_queue(&self.config, seed, self.queue);
                 sim.run(self.transient);
                 sim.reset_metrics();
                 if let Some(rec) = recorder.as_mut() {
@@ -870,6 +897,8 @@ impl Experiment {
                     seed,
                     transient: self.transient,
                     horizon: self.horizon,
+                    reactivation: self.reactivation,
+                    queue: self.queue,
                     ..SanRunOptions::default()
                 };
                 match recorder.as_mut() {
@@ -899,7 +928,11 @@ impl Experiment {
             }
         };
         if let Some(rec) = recorder.as_mut() {
-            rec.absorb_engine_telemetry(&engine_telem, ckpt_des::telem::rng_draws() - draws_before);
+            rec.absorb_engine_telemetry(
+                &engine_telem,
+                ckpt_des::telem::rng_draws() - draws_before,
+                ckpt_des::telem::redraws_elided() - elided_before,
+            );
         }
         let profile = ReplicationProfile {
             wall_secs: start.elapsed().as_secs_f64(),

@@ -59,3 +59,8 @@ pub use experiment::{
 };
 pub use metrics::{Counters, Metrics, PhaseKind};
 pub use policy::{CheckpointPolicy, PolicySpec};
+
+// Execution-mode switches travel with the experiment API so callers
+// need no direct `ckpt-des` / `ckpt-san` dependency.
+pub use ckpt_des::QueueKind;
+pub use ckpt_san::ReactivationMode;

@@ -48,8 +48,8 @@ use ckpt_des::telem::TelemetrySnapshot;
 use ckpt_des::SimTime;
 use ckpt_obs::{Observer, TraceBuffer};
 use ckpt_san::{
-    ActivityId, Delay, InputGate, Pred, Reactivation, Sampling, San, SanBuilder, SanError,
-    Scheduling, Simulator,
+    ActivityId, Delay, InputGate, Pred, QueueKind, Reactivation, ReactivationMode, Sampling, San,
+    SanBuilder, SanError, Scheduling, Simulator,
 };
 use ckpt_stats::Dist;
 use std::fmt;
@@ -128,6 +128,14 @@ pub struct RunOptions {
     /// default) is the bit-identity oracle; [`Sampling::Ziggurat`] is
     /// faster and distribution-equivalent but draws a different stream.
     pub sampling: Sampling,
+    /// Reactivation realisation. [`ReactivationMode::Resample`] (the
+    /// default) is the bit-identity oracle; [`ReactivationMode::Lazy`]
+    /// elides the redraws of marking-independent exponential timers —
+    /// distribution-equivalent, different stream.
+    pub reactivation: ReactivationMode,
+    /// Event-queue backend; both choices are bit-identical on the same
+    /// seed (both pop the same `(time, FIFO)` order).
+    pub queue: QueueKind,
 }
 
 impl Default for RunOptions {
@@ -138,6 +146,8 @@ impl Default for RunOptions {
             horizon: SimTime::from_hours(20_000.0),
             scheduling: Scheduling::default(),
             sampling: Sampling::default(),
+            reactivation: ReactivationMode::default(),
+            queue: QueueKind::default(),
         }
     }
 }
@@ -283,6 +293,8 @@ impl CheckpointSan {
             None,
             opts.scheduling,
             opts.sampling,
+            opts.reactivation,
+            opts.queue,
         )
         .map(|(metrics, events, phases, _)| RunOutcome {
             metrics,
@@ -315,6 +327,8 @@ impl CheckpointSan {
             Some(observer),
             opts.scheduling,
             opts.sampling,
+            opts.reactivation,
+            opts.queue,
         )
         .map(|(metrics, events, phases, _)| RunOutcome {
             metrics,
@@ -346,6 +360,8 @@ impl CheckpointSan {
             Some(observer),
             opts.scheduling,
             opts.sampling,
+            opts.reactivation,
+            opts.queue,
         )
         .map(|(metrics, events, phases, telemetry)| {
             (
@@ -382,6 +398,8 @@ impl CheckpointSan {
             Some(&mut buf),
             Scheduling::default(),
             Sampling::default(),
+            ReactivationMode::default(),
+            QueueKind::default(),
         )?;
         Ok((metrics, buf))
     }
@@ -395,9 +413,18 @@ impl CheckpointSan {
         observer: Option<&mut dyn Observer>,
         scheduling: Scheduling,
         sampling: Sampling,
+        reactivation: ReactivationMode,
+        queue: QueueKind,
     ) -> Result<(Metrics, u64, PhaseProfile, TelemetrySnapshot), ModelError> {
         let ids = self.ids;
-        let mut sim = Simulator::with_options(&self.san, seed, scheduling, sampling)?;
+        let mut sim = Simulator::with_exec_options(
+            &self.san,
+            seed,
+            scheduling,
+            sampling,
+            reactivation,
+            queue,
+        )?;
 
         // Phase-time rate rewards (used for the time-breakdown metric).
         // Each declares its support places via `reads`, so the executor

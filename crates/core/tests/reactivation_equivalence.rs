@@ -1,0 +1,110 @@
+//! Figure-level equivalence of the two reactivation modes.
+//!
+//! Lazy reactivation (`ReactivationMode::Lazy`) keeps memoryless
+//! exponential failure timers across marking changes instead of
+//! redrawing them, so it consumes a shorter RNG stream than the eager
+//! `Resample` oracle and per-replication metrics differ — but the
+//! *estimates* must agree: by the memorylessness of the exponential,
+//! the remaining delay of a kept timer has exactly the distribution a
+//! redraw would sample. This is the figure-level guard backing the
+//! micro-level KS/moment tests in
+//! `ckpt-stats/tests/sampler_contract.rs` and the bit-level queue
+//! equivalence tests in `ckpt-san`.
+//!
+//! Two configurations bracket the model's regimes: the Table 3
+//! default (the Figure 4 workload, fixed-quiesce coordination) and a
+//! Figure 6 point (max-of-n coordination with a master timeout, 3-year
+//! MTTF), each checked on the paper's useful-work fraction and on
+//! unavailability (recovery + reboot share of the window).
+
+use ckpt_core::san_model::{CheckpointSan, RunOptions};
+use ckpt_core::{CoordinationMode, PhaseKind, ReactivationMode, SystemConfig};
+use ckpt_des::SimTime;
+use ckpt_stats::Replications;
+
+const REPS: u64 = 5;
+
+fn estimate(
+    model: &CheckpointSan,
+    reactivation: ReactivationMode,
+    metric: fn(&ckpt_core::Metrics) -> f64,
+) -> (f64, f64) {
+    let mut reps = Replications::new();
+    for k in 0..REPS {
+        let outcome = model
+            .run(&RunOptions {
+                seed: 0x5eed + k,
+                transient: SimTime::from_hours(50.0),
+                horizon: SimTime::from_hours(500.0),
+                reactivation,
+                ..RunOptions::default()
+            })
+            .expect("replication runs");
+        reps.push(metric(&outcome.metrics));
+    }
+    let ci = reps.confidence_interval(0.95);
+    (ci.mean, ci.half_width)
+}
+
+fn useful_work(m: &ckpt_core::Metrics) -> f64 {
+    m.useful_work_fraction()
+}
+
+fn unavailability(m: &ckpt_core::Metrics) -> f64 {
+    m.phase_fraction(PhaseKind::Recovering) + m.phase_fraction(PhaseKind::Rebooting)
+}
+
+fn assert_modes_agree(cfg: &SystemConfig, label: &str) {
+    let model = CheckpointSan::build(cfg).unwrap();
+
+    let (m_eager, h_eager) = estimate(&model, ReactivationMode::Resample, useful_work);
+    let (m_lazy, h_lazy) = estimate(&model, ReactivationMode::Lazy, useful_work);
+    for (name, m) in [("resample", m_eager), ("lazy", m_lazy)] {
+        assert!(
+            (0.5..1.0).contains(&m),
+            "{label}/{name} useful work out of band: {m}"
+        );
+    }
+    // The 95 % intervals overlap: same distributions, different
+    // streams. A broken elision (keeping a timer whose rate changed,
+    // or redrawing from the wrong point) shifts the failure process
+    // and with it the mean, well past these interval widths.
+    assert!(
+        (m_eager - m_lazy).abs() <= h_eager + h_lazy,
+        "{label}: useful-work CIs disjoint: resample {m_eager} ± {h_eager} vs lazy {m_lazy} ± {h_lazy}"
+    );
+    // The streams genuinely differ — this test must not silently turn
+    // into a bit-identity check.
+    assert_ne!(m_eager.to_bits(), m_lazy.to_bits(), "{label}");
+
+    let (u_eager, uh_eager) = estimate(&model, ReactivationMode::Resample, unavailability);
+    let (u_lazy, uh_lazy) = estimate(&model, ReactivationMode::Lazy, unavailability);
+    for (name, u) in [("resample", u_eager), ("lazy", u_lazy)] {
+        assert!(
+            (0.0..0.5).contains(&u),
+            "{label}/{name} unavailability out of band: {u}"
+        );
+    }
+    assert!(
+        (u_eager - u_lazy).abs() <= uh_eager + uh_lazy,
+        "{label}: unavailability CIs disjoint: resample {u_eager} ± {uh_eager} vs lazy {u_lazy} ± {uh_lazy}"
+    );
+}
+
+#[test]
+fn lazy_matches_resample_on_the_fig4_workload() {
+    let cfg = SystemConfig::builder().processors(8_192).build().unwrap();
+    assert_modes_agree(&cfg, "fig4");
+}
+
+#[test]
+fn lazy_matches_resample_on_the_fig6_workload() {
+    let cfg = SystemConfig::builder()
+        .processors(8_192)
+        .mttf_per_node(SimTime::from_years(3.0))
+        .coordination(CoordinationMode::MaxOfN)
+        .timeout(Some(SimTime::from_secs(60.0)))
+        .build()
+        .unwrap();
+    assert_modes_agree(&cfg, "fig6");
+}

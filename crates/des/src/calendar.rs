@@ -1,0 +1,677 @@
+//! Calendar-queue backend for the future-event list.
+//!
+//! A calendar queue (Brown 1988) hashes each event by time into a
+//! circular array of buckets, each covering one `width`-wide window of
+//! the clock ("day"); the array as a whole covers one "year" and wraps.
+//! Dequeue walks the bucket that contains the current window and pops
+//! its earliest entry in O(1) amortized; enqueue binary-searches one
+//! (short) bucket. The bucket count and width adapt to the live event
+//! population, so both operations stay O(1) amortized for the dense
+//! near-horizon band that dominates the checkpoint model, while a
+//! direct min-scan fallback handles the sparse far tail (failure
+//! timers months out) without ever popping out of order.
+//!
+//! # The renegotiated parts and the preserved contract
+//!
+//! [`CalendarQueue`] reproduces the indexed heap's **observable
+//! contract exactly** — same `(time, seq)` total order (FIFO among
+//! equal times by a globally monotone insertion sequence, *not* bucket
+//! insertion order), same generation-counted handles, same watermark
+//! causality panics, same `reschedule` fresh-sequence semantics — so a
+//! simulation run on the calendar pops the identical event sequence
+//! and is bit-identical to one run on the heap. What changes is purely
+//! mechanical: cancellation and reschedule *tombstone* the old bucket
+//! entry (the slot's live sequence number moves on and stale entries
+//! are skipped and purged when their bucket is next visited) instead
+//! of eagerly removing it, and a garbage-ratio trigger rebuilds the
+//! calendar before tombstones can dominate a reschedule-heavy
+//! workload.
+//!
+//! Windows are indexed by the integer `floor(time / width)` — never by
+//! accumulated floating-point bucket boundaries — so an event
+//! qualifies for the current window by exact integer equality and no
+//! rounding drift can reorder events across adjacent buckets.
+
+use crate::event::{EventId, ScheduledEvent};
+use crate::time::SimTime;
+
+/// Sequence sentinel for a slot with no live event (free or consumed).
+const NO_SEQ: u64 = u64::MAX;
+
+/// Smallest bucket-array size (a power of two).
+const MIN_BUCKETS: usize = 16;
+
+/// Largest bucket-array size; beyond this, extra population just
+/// deepens buckets (still correct, still fast — buckets are sorted).
+const MAX_BUCKETS: usize = 1 << 20;
+
+/// One bucket entry: where a (possibly stale) scheduled occurrence of
+/// a slot's event lives. The entry is live iff the slot still carries
+/// exactly this sequence number.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+/// Per-event slot: the payload home and the handle/liveness registry.
+#[derive(Debug)]
+struct CalSlot<E> {
+    /// Bumped on every release; a handle whose generation mismatches is
+    /// stale (already fired or cancelled).
+    gen: u32,
+    /// Sequence number of this slot's live bucket entry, or [`NO_SEQ`]
+    /// when the slot holds no live event. Sequences are globally unique,
+    /// so a stale bucket entry can never collide with a later tenant.
+    seq: u64,
+    /// Firing time of the live entry (undefined when `seq == NO_SEQ`).
+    time: SimTime,
+    /// The event payload, present exactly while the slot is live.
+    payload: Option<E>,
+}
+
+/// Calendar-queue future-event list. See the module docs for the
+/// design; see [`crate::EventQueue`] for the user-facing facade.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue<E> {
+    /// `1 << bits` buckets, each sorted by `(time, seq)` **descending**
+    /// so the bucket's earliest entry is `last()` and pops are `pop()`.
+    buckets: Vec<Vec<Entry>>,
+    /// Window width in seconds (always finite and positive).
+    width: f64,
+    /// Cached `1.0 / width`; `window_of` runs on every schedule,
+    /// reschedule, and walk step, and the multiply is several times
+    /// cheaper than the division it replaces.
+    inv_width: f64,
+    /// Global index of the window the dequeue scan is currently in:
+    /// events with `floor(time / width) == cur_window` qualify.
+    cur_window: u64,
+    slots: Vec<CalSlot<E>>,
+    /// Indices of slots available for reuse.
+    free: Vec<u32>,
+    /// Live (non-cancelled, non-fired) event count.
+    live: usize,
+    /// Stale bucket entries not yet purged.
+    garbage: usize,
+    /// Monotone insertion sequence, the FIFO tie-breaker among events
+    /// scheduled at the same time.
+    next_seq: u64,
+    /// Time of the most recently popped event; schedules before this
+    /// are rejected to preserve causality.
+    watermark: SimTime,
+    /// Queue operations since the last rebuild; gates the
+    /// fallback-triggered width recalibration in [`Self::find_min`] so
+    /// a pathological spacing mix cannot thrash rebuilds on every pop.
+    ops_since_rebuild: u32,
+}
+
+impl<E> CalendarQueue<E> {
+    pub(crate) fn new() -> CalendarQueue<E> {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: 1.0,
+            inv_width: 1.0,
+            cur_window: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            garbage: 0,
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+            ops_since_rebuild: 0,
+        }
+    }
+
+    /// The global window index of `time`: `floor(time / width)`.
+    /// Saturates for times astronomically beyond the width scale, which
+    /// only collapses the far tail into one window (slower, never
+    /// wrong — qualification is by exact index equality).
+    #[inline]
+    fn window_of(&self, time: SimTime) -> u64 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            (time.as_secs() * self.inv_width).floor() as u64
+        }
+    }
+
+    #[inline]
+    fn bucket_of_window(&self, window: u64) -> usize {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (window as usize) & (self.buckets.len() - 1)
+        }
+    }
+
+    /// True when the slot still owns exactly this bucket entry.
+    #[inline]
+    fn is_live(&self, e: &Entry) -> bool {
+        self.slots[e.slot as usize].seq == e.seq
+    }
+
+    pub(crate) fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.watermark,
+            "attempted to schedule an event at {time} before current time {}",
+            self.watermark
+        );
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight events");
+                self.slots.push(CalSlot {
+                    gen: 0,
+                    seq: NO_SEQ,
+                    time: SimTime::ZERO,
+                    payload: None,
+                });
+                s
+            }
+        };
+        let id = EventId(u64::from(self.slots[slot as usize].gen) << 32 | u64::from(slot));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.seq == NO_SEQ && s.payload.is_none());
+        s.seq = seq;
+        s.time = time;
+        s.payload = Some(payload);
+        self.live += 1;
+        self.ops_since_rebuild = self.ops_since_rebuild.saturating_add(1);
+        self.insert_entry(Entry { time, seq, slot });
+        self.maybe_rebuild();
+        id
+    }
+
+    pub(crate) fn cancel(&mut self, id: EventId) -> bool {
+        let Some(slot) = self.resolve(id) else {
+            return false;
+        };
+        self.release(slot);
+        self.live -= 1;
+        self.garbage += 1;
+        true
+    }
+
+    pub(crate) fn reschedule(&mut self, id: EventId, time: SimTime) -> bool {
+        let Some(slot) = self.resolve(id) else {
+            return false;
+        };
+        assert!(
+            time >= self.watermark,
+            "attempted to reschedule an event at {time} before current time {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let s = &mut self.slots[slot];
+        s.seq = seq;
+        s.time = time;
+        // The previous bucket entry keeps the old sequence and is now
+        // stale; it gets skipped and purged when its bucket is visited.
+        self.garbage += 1;
+        self.ops_since_rebuild = self.ops_since_rebuild.saturating_add(1);
+        #[allow(clippy::cast_possible_truncation)]
+        self.insert_entry(Entry {
+            time,
+            seq,
+            slot: slot as u32,
+        });
+        self.maybe_rebuild();
+        true
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let (bucket, _) = self.find_min()?;
+        let entry = self.buckets[bucket].pop().expect("find_min found an entry");
+        Some(self.consume(entry))
+    }
+
+    pub(crate) fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent<E>> {
+        let (bucket, time) = self.find_min()?;
+        if time > limit {
+            return None;
+        }
+        let entry = self.buckets[bucket].pop().expect("find_min found an entry");
+        Some(self.consume(entry))
+    }
+
+    pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
+        self.find_min().map(|(_, time)| time)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].seq != NO_SEQ {
+                self.release(slot);
+            }
+        }
+        self.live = 0;
+        self.garbage = 0;
+        self.cur_window = self.window_of(self.watermark);
+    }
+
+    /// Live entries in the bucket the dequeue scan currently points at —
+    /// the "band occupancy" telemetry probe. Counts live entries only,
+    /// so the number reflects real scheduling density, not tombstones.
+    pub(crate) fn band_occupancy(&self) -> usize {
+        let bucket = self.bucket_of_window(self.cur_window);
+        self.buckets[bucket]
+            .iter()
+            .filter(|e| self.is_live(e))
+            .count()
+    }
+
+    /// Locates the earliest live event, leaving it as the `last()` of
+    /// the returned bucket, and advances the window cursor to its
+    /// window. Purges stale tail entries along the way.
+    fn find_min(&mut self) -> Option<(usize, SimTime)> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            let nbuckets = self.buckets.len();
+            // One full year of windows, then fall out of the walk.
+            for _ in 0..nbuckets {
+                let bucket = self.bucket_of_window(self.cur_window);
+                while let Some(&last) = self.buckets[bucket].last() {
+                    if !self.is_live(&last) {
+                        self.buckets[bucket].pop();
+                        self.garbage -= 1;
+                        continue;
+                    }
+                    if self.window_of(last.time) == self.cur_window {
+                        return Some((bucket, last.time));
+                    }
+                    break;
+                }
+                self.cur_window += 1;
+            }
+            // The next event is more than a full year of windows past
+            // the cursor — the width no longer matches the live event
+            // spacing. Recalibrate and retry: the rebuild re-derives
+            // the width from the live population and parks the cursor
+            // on the earliest entry's window, so the retried walk hits
+            // it in its first bucket. The op gate keeps a pathological
+            // spacing mix from rebuilding on every pop; rebuild()
+            // resets it, so the retry cannot recalibrate twice.
+            if self.ops_since_rebuild >= 16 {
+                self.rebuild();
+                continue;
+            }
+            break;
+        }
+        // Sparse tail right after a recalibration: nothing within a
+        // year of the cursor even at the freshly fitted width. Find
+        // the global minimum directly and jump the cursor to its
+        // window.
+        let nbuckets = self.buckets.len();
+        let mut best: Option<Entry> = None;
+        for b in 0..nbuckets {
+            for e in &self.buckets[b] {
+                if self.slots[e.slot as usize].seq == e.seq
+                    && best.is_none_or(|m| (e.time, e.seq) < (m.time, m.seq))
+                {
+                    best = Some(*e);
+                }
+            }
+        }
+        let min = best.expect("live > 0 but no live entry found");
+        self.cur_window = self.window_of(min.time);
+        let bucket = self.bucket_of_window(self.cur_window);
+        // Purge the stale tail so the minimum is last() as promised.
+        while let Some(&last) = self.buckets[bucket].last() {
+            if self.is_live(&last) {
+                break;
+            }
+            self.buckets[bucket].pop();
+            self.garbage -= 1;
+        }
+        debug_assert_eq!(self.buckets[bucket].last().map(|e| e.seq), Some(min.seq));
+        Some((bucket, min.time))
+    }
+
+    /// Finalizes a popped live entry: releases its slot, advances the
+    /// watermark, and materializes the [`ScheduledEvent`].
+    fn consume(&mut self, entry: Entry) -> ScheduledEvent<E> {
+        let slot = entry.slot as usize;
+        let gen = self.slots[slot].gen;
+        let payload = self.release(slot).expect("popped entry was live");
+        self.live -= 1;
+        self.watermark = entry.time;
+        ScheduledEvent {
+            time: entry.time,
+            id: EventId(u64::from(gen) << 32 | u64::from(entry.slot)),
+            seq: entry.seq,
+            payload,
+        }
+    }
+
+    /// Inserts a bucket entry in `(time, seq)`-descending order and
+    /// pulls the window cursor back if the event lands behind it.
+    fn insert_entry(&mut self, entry: Entry) {
+        let window = self.window_of(entry.time);
+        if window < self.cur_window {
+            self.cur_window = window;
+        }
+        let bucket = self.bucket_of_window(window);
+        let b = &mut self.buckets[bucket];
+        let at = b.partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+        b.insert(at, entry);
+    }
+
+    /// Maps a handle to its slot index, `None` when stale or foreign.
+    fn resolve(&self, id: EventId) -> Option<usize> {
+        let slot = (id.0 & 0xFFFF_FFFF) as usize;
+        let gen = (id.0 >> 32) as u32;
+        (slot < self.slots.len() && self.slots[slot].gen == gen && self.slots[slot].seq != NO_SEQ)
+            .then_some(slot)
+    }
+
+    /// Returns a slot to the free list under a fresh generation,
+    /// yielding its payload.
+    fn release(&mut self, slot: usize) -> Option<E> {
+        let s = &mut self.slots[slot];
+        s.gen = s.gen.wrapping_add(1);
+        s.seq = NO_SEQ;
+        self.free.push(slot as u32);
+        s.payload.take()
+    }
+
+    /// Rebuilds the calendar when the live population outgrew (or far
+    /// undershot) the bucket array, or when tombstones dominate it.
+    fn maybe_rebuild(&mut self) {
+        let nbuckets = self.buckets.len();
+        let grown = self.live > 2 * nbuckets && nbuckets < MAX_BUCKETS;
+        let shrunk = self.live < nbuckets / 4 && nbuckets > MIN_BUCKETS;
+        let dirty = self.garbage > 64 && self.garbage > self.live;
+        if grown || shrunk || dirty {
+            self.rebuild();
+        }
+    }
+
+    /// Re-sizes the bucket array to the live population, re-estimates
+    /// the width from the observed event spacing, and re-buckets every
+    /// live entry (dropping all tombstones).
+    fn rebuild(&mut self) {
+        self.ops_since_rebuild = 0;
+        let mut entries: Vec<Entry> = Vec::with_capacity(self.live);
+        for b in &mut self.buckets {
+            for e in b.drain(..) {
+                if self.slots[e.slot as usize].seq == e.seq {
+                    entries.push(e);
+                }
+            }
+        }
+        debug_assert_eq!(entries.len(), self.live);
+        self.garbage = 0;
+        entries.sort_unstable_by_key(|e| (e.time, e.seq));
+
+        let nbuckets = entries
+            .len()
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if self.buckets.len() != nbuckets {
+            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        }
+        // Width from the middle half of the inter-event gaps: robust
+        // against the far-tail timers (months out) that would blow up a
+        // plain mean and against the duplicate-time spikes at zero.
+        // Tiny populations (2–3 events) have no middle half; their full
+        // span serves instead — an outlier-inflated width only merges
+        // them into one sorted bucket, which is optimal at that size.
+        let (lo, hi) = if entries.len() >= 4 {
+            (entries.len() / 4, (3 * entries.len()) / 4)
+        } else {
+            (0, entries.len().saturating_sub(1))
+        };
+        if hi > lo {
+            let span = entries[hi].time.as_secs() - entries[lo].time.as_secs();
+            let gaps = (hi - lo) as f64;
+            let est = 3.0 * span / gaps;
+            if est.is_finite() && est > 0.0 {
+                self.width = est;
+                self.inv_width = 1.0 / est;
+            }
+        }
+        self.cur_window = self.window_of(entries.first().map_or(self.watermark, |e| e.time));
+        for e in entries.into_iter().rev() {
+            let bucket = self.bucket_of_window(self.window_of(e.time));
+            self.buckets[bucket].push(e);
+        }
+        debug_assert!(self.buckets.iter().all(|b| b
+            .windows(2)
+            .all(|w| (w[0].time, w[0].seq) > (w[1].time, w[1].seq))));
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<E>(q: &mut CalendarQueue<E>) -> Vec<E> {
+        std::iter::from_fn(|| q.pop().map(ScheduledEvent::into_payload)).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_secs(3.0), 3);
+        q.schedule(SimTime::from_secs(1.0), 1);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        assert_eq!(drain(&mut q), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo_by_insertion_not_bucket_order() {
+        let mut q = CalendarQueue::new();
+        let t = SimTime::from_secs(5.0);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        q.schedule(t, "third");
+        assert_eq!(drain(&mut q), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn ties_are_fifo_across_slot_reuse() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "warmup0");
+        q.schedule(SimTime::from_secs(1.0), "warmup1");
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().into_payload(), "warmup1");
+        let t = SimTime::from_secs(5.0);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        q.schedule(t, "third");
+        assert_eq!(drain(&mut q), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cancel_and_stale_handles_match_heap_semantics() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().into_payload(), "b");
+        // Fired handles are stale and never alias a later event.
+        let c = q.schedule(SimTime::from_secs(3.0), "c");
+        let fired = q.pop().unwrap();
+        assert_eq!(fired.id(), c);
+        assert!(!q.cancel(c));
+        let d = q.schedule(SimTime::from_secs(4.0), "d");
+        assert_ne!(c, d);
+        assert_eq!(q.pop().unwrap().into_payload(), "d");
+    }
+
+    #[test]
+    fn reschedule_keeps_handle_and_requeues_at_fifo_tail() {
+        let mut q = CalendarQueue::new();
+        let t = SimTime::from_secs(5.0);
+        let a = q.schedule(t, "a");
+        q.schedule(t, "b");
+        assert!(q.reschedule(a, t));
+        assert!(q.cancel(a), "handle stays live across reschedule");
+        assert_eq!(drain(&mut q), vec!["b"]);
+        assert!(!q.reschedule(a, t), "stale handle rejected");
+    }
+
+    #[test]
+    fn reschedule_backwards_is_found_before_later_events() {
+        // Moving an event behind the dequeue cursor must pull the
+        // cursor back, or the scan would skip it for a whole year.
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_secs(0.5), "warm");
+        let a = q.schedule(SimTime::from_secs(400.0), "a");
+        q.schedule(SimTime::from_secs(7.0), "b");
+        assert_eq!(q.pop().unwrap().into_payload(), "warm");
+        assert!(q.reschedule(a, SimTime::from_secs(3.0)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3.0)));
+        assert_eq!(drain(&mut q), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_secs(10.0), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn rescheduling_into_the_past_panics() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(SimTime::from_secs(10.0), "a");
+        q.schedule(SimTime::from_secs(8.0), "b");
+        q.pop();
+        q.reschedule(a, SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn pop_before_is_inclusive_and_leaves_later_events() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        q.schedule(SimTime::from_secs(5.0), "c");
+        q.cancel(a);
+        assert_eq!(
+            q.pop_before(SimTime::from_secs(3.0)).unwrap().time(),
+            SimTime::from_secs(2.0)
+        );
+        assert!(q.pop_before(SimTime::from_secs(3.0)).is_none());
+        assert_eq!(q.watermark(), SimTime::from_secs(2.0));
+        assert_eq!(
+            q.pop_before(SimTime::from_secs(5.0))
+                .unwrap()
+                .into_payload(),
+            "c"
+        );
+    }
+
+    #[test]
+    fn sparse_far_tail_pops_in_order() {
+        // Events separated by far more than a full calendar year of
+        // windows exercise the direct-scan fallback.
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_hours(20_000.0), "far");
+        q.schedule(SimTime::from_secs(1.0), "near");
+        q.schedule(SimTime::from_hours(2.0), "mid");
+        assert_eq!(drain(&mut q), vec!["near", "mid", "far"]);
+        assert_eq!(q.watermark(), SimTime::from_hours(20_000.0));
+    }
+
+    #[test]
+    fn growth_and_shrink_rebuilds_keep_order() {
+        let mut q = CalendarQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..2_000u32 {
+            ids.push(q.schedule(SimTime::from_secs(f64::from(i % 97)), i));
+        }
+        assert!(
+            q.buckets.len() > MIN_BUCKETS,
+            "population should grow the array"
+        );
+        for (k, id) in ids.iter().enumerate() {
+            if k % 3 == 0 {
+                q.cancel(*id);
+            }
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut n = 0;
+        while let Some(ev) = q.pop() {
+            assert!((ev.time(), ev.seq) > last || n == 0);
+            last = (ev.time(), ev.seq);
+            n += 1;
+        }
+        assert_eq!(n, 2_000 - ids.len().div_ceil(3));
+    }
+
+    #[test]
+    fn heavy_reschedule_churn_purges_tombstones() {
+        let mut q = CalendarQueue::new();
+        let ids: Vec<_> = (0..8u32)
+            .map(|i| q.schedule(SimTime::from_secs(f64::from(i) + 100.0), i))
+            .collect();
+        for round in 0..10_000u32 {
+            let id = ids[(round % 8) as usize];
+            q.reschedule(id, SimTime::from_secs(100.0 + f64::from(round % 50)));
+        }
+        let total: usize = q.buckets.iter().map(Vec::len).sum();
+        assert!(
+            total <= 8 + 64 + 8,
+            "tombstones piled up: {total} entries for 8 live events"
+        );
+        assert_eq!(q.len(), 8);
+        assert_eq!(drain(&mut q).len(), 8);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = CalendarQueue::new();
+        for round in 0..1_000 {
+            let t = SimTime::from_secs(f64::from(round));
+            q.schedule(t, round);
+            q.schedule(t, round);
+            q.pop();
+            q.pop();
+        }
+        assert!(
+            q.slots.len() <= 4,
+            "slab grew to {} slots for 2 in-flight events",
+            q.slots.len()
+        );
+    }
+
+    #[test]
+    fn clear_empties_queue_and_stales_handles() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(SimTime::from_secs(1.0), ());
+        q.clear();
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        assert!(!q.cancel(a));
+        let b = q.schedule(SimTime::from_secs(1.0), ());
+        assert_ne!(a, b);
+        assert_eq!(q.len(), 1);
+    }
+}

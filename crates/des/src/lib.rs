@@ -5,8 +5,10 @@
 //!
 //! * [`SimTime`] — a strongly typed simulation clock value (seconds,
 //!   `f64`), with total ordering that rejects NaN at construction.
-//! * [`EventQueue`] — a cancellable priority queue of scheduled events.
-//!   Cancellation is O(1) via tombstoning; pops skip dead entries.
+//! * [`EventQueue`] — a cancellable priority queue of scheduled events,
+//!   backed by either an indexed binary heap (the default) or a
+//!   calendar queue, selected per simulation via [`QueueKind`]. Both
+//!   backends pop the identical `(time, FIFO)` event order.
 //! * [`RngFactory`] / [`SimRng`] — deterministic, splittable random-number
 //!   streams so that every stochastic component of a model draws from its
 //!   own substream and simulations are exactly reproducible from a single
@@ -47,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod engine;
 mod event;
 pub mod hist;
@@ -59,6 +62,6 @@ mod time;
 pub use engine::{Engine, EventHandler, RunOutcome};
 pub use event::{EventId, ScheduledEvent};
 pub use hist::LogHistogram;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueKind};
 pub use rng::{RngFactory, Sampling, SimRng, StreamId};
 pub use time::{SimTime, TimeError};

@@ -32,6 +32,7 @@ pub const ENABLED: bool = cfg!(feature = "telemetry");
 #[cfg(feature = "telemetry")]
 thread_local! {
     static RNG_DRAWS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static REDRAWS_ELIDED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// Counts one raw RNG word drawn on this thread. Called from the
@@ -57,6 +58,31 @@ pub fn rng_draws() -> u64 {
     }
 }
 
+/// Counts one reactivation redraw skipped by `Reactivation` lazy mode:
+/// a `Resample` timer whose marking-independent exponential delay was
+/// kept instead of being redrawn and requeued (valid by
+/// memorylessness). Free when the feature is off.
+#[inline(always)]
+pub fn note_redraw_elided() {
+    #[cfg(feature = "telemetry")]
+    REDRAWS_ELIDED.with(|c| c.set(c.get() + 1));
+}
+
+/// Reactivation redraws elided on this thread so far (0 in a
+/// no-feature build). Monotone within a thread; difference around a
+/// replication to attribute elisions to it.
+#[must_use]
+pub fn redraws_elided() -> u64 {
+    #[cfg(feature = "telemetry")]
+    {
+        REDRAWS_ELIDED.with(std::cell::Cell::get)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        0
+    }
+}
+
 /// Hot-loop distribution probes owned by a simulator.
 ///
 /// Zero-sized with the feature off; with it on, holds one
@@ -67,6 +93,8 @@ pub struct HotTelemetry {
     queue_depth: LogHistogram,
     #[cfg(feature = "telemetry")]
     dirty_set: LogHistogram,
+    #[cfg(feature = "telemetry")]
+    band_occupancy: LogHistogram,
 }
 
 impl HotTelemetry {
@@ -98,6 +126,19 @@ impl HotTelemetry {
         }
     }
 
+    /// Records the live occupancy of the calendar queue's current band
+    /// (bucket) observed after popping an event. Calendar backend only;
+    /// heap runs record nothing here.
+    #[inline(always)]
+    pub fn record_band_occupancy(&mut self, occupancy: usize) {
+        #[cfg(feature = "telemetry")]
+        self.band_occupancy.record(occupancy as u64);
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = occupancy;
+        }
+    }
+
     /// Copies the accumulated distributions out. Empty histograms in a
     /// no-feature build, so callers need no gates.
     #[must_use]
@@ -107,6 +148,7 @@ impl HotTelemetry {
             TelemetrySnapshot {
                 queue_depth: self.queue_depth.clone(),
                 dirty_set: self.dirty_set.clone(),
+                band_occupancy: self.band_occupancy.clone(),
             }
         }
         #[cfg(not(feature = "telemetry"))]
@@ -126,6 +168,9 @@ pub struct TelemetrySnapshot {
     pub queue_depth: LogHistogram,
     /// Dirty-place set size at each settled event (SAN engine only).
     pub dirty_set: LogHistogram,
+    /// Live per-band (bucket) occupancy of the calendar queue at each
+    /// hot-loop pop; empty on the heap backend.
+    pub band_occupancy: LogHistogram,
 }
 
 impl TelemetrySnapshot {
@@ -133,7 +178,7 @@ impl TelemetrySnapshot {
     /// a run with zero events).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.queue_depth.is_empty() && self.dirty_set.is_empty()
+        self.queue_depth.is_empty() && self.dirty_set.is_empty() && self.band_occupancy.is_empty()
     }
 }
 
@@ -149,9 +194,12 @@ mod tests {
         let mut t = HotTelemetry::new();
         t.record_queue_depth(17);
         t.record_dirty_set(3);
+        t.record_band_occupancy(5);
         assert!(t.snapshot().is_empty());
         note_rng_draw();
         assert_eq!(rng_draws(), 0);
+        note_redraw_elided();
+        assert_eq!(redraws_elided(), 0);
     }
 
     #[cfg(feature = "telemetry")]
@@ -166,10 +214,15 @@ mod tests {
         assert_eq!(snap.queue_depth.count(), 2);
         assert_eq!(snap.queue_depth.max(), 17);
         assert_eq!(snap.dirty_set.count(), 1);
+        t.record_band_occupancy(4);
+        assert_eq!(t.snapshot().band_occupancy.count(), 1);
         let before = rng_draws();
         note_rng_draw();
         note_rng_draw();
         assert_eq!(rng_draws() - before, 2);
+        let before = redraws_elided();
+        note_redraw_elided();
+        assert_eq!(redraws_elided() - before, 1);
     }
 
     #[cfg(feature = "telemetry")]

@@ -3,14 +3,17 @@
 //!
 //! Every front end that runs experiments — `ckptsim run`, `ckptsim
 //! figure`, `ckptsim optimize`, `ckptsim submit`, and the per-figure
-//! bench binaries — accepts the same five switches:
+//! bench binaries — accepts the same switches:
 //!
 //! * `--snapshot FILE` / `--snapshot-every N` / `--resume FILE` —
 //!   crash-safe journaling through [`crate::SweepJournal`];
 //! * `--progress FILE` — a deterministic JSONL progress stream;
 //! * `--quiet` — suppress human heartbeats (an explicit `--progress`
 //!   file stays active: requested machine output is output, not
-//!   chatter).
+//!   chatter);
+//! * `--reactivation MODE` / `--queue KIND` — engine execution modes
+//!   (lazy timer reactivation, calendar event queue) that travel with
+//!   the experiment spec and perturb its fingerprint when non-default.
 //!
 //! [`ExecFlags`] owns the parsing ([`ExecFlags::accept`]), the journal
 //! open/resume policy ([`ExecFlags::open_journal`]), and the sink
@@ -21,6 +24,7 @@
 use crate::error::CkptError;
 use crate::journal::SweepJournal;
 use crate::snapshot::SnapshotError;
+use ckpt_core::{QueueKind, ReactivationMode};
 use ckpt_obs::MultiSink;
 use std::path::Path;
 
@@ -39,6 +43,10 @@ pub struct ExecFlags {
     pub progress: Option<String>,
     /// Suppress human progress heartbeats and per-replication chatter.
     pub quiet: bool,
+    /// Timer-reactivation execution mode (SAN engine only).
+    pub reactivation: ReactivationMode,
+    /// Event-queue backend; both pop identical (time, FIFO) order.
+    pub queue: QueueKind,
 }
 
 impl Default for ExecFlags {
@@ -49,6 +57,8 @@ impl Default for ExecFlags {
             resume: None,
             progress: None,
             quiet: false,
+            reactivation: ReactivationMode::default(),
+            queue: QueueKind::default(),
         }
     }
 }
@@ -77,6 +87,14 @@ impl ExecFlags {
             }
             "--resume" => self.resume = Some(value_for("--resume")?),
             "--progress" => self.progress = Some(value_for("--progress")?),
+            "--reactivation" => {
+                self.reactivation = ReactivationMode::parse(&value_for("--reactivation")?)
+                    .map_err(|e| format!("--reactivation: {e}"))?;
+            }
+            "--queue" => {
+                self.queue = QueueKind::parse(&value_for("--queue")?)
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -164,7 +182,7 @@ mod tests {
     }
 
     #[test]
-    fn accepts_the_five_shared_flags() {
+    fn accepts_the_shared_flags() {
         let f = parse(&[
             "--quiet",
             "--snapshot",
@@ -175,6 +193,10 @@ mod tests {
             "r.json",
             "--progress",
             "p.jsonl",
+            "--reactivation",
+            "lazy",
+            "--queue",
+            "calendar",
         ])
         .unwrap();
         assert!(f.quiet);
@@ -182,6 +204,8 @@ mod tests {
         assert_eq!(f.snapshot_every, 4);
         assert_eq!(f.resume.as_deref(), Some("r.json"));
         assert_eq!(f.progress.as_deref(), Some("p.jsonl"));
+        assert_eq!(f.reactivation, ReactivationMode::Lazy);
+        assert_eq!(f.queue, QueueKind::Calendar);
         assert!(f.journaling());
     }
 
@@ -192,6 +216,10 @@ mod tests {
         assert!(parse(&["--resume"]).is_err());
         assert!(parse(&["--progress"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+        let err = parse(&["--reactivation", "eager"]).unwrap_err();
+        assert!(err.contains("unknown reactivation mode"), "{err}");
+        let err = parse(&["--queue", "wheel"]).unwrap_err();
+        assert!(err.contains("unknown queue kind"), "{err}");
     }
 
     #[test]
@@ -212,10 +240,8 @@ mod tests {
             .is_empty());
         // `human == false` models --csv-style machine output.
         assert!(parse(&[]).unwrap().progress_sink(false).unwrap().is_empty());
-        let path = std::env::temp_dir().join(format!(
-            "ckpt_exec_flags_sink_{}.jsonl",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("ckpt_exec_flags_sink_{}.jsonl", std::process::id()));
         let f = parse(&["--quiet", "--progress", path.to_str().unwrap()]).unwrap();
         assert_eq!(f.progress_sink(true).unwrap().len(), 1);
         let _ = std::fs::remove_file(&path);

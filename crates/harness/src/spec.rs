@@ -19,7 +19,9 @@ use crate::json::{parse, JsonValue};
 use ckpt_core::config::{
     CoordinationMode, ErrorPropagation, GenericCorrelated, RecoveryTimeModel, SystemConfig,
 };
-use ckpt_core::{ConfigError, EngineKind, Estimation, Experiment, PolicySpec};
+use ckpt_core::{
+    ConfigError, EngineKind, Estimation, Experiment, PolicySpec, QueueKind, ReactivationMode,
+};
 use ckpt_des::SimTime;
 use std::fmt;
 
@@ -54,6 +56,9 @@ pub enum SpecError {
         /// The offending switch.
         switch: &'static str,
     },
+    /// Lazy reactivation was requested together with the direct
+    /// engine; only the SAN engine has reactivation timers to elide.
+    LazyReactivationNeedsSan,
     /// The spec JSON was malformed or missing fields.
     Parse(String),
 }
@@ -79,6 +84,10 @@ impl fmt::Display for SpecError {
             SpecError::UnsupportedAblation { switch } => write!(
                 f,
                 "the SAN engine implements the paper's semantics only; '{switch}' is an ablation handled by the direct simulator"
+            ),
+            SpecError::LazyReactivationNeedsSan => write!(
+                f,
+                "lazy reactivation is a SAN-engine execution mode; the direct simulator has no reactivation timers (use --engine san)"
             ),
             SpecError::Parse(msg) => write!(f, "invalid experiment spec: {msg}"),
         }
@@ -107,6 +116,8 @@ pub struct ExperimentSpec {
     seed: u64,
     level: f64,
     jobs: Option<usize>,
+    reactivation: ReactivationMode,
+    queue: QueueKind,
 }
 
 /// Builder for [`ExperimentSpec`] — defaults mirror
@@ -133,6 +144,8 @@ impl ExperimentSpec {
                 seed: 0x5eed,
                 level: 0.95,
                 jobs: None,
+                reactivation: ReactivationMode::default(),
+                queue: QueueKind::default(),
             },
         }
     }
@@ -193,6 +206,21 @@ impl ExperimentSpec {
         self.jobs
     }
 
+    /// The reactivation execution mode (SAN engine only; the
+    /// [`ReactivationMode::Resample`] default is the paper-faithful
+    /// bit-pinned oracle).
+    #[must_use]
+    pub fn reactivation(&self) -> ReactivationMode {
+        self.reactivation
+    }
+
+    /// The event-queue backend. Both backends pop the same
+    /// (time, FIFO) order, so this never changes results — only speed.
+    #[must_use]
+    pub fn queue(&self) -> QueueKind {
+        self.queue
+    }
+
     /// Converts the spec into a runnable [`Experiment`]. Chain
     /// runtime-only options (observation, target precision) on the
     /// returned builder.
@@ -209,7 +237,7 @@ impl ExperimentSpec {
         if let Some(jobs) = self.jobs {
             exp = exp.jobs(jobs);
         }
-        exp
+        exp.reactivation(self.reactivation).queue(self.queue)
     }
 
     /// Serializes the spec as one compact JSON object. Deterministic:
@@ -269,6 +297,30 @@ impl ExperimentSpec {
             ("seed".to_string(), JsonValue::from_u64(self.seed)),
             ("level".to_string(), JsonValue::from_f64(self.level)),
         ];
+        // Like the config's `policy` key, the execution-mode switches
+        // render as the keys' *absence* when left at their defaults, so
+        // every fingerprint and snapshot minted before the switches
+        // existed remains valid, while any non-default mode perturbs
+        // the fingerprint.
+        let engine_at = fields
+            .iter()
+            .position(|(k, _)| k == "engine")
+            .map_or(fields.len(), |i| i + 1);
+        if self.queue != QueueKind::default() {
+            fields.insert(
+                engine_at,
+                ("queue".to_string(), JsonValue::from_text(self.queue.name())),
+            );
+        }
+        if self.reactivation != ReactivationMode::default() {
+            fields.insert(
+                engine_at,
+                (
+                    "reactivation".to_string(),
+                    JsonValue::from_text(self.reactivation.name()),
+                ),
+            );
+        }
         if with_jobs {
             fields.push((
                 "jobs".to_string(),
@@ -320,9 +372,25 @@ impl ExperimentSpec {
                 None => return Err(SpecError::Parse("unknown estimation".into())),
             },
         };
+        let reactivation = match doc.get("reactivation") {
+            None | Some(JsonValue::Null) => ReactivationMode::default(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| SpecError::Parse("malformed reactivation".into()))
+                .and_then(|s| ReactivationMode::parse(s).map_err(SpecError::Parse))?,
+        };
+        let queue = match doc.get("queue") {
+            None | Some(JsonValue::Null) => QueueKind::default(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| SpecError::Parse("malformed queue".into()))
+                .and_then(|s| QueueKind::parse(s).map_err(SpecError::Parse))?,
+        };
         let mut b = ExperimentSpec::builder(config)
             .engine(engine)
             .estimation(estimation)
+            .reactivation(reactivation)
+            .queue(queue)
             .transient(SimTime::from_secs(req_f64(&doc, "transient_secs")?))
             .horizon(SimTime::from_secs(req_f64(&doc, "horizon_secs")?))
             .replications(
@@ -396,6 +464,20 @@ impl ExperimentSpecBuilder {
         self
     }
 
+    /// Selects the reactivation execution mode (SAN engine only).
+    #[must_use]
+    pub fn reactivation(mut self, mode: ReactivationMode) -> ExperimentSpecBuilder {
+        self.spec.reactivation = mode;
+        self
+    }
+
+    /// Selects the event-queue backend.
+    #[must_use]
+    pub fn queue(mut self, queue: QueueKind) -> ExperimentSpecBuilder {
+        self.spec.queue = queue;
+        self
+    }
+
     /// Validates and returns the spec.
     ///
     /// # Errors
@@ -423,6 +505,9 @@ impl ExperimentSpecBuilder {
             if batches < 2 {
                 return Err(SpecError::TooFewBatches { batches });
             }
+        }
+        if s.reactivation == ReactivationMode::Lazy && s.engine == EngineKind::Direct {
+            return Err(SpecError::LazyReactivationNeedsSan);
         }
         if s.engine == EngineKind::San {
             // Mirror CheckpointSan::build's ablation gate so front ends
@@ -946,6 +1031,86 @@ mod tests {
             .engine(EngineKind::San)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn execution_modes_round_trip_and_perturb_fingerprint() {
+        let base = ExperimentSpec::builder(SystemConfig::builder().build().unwrap())
+            .build()
+            .unwrap();
+        // Defaults render without the keys: pre-switch documents and
+        // fingerprints stay valid.
+        assert!(!base.to_json().contains("\"reactivation\""));
+        assert!(!base.to_json().contains("\"queue\""));
+        assert_eq!(base.reactivation(), ReactivationMode::Resample);
+        assert_eq!(base.queue(), QueueKind::IndexedHeap);
+
+        let lazy = ExperimentSpec::builder(SystemConfig::builder().build().unwrap())
+            .engine(EngineKind::San)
+            .reactivation(ReactivationMode::Lazy)
+            .queue(QueueKind::Calendar)
+            .build()
+            .unwrap();
+        assert!(lazy.to_json().contains("\"reactivation\":\"lazy\""));
+        assert!(lazy.to_json().contains("\"queue\":\"calendar\""));
+        let back = ExperimentSpec::from_json(&lazy.to_json()).unwrap();
+        assert_eq!(lazy, back);
+        assert_eq!(back.reactivation(), ReactivationMode::Lazy);
+        assert_eq!(back.queue(), QueueKind::Calendar);
+
+        let san_default = ExperimentSpec::builder(SystemConfig::builder().build().unwrap())
+            .engine(EngineKind::San)
+            .build()
+            .unwrap();
+        assert_ne!(lazy.fingerprint(), san_default.fingerprint());
+        let calendar_only = ExperimentSpec::builder(SystemConfig::builder().build().unwrap())
+            .engine(EngineKind::San)
+            .queue(QueueKind::Calendar)
+            .build()
+            .unwrap();
+        assert_ne!(calendar_only.fingerprint(), san_default.fingerprint());
+        assert_ne!(calendar_only.fingerprint(), lazy.fingerprint());
+    }
+
+    #[test]
+    fn rejects_lazy_reactivation_on_direct_engine() {
+        let cfg = SystemConfig::builder().build().unwrap();
+        let err = ExperimentSpec::builder(cfg.clone())
+            .reactivation(ReactivationMode::Lazy)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::LazyReactivationNeedsSan);
+        assert!(err.to_string().contains("--engine san"));
+        // The SAN engine accepts it; the calendar queue is engine-blind.
+        assert!(ExperimentSpec::builder(cfg.clone())
+            .engine(EngineKind::San)
+            .reactivation(ReactivationMode::Lazy)
+            .build()
+            .is_ok());
+        assert!(ExperimentSpec::builder(cfg)
+            .queue(QueueKind::Calendar)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_execution_modes() {
+        let lazy = ExperimentSpec::builder(SystemConfig::builder().build().unwrap())
+            .engine(EngineKind::San)
+            .reactivation(ReactivationMode::Lazy)
+            .queue(QueueKind::Calendar)
+            .build()
+            .unwrap();
+        let bad = lazy.to_json().replace("\"lazy\"", "\"eager\"");
+        assert!(matches!(
+            ExperimentSpec::from_json(&bad),
+            Err(SpecError::Parse(msg)) if msg.contains("unknown reactivation mode")
+        ));
+        let bad = lazy.to_json().replace("\"calendar\"", "\"wheel\"");
+        assert!(matches!(
+            ExperimentSpec::from_json(&bad),
+            Err(SpecError::Parse(msg)) if msg.contains("unknown queue kind")
+        ));
     }
 
     #[test]

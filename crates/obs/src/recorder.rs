@@ -62,12 +62,18 @@ impl Recorder {
     }
 
     /// Folds the engine's hot-loop probe snapshot and the
-    /// replication's RNG-draw count into the telemetry (no-op when
-    /// telemetry is disabled).
-    pub fn absorb_engine_telemetry(&mut self, snapshot: &TelemetrySnapshot, rng_draws: u64) {
+    /// replication's RNG-draw and elided-redraw counts into the
+    /// telemetry (no-op when telemetry is disabled).
+    pub fn absorb_engine_telemetry(
+        &mut self,
+        snapshot: &TelemetrySnapshot,
+        rng_draws: u64,
+        redraws_elided: u64,
+    ) {
         if let Some(t) = &mut self.telemetry {
             t.absorb_engine(snapshot);
             t.rng_draws += rng_draws;
+            t.redraws_elided += redraws_elided;
         }
     }
 
@@ -198,14 +204,17 @@ mod tests {
         use ckpt_des::telem::TelemetrySnapshot;
         let mut snap = TelemetrySnapshot::default();
         snap.queue_depth.record(4);
+        snap.band_occupancy.record(2);
         let mut rec = Recorder::new(None, false).with_telemetry();
-        rec.absorb_engine_telemetry(&snap, 99);
+        rec.absorb_engine_telemetry(&snap, 99, 7);
         let t = rec.telemetry().unwrap();
         assert_eq!(t.queue_depth.count(), 1);
+        assert_eq!(t.band_occupancy.count(), 1);
         assert_eq!(t.rng_draws, 99);
+        assert_eq!(t.redraws_elided, 7);
         // Without telemetry enabled it's a no-op, not a panic.
         let mut off = Recorder::new(None, false);
-        off.absorb_engine_telemetry(&snap, 99);
+        off.absorb_engine_telemetry(&snap, 99, 7);
         assert!(off.telemetry().is_none());
     }
 }

@@ -14,11 +14,13 @@
 //! * `failure_gaps` is derived from the observed [`ModelEvent`](crate::ModelEvent) stream
 //!   (sim-time gaps between consecutive failures), so it works on every
 //!   build and is always deterministic;
-//! * `queue_depth` / `dirty_set` come from the engines' probes and stay
-//!   empty unless the `telemetry` cargo feature is enabled — when it
-//!   is, they are still functions of the (deterministic) simulation
-//!   state only, never of wall time;
-//! * `rng_draws` counts raw RNG words, again sim-domain-deterministic.
+//! * `queue_depth` / `dirty_set` / `band_occupancy` come from the
+//!   engines' probes and stay empty unless the `telemetry` cargo
+//!   feature is enabled — when it is, they are still functions of the
+//!   (deterministic) simulation state only, never of wall time;
+//! * `rng_draws` counts raw RNG words and `redraws_elided` counts the
+//!   exponential redraws lazy reactivation skipped — again
+//!   sim-domain-deterministic.
 
 use crate::json_escape;
 use ckpt_des::telem::TelemetrySnapshot;
@@ -40,10 +42,16 @@ pub struct ReplicationTelemetry {
     /// Dirty-place set size per settled event (SAN engine under
     /// incremental scheduling only; empty without the feature).
     pub dirty_set: LogHistogram,
+    /// Calendar-queue bucket occupancy at each hot-loop pop (calendar
+    /// backend only; empty on the heap or without the feature).
+    pub band_occupancy: LogHistogram,
     /// Model events observed in the measurement window.
     pub events: u64,
     /// Raw RNG words drawn by the replication (0 without the feature).
     pub rng_draws: u64,
+    /// Exponential redraws skipped by lazy reactivation (0 in eager
+    /// `resample` mode or without the feature).
+    pub redraws_elided: u64,
 }
 
 impl ReplicationTelemetry {
@@ -58,6 +66,7 @@ impl ReplicationTelemetry {
     pub fn absorb_engine(&mut self, snapshot: &TelemetrySnapshot) {
         self.queue_depth.merge(&snapshot.queue_depth);
         self.dirty_set.merge(&snapshot.dirty_set);
+        self.band_occupancy.merge(&snapshot.band_occupancy);
     }
 
     /// Adds `other` into `self`. Histogram merges are element-wise and
@@ -67,8 +76,10 @@ impl ReplicationTelemetry {
         self.failure_gaps.merge(&other.failure_gaps);
         self.queue_depth.merge(&other.queue_depth);
         self.dirty_set.merge(&other.dirty_set);
+        self.band_occupancy.merge(&other.band_occupancy);
         self.events += other.events;
         self.rng_draws += other.rng_draws;
+        self.redraws_elided += other.redraws_elided;
     }
 
     /// True when nothing was recorded at all.
@@ -77,8 +88,10 @@ impl ReplicationTelemetry {
         self.failure_gaps.is_empty()
             && self.queue_depth.is_empty()
             && self.dirty_set.is_empty()
+            && self.band_occupancy.is_empty()
             && self.events == 0
             && self.rng_draws == 0
+            && self.redraws_elided == 0
     }
 
     /// Deterministic JSON object: fixed key order, integer-only
@@ -87,12 +100,14 @@ impl ReplicationTelemetry {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"events\":{},\"rng_draws\":{},\"histograms\":{{\"failure_gap_secs\":{},\"queue_depth\":{},\"dirty_set\":{}}}}}",
+            "{{\"events\":{},\"rng_draws\":{},\"redraws_elided\":{},\"histograms\":{{\"failure_gap_secs\":{},\"queue_depth\":{},\"dirty_set\":{},\"band_occupancy\":{}}}}}",
             self.events,
             self.rng_draws,
+            self.redraws_elided,
             self.failure_gaps.to_json(),
             self.queue_depth.to_json(),
             self.dirty_set.to_json(),
+            self.band_occupancy.to_json(),
         )
     }
 }
@@ -144,7 +159,10 @@ mod tests {
     fn json_shape_is_stable() {
         let t = ReplicationTelemetry::new();
         let j = t.to_json();
-        assert!(j.starts_with("{\"events\":0,\"rng_draws\":0,\"histograms\":{"));
+        assert!(
+            j.starts_with("{\"events\":0,\"rng_draws\":0,\"redraws_elided\":0,\"histograms\":{")
+        );
+        assert!(j.contains("\"band_occupancy\":{"));
         let doc = telemetry_json("run", &t, "[]");
         assert!(doc.contains("\"telemetry_schema_version\": 1"));
         assert!(doc.contains("\"kind\": \"telemetry\""));

@@ -32,11 +32,12 @@
 //! debug-build consistency assertion in the simulator cross-checks the
 //! two on every event.
 
-use crate::activity::{ActivityDef, Reactivation, Timing};
+use crate::activity::{ActivityDef, Delay, Reactivation, Timing};
 use crate::gate::InputGate;
 use crate::marking::{Marking, PlaceId};
 use crate::model::DependencyIndex;
 use crate::pred::Pred;
+use ckpt_stats::Dist;
 
 /// Stack budget of the gate-program interpreter. Expressions needing
 /// more (operand `i` of an `All`/`Any` starts with `i` results already
@@ -94,11 +95,25 @@ pub(crate) struct CompiledSan {
     place_inst_mask: Vec<u64>,
     /// Timed activities re-checked on every event (one row).
     pub(crate) global_timed_mask: Vec<u64>,
+    /// The global timed row under lazy reactivation: `Resample`
+    /// activities whose redraw is elidable (marking-independent
+    /// exponential delay) *and* whose gates all declare their reads are
+    /// dropped — the place rows cover every marking change that can
+    /// affect them, and lazy mode never redraws them anyway.
+    pub(crate) global_timed_mask_lazy: Vec<u64>,
     /// Instantaneous activities re-checked on every event (one row).
     pub(crate) global_inst_mask: Vec<u64>,
     /// Bit `a` set iff activity `a` is timed with
     /// [`Reactivation::Resample`].
     resample_words: Vec<u64>,
+    /// Bit `a` set iff activity `a` is a `Resample` activity whose
+    /// delay is a marking-independent [`Dist::Exponential`] — the only
+    /// shape whose reactivation redraw lazy mode may skip: by
+    /// memorylessness the remaining delay is distributed exactly as a
+    /// fresh draw, so keeping the scheduled completion is
+    /// distribution-equivalent. Marking-dependent delays stay eager (a
+    /// rate change *must* be observed at the marking change).
+    lazy_elidable_words: Vec<u64>,
     /// Bit `a` set iff activity `a` is timed.
     timed_words: Vec<u64>,
 }
@@ -122,10 +137,16 @@ impl CompiledSan {
             place_timed_mask: vec![0; place_count * mask_words],
             place_inst_mask: vec![0; place_count * mask_words],
             global_timed_mask: vec![0; mask_words],
+            global_timed_mask_lazy: vec![0; mask_words],
             global_inst_mask: vec![0; mask_words],
             resample_words: vec![0; mask_words],
+            lazy_elidable_words: vec![0; mask_words],
             timed_words: vec![0; mask_words],
         };
+        // Activities lazy mode drops from the global timed row:
+        // elidable (see `lazy_elidable_words`) with fully declared
+        // gates, so the dependency-index place rows reach them.
+        let mut lazy_exempt = vec![0u64; mask_words];
         for (i, def) in activities.iter().enumerate() {
             let req_start = u32::try_from(c.reqs.len()).expect("req arena overflow");
             for &(p, need) in &def.input_arcs {
@@ -170,6 +191,17 @@ impl CompiledSan {
                 set_bit(&mut c.timed_words, i);
                 if def.reactivation == Reactivation::Resample {
                     set_bit(&mut c.resample_words, i);
+                    if matches!(
+                        def.timing,
+                        Timing::Timed(Delay::Dist(Dist::Exponential { .. }))
+                    ) {
+                        set_bit(&mut c.lazy_elidable_words, i);
+                        let undeclared =
+                            def.input_gates.iter().any(|g| g.declared_reads().is_none());
+                        if !undeclared {
+                            set_bit(&mut lazy_exempt, i);
+                        }
+                    }
                 }
             }
         }
@@ -187,6 +219,9 @@ impl CompiledSan {
         }
         for &a in &deps.global_timed {
             set_bit(&mut c.global_timed_mask, a as usize);
+        }
+        for (w, (&g, &x)) in c.global_timed_mask.iter().zip(&lazy_exempt).enumerate() {
+            c.global_timed_mask_lazy[w] = g & !x;
         }
         for &a in &deps.global_inst {
             set_bit(&mut c.global_inst_mask, a as usize);
@@ -283,6 +318,13 @@ impl CompiledSan {
     #[inline]
     pub(crate) fn is_resample(&self, a: usize) -> bool {
         self.resample_words[a >> 6] & (1u64 << (a & 63)) != 0
+    }
+
+    /// Whether lazy reactivation may skip activity `a`'s redraw: a
+    /// `Resample` activity with a marking-independent exponential delay.
+    #[inline]
+    pub(crate) fn is_lazy_elidable(&self, a: usize) -> bool {
+        self.lazy_elidable_words[a >> 6] & (1u64 << (a & 63)) != 0
     }
 }
 
@@ -517,13 +559,44 @@ mod tests {
         let san = b.build().unwrap();
         let c = &san.compiled;
         assert_eq!(c.mask_words, 1);
-        // t0 depends on p0; t1 is Resample ⇒ global; i0 depends on p1.
+        // t0 depends on p0; t1 is Resample ⇒ global, and (its reads all
+        // being declared) also indexed under its place p1 for lazy mode;
+        // i0 depends on p1.
         assert_eq!(c.place_timed_row(p0.0), &[0b001]);
-        assert_eq!(c.place_timed_row(p1.0), &[0b000]);
+        assert_eq!(c.place_timed_row(p1.0), &[0b010]);
         assert_eq!(c.place_inst_row(p1.0), &[0b100]);
         assert_eq!(c.global_timed_mask, &[0b010]);
+        // t1's delay is a plain exponential, so lazy mode elides its
+        // redraws and drops it from the global row — the p1 place row
+        // still reaches it when its enabling can change.
+        assert_eq!(c.global_timed_mask_lazy, &[0b000]);
         assert_eq!(c.global_inst_mask, &[0b000]);
         assert!(c.is_timed(0) && c.is_timed(1) && !c.is_timed(2));
         assert!(!c.is_resample(0) && c.is_resample(1) && !c.is_resample(2));
+        assert!(!c.is_lazy_elidable(0) && c.is_lazy_elidable(1));
+    }
+
+    #[test]
+    fn marking_dependent_resample_is_not_elidable() {
+        // A closure delay can modulate its rate by the marking, so lazy
+        // mode must keep redrawing it eagerly and keep it global.
+        let mut b = SanBuilder::new("modulated");
+        let p0 = b.place("p0", 1);
+        b.timed_activity("mod", crate::Delay::from_fn(|_, rng| rng.exponential(1.0)))
+            .reactivation(Reactivation::Resample)
+            .input_arc(p0, 1)
+            .output_arc(p0, 1)
+            .build();
+        b.timed_activity("exp", crate::Delay::from(Dist::exponential(2.0)))
+            .reactivation(Reactivation::Resample)
+            .input_arc(p0, 1)
+            .output_arc(p0, 1)
+            .build();
+        let san = b.build().unwrap();
+        let c = &san.compiled;
+        assert!(c.is_resample(0) && !c.is_lazy_elidable(0));
+        assert!(c.is_resample(1) && c.is_lazy_elidable(1));
+        assert_eq!(c.global_timed_mask, &[0b011]);
+        assert_eq!(c.global_timed_mask_lazy, &[0b001]);
     }
 }

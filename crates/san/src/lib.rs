@@ -73,8 +73,9 @@ pub use marking::{FluidId, Marking, PlaceId};
 pub use model::{ActivityBuilder, CaseBuilder, San, SanBuilder};
 pub use pred::Pred;
 pub use reward::{RewardReport, RewardSpec, RewardValue};
-pub use simulator::{SanObserver, Scheduling, Simulator};
+pub use simulator::{ReactivationMode, SanObserver, Scheduling, Simulator};
 
-// The sampler choice travels with the simulator API: `Simulator::with_options`
-// takes it, so callers should not need a direct `ckpt-des` dependency.
-pub use ckpt_des::Sampling;
+// The sampler and queue-backend choices travel with the simulator API:
+// `Simulator::with_exec_options` takes them, so callers should not need
+// a direct `ckpt-des` dependency.
+pub use ckpt_des::{QueueKind, Sampling};

@@ -70,7 +70,17 @@ impl DependencyIndex {
                 } else {
                     idx.global_inst.push(a);
                 }
-                continue;
+                if undeclared {
+                    continue;
+                }
+                // A `Resample` activity whose gates all declare their
+                // reads falls through: its dependency places are indexed
+                // *as well*. Under eager resampling the place rows are
+                // redundant with the global row (the visit set is a
+                // bitmask OR, so the union is unchanged), but lazy
+                // reactivation drops these activities from its global
+                // mask and relies on the place rows to revisit them when
+                // their enabling can actually change.
             }
             dep_places.clear();
             dep_places.extend(def.input_arcs.iter().map(|&(p, _)| p.0));

@@ -7,7 +7,7 @@ use crate::model::San;
 use crate::reward::{RewardReport, RewardSpec, RewardValue};
 use ckpt_des::prof::{HotPhase, PhaseProfile, PhaseProfiler};
 use ckpt_des::telem::{HotTelemetry, TelemetrySnapshot};
-use ckpt_des::{EventId, EventQueue, Sampling, SimRng, SimTime};
+use ckpt_des::{EventId, EventQueue, QueueKind, Sampling, SimRng, SimTime};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -65,6 +65,67 @@ pub enum Scheduling {
     /// Re-examine every activity after every event — the original O(A)
     /// reference behaviour.
     FullScan,
+}
+
+/// How a [`Simulator`] realises the [`Reactivation::Resample`] policy
+/// for timers whose delay is a marking-independent exponential.
+///
+/// [`ReactivationMode::Resample`] (the default) redraws the delay and
+/// moves the queue entry on every marking change — the reference
+/// behaviour, bit-identical to the original executor. For an
+/// exponential that is pure overhead: by memorylessness the remaining
+/// delay conditioned on "not yet fired" has exactly the original
+/// distribution, so [`ReactivationMode::Lazy`] keeps the scheduled
+/// completion instead, skipping the redraw *and* the queue move.
+///
+/// Lazy mode is **distribution-equivalent, not bit-identical**: skipped
+/// draws shift the RNG stream, so a lazy run is statistically a new
+/// stream over the same model (validated by the KS/moment and
+/// CI-overlap suites, like [`Sampling::Ziggurat`]). Timers with
+/// marking-dependent delays ([`crate::Delay::MarkingDependent`]) are
+/// never elided — a rate modulated by the marking must be observed at
+/// the marking change — and [`Reactivation::Keep`] timers are
+/// untouched by either mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReactivationMode {
+    /// Redraw `Resample` timers on every marking change (reference).
+    #[default]
+    Resample,
+    /// Keep marking-independent exponential timers in place; redraw
+    /// only marking-dependent ones.
+    Lazy,
+}
+
+impl ReactivationMode {
+    /// Stable lowercase name, as accepted by [`ReactivationMode::parse`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReactivationMode::Resample => "resample",
+            ReactivationMode::Lazy => "lazy",
+        }
+    }
+
+    /// Parses a mode name as written on a command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the valid values.
+    pub fn parse(s: &str) -> Result<ReactivationMode, String> {
+        match s {
+            "resample" => Ok(ReactivationMode::Resample),
+            "lazy" => Ok(ReactivationMode::Lazy),
+            other => Err(format!(
+                "unknown reactivation mode '{other}' (resample|lazy)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ReactivationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Cold per-reward state: consulted when registering, reporting, or
@@ -162,6 +223,7 @@ pub struct Simulator<'m> {
     window_start: SimTime,
     observer: Option<&'m mut dyn SanObserver>,
     scheduling: Scheduling,
+    reactivation: ReactivationMode,
     /// Reused per multi-case firing; never reallocated in steady state.
     weights_scratch: Vec<f64>,
     /// Visit bitmask scratch for incremental reconciliation: one bit per
@@ -225,6 +287,38 @@ impl<'m> Simulator<'m> {
         scheduling: Scheduling,
         sampling: Sampling,
     ) -> Result<Simulator<'m>, SanError> {
+        Simulator::with_exec_options(
+            san,
+            seed,
+            scheduling,
+            sampling,
+            ReactivationMode::default(),
+            QueueKind::default(),
+        )
+    }
+
+    /// Creates a simulator with every execution switch explicit:
+    /// [`Scheduling`], [`Sampling`], [`ReactivationMode`], and the
+    /// event-queue backend ([`QueueKind`]).
+    ///
+    /// The defaults (`Incremental`, `InverseCdf`, `Resample`,
+    /// `IndexedHeap`) are the pinned bit-identical reference; `Lazy`
+    /// and the non-default sampler are distribution-equivalent opt-ins,
+    /// while `Calendar` is bit-identical (both backends pop the same
+    /// `(time, FIFO)` order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError`] if the initial settling livelocks or a delay
+    /// sampler misbehaves.
+    pub fn with_exec_options(
+        san: &'m San,
+        seed: u64,
+        scheduling: Scheduling,
+        sampling: Sampling,
+        reactivation: ReactivationMode,
+        queue: QueueKind,
+    ) -> Result<Simulator<'m>, SanError> {
         let n = san.activities.len();
         let mut rng = SimRng::seed_from_u64(seed);
         rng.set_sampling(sampling);
@@ -232,7 +326,7 @@ impl<'m> Simulator<'m> {
             san,
             marking: san.initial_marking(),
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(queue),
             scheduled: vec![None; n],
             sampled_version: vec![0; n],
             rng,
@@ -248,6 +342,7 @@ impl<'m> Simulator<'m> {
             window_start: SimTime::ZERO,
             observer: None,
             scheduling,
+            reactivation,
             weights_scratch: Vec::new(),
             timed_acc: vec![0; san.compiled.mask_words],
             inst_acc: vec![0; san.compiled.mask_words],
@@ -274,6 +369,18 @@ impl<'m> Simulator<'m> {
     #[must_use]
     pub fn sampling(&self) -> Sampling {
         self.rng.sampling()
+    }
+
+    /// The reactivation mode this simulator runs with.
+    #[must_use]
+    pub fn reactivation(&self) -> ReactivationMode {
+        self.reactivation
+    }
+
+    /// The event-queue backend this simulator runs on.
+    #[must_use]
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// The hot-phase profile accumulated so far. All-zero unless the
@@ -493,6 +600,14 @@ impl<'m> Simulator<'m> {
     fn step_event(&mut self, t: SimTime, activity: ActivityId) -> Result<(), SanError> {
         let dispatch = self.prof.begin();
         self.telem.record_queue_depth(self.queue.len());
+        // `ENABLED` is a compile-time constant, so the occupancy scan
+        // (calendar backend only) vanishes entirely from non-telemetry
+        // builds.
+        if ckpt_des::telem::ENABLED {
+            if let Some(occ) = self.queue.band_occupancy() {
+                self.telem.record_band_occupancy(occ);
+            }
+        }
         self.integrate_to(t);
         self.now = t;
         self.scheduled[activity.0] = None;
@@ -812,9 +927,19 @@ impl<'m> Simulator<'m> {
     /// interleaved reference path.
     fn update_schedules_incremental(&mut self, fired: ActivityId) -> Result<(), SanError> {
         let compiled = &self.san.compiled;
+        let lazy = self.reactivation == ReactivationMode::Lazy;
         {
             let acc = &mut self.timed_acc;
-            acc.copy_from_slice(&compiled.global_timed_mask);
+            // Lazy mode's global row omits elidable `Resample` timers
+            // with declared reads: their place rows (which the
+            // dependency index also populates for them) cover every
+            // marking change that can affect their enabling, and their
+            // redraws are skipped anyway.
+            acc.copy_from_slice(if lazy {
+                &compiled.global_timed_mask_lazy
+            } else {
+                &compiled.global_timed_mask
+            });
             debug_assert!(
                 compiled.is_timed(fired.0),
                 "queue completed a non-timed activity"
@@ -849,12 +974,19 @@ impl<'m> Simulator<'m> {
                     (false, None) => {}
                     (true, Some(ev)) => {
                         if compiled.is_resample(a) && self.sampled_version[a] != version {
-                            draws += 1;
-                            pending.push(PendingOp {
-                                act: a as u32,
-                                at: SimTime::ZERO,
-                                kind: PendingKind::Reschedule(ev),
-                            });
+                            if lazy && compiled.is_lazy_elidable(a) {
+                                // Memoryless: the scheduled completion
+                                // already has the distribution a fresh
+                                // draw would produce.
+                                ckpt_des::telem::note_redraw_elided();
+                            } else {
+                                draws += 1;
+                                pending.push(PendingOp {
+                                    act: a as u32,
+                                    at: SimTime::ZERO,
+                                    kind: PendingKind::Reschedule(ev),
+                                });
+                            }
                         }
                     }
                     (true, None) => {
@@ -952,6 +1084,13 @@ impl<'m> Simulator<'m> {
             (true, Some(ev)) => {
                 if def.reactivation == Reactivation::Resample && self.sampled_version[i] != version
                 {
+                    if self.reactivation == ReactivationMode::Lazy
+                        && self.san.compiled.is_lazy_elidable(i)
+                    {
+                        // Memoryless: keep the scheduled completion.
+                        ckpt_des::telem::note_redraw_elided();
+                        return Ok(());
+                    }
                     // Redraw in place: cancelling draws no randomness, so
                     // sampling before the queue move keeps the RNG stream
                     // identical to the cancel-then-schedule sequence while
@@ -1485,6 +1624,184 @@ mod tests {
         sim.run_for(SimTime::from_secs(200_000.0)).unwrap();
         let a = sim.reward_report().value("avail").unwrap().time_average();
         assert!((a - 0.9).abs() < 0.01, "availability {a}");
+    }
+
+    /// Repair model with the failure timer marked `Resample` (plain
+    /// exponential, declared dependencies) — the shape lazy mode elides
+    /// — plus an unrelated `Keep` noise timer whose firings dirty the
+    /// marking while the failure timer stays enabled. Under eager
+    /// resampling every noise firing redraws the failure delay; under
+    /// lazy mode those redraws are all elided.
+    fn resample_repair_model() -> San {
+        let mut b = SanBuilder::new("resample_repair");
+        let up = b.place("up", 1);
+        let down = b.place("down", 0);
+        let noise = b.place("noise", 1);
+        b.timed_activity("fail", Delay::from(Dist::exponential(0.1)))
+            .reactivation(Reactivation::Resample)
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build();
+        b.timed_activity("repair", Delay::from(Dist::exponential(0.9)))
+            .reactivation(Reactivation::Resample)
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build();
+        b.timed_activity("noisy", Delay::from(Dist::exponential(2.0)))
+            .input_arc(noise, 1)
+            .output_arc(noise, 1)
+            .build();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reactivation_mode_round_trips_names() {
+        for mode in [ReactivationMode::Resample, ReactivationMode::Lazy] {
+            assert_eq!(ReactivationMode::parse(mode.name()), Ok(mode));
+            assert_eq!(format!("{mode}"), mode.name());
+        }
+        assert!(ReactivationMode::parse("eager").is_err());
+        assert_eq!(ReactivationMode::default(), ReactivationMode::Resample);
+    }
+
+    #[test]
+    fn lazy_reactivation_reproduces_availability() {
+        // Lazy is distribution-equivalent: the resample repair model's
+        // long-run availability must still come out at ~0.9.
+        let san = resample_repair_model();
+        let up = san.place_by_name("up").unwrap();
+        let mut sim = Simulator::with_exec_options(
+            &san,
+            1,
+            Scheduling::Incremental,
+            Sampling::InverseCdf,
+            ReactivationMode::Lazy,
+            QueueKind::IndexedHeap,
+        )
+        .unwrap();
+        assert_eq!(sim.reactivation(), ReactivationMode::Lazy);
+        sim.add_reward(RewardSpec::rate("avail", move |m| {
+            if m.has_token(up) {
+                1.0
+            } else {
+                0.0
+            }
+        }))
+        .unwrap();
+        sim.run_for(SimTime::from_secs(200_000.0)).unwrap();
+        let a = sim.reward_report().value("avail").unwrap().time_average();
+        assert!((a - 0.9).abs() < 0.01, "availability {a}");
+    }
+
+    #[test]
+    fn lazy_full_scan_matches_lazy_incremental_exactly() {
+        // Elided visits draw no randomness and touch no queue state, so
+        // the two scheduling strategies stay bit-identical under lazy
+        // mode exactly as they are under eager resampling.
+        let san = resample_repair_model();
+        let run = |scheduling| {
+            let mut sim = Simulator::with_exec_options(
+                &san,
+                9,
+                scheduling,
+                Sampling::InverseCdf,
+                ReactivationMode::Lazy,
+                QueueKind::IndexedHeap,
+            )
+            .unwrap();
+            sim.run_for(SimTime::from_secs(50_000.0)).unwrap();
+            (
+                sim.firing_count(san.activity_by_name("fail").unwrap()),
+                sim.firing_count(san.activity_by_name("repair").unwrap()),
+            )
+        };
+        assert_eq!(run(Scheduling::FullScan), run(Scheduling::Incremental));
+    }
+
+    #[test]
+    fn lazy_keeps_marking_dependent_timers_eager() {
+        // Same modulated-rate model as the Resample test: under lazy
+        // mode the closure delay must still be redrawn on the window
+        // opening, or the 100x rate burst would be missed.
+        let mut b = SanBuilder::new("modulated_lazy");
+        let window = b.place("window", 0);
+        let armed = b.place("armed", 1);
+        let failures = b.place("failures", 0);
+        let alive = b.place("alive", 1);
+        b.timed_activity("open_window", Delay::from(Dist::deterministic(5.0)))
+            .input_arc(armed, 1)
+            .output_arc(window, 1)
+            .build();
+        let wid = window;
+        let fail = b
+            .timed_activity(
+                "fail",
+                Delay::from_fn(move |m, rng| {
+                    let rate = if m.has_token(wid) { 100.0 } else { 0.01 };
+                    rng.exponential(rate)
+                }),
+            )
+            .reactivation(Reactivation::Resample)
+            .input_arc(alive, 1)
+            .output_arc(alive, 1)
+            .output_arc(failures, 1)
+            .build();
+        let san = b.build().unwrap();
+        let mut sim = Simulator::with_exec_options(
+            &san,
+            7,
+            Scheduling::Incremental,
+            Sampling::InverseCdf,
+            ReactivationMode::Lazy,
+            QueueKind::IndexedHeap,
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_secs(5.0)).unwrap();
+        let before = sim.firing_count(fail);
+        sim.run_until(SimTime::from_secs(6.0)).unwrap();
+        let after = sim.firing_count(fail);
+        assert!(before < 5, "failures before window: {before}");
+        assert!(
+            after - before > 50,
+            "failures inside window: {}",
+            after - before
+        );
+    }
+
+    #[test]
+    fn calendar_queue_is_bit_identical_to_heap() {
+        // Both backends pop the same (time, FIFO) order, so switching
+        // the backend changes nothing observable — on the eager path
+        // and on the lazy path alike.
+        let san = resample_repair_model();
+        let run = |reactivation, queue| {
+            let mut sim = Simulator::with_exec_options(
+                &san,
+                13,
+                Scheduling::Incremental,
+                Sampling::InverseCdf,
+                reactivation,
+                queue,
+            )
+            .unwrap();
+            sim.run_for(SimTime::from_secs(50_000.0)).unwrap();
+            (
+                sim.firing_count(san.activity_by_name("fail").unwrap()),
+                sim.firing_count(san.activity_by_name("repair").unwrap()),
+            )
+        };
+        for mode in [ReactivationMode::Resample, ReactivationMode::Lazy] {
+            assert_eq!(
+                run(mode, QueueKind::IndexedHeap),
+                run(mode, QueueKind::Calendar),
+                "queue backends diverged under {mode}"
+            );
+        }
+        // And the lazy stream really is a different stream.
+        assert_ne!(
+            run(ReactivationMode::Resample, QueueKind::IndexedHeap),
+            run(ReactivationMode::Lazy, QueueKind::IndexedHeap)
+        );
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! * `Sampling::Ziggurat` — the fast path, distribution-equivalent but
 //!   deliberately *not* stream-identical.
 //!
+//! It also pins the memorylessness identity that lazy reactivation
+//! (`ReactivationMode::Lazy`) relies on to skip those resamples
+//! entirely: the residual of an interrupted exponential timer is
+//! distributed exactly as a fresh redraw.
+//!
 //! Each distribution gets a Kolmogorov–Smirnov test against its true
 //! CDF plus moment checks with tolerance bands sized for the sample
 //! size. Seeds are fixed, so these are deterministic regression tests,
@@ -77,6 +82,47 @@ fn samplers_are_equivalent_in_distribution_but_not_in_stream() {
     assert!((mean(&inv) - mean(&zig)).abs() < 0.03);
     assert!((variance(&inv) - variance(&zig)).abs() < 0.1);
     assert_ne!(inv, zig, "ziggurat produced the inverse-CDF stream");
+}
+
+/// The memorylessness contract behind `ReactivationMode::Lazy`: a
+/// marking change at time `u` interrupts an exponential timer drawn at
+/// time 0 with expiry `t`. The eager oracle redraws a fresh
+/// `Exp(rate)` delay at `u`; lazy keeps the timer, which amounts to
+/// using the residual `t − u`. This test pins that the residual,
+/// conditioned on the timer surviving the interruption (`u < t`), is
+/// itself `Exp(rate)` — KS against the true CDF plus mean/variance
+/// bands — so eliding the redraw is *exactly* distribution-equivalent,
+/// not an approximation. Interruption times come from an independent
+/// exponential process, mirroring how other activities' firings
+/// perturb the marking in the simulator.
+#[test]
+fn lazy_residuals_after_interruption_are_exponential() {
+    for (rate, interrupt_rate, seed) in [(1.0, 2.0, 61), (0.25, 1.0, 62), (4.0, 4.0, 63)] {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut residuals = Vec::with_capacity(N);
+        while residuals.len() < N {
+            let t = rng.exponential(rate);
+            let u = rng.exponential(interrupt_rate);
+            if u < t {
+                residuals.push(t - u);
+            }
+        }
+        let ks = ks_test(&residuals, |x| 1.0 - (-rate * x).exp());
+        assert!(ks.accepts(ALPHA), "rate={rate}: {ks}");
+        let se = 1.0 / (rate * (N as f64).sqrt());
+        assert!(
+            (mean(&residuals) - 1.0 / rate).abs() < 5.0 * se,
+            "rate={rate}: residual mean {} vs {}",
+            mean(&residuals),
+            1.0 / rate
+        );
+        let var_target = 1.0 / (rate * rate);
+        assert!(
+            (variance(&residuals) - var_target).abs() < 0.1 * var_target,
+            "rate={rate}: residual var {} vs {var_target}",
+            variance(&residuals)
+        );
+    }
 }
 
 /// Abramowitz–Stegun 7.1.26 erf approximation, |error| ≤ 1.5e-7 —

@@ -53,9 +53,14 @@ impl Client {
         }
     }
 
-    fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<(u16, String), CkptError> {
-        let mut stream = TcpStream::connect(&self.server)
-            .map_err(|e| self.io_err(format!("connect: {e}")))?;
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), CkptError> {
+        let mut stream =
+            TcpStream::connect(&self.server).map_err(|e| self.io_err(format!("connect: {e}")))?;
         let body = body.unwrap_or("");
         write!(
             stream,
@@ -162,8 +167,7 @@ impl Client {
         if status != 200 {
             return Err(self.io_err(format!("submit rejected ({status}): {}", body.trim())));
         }
-        let doc = parse(&body)
-            .map_err(|e| self.io_err(format!("malformed submit reply: {e}")))?;
+        let doc = parse(&body).map_err(|e| self.io_err(format!("malformed submit reply: {e}")))?;
         let id = doc
             .get("id")
             .and_then(JsonValue::as_str)
@@ -215,8 +219,8 @@ impl Client {
         let deadline = Instant::now() + timeout;
         loop {
             let body = self.status(id)?;
-            let doc = parse(&body)
-                .map_err(|e| self.io_err(format!("malformed status reply: {e}")))?;
+            let doc =
+                parse(&body).map_err(|e| self.io_err(format!("malformed status reply: {e}")))?;
             match doc.get("state").and_then(JsonValue::as_str) {
                 Some("done") => {
                     return self

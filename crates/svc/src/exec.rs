@@ -239,14 +239,7 @@ pub fn run_job(
     }
     let journal = store.open_journal(fingerprint, snapshot_every)?;
     let reps = spec.replications();
-    let est = run_unit(
-        spec,
-        &journal,
-        (0, reps),
-        true,
-        interrupt,
-        progress,
-    )?;
+    let est = run_unit(spec, &journal, (0, reps), true, interrupt, progress)?;
     let body = result::render(spec, &est);
     store.store(fingerprint, &body)?;
     Ok(body)
@@ -282,7 +275,10 @@ mod tests {
             unit_ranges(12, Estimation::BatchMeans { batches: 4 }, 8, 1),
             vec![(0, 12)]
         );
-        assert_eq!(unit_ranges(12, Estimation::Replications, 1, 1), vec![(0, 12)]);
+        assert_eq!(
+            unit_ranges(12, Estimation::Replications, 1, 1),
+            vec![(0, 12)]
+        );
         assert!(unit_ranges(0, Estimation::Replications, 4, 1).is_empty());
     }
 
@@ -306,7 +302,10 @@ mod tests {
         let ranged = RangeStore::new(&probe, 2, 4);
         assert!(ranged.lookup(0).is_some(), "below range is dummy-cached");
         assert!(ranged.lookup(4).is_some(), "above range is dummy-cached");
-        assert!(ranged.lookup(2).is_none(), "in range consults the inner store");
+        assert!(
+            ranged.lookup(2).is_none(),
+            "in range consults the inner store"
+        );
         let m = Metrics::default();
         for rep in 0..6 {
             ranged.record(rep, &m, 1);

@@ -211,7 +211,12 @@ fn handle_connection(mut stream: TcpStream, sched: &Scheduler) -> std::io::Resul
                     "OK",
                     &submit_body(&out.id, out.cached, out.deduplicated),
                 ),
-                Err(e) => respond(&mut stream, 500, "Internal Server Error", &error_body(&e.to_string())),
+                Err(e) => respond(
+                    &mut stream,
+                    500,
+                    "Internal Server Error",
+                    &error_body(&e.to_string()),
+                ),
             },
             Err(e) => respond(&mut stream, 400, "Bad Request", &error_body(&e.to_string())),
         },
@@ -241,7 +246,12 @@ fn route_result(stream: &mut TcpStream, sched: &Scheduler, id: &str) -> std::io:
     match sched.result(id) {
         // Verbatim stored bytes: this is the byte-identity contract.
         Ok(Some(body)) => respond(stream, 200, "OK", &body),
-        Ok(None) => respond(stream, 404, "Not Found", &error_body("result not available")),
+        Ok(None) => respond(
+            stream,
+            404,
+            "Not Found",
+            &error_body("result not available"),
+        ),
         Err(e) => io_error(stream, &e),
     }
 }
@@ -277,5 +287,10 @@ fn route_progress(stream: &mut TcpStream, sched: &Scheduler, id: &str) -> std::i
 }
 
 fn io_error(stream: &mut TcpStream, e: &CkptError) -> std::io::Result<()> {
-    respond(stream, 500, "Internal Server Error", &error_body(&e.to_string()))
+    respond(
+        stream,
+        500,
+        "Internal Server Error",
+        &error_body(&e.to_string()),
+    )
 }

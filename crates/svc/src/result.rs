@@ -20,10 +20,7 @@ pub const RESULT_SCHEMA_VERSION: u64 = 1;
 fn interval_json(ci: &ConfidenceInterval) -> JsonValue {
     JsonValue::Object(vec![
         ("mean".to_string(), JsonValue::from_f64(ci.mean)),
-        (
-            "half_width".to_string(),
-            JsonValue::from_f64(ci.half_width),
-        ),
+        ("half_width".to_string(), JsonValue::from_f64(ci.half_width)),
         ("level".to_string(), JsonValue::from_f64(ci.level)),
         ("count".to_string(), JsonValue::from_u64(ci.count)),
     ])
@@ -37,12 +34,9 @@ fn interval_json(ci: &ConfidenceInterval) -> JsonValue {
 #[must_use]
 pub fn render(spec: &ExperimentSpec, est: &Estimate) -> String {
     let spec_doc = match parse(&spec.to_json()) {
-        Ok(JsonValue::Object(fields)) => JsonValue::Object(
-            fields
-                .into_iter()
-                .filter(|(k, _)| k != "jobs")
-                .collect(),
-        ),
+        Ok(JsonValue::Object(fields)) => {
+            JsonValue::Object(fields.into_iter().filter(|(k, _)| k != "jobs").collect())
+        }
         _ => JsonValue::Null,
     };
     let replicates: Vec<JsonValue> = est.replicates().iter().map(metrics_to_json).collect();
@@ -117,7 +111,9 @@ mod tests {
             Some(format!("{:016x}", s.fingerprint()).as_str())
         );
         assert_eq!(
-            doc.get("replicates").and_then(JsonValue::as_array).map(<[JsonValue]>::len),
+            doc.get("replicates")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
             Some(3)
         );
         assert_eq!(

@@ -371,7 +371,10 @@ impl Scheduler {
     /// # Errors
     ///
     /// Everything the experiment itself can return.
-    pub fn run_local(spec: &ExperimentSpec, req: LocalRun<'_>) -> Result<Estimate, ExperimentError> {
+    pub fn run_local(
+        spec: &ExperimentSpec,
+        req: LocalRun<'_>,
+    ) -> Result<Estimate, ExperimentError> {
         exec::run_local(spec, req)
     }
 
@@ -426,10 +429,7 @@ fn worker_loop(inner: &Inner) {
                 if let Some(unit) = next_unit(&mut st) {
                     break unit;
                 }
-                st = inner
-                    .work_cv
-                    .wait(st)
-                    .expect("scheduler state poisoned");
+                st = inner.work_cv.wait(st).expect("scheduler state poisoned");
             }
         };
         execute_unit(inner, &unit);

@@ -103,7 +103,11 @@ impl JobStore {
     ///
     /// Any [`SnapshotError`] from loading or validating an existing
     /// journal.
-    pub fn open_journal(&self, fingerprint: u64, every: u32) -> Result<SweepJournal, SnapshotError> {
+    pub fn open_journal(
+        &self,
+        fingerprint: u64,
+        every: u32,
+    ) -> Result<SweepJournal, SnapshotError> {
         SweepJournal::open_in_dir(&self.root, fingerprint, every)
     }
 }

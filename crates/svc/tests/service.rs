@@ -115,8 +115,12 @@ fn sharded_tuning_changes_scheduling_but_not_the_result_bytes() {
     let s = spec(9, 2);
     let a = client_a.submit(&s.to_json()).unwrap();
     let b = client_b.submit(&s.to_json()).unwrap();
-    let body_a = client_a.wait_result(&a.id, Duration::from_secs(120)).unwrap();
-    let body_b = client_b.wait_result(&b.id, Duration::from_secs(120)).unwrap();
+    let body_a = client_a
+        .wait_result(&a.id, Duration::from_secs(120))
+        .unwrap();
+    let body_b = client_b
+        .wait_result(&b.id, Duration::from_secs(120))
+        .unwrap();
     assert_eq!(body_a, body_b, "sharding must not change the result");
     assert!(sched_b.executed_units() >= 3, "the job really was sharded");
     let _ = std::fs::remove_dir_all(&dir_a);

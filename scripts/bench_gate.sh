@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Perf-regression gate, two layers:
+# Perf-regression gate, three layers:
 #
 #  1. Headline throughput — re-measures the engine's smoke workload and
 #     fails when incremental-scheduler events/sec regressed more than
 #     MAX_REGRESSION_PCT against the committed reference in
 #     BENCH_hotloop.json (the "gate_reference_quick" leg, produced by
 #     `cargo run --release -p ckpt-bench --bin bench_hotloop`).
+#  1b. Execution-mode matrix — repeats the same measurement for each
+#     committed "gate_modes" entry (reactivation × queue combinations:
+#     resample+calendar, lazy+heap, lazy+calendar), gating every mode
+#     at the same budget. bench_engines asserts scheduler bit-identity
+#     in each mode as it runs, so this layer also re-checks that the
+#     calendar queue reproduces the heap's event order on the oracle
+#     path on every PR.
 #  2. Per-phase attribution — re-measures the hot-phase breakdown with a
 #     `--features prof` build and fails when any attributed phase's
 #     ns/event regressed more than MAX_REGRESSION_PCT against the
@@ -110,6 +117,62 @@ if [ "$pass" -ne 0 ]; then
          "'cargo run --release -p ckpt-bench --bin bench_hotloop'" >&2
     exit 1
   fi
+fi
+
+# --- Layer 1b: execution-mode matrix ----------------------------------
+
+# Committed per-mode references: "leg reactivation queue events_per_sec"
+# rows. Empty output (pre-matrix reference file) skips the layer.
+ref_mode_rows="$(python3 - "$ref_file" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for g in doc.get("gate_modes", []):
+    print(g["leg"], g["reactivation"], g["queue"], int(g["events_per_sec"]))
+EOF
+)"
+
+if [ -n "$ref_mode_rows" ]; then
+  mode_verdict=0
+  while read -r leg reactivation queue mode_ref_eps; do
+    [ -n "$leg" ] || continue
+    (cd "$repo" && ./target/release/bench_engines --quick --warmup 1 \
+       --reactivation "$reactivation" --queue "$queue" "$@" >/dev/null)
+    mode_cur_eps="$(python3 - "$repo/BENCH_engines.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+[inc] = [r for r in doc["runs"] if r["scheduler"] == "incremental"]
+print(int(inc["events_per_sec"]))
+EOF
+)"
+    mode_line="$(awk -v cur="$mode_cur_eps" -v ref="$mode_ref_eps" -v max="$max_regression_pct" \
+      'BEGIN {
+         drop = 100.0 * (ref - cur) / ref;
+         printf "reference %d ev/s, measured %d ev/s, change %+.1f%%", ref, cur, -drop;
+         exit (drop > max) ? 1 : 0;
+       }')" && mode_pass=0 || mode_pass=1
+    echo "bench_gate: mode $reactivation+$queue: $mode_line"
+    if [ "$mode_pass" -ne 0 ]; then
+      mode_verdict=1
+      worst_mode="$reactivation+$queue"
+    fi
+  done <<< "$ref_mode_rows"
+  # The mode runs clobbered BENCH_engines.json with non-default modes;
+  # restore the default-mode artifact so layer 1's output is what stays
+  # on disk after the gate.
+  (cd "$repo" && ./target/release/bench_engines --quick --warmup 1 "$@" >/dev/null)
+  if [ "$mode_verdict" -ne 0 ]; then
+    if report_only; then
+      echo "bench_gate: MODE REGRESSION over budget, but report-only" \
+           "(cores=$(nproc 2>/dev/null || echo 1), BENCH_GATE_REPORT_ONLY=${BENCH_GATE_REPORT_ONLY:-0})" >&2
+    else
+      echo "bench_gate: FAIL — mode '$worst_mode' regressed more than ${max_regression_pct}%" >&2
+      echo "bench_gate: if intentional, refresh the reference with" \
+           "'cargo run --release -p ckpt-bench --bin bench_hotloop'" >&2
+      exit 1
+    fi
+  fi
+else
+  echo "bench_gate: no gate_modes in $ref_file — mode-matrix gate skipped"
 fi
 
 # --- Layer 2: per-phase ns/event --------------------------------------

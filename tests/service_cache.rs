@@ -33,13 +33,15 @@ fn params_strategy() -> impl Strategy<Value = SpecParams> {
         40.0f64..80.0,
         4.0f64..8.0,
     )
-        .prop_map(|(processors, reps, seed, horizon_h, transient_h)| SpecParams {
-            processors,
-            reps,
-            seed,
-            horizon_h,
-            transient_h,
-        })
+        .prop_map(
+            |(processors, reps, seed, horizon_h, transient_h)| SpecParams {
+                processors,
+                reps,
+                seed,
+                horizon_h,
+                transient_h,
+            },
+        )
 }
 
 fn build_spec(p: &SpecParams, seed: u64, jobs: usize) -> ExperimentSpec {
